@@ -1,0 +1,52 @@
+// Ablation: the engine's checker policy (DESIGN.md §2.7).
+//
+// The library deviates from the paper in one documented way: below
+// `exact_event_limit` active events, the frequent non-closed probability
+// is computed exactly by inclusion-exclusion instead of sampling. This
+// bench sweeps that limit (0 = paper-faithful, always sample when bounds
+// don't decide) and shows the time/accuracy trade: the exact path is both
+// faster and noise-free until the 2^m term takes over.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/mpfci_miner.h"
+#include "src/harness/experiment.h"
+#include "src/harness/table_printer.h"
+
+int main() {
+  using namespace pfci;
+  const BenchScale scale = ScaleFromEnv();
+  PrintBanner("Ablation B",
+              std::string("exact-IE vs sampling checker (scale=") +
+                  ScaleName(scale) + ")");
+  const UncertainDatabase db = MakeUncertainMushroom(scale);
+  const double rel =
+      pfci::bench::DefaultRelMinSup(scale, /*mushroom=*/true);
+  std::printf("[Mushroom-like] %zu transactions, rel_min_sup=%.2f, "
+              "bounds DISABLED so every node hits the checker\n",
+              db.size(), rel);
+
+  TablePrinter table;
+  table.SetHeader({"exact_event_limit", "time_s", "exactFCP", "sampledFCP",
+                   "samples", "num_PFCI"});
+  for (std::size_t limit : {std::size_t{0}, std::size_t{4}, std::size_t{8},
+                            std::size_t{12}, std::size_t{16},
+                            std::size_t{20}}) {
+    MiningParams params = pfci::bench::PaperDefaultParams(db, rel);
+    params.pruning.fcp_bounds = false;  // Force every node to the checker.
+    params.exact_event_limit = limit;
+    const MiningResult r = MineMpfci(db, params);
+    table.AddRow({std::to_string(limit),
+                  pfci::bench::FormatSeconds(r.stats.seconds),
+                  std::to_string(r.stats.exact_fcp_computations),
+                  std::to_string(r.stats.sampled_fcp_computations),
+                  std::to_string(r.stats.total_samples),
+                  std::to_string(r.itemsets.size())});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nReading: raising the limit converts sampled checks (noisy, "
+      "~1/eps^2 samples each) into exact inclusion-exclusion checks; the "
+      "result set stabilizes and the run accelerates until 2^m dominates.\n");
+  return 0;
+}

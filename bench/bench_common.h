@@ -1,0 +1,71 @@
+// Shared configuration for the figure-regeneration binaries.
+//
+// Every binary honours PFCI_BENCH_SCALE (quick|full, default quick): quick
+// shrinks the datasets and sweep grids so the whole bench directory runs
+// in minutes on a laptop; full matches the paper's configuration
+// (Table VIII datasets, paper sweep grids) and can take hours, exactly
+// like the original experiments.
+#ifndef PFCI_BENCH_BENCH_COMMON_H_
+#define PFCI_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/mining_params.h"
+#include "src/data/uncertain_database.h"
+#include "src/harness/dataset_factory.h"
+
+namespace pfci::bench {
+
+/// Paper defaults: pfct = 0.8, epsilon = delta = 0.1.
+inline MiningParams PaperDefaultParams(const UncertainDatabase& db,
+                                       double rel_min_sup) {
+  MiningParams params;
+  params.min_sup = AbsoluteMinSup(db.size(), rel_min_sup);
+  params.pfct = 0.8;
+  params.epsilon = 0.1;
+  params.delta = 0.1;
+  // Paper-faithful checking: ApproxFCP is the only fallback checker (the
+  // library's exact inclusion-exclusion shortcut is disabled so that the
+  // bounding-pruning behaviour matches the paper's Fig. 1 pipeline).
+  params.exact_event_limit = 0;
+  return params;
+}
+
+/// The default (median) relative min_sup of the runtime experiments.
+/// Paper: 0.4 on Mushroom, 0.3 on T20I10D30KP40; the quick datasets are
+/// smaller, so their interesting regime sits lower.
+inline double DefaultRelMinSup(BenchScale scale, bool mushroom) {
+  if (scale == BenchScale::kFull) return mushroom ? 0.4 : 0.3;
+  return mushroom ? 0.15 : 0.15;
+}
+
+/// min_sup sweep grid (paper: 0.2 .. 0.6).
+inline std::vector<double> MinSupSweep(BenchScale scale) {
+  if (scale == BenchScale::kFull) return {0.6, 0.5, 0.4, 0.3, 0.2};
+  return {0.4, 0.3, 0.2, 0.15, 0.125};
+}
+
+/// pfct sweep grid (paper: 0.5 .. 0.9).
+inline std::vector<double> PfctSweep() { return {0.5, 0.6, 0.7, 0.8, 0.9}; }
+
+/// epsilon / delta sweep grid (paper: 0.05 .. 0.3).
+inline std::vector<double> ToleranceSweep() {
+  return {0.05, 0.1, 0.15, 0.2, 0.25, 0.3};
+}
+
+/// Per-run wall-clock cap: a sweep point whose previous run exceeded this
+/// is skipped and reported as ">cap" (the paper did the same at 1 hour).
+inline double RuntimeCapSeconds(BenchScale scale) {
+  return scale == BenchScale::kFull ? 3600.0 : 60.0;
+}
+
+inline std::string FormatSeconds(double seconds) {
+  char buffer[32];
+  snprintf(buffer, sizeof(buffer), "%.3f", seconds);
+  return buffer;
+}
+
+}  // namespace pfci::bench
+
+#endif  // PFCI_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,51 @@
+// Regenerates Fig. 12 (a, b): depth-first (MPFCI) vs breadth-first
+// (MPFCI-BFS) search frameworks as min_sup varies.
+//
+// Expected shape (paper): DFS wins consistently — BFS cannot apply the
+// superset/subset prunings, materializes whole levels, and re-derives
+// tid-lists from level joins.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/harness/experiment.h"
+#include "src/harness/table_printer.h"
+#include "src/harness/variants.h"
+
+namespace pfci {
+namespace {
+
+void RunDataset(const char* name, const UncertainDatabase& db,
+                BenchScale scale) {
+  std::printf("\n[%s] %zu transactions (times in s)\n", name, db.size());
+  TablePrinter table;
+  table.SetHeader({"rel_min_sup", "MPFCI(DFS)", "MPFCI-BFS", "num_PFCI",
+                   "dfs_nodes", "bfs_nodes"});
+  for (double rel : bench::MinSupSweep(scale)) {
+    const MiningParams params = bench::PaperDefaultParams(db, rel);
+    const MiningResult dfs = RunVariant(AlgorithmVariant::kMpfci, db, params);
+    const MiningResult bfs = RunVariant(AlgorithmVariant::kBfs, db, params);
+    table.AddRow({std::to_string(rel),
+                  bench::FormatSeconds(dfs.stats.seconds),
+                  bench::FormatSeconds(bfs.stats.seconds),
+                  std::to_string(dfs.itemsets.size()),
+                  std::to_string(dfs.stats.nodes_visited),
+                  std::to_string(bfs.stats.nodes_visited)});
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace pfci
+
+int main() {
+  using namespace pfci;
+  const BenchScale scale = ScaleFromEnv();
+  PrintBanner("Fig. 12", std::string("DFS vs BFS framework (scale=") +
+                             ScaleName(scale) + ")");
+  RunDataset("Mushroom-like", MakeUncertainMushroom(scale), scale);
+  RunDataset("T20I10D30KP40-like", MakeUncertainQuest(scale), scale);
+  std::printf(
+      "\nExpected shape: DFS at or below BFS at every point, with the gap "
+      "widening as min_sup decreases.\n");
+  return 0;
+}

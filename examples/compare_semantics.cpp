@@ -1,0 +1,70 @@
+// The semantic comparison of paper Sec. II (Table IV): our
+// frequent-closed-probability semantics vs the probabilistic-support
+// semantics of [34].
+//
+// On the Table IV database, [34]'s answer set flips as the probabilistic
+// frequent threshold moves from 0.9 to 0.8 even though the frequentness of
+// the affected itemsets does not change — while the threshold-based
+// frequent closed probability of every itemset is a fixed quantity, so the
+// answer only shrinks or grows monotonically with pfct.
+//
+//   $ ./compare_semantics
+#include <cstdio>
+
+#include "src/core/brute_force.h"
+#include "src/core/mpfci_miner.h"
+#include "src/core/probabilistic_support.h"
+#include "src/harness/dataset_factory.h"
+
+int main() {
+  using namespace pfci;
+  const UncertainDatabase db = MakeTable4Db();
+  const std::size_t min_sup = 2;
+
+  std::printf("Table IV — uncertain transaction database:\n");
+  for (Tid tid = 0; tid < db.size(); ++tid) {
+    std::printf("  T%u  %-10s  %.1f\n", tid + 1,
+                db.transaction(tid).items.ToString(true).c_str(),
+                db.prob(tid));
+  }
+
+  std::printf("\n[34]'s probabilistic-support semantics (min_sup=%zu):\n",
+              min_sup);
+  for (double pft : {0.9, 0.8}) {
+    std::printf("  pft=%.1f  ->  ", pft);
+    for (const PsupEntry& entry : MinePsupClosed(db, min_sup, pft)) {
+      std::printf("%s(psup=%zu) ", entry.items.ToString(true).c_str(),
+                  entry.psup);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "  The answer set changes with pft although PrF({a}) and PrF({a b}) "
+      "already exceed both thresholds — the instability the paper "
+      "criticizes.\n");
+
+  std::printf("\nThis paper's semantics (frequent closed probability):\n");
+  for (const Itemset& x :
+       {Itemset{0}, Itemset{0, 1}, Itemset{0, 1, 2}, Itemset{0, 1, 2, 3}}) {
+    const WorldProbabilities truth =
+        BruteForceItemsetProbabilities(db, x, min_sup);
+    std::printf("  %-12s PrF=%.4f  PrFC=%.4f\n", x.ToString(true).c_str(),
+                truth.pr_f, truth.pr_fc);
+  }
+  for (double pfct : {0.9, 0.8, 0.7}) {
+    MiningParams params;
+    params.min_sup = min_sup;
+    params.pfct = pfct;
+    const MiningResult result = MineMpfci(db, params);
+    std::printf("  pfct=%.1f  ->  ", pfct);
+    for (const PfciEntry& entry : result.itemsets) {
+      std::printf("%s(PrFC=%.2f) ", entry.items.ToString(true).c_str(),
+                  entry.fcp);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "  PrFC is threshold-independent: lowering pfct only ever ADDS "
+      "itemsets, and {a}/{a b} (PrFC well below 0.5) never sneak in.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Streaming monitoring: mine probabilistic frequent closed itemsets over
+// a sliding window of unreliable sensor readings, and watch the answer
+// track a mid-stream pattern change (the "traffic regime shift" the
+// paper's Sec. I scenario motivates).
+//
+//   $ ./stream_monitor
+#include <cstdio>
+
+#include "src/core/stream_miner.h"
+#include "src/util/random.h"
+
+int main() {
+  using namespace pfci;
+
+  // Window of 200 readings; a pattern is reported when it is frequent
+  // closed with probability > 0.7 at support >= 50 within the window.
+  MiningParams params;
+  params.min_sup = 50;
+  params.pfct = 0.7;
+  StreamingPfciMiner miner(params, /*window_size=*/200);
+
+  Rng rng(2026);
+  // Two traffic regimes: rush hour {jam=0, rain=1, slow=2} and night
+  // {free=3, clear=4}; background noise items 5..9.
+  const auto observe_regime = [&](bool rush) {
+    std::vector<Item> items =
+        rush ? std::vector<Item>{0, 1, 2} : std::vector<Item>{3, 4};
+    for (Item noise = 5; noise < 10; ++noise) {
+      if (rng.NextBernoulli(0.2)) items.push_back(noise);
+    }
+    // Sensor reliability: readings exist with probability ~N(0.8, 0.1).
+    double prob = rng.NextGaussian(0.8, 0.1);
+    prob = prob < 0.05 ? 0.05 : (prob > 1.0 ? 1.0 : prob);
+    miner.Observe(Itemset(std::move(items)), prob);
+  };
+
+  const auto report = [&](const char* label) {
+    const MiningResult result = miner.MineWindow();
+    std::printf("%s (seen=%llu, window=%zu): %zu patterns\n", label,
+                static_cast<unsigned long long>(miner.transactions_seen()),
+                miner.window_fill(), result.itemsets.size());
+    for (const PfciEntry& entry : result.itemsets) {
+      std::printf("    %-14s PrFC=%.3f\n", entry.items.ToString().c_str(),
+                  entry.fcp);
+    }
+  };
+
+  std::printf("phase 1: rush-hour regime streams in\n");
+  for (int i = 0; i < 200; ++i) observe_regime(/*rush=*/true);
+  report("after phase 1");
+
+  std::printf("\nphase 2: regime shifts to night traffic\n");
+  for (int i = 0; i < 100; ++i) observe_regime(/*rush=*/false);
+  report("mid-transition (window still mixed)");
+
+  for (int i = 0; i < 100; ++i) observe_regime(/*rush=*/false);
+  report("after full window turnover");
+
+  std::printf(
+      "\nReading: the closed-pattern answer follows the regime shift as "
+      "the window rolls over — {0 1 2} fades out, {3 4} takes over.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "src/core/bfs_miner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/fcp_engine.h"
+#include "src/core/frequent_probability.h"
+#include "src/data/vertical_index.h"
+#include "src/util/check.h"
+#include "src/util/stopwatch.h"
+
+namespace pfci {
+
+namespace {
+
+/// One level entry: a probabilistic frequent itemset with its tid-list.
+struct LevelEntry {
+  Itemset items;
+  TidList tids;
+  double pr_f = 0.0;
+};
+
+}  // namespace
+
+MiningResult MineMpfciBfs(const UncertainDatabase& db,
+                          const MiningParams& params) {
+  PFCI_CHECK(params.min_sup >= 1);
+  Stopwatch timer;
+  MiningResult result;
+  const VerticalIndex index(db);
+  const FrequentProbability freq(index, params.min_sup);
+  const FcpEngine engine(index, freq, params);
+  Rng rng(params.seed);
+
+  // Qualifies a candidate itemset; returns PrF > pfct ? PrF : 0 and
+  // updates pruning counters.
+  const auto qualify = [&](const TidList& tids) -> double {
+    if (tids.size() < params.min_sup) {
+      ++result.stats.pruned_by_frequency;
+      return 0.0;
+    }
+    if (params.pruning.chernoff &&
+        freq.PrFUpperBound(tids) <= params.pfct) {
+      ++result.stats.pruned_by_chernoff;
+      return 0.0;
+    }
+    const double pr_f = freq.PrF(tids);
+    if (pr_f <= params.pfct) {
+      ++result.stats.pruned_by_frequency;
+      return 0.0;
+    }
+    return pr_f;
+  };
+
+  const auto check_and_emit = [&](const LevelEntry& entry) {
+    const FcpComputation comp =
+        engine.Evaluate(entry.items, entry.tids, entry.pr_f, rng,
+                        &result.stats);
+    if (comp.is_pfci) {
+      PfciEntry out;
+      out.items = entry.items;
+      out.fcp = comp.fcp;
+      out.pr_f = comp.pr_f;
+      out.fcp_lower = comp.bounds_computed ? comp.bounds.lower : 0.0;
+      out.fcp_upper = comp.bounds_computed ? comp.bounds.upper : comp.pr_f;
+      out.method = comp.method;
+      result.itemsets.push_back(std::move(out));
+    }
+  };
+
+  // Level 1.
+  std::vector<LevelEntry> level;
+  for (Item item : index.occurring_items()) {
+    LevelEntry entry;
+    entry.items = Itemset{item};
+    entry.tids = index.TidsOfItem(item);
+    entry.pr_f = qualify(entry.tids);
+    if (entry.pr_f > 0.0) level.push_back(std::move(entry));
+  }
+
+  while (!level.empty()) {
+    result.stats.nodes_visited += level.size();
+    for (const LevelEntry& entry : level) check_and_emit(entry);
+
+    // Generate level k+1 by prefix join (entries are sorted because the
+    // construction preserves lexicographic order).
+    std::vector<LevelEntry> next_level;
+    for (std::size_t a = 0; a < level.size(); ++a) {
+      const auto& ia = level[a].items.items();
+      for (std::size_t b = a + 1; b < level.size(); ++b) {
+        const auto& ib = level[b].items.items();
+        if (!std::equal(ia.begin(), ia.end() - 1, ib.begin(), ib.end() - 1)) {
+          break;  // Joinable partners are contiguous.
+        }
+        LevelEntry child;
+        child.items = level[a].items.WithItem(ib.back());
+        child.tids = IntersectTids(level[a].tids, level[b].tids);
+        child.pr_f = qualify(child.tids);
+        if (child.pr_f > 0.0) next_level.push_back(std::move(child));
+      }
+    }
+    level.swap(next_level);
+  }
+
+  result.stats.dp_runs = freq.dp_runs();
+  result.stats.seconds = timer.ElapsedSeconds();
+  result.Sort();
+  return result;
+}
+
+}  // namespace pfci

@@ -1,0 +1,25 @@
+// MPFCI-BFS: the breadth-first framework variant (paper Sec. V.D,
+// Fig. 12).
+//
+// Levelwise Apriori-style candidate generation over the probabilistic
+// frequent itemsets, with Chernoff-Hoeffding and frequent-probability
+// pruning plus the Lemma 4.4 bounds; superset/subset pruning cannot be
+// applied ("they won't show up in BFS's enumeration", Table VII).
+// Returns exactly the same itemsets as MineMpfci.
+#ifndef PFCI_CORE_BFS_MINER_H_
+#define PFCI_CORE_BFS_MINER_H_
+
+#include "src/core/mining_params.h"
+#include "src/core/mining_result.h"
+#include "src/data/uncertain_database.h"
+
+namespace pfci {
+
+/// Mines all probabilistic frequent closed itemsets breadth-first.
+/// The superset/subset toggles in params.pruning are ignored.
+MiningResult MineMpfciBfs(const UncertainDatabase& db,
+                          const MiningParams& params);
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_BFS_MINER_H_

@@ -1,0 +1,59 @@
+#include "src/core/brute_force.h"
+
+#include <unordered_map>
+
+#include "src/data/world_enumerator.h"
+#include "src/exact/closed_miner.h"
+#include "src/exact/transaction_database.h"
+#include "src/util/check.h"
+
+namespace pfci {
+
+WorldProbabilities BruteForceItemsetProbabilities(const UncertainDatabase& db,
+                                                  const Itemset& x,
+                                                  std::size_t min_sup) {
+  WorldProbabilities result;
+  EnumerateWorlds(db, [&](const PossibleWorld& world, double prob) {
+    const std::size_t support = world.Support(db, x);
+    const bool frequent = support >= min_sup;
+    const bool closed = world.IsClosed(db, x);
+    if (frequent) result.pr_f += prob;
+    if (closed) result.pr_c += prob;
+    if (frequent && closed) result.pr_fc += prob;
+  });
+  return result;
+}
+
+std::vector<FcpGroundTruth> BruteForceAllFcp(const UncertainDatabase& db,
+                                             std::size_t min_sup) {
+  PFCI_CHECK(min_sup >= 1);
+  std::unordered_map<Itemset, double, ItemsetHash> fcp;
+  EnumerateWorlds(db, [&](const PossibleWorld& world, double prob) {
+    const TransactionDatabase world_db =
+        TransactionDatabase::FromWorld(db, world);
+    MineClosedItemsetsInto(world_db, min_sup,
+                           [&](const Itemset& itemset, std::size_t) {
+                             fcp[itemset] += prob;
+                           });
+  });
+  std::vector<FcpGroundTruth> result;
+  result.reserve(fcp.size());
+  for (const auto& [items, value] : fcp) {
+    result.push_back(FcpGroundTruth{items, value});
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<FcpGroundTruth> BruteForceMinePfci(const UncertainDatabase& db,
+                                               std::size_t min_sup,
+                                               double pfct) {
+  std::vector<FcpGroundTruth> all = BruteForceAllFcp(db, min_sup);
+  std::vector<FcpGroundTruth> result;
+  for (auto& entry : all) {
+    if (entry.fcp > pfct) result.push_back(std::move(entry));
+  }
+  return result;
+}
+
+}  // namespace pfci

@@ -1,0 +1,53 @@
+// Brute-force oracles over explicit possible-world enumeration.
+//
+// The naive method of Sec. I ("first enumerates all possible worlds ...
+// and mines all frequent closed itemsets in each possible world").
+// Exponential in the number of transactions — these exist as ground truth
+// for tests and the tiny paper examples (Table III).
+#ifndef PFCI_CORE_BRUTE_FORCE_H_
+#define PFCI_CORE_BRUTE_FORCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/mining_result.h"
+#include "src/data/itemset.h"
+#include "src/data/uncertain_database.h"
+
+namespace pfci {
+
+/// Exact per-itemset probabilities accumulated over all possible worlds.
+struct WorldProbabilities {
+  double pr_f = 0.0;   ///< Frequent probability (Definition 3.4).
+  double pr_c = 0.0;   ///< Closed probability (Definition 3.6).
+  double pr_fc = 0.0;  ///< Frequent closed probability (Definition 3.7).
+};
+
+/// Computes PrF / PrC / PrFC of a single itemset exactly.
+WorldProbabilities BruteForceItemsetProbabilities(const UncertainDatabase& db,
+                                                  const Itemset& x,
+                                                  std::size_t min_sup);
+
+/// An itemset with its exact frequent closed probability.
+struct FcpGroundTruth {
+  Itemset items;
+  double fcp = 0.0;
+
+  friend bool operator<(const FcpGroundTruth& a, const FcpGroundTruth& b) {
+    return a.items < b.items;
+  }
+};
+
+/// Exact PrFC of every itemset that is frequent closed in at least one
+/// possible world, obtained by mining each world.
+std::vector<FcpGroundTruth> BruteForceAllFcp(const UncertainDatabase& db,
+                                             std::size_t min_sup);
+
+/// Exact probabilistic frequent closed itemsets: PrFC(X) > pfct.
+std::vector<FcpGroundTruth> BruteForceMinePfci(const UncertainDatabase& db,
+                                               std::size_t min_sup,
+                                               double pfct);
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,30 @@
+#include "src/core/closed_probability.h"
+
+#include "src/core/extension_events.h"
+#include "src/core/fcp_exact.h"
+#include "src/core/frequent_probability.h"
+#include "src/data/vertical_index.h"
+
+namespace pfci {
+
+double ExactClosedProbability(const UncertainDatabase& db, const Itemset& x) {
+  const VerticalIndex index(db);
+  const FrequentProbability freq(index, /*min_sup=*/1);
+  const TidList tids = index.TidsOf(x);
+  const double pr_f = freq.PrF(tids);  // Pr{X appears at least once}.
+  const ExtensionEventSet events(index, freq, x, tids);
+  return ExactFcpByInclusionExclusion(pr_f, events);
+}
+
+ApproxFcpResult ApproxClosedProbability(const UncertainDatabase& db,
+                                        const Itemset& x, double epsilon,
+                                        double delta, Rng& rng) {
+  const VerticalIndex index(db);
+  const FrequentProbability freq(index, /*min_sup=*/1);
+  const TidList tids = index.TidsOf(x);
+  const double pr_f = freq.PrF(tids);
+  const ExtensionEventSet events(index, freq, x, tids);
+  return ApproxFcp(pr_f, events, epsilon, delta, rng);
+}
+
+}  // namespace pfci

@@ -1,0 +1,29 @@
+// Closed probability PrC(X) (Definition 3.6).
+//
+// With the paper's convention that an absent itemset is not closed,
+// PrC(X) equals the frequent closed probability at min_sup = 1, so the
+// whole FCP machinery (events, bounds, inclusion-exclusion, ApproxFCP)
+// applies verbatim. Computing PrC exactly is #P-hard (Theorem 3.1).
+#ifndef PFCI_CORE_CLOSED_PROBABILITY_H_
+#define PFCI_CORE_CLOSED_PROBABILITY_H_
+
+#include "src/core/fcp_sampler.h"
+#include "src/data/itemset.h"
+#include "src/data/uncertain_database.h"
+#include "src/util/random.h"
+
+namespace pfci {
+
+/// Exact PrC(X) by inclusion-exclusion over the active extension events.
+/// Exponential in their number; CHECKs that it stays within
+/// kMaxInclusionExclusionEvents.
+double ExactClosedProbability(const UncertainDatabase& db, const Itemset& x);
+
+/// FPRAS estimate of PrC(X) via ApproxFCP at min_sup = 1.
+ApproxFcpResult ApproxClosedProbability(const UncertainDatabase& db,
+                                        const Itemset& x, double epsilon,
+                                        double delta, Rng& rng);
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_CLOSED_PROBABILITY_H_

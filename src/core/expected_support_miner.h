@@ -1,0 +1,45 @@
+// Expected-support frequent itemset mining (U-Apriori model of [9]).
+//
+// The related-work alternative to the probabilistic frequent model: an
+// itemset is "expected-support frequent" when the sum of the existence
+// probabilities of the transactions containing it reaches a threshold.
+// Included so the library covers both uncertainty interpretations the
+// paper's Sec. II.B surveys.
+#ifndef PFCI_CORE_EXPECTED_SUPPORT_MINER_H_
+#define PFCI_CORE_EXPECTED_SUPPORT_MINER_H_
+
+#include <vector>
+
+#include "src/data/itemset.h"
+#include "src/data/uncertain_database.h"
+
+namespace pfci {
+
+/// An itemset with its expected support.
+struct ExpectedSupportEntry {
+  Itemset items;
+  double expected_support = 0.0;
+
+  friend bool operator<(const ExpectedSupportEntry& a,
+                        const ExpectedSupportEntry& b) {
+    return a.items < b.items;
+  }
+};
+
+/// Mines all itemsets with expected support >= min_esup (> 0). Expected
+/// support is anti-monotone, so a DFS with threshold pruning is complete.
+std::vector<ExpectedSupportEntry> MineExpectedSupport(
+    const UncertainDatabase& db, double min_esup);
+
+/// The same answer via a UF-growth-style weighted FP-growth [15]: under
+/// tuple-level uncertainty the expected support is a weighted support
+/// (each transaction weighs its existence probability), so FP-growth
+/// generalizes by carrying real-valued counts. Cross-validates the DFS
+/// miner and serves as the pattern-growth baseline of the expected-
+/// support model.
+std::vector<ExpectedSupportEntry> MineExpectedSupportFpGrowth(
+    const UncertainDatabase& db, double min_esup);
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_EXPECTED_SUPPORT_MINER_H_

@@ -1,0 +1,24 @@
+#include "src/core/fcp_bounds.h"
+
+#include <algorithm>
+
+namespace pfci {
+
+FcpBounds ComputeFcpBounds(double pr_f, const ExtensionEventSet& events) {
+  FcpBounds bounds;
+  if (events.size() == 0) {
+    // No superset can ever co-occur: PrFC == PrF exactly.
+    bounds.union_lower = bounds.union_upper = 0.0;
+    bounds.lower = bounds.upper = pr_f;
+    return bounds;
+  }
+  const UnionBounds union_bounds = ComputeUnionBounds(events.BuildPairwise());
+  bounds.union_lower = union_bounds.lower;
+  bounds.union_upper = union_bounds.upper;
+  bounds.lower = std::clamp(pr_f - union_bounds.upper, 0.0, 1.0);
+  bounds.upper = std::clamp(pr_f - union_bounds.lower, 0.0, 1.0);
+  if (bounds.upper < bounds.lower) bounds.upper = bounds.lower;
+  return bounds;
+}
+
+}  // namespace pfci

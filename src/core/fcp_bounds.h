@@ -1,0 +1,28 @@
+// Two-sided bounds on the frequent closed probability (Lemma 4.4).
+//
+// PrFC(X) = PrF(X) - Pr(∪ C_i), so de Caen's lower bound on the union
+// yields an upper bound on PrFC, and Kwerel's upper bound yields a lower
+// bound. These bounds let the miner accept or reject an itemset against
+// pfct without ever running the #P-hard exact computation or the sampler.
+#ifndef PFCI_CORE_FCP_BOUNDS_H_
+#define PFCI_CORE_FCP_BOUNDS_H_
+
+#include "src/core/extension_events.h"
+
+namespace pfci {
+
+/// Bounds on PrFC(X) (and the underlying union bounds, for diagnostics).
+struct FcpBounds {
+  double lower = 0.0;
+  double upper = 1.0;
+  double union_lower = 0.0;  ///< Lower bound on Pr(∪ C_i) (de Caen et al.).
+  double union_upper = 1.0;  ///< Upper bound on Pr(∪ C_i) (Kwerel et al.).
+};
+
+/// Computes Lemma 4.4's bounds from PrF(X) and the extension events.
+/// Cost: O(m^2) pairwise intersection probabilities.
+FcpBounds ComputeFcpBounds(double pr_f, const ExtensionEventSet& events);
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_FCP_BOUNDS_H_

@@ -1,0 +1,102 @@
+#include "src/core/fcp_engine.h"
+
+#include <algorithm>
+
+#include "src/core/fcp_exact.h"
+#include "src/core/fcp_sampler.h"
+#include "src/prob/inclusion_exclusion.h"
+
+namespace pfci {
+
+namespace {
+
+/// Bounds closer than this are treated as having met ("upper == lower" in
+/// the paper's Fig. 3, line 9).
+constexpr double kBoundsMeetTolerance = 1e-12;
+
+}  // namespace
+
+FcpEngine::FcpEngine(const VerticalIndex& index,
+                     const FrequentProbability& freq,
+                     const MiningParams& params)
+    : index_(&index), freq_(&freq), params_(params) {}
+
+FcpComputation FcpEngine::Evaluate(const Itemset& x, const TidList& tids,
+                                   double pr_f, Rng& rng,
+                                   MiningStats* stats) const {
+  return EvaluateInternal(x, tids, pr_f, params_.pfct, rng, stats);
+}
+
+FcpComputation FcpEngine::ComputeFcp(const Itemset& x, Rng& rng) const {
+  const TidList tids = index_->TidsOf(x);
+  const double pr_f = freq_->PrF(tids);
+  // pfct = -1 disables every threshold-based early exit.
+  return EvaluateInternal(x, tids, pr_f, -1.0, rng, nullptr);
+}
+
+FcpComputation FcpEngine::EvaluateInternal(const Itemset& x,
+                                           const TidList& tids, double pr_f,
+                                           double pfct, Rng& rng,
+                                           MiningStats* stats) const {
+  FcpComputation out;
+  out.pr_f = pr_f;
+  // PrFC <= PrF: an infrequent itemset can never qualify.
+  if (pr_f <= pfct) {
+    out.is_pfci = false;
+    return out;
+  }
+
+  const ExtensionEventSet events(*index_, *freq_, x, tids);
+
+  // Lemmas 4.2/4.3 endgame: a same-count superset forces PrFC(X) = 0.
+  if (events.HasSameCountExtension()) {
+    out.fcp = 0.0;
+    out.method = FcpMethod::kZeroByCount;
+    out.is_pfci = false;
+    if (stats != nullptr) ++stats->zero_by_count;
+    return out;
+  }
+
+  if (params_.pruning.fcp_bounds) {
+    out.bounds = ComputeFcpBounds(pr_f, events);
+    out.bounds_computed = true;
+    if (out.bounds.upper <= pfct) {
+      out.fcp = out.bounds.upper;
+      out.method = FcpMethod::kBoundsDecided;
+      out.is_pfci = false;
+      if (stats != nullptr) ++stats->decided_by_bounds;
+      return out;
+    }
+    if (out.bounds.upper - out.bounds.lower < kBoundsMeetTolerance) {
+      out.fcp = 0.5 * (out.bounds.upper + out.bounds.lower);
+      out.method = FcpMethod::kBoundsDecided;
+      out.is_pfci = out.fcp > pfct;
+      if (stats != nullptr) ++stats->decided_by_bounds;
+      return out;
+    }
+  }
+
+  if (!params_.force_sampling && events.size() <= params_.exact_event_limit &&
+      events.size() <= kMaxInclusionExclusionEvents) {
+    out.fcp = ExactFcpByInclusionExclusion(pr_f, events);
+    out.method = FcpMethod::kExact;
+    if (stats != nullptr) ++stats->exact_fcp_computations;
+  } else {
+    const ApproxFcpResult approx =
+        ApproxFcp(pr_f, events, params_.epsilon, params_.delta, rng);
+    out.fcp = approx.fcp;
+    out.samples = approx.samples;
+    out.method = FcpMethod::kSampled;
+    if (out.bounds_computed) {
+      out.fcp = std::clamp(out.fcp, out.bounds.lower, out.bounds.upper);
+    }
+    if (stats != nullptr) {
+      ++stats->sampled_fcp_computations;
+      stats->total_samples += approx.samples;
+    }
+  }
+  out.is_pfci = out.fcp > pfct;
+  return out;
+}
+
+}  // namespace pfci

@@ -1,0 +1,66 @@
+// Frequent-closed-probability engine: the Bounding-Pruning-Checking
+// pipeline of Fig. 1 applied to a single itemset.
+//
+// Given X (and its tid-list), the engine builds the extension events and
+// then spends as little work as possible to decide whether PrFC(X) > pfct:
+//   1. a same-count extension makes PrFC exactly 0 (Lemmas 4.2/4.3);
+//   2. Lemma 4.4 bounds may settle the comparison outright;
+//   3. otherwise inclusion-exclusion (few events) or ApproxFCP (many).
+#ifndef PFCI_CORE_FCP_ENGINE_H_
+#define PFCI_CORE_FCP_ENGINE_H_
+
+#include <cstdint>
+
+#include "src/core/extension_events.h"
+#include "src/core/fcp_bounds.h"
+#include "src/core/frequent_probability.h"
+#include "src/core/mining_params.h"
+#include "src/core/mining_result.h"
+#include "src/data/vertical_index.h"
+#include "src/util/random.h"
+
+namespace pfci {
+
+/// Everything the engine learned about one itemset.
+struct FcpComputation {
+  double pr_f = 0.0;
+  double fcp = 0.0;
+  FcpBounds bounds;
+  bool bounds_computed = false;
+  FcpMethod method = FcpMethod::kUndecided;
+  bool is_pfci = false;
+  std::uint64_t samples = 0;
+};
+
+/// Stateless evaluator bound to a database and mining parameters.
+class FcpEngine {
+ public:
+  /// `index` and `freq` must outlive the engine.
+  FcpEngine(const VerticalIndex& index, const FrequentProbability& freq,
+            const MiningParams& params);
+
+  /// Decides whether X (with Tids(X) = `tids` and PrF(X) = `pr_f`)
+  /// qualifies, with early exits against params.pfct. `stats` may be null.
+  FcpComputation Evaluate(const Itemset& x, const TidList& tids, double pr_f,
+                          Rng& rng, MiningStats* stats) const;
+
+  /// Computes PrFC(X) to full available precision regardless of pfct
+  /// (bounds are still used to report [lower, upper]).
+  FcpComputation ComputeFcp(const Itemset& x, Rng& rng) const;
+
+  const FrequentProbability& freq() const { return *freq_; }
+  const MiningParams& params() const { return params_; }
+
+ private:
+  FcpComputation EvaluateInternal(const Itemset& x, const TidList& tids,
+                                  double pr_f, double pfct, Rng& rng,
+                                  MiningStats* stats) const;
+
+  const VerticalIndex* index_;
+  const FrequentProbability* freq_;
+  MiningParams params_;
+};
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_FCP_ENGINE_H_

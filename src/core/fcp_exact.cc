@@ -1,0 +1,22 @@
+#include "src/core/fcp_exact.h"
+
+#include <algorithm>
+
+#include "src/prob/inclusion_exclusion.h"
+
+namespace pfci {
+
+double ExactFrequentNonClosedProbability(const ExtensionEventSet& events) {
+  return UnionByInclusionExclusion(
+      events.size(), [&events](const std::vector<std::size_t>& subset) {
+        return events.PrIntersection(subset);
+      });
+}
+
+double ExactFcpByInclusionExclusion(double pr_f,
+                                    const ExtensionEventSet& events) {
+  return std::clamp(pr_f - ExactFrequentNonClosedProbability(events), 0.0,
+                    1.0);
+}
+
+}  // namespace pfci

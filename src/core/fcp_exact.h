@@ -1,0 +1,23 @@
+// Exact frequent closed probability via inclusion-exclusion.
+//
+// Exponential in the number of active extension events (the computation is
+// #P-hard, Theorem 3.2); used below `exact_event_limit` and as the test
+// oracle for the sampler and the bounds.
+#ifndef PFCI_CORE_FCP_EXACT_H_
+#define PFCI_CORE_FCP_EXACT_H_
+
+#include "src/core/extension_events.h"
+
+namespace pfci {
+
+/// Exact Pr(∪ C_i) by inclusion-exclusion over the active events.
+/// CHECKs events.size() <= kMaxInclusionExclusionEvents.
+double ExactFrequentNonClosedProbability(const ExtensionEventSet& events);
+
+/// Exact PrFC(X) = pr_f - Pr(∪ C_i), clamped to [0, 1].
+double ExactFcpByInclusionExclusion(double pr_f,
+                                    const ExtensionEventSet& events);
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_FCP_EXACT_H_

@@ -1,0 +1,118 @@
+#include "src/core/fcp_sampler.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/prob/conditional_sampler.h"
+#include "src/prob/karp_luby.h"
+#include "src/util/check.h"
+
+namespace pfci {
+
+namespace {
+
+/// Bitmask over the dense positions of Tids(X).
+class PositionMask {
+ public:
+  explicit PositionMask(std::size_t num_positions)
+      : blocks_((num_positions + 63) / 64, 0) {}
+
+  void Set(std::size_t pos) {
+    blocks_[pos / 64] |= std::uint64_t{1} << (pos % 64);
+  }
+
+  /// Whether every set bit of `other` is also set here.
+  bool Covers(const PositionMask& other) const {
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      if ((other.blocks_[b] & ~blocks_[b]) != 0) return false;
+    }
+    return true;
+  }
+
+  void Clear() { std::fill(blocks_.begin(), blocks_.end(), 0); }
+
+ private:
+  std::vector<std::uint64_t> blocks_;
+};
+
+}  // namespace
+
+ApproxFcpResult ApproxFcp(double pr_f, const ExtensionEventSet& events,
+                          double epsilon, double delta, Rng& rng) {
+  ApproxFcpResult result;
+  const std::size_t m = events.size();
+  if (m == 0) {
+    // No superset can co-occur with X: PrFC == PrF exactly.
+    result.fcp = pr_f;
+    return result;
+  }
+
+  const TidList& x_tids = events.x_tids();
+  const VerticalIndex& index = events.index();
+  const std::size_t min_sup = events.min_sup();
+
+  // Dense position of a tid within the sorted Tids(X).
+  const auto position_of = [&x_tids](Tid tid) {
+    return static_cast<std::size_t>(
+        std::lower_bound(x_tids.begin(), x_tids.end(), tid) - x_tids.begin());
+  };
+
+  // Per-event membership masks over the positions of Tids(X); a sampled
+  // world ω (also a mask) lies in C_j iff mask_j covers ω (all present
+  // transactions contain e_j; the support condition then follows from the
+  // conditioning, which guarantees >= min_sup present transactions).
+  std::vector<PositionMask> event_mask;
+  event_mask.reserve(m);
+  for (const ExtensionEvent& event : events.events()) {
+    PositionMask mask(x_tids.size());
+    for (Tid tid : event.tids) mask.Set(position_of(tid));
+    event_mask.push_back(std::move(mask));
+  }
+
+  // Conditional world samplers, built lazily per event: an event that is
+  // never drawn never pays the O(|tids| * min_sup) table construction.
+  std::vector<std::unique_ptr<ConditionalBernoulliSampler>> samplers(m);
+
+  std::vector<double> event_probs;
+  event_probs.reserve(m);
+  for (const ExtensionEvent& event : events.events()) {
+    event_probs.push_back(event.prob);
+  }
+
+  PositionMask world(x_tids.size());
+  std::vector<std::uint8_t> indicator;
+  const auto sample_is_canonical = [&](std::size_t i, Rng& sample_rng) {
+    const ExtensionEvent& event = events.events()[i];
+    if (samplers[i] == nullptr) {
+      samplers[i] = std::make_unique<ConditionalBernoulliSampler>(
+          index.ProbsOf(event.tids), min_sup);
+      PFCI_CHECK(samplers[i]->Feasible());
+    }
+    // Conditional world given C_i: transactions of Tids(X) \ Tids(X+e_i)
+    // are forced absent, the Tids(X+e_i) indicators are drawn conditioned
+    // on reaching min_sup.
+    samplers[i]->Sample(sample_rng, &indicator);
+    world.Clear();
+    for (std::size_t k = 0; k < event.tids.size(); ++k) {
+      if (indicator[k]) world.Set(position_of(event.tids[k]));
+    }
+    // Canonical iff no earlier event also covers the world.
+    for (std::size_t j = 0; j < i; ++j) {
+      if (event_probs[j] > 0.0 && event_mask[j].Covers(world)) return false;
+    }
+    return true;
+  };
+
+  const std::uint64_t num_samples = KarpLubyRequiredSamples(m, epsilon, delta);
+  const KarpLubyResult kl =
+      KarpLubyUnionEstimate(event_probs, num_samples, rng, sample_is_canonical);
+
+  result.fnc = kl.estimate;
+  result.samples = kl.samples;
+  result.successes = kl.successes;
+  result.fcp = std::clamp(pr_f - kl.estimate, 0.0, 1.0);
+  return result;
+}
+
+}  // namespace pfci

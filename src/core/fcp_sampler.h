@@ -1,0 +1,37 @@
+// ApproxFCP: the paper's FPRAS for the frequent closed probability
+// (Sec. IV.B.4, Fig. 2).
+//
+// The frequent non-closed probability Pr(∪ C_i) is estimated by the
+// Karp-Luby coverage scheme: an event C_i is drawn with probability
+// Pr(C_i)/Z, a possible world is drawn from the conditional distribution
+// given C_i (transactions of Tids(X) \ Tids(X+e_i) forced absent, the
+// Tids(X+e_i) indicators drawn conditioned on their sum reaching min_sup),
+// and the sample counts iff no earlier event also covers the world. With
+// N = ceil(4 k ln(2/δ) / ε²) samples the estimate is within relative error
+// ε of Pr(∪ C_i) with probability 1 - δ.
+#ifndef PFCI_CORE_FCP_SAMPLER_H_
+#define PFCI_CORE_FCP_SAMPLER_H_
+
+#include <cstdint>
+
+#include "src/core/extension_events.h"
+#include "src/util/random.h"
+
+namespace pfci {
+
+/// Result of one ApproxFCP run.
+struct ApproxFcpResult {
+  double fcp = 0.0;             ///< Estimated PrFC(X), clamped to [0, 1].
+  double fnc = 0.0;             ///< Estimated Pr(∪ C_i).
+  std::uint64_t samples = 0;    ///< Monte-Carlo samples drawn.
+  std::uint64_t successes = 0;  ///< Canonical hits.
+};
+
+/// Runs ApproxFCP. `pr_f` is the exact frequent probability of X;
+/// `epsilon`/`delta` control the sample count as in the paper.
+ApproxFcpResult ApproxFcp(double pr_f, const ExtensionEventSet& events,
+                          double epsilon, double delta, Rng& rng);
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_FCP_SAMPLER_H_

@@ -1,0 +1,49 @@
+#include "src/core/frequent_probability.h"
+
+#include "src/prob/poisson_binomial.h"
+#include "src/prob/tail_bounds.h"
+#include "src/util/check.h"
+
+namespace pfci {
+
+namespace {
+
+/// Tail-bound mass below which a probability is treated as exactly 0/1.
+/// This is at the double rounding-noise level of the DP itself, so the
+/// short circuit never changes a threshold comparison.
+constexpr double kNegligible = 1e-15;
+
+}  // namespace
+
+FrequentProbability::FrequentProbability(const VerticalIndex& index,
+                                         std::size_t min_sup)
+    : index_(&index), min_sup_(min_sup) {
+  PFCI_CHECK(min_sup >= 1);
+}
+
+double FrequentProbability::PrFFromProbs(
+    const std::vector<double>& probs) const {
+  if (probs.size() < min_sup_) return 0.0;
+  const double mu = PoissonBinomialMean(probs);
+  const double s = static_cast<double>(min_sup_);
+  // Upper-tail short circuit: Pr{S >= min_sup} ~ 0.
+  if (BestUpperTailBound(mu, probs.size(), s) < kNegligible) return 0.0;
+  // Lower-tail short circuit: Pr{S <= min_sup - 1} ~ 0 -> PrF ~ 1.
+  if (ChernoffLowerTail(mu, s - 1.0) < kNegligible) return 1.0;
+  ++dp_runs_;
+  return PoissonBinomialTailAtLeast(probs, min_sup_);
+}
+
+double FrequentProbability::PrF(const TidList& tids) const {
+  if (tids.size() < min_sup_) return 0.0;
+  return PrFFromProbs(index_->ProbsOf(tids));
+}
+
+double FrequentProbability::PrFUpperBound(const TidList& tids) const {
+  if (tids.size() < min_sup_) return 0.0;
+  const std::vector<double> probs = index_->ProbsOf(tids);
+  return BestUpperTailBound(PoissonBinomialMean(probs), probs.size(),
+                            static_cast<double>(min_sup_));
+}
+
+}  // namespace pfci

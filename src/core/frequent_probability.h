@@ -1,0 +1,49 @@
+// Frequent-probability evaluation (Definition 3.4).
+//
+// PrF(X) = Pr{support(X) >= min_sup} where support(X) is Poisson-binomial
+// over the existence probabilities of Tids(X). The evaluator combines the
+// exact O(n * min_sup) dynamic program with Chernoff-Hoeffding short
+// circuits: when the tail bound already pins the probability to 0 or 1
+// within 1e-15 the DP is skipped (far below any decision threshold).
+#ifndef PFCI_CORE_FREQUENT_PROBABILITY_H_
+#define PFCI_CORE_FREQUENT_PROBABILITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/tidlist.h"
+#include "src/data/vertical_index.h"
+
+namespace pfci {
+
+/// Evaluates frequent probabilities against a fixed database and min_sup.
+class FrequentProbability {
+ public:
+  FrequentProbability(const VerticalIndex& index, std::size_t min_sup);
+
+  /// Exact PrF over the transactions in `tids` (modulo the 1e-15 short
+  /// circuits described above).
+  double PrF(const TidList& tids) const;
+
+  /// Exact PrF from raw probabilities.
+  double PrFFromProbs(const std::vector<double>& probs) const;
+
+  /// Cheap upper bound on PrF (Lemma 4.1's Chernoff-Hoeffding bound):
+  /// never smaller than the exact value.
+  double PrFUpperBound(const TidList& tids) const;
+
+  std::size_t min_sup() const { return min_sup_; }
+
+  /// Number of exact DP executions so far (work accounting).
+  std::uint64_t dp_runs() const { return dp_runs_; }
+  void ResetCounters() { dp_runs_ = 0; }
+
+ private:
+  const VerticalIndex* index_;
+  std::size_t min_sup_;
+  mutable std::uint64_t dp_runs_ = 0;
+};
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_FREQUENT_PROBABILITY_H_

@@ -1,0 +1,72 @@
+#include "src/core/mdnf_reduction.h"
+
+#include <cmath>
+
+#include "src/core/closed_probability.h"
+#include "src/util/check.h"
+
+namespace pfci {
+
+MdnfReduction BuildMdnfReduction(const MonotoneDnf& formula) {
+  PFCI_CHECK(formula.num_variables >= 1);
+  PFCI_CHECK(!formula.clauses.empty());
+  MdnfReduction reduction;
+  reduction.x = Itemset{0};  // The shared itemset X (one item suffices).
+
+  // Membership table: does variable j appear in clause i?
+  std::vector<std::vector<bool>> appears(
+      formula.clauses.size(), std::vector<bool>(formula.num_variables, false));
+  for (std::size_t i = 0; i < formula.clauses.size(); ++i) {
+    PFCI_CHECK(!formula.clauses[i].empty());
+    for (std::size_t v : formula.clauses[i]) {
+      PFCI_CHECK(v < formula.num_variables);
+      appears[i][v] = true;
+    }
+  }
+
+  for (std::size_t j = 0; j < formula.num_variables; ++j) {
+    std::vector<Item> items = {0};  // X ⊆ T_j for every transaction.
+    for (std::size_t i = 0; i < formula.clauses.size(); ++i) {
+      // e_i ∈ T_j iff v_j does NOT appear in clause C_i (Theorem 3.1).
+      if (!appears[i][j]) items.push_back(static_cast<Item>(1 + i));
+    }
+    reduction.db.Add(Itemset(std::move(items)), 0.5);
+  }
+  return reduction;
+}
+
+std::uint64_t CountSatisfyingAssignments(const MonotoneDnf& formula) {
+  PFCI_CHECK(formula.num_variables <= 24);
+  const std::uint64_t limit = std::uint64_t{1} << formula.num_variables;
+  std::uint64_t count = 0;
+  for (std::uint64_t assignment = 0; assignment < limit; ++assignment) {
+    bool satisfied = false;
+    for (const auto& clause : formula.clauses) {
+      bool clause_true = true;
+      for (std::size_t v : clause) {
+        if (!((assignment >> v) & 1)) {
+          clause_true = false;
+          break;
+        }
+      }
+      if (clause_true) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) ++count;
+  }
+  return count;
+}
+
+std::uint64_t CountSatisfyingAssignmentsViaClosedProbability(
+    const MonotoneDnf& formula) {
+  PFCI_CHECK(formula.num_variables <= 20);
+  const MdnfReduction reduction = BuildMdnfReduction(formula);
+  const double pr_c = ExactClosedProbability(reduction.db, reduction.x);
+  const double scale =
+      std::pow(2.0, static_cast<double>(formula.num_variables));
+  return static_cast<std::uint64_t>(std::llround((1.0 - pr_c) * scale));
+}
+
+}  // namespace pfci

@@ -1,0 +1,64 @@
+#include "src/core/mining_result.h"
+
+#include <algorithm>
+
+#include "src/util/string_util.h"
+
+namespace pfci {
+
+const char* FcpMethodName(FcpMethod method) {
+  switch (method) {
+    case FcpMethod::kUndecided:
+      return "undecided";
+    case FcpMethod::kZeroByCount:
+      return "zero-by-count";
+    case FcpMethod::kBoundsDecided:
+      return "bounds";
+    case FcpMethod::kExact:
+      return "exact";
+    case FcpMethod::kSampled:
+      return "sampled";
+  }
+  return "unknown";
+}
+
+std::string MiningStats::ToString() const {
+  return "nodes=" + std::to_string(nodes_visited) +
+         " ch_pruned=" + std::to_string(pruned_by_chernoff) +
+         " freq_pruned=" + std::to_string(pruned_by_frequency) +
+         " super_pruned=" + std::to_string(pruned_by_superset) +
+         " sub_pruned=" + std::to_string(pruned_by_subset) +
+         " bounds_decided=" + std::to_string(decided_by_bounds) +
+         " zero_by_count=" + std::to_string(zero_by_count) +
+         " exact_fcp=" + std::to_string(exact_fcp_computations) +
+         " sampled_fcp=" + std::to_string(sampled_fcp_computations) +
+         " samples=" + std::to_string(total_samples) +
+         " dp_runs=" + std::to_string(dp_runs) +
+         " time=" + FormatDouble(seconds, 4) + "s";
+}
+
+void MiningResult::Sort() {
+  std::sort(itemsets.begin(), itemsets.end());
+}
+
+const PfciEntry* MiningResult::Find(const Itemset& items) const {
+  for (const PfciEntry& entry : itemsets) {
+    if (entry.items == items) return &entry;
+  }
+  return nullptr;
+}
+
+std::string MiningResult::ToString(bool letters) const {
+  std::string out;
+  for (const PfciEntry& entry : itemsets) {
+    out += entry.items.ToString(letters);
+    out += " fcp=" + FormatDouble(entry.fcp, 6);
+    out += " prF=" + FormatDouble(entry.pr_f, 6);
+    out += " [";
+    out += FcpMethodName(entry.method);
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace pfci

@@ -1,0 +1,74 @@
+// Result and statistics types shared by all miners.
+#ifndef PFCI_CORE_MINING_RESULT_H_
+#define PFCI_CORE_MINING_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/itemset.h"
+
+namespace pfci {
+
+/// How the frequent closed probability of a reported itemset was obtained.
+enum class FcpMethod {
+  kUndecided,      ///< Not evaluated.
+  kZeroByCount,    ///< A same-count superset exists: PrFC is exactly 0.
+  kBoundsDecided,  ///< Lemma 4.4 bounds alone settled the pfct comparison.
+  kExact,          ///< Inclusion-exclusion (exact).
+  kSampled,        ///< ApproxFCP Monte-Carlo estimate.
+};
+
+/// Human-readable name of a method.
+const char* FcpMethodName(FcpMethod method);
+
+/// One mined probabilistic frequent closed itemset.
+struct PfciEntry {
+  Itemset items;
+  double fcp = 0.0;        ///< (Estimated) frequent closed probability.
+  double pr_f = 0.0;       ///< Frequent probability.
+  double fcp_lower = 0.0;  ///< Lemma 4.4 lower bound (0 if bounds off).
+  double fcp_upper = 1.0;  ///< Lemma 4.4 upper bound (pr_f if bounds off).
+  FcpMethod method = FcpMethod::kUndecided;
+
+  friend bool operator<(const PfciEntry& a, const PfciEntry& b) {
+    return a.items < b.items;
+  }
+};
+
+/// Work counters of a mining run (reported by the bench harness).
+struct MiningStats {
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t pruned_by_chernoff = 0;
+  std::uint64_t pruned_by_frequency = 0;  ///< Exact PrF <= pfct.
+  std::uint64_t pruned_by_superset = 0;
+  std::uint64_t pruned_by_subset = 0;
+  std::uint64_t decided_by_bounds = 0;
+  std::uint64_t zero_by_count = 0;
+  std::uint64_t exact_fcp_computations = 0;
+  std::uint64_t sampled_fcp_computations = 0;
+  std::uint64_t total_samples = 0;
+  std::uint64_t dp_runs = 0;  ///< Exact Poisson-binomial DP executions.
+  double seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Output of a miner: the qualifying itemsets plus run statistics.
+struct MiningResult {
+  std::vector<PfciEntry> itemsets;
+  MiningStats stats;
+
+  /// Sorts entries lexicographically (canonical comparison order).
+  void Sort();
+
+  /// Looks up an entry by itemset; nullptr if absent.
+  const PfciEntry* Find(const Itemset& items) const;
+
+  /// Renders "itemset fcp" lines (letters=true prints a..z item names).
+  std::string ToString(bool letters = false) const;
+};
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_MINING_RESULT_H_

@@ -1,0 +1,160 @@
+#include "src/core/mpfci_miner.h"
+
+#include <vector>
+
+#include "src/core/fcp_engine.h"
+#include "src/core/frequent_probability.h"
+#include "src/data/vertical_index.h"
+#include "src/util/check.h"
+#include "src/util/stopwatch.h"
+
+namespace pfci {
+
+namespace {
+
+/// DFS state shared across the whole run.
+class MpfciSearch {
+ public:
+  MpfciSearch(const UncertainDatabase& db, const MiningParams& params)
+      : params_(params),
+        index_(db),
+        freq_(index_, params.min_sup),
+        engine_(index_, freq_, params),
+        rng_(params.seed) {}
+
+  MiningResult Run() {
+    Stopwatch timer;
+    BuildCandidates();
+    for (std::size_t c = 0; c < candidates_.size(); ++c) {
+      const Item item = candidates_[c];
+      Dfs(Itemset{item}, index_.TidsOfItem(item), candidate_pr_f_[c], c);
+    }
+    result_.stats.dp_runs = freq_.dp_runs();
+    result_.stats.seconds = timer.ElapsedSeconds();
+    result_.Sort();
+    return std::move(result_);
+  }
+
+ private:
+  /// Phase 1 of Fig. 1: the candidate set of probabilistic frequent
+  /// single items (Lemma 4.1 + exact check).
+  void BuildCandidates() {
+    for (Item item : index_.occurring_items()) {
+      const TidList& tids = index_.TidsOfItem(item);
+      if (tids.size() < params_.min_sup) {
+        ++result_.stats.pruned_by_frequency;
+        continue;
+      }
+      if (params_.pruning.chernoff &&
+          freq_.PrFUpperBound(tids) <= params_.pfct) {
+        ++result_.stats.pruned_by_chernoff;
+        continue;
+      }
+      const double pr_f = freq_.PrF(tids);
+      if (pr_f <= params_.pfct) {
+        ++result_.stats.pruned_by_frequency;
+        continue;
+      }
+      candidates_.push_back(item);
+      candidate_pr_f_.push_back(pr_f);
+    }
+  }
+
+  /// Lemma 4.2: some item e < last(X), e not in X, has
+  /// count(X+e) == count(X) -> X and its whole prefix subtree have
+  /// frequent closed probability 0.
+  bool SupersetPruned(const Itemset& x, const TidList& tids) const {
+    const Item last = x.LastItem();
+    for (Item item : index_.occurring_items()) {
+      if (item >= last) break;
+      if (x.Contains(item)) continue;
+      const TidList& item_tids = index_.TidsOfItem(item);
+      if (item_tids.size() < tids.size()) continue;
+      if (IntersectTidsSize(tids, item_tids) == tids.size()) return true;
+    }
+    return false;
+  }
+
+  /// One node of the set-enumeration tree. `x` extends only with
+  /// candidate items after position `last_candidate_pos`.
+  void Dfs(const Itemset& x, const TidList& tids, double pr_f,
+           std::size_t last_candidate_pos) {
+    ++result_.stats.nodes_visited;
+
+    if (params_.pruning.superset && SupersetPruned(x, tids)) {
+      ++result_.stats.pruned_by_superset;
+      return;
+    }
+
+    bool x_may_be_closed = true;
+    for (std::size_t c = last_candidate_pos + 1; c < candidates_.size();
+         ++c) {
+      const Item item = candidates_[c];
+      const TidList child_tids =
+          IntersectTids(tids, index_.TidsOfItem(item));
+      const bool same_count = child_tids.size() == tids.size();
+      if (params_.pruning.subset && same_count) {
+        // Lemma 4.3: X always co-occurs with X+item, so X is never
+        // closed; and any sibling X+e_k (e_k > item) always co-occurs
+        // with X+e_k+item, so the remaining branches are dead too.
+        x_may_be_closed = false;
+      }
+
+      bool child_qualifies = child_tids.size() >= params_.min_sup;
+      if (!child_qualifies) {
+        ++result_.stats.pruned_by_frequency;
+      } else if (params_.pruning.chernoff &&
+                 freq_.PrFUpperBound(child_tids) <= params_.pfct) {
+        ++result_.stats.pruned_by_chernoff;
+        child_qualifies = false;
+      }
+      if (child_qualifies) {
+        const double child_pr_f = freq_.PrF(child_tids);
+        if (child_pr_f <= params_.pfct) {
+          ++result_.stats.pruned_by_frequency;
+        } else {
+          Dfs(x.WithItem(item), child_tids, child_pr_f, c);
+        }
+      }
+      if (params_.pruning.subset && same_count) break;
+    }
+
+    if (!x_may_be_closed) {
+      ++result_.stats.pruned_by_subset;
+      return;
+    }
+    const FcpComputation comp =
+        engine_.Evaluate(x, tids, pr_f, rng_, &result_.stats);
+    if (comp.is_pfci) {
+      PfciEntry entry;
+      entry.items = x;
+      entry.fcp = comp.fcp;
+      entry.pr_f = comp.pr_f;
+      entry.fcp_lower = comp.bounds_computed ? comp.bounds.lower : 0.0;
+      entry.fcp_upper = comp.bounds_computed ? comp.bounds.upper : comp.pr_f;
+      entry.method = comp.method;
+      result_.itemsets.push_back(std::move(entry));
+    }
+  }
+
+  MiningParams params_;
+  VerticalIndex index_;
+  FrequentProbability freq_;
+  FcpEngine engine_;
+  Rng rng_;
+  std::vector<Item> candidates_;
+  std::vector<double> candidate_pr_f_;
+  MiningResult result_;
+};
+
+}  // namespace
+
+MiningResult MineMpfci(const UncertainDatabase& db,
+                       const MiningParams& params) {
+  PFCI_CHECK(params.min_sup >= 1);
+  PFCI_CHECK(params.pfct >= 0.0 && params.pfct < 1.0);
+  MpfciSearch search(db, params);
+  return search.Run();
+}
+
+}  // namespace pfci

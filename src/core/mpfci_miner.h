@@ -1,0 +1,27 @@
+// MPFCI: the paper's depth-first mining algorithm (Sec. IV, Fig. 3).
+//
+// Enumerates itemsets in a set-enumeration tree ordered by item id (the
+// paper's "alphabetic order"), applying, in order: superset pruning
+// (Lemma 4.2) at node entry, Chernoff-Hoeffding pruning (Lemma 4.1) and
+// exact frequent-probability pruning when generating children, subset
+// pruning (Lemma 4.3) across siblings, and finally the bounding/checking
+// pipeline of FcpEngine for surviving nodes. Toggling individual prunings
+// off yields the MPFCI-NoCH / -NoSuper / -NoSub / -NoBound variants of the
+// paper's Table VII; all variants return the same result set.
+#ifndef PFCI_CORE_MPFCI_MINER_H_
+#define PFCI_CORE_MPFCI_MINER_H_
+
+#include "src/core/mining_params.h"
+#include "src/core/mining_result.h"
+#include "src/data/uncertain_database.h"
+
+namespace pfci {
+
+/// Mines all probabilistic frequent closed itemsets of `db`
+/// (PrFC(X) > params.pfct with support threshold params.min_sup),
+/// returning them sorted together with run statistics.
+MiningResult MineMpfci(const UncertainDatabase& db, const MiningParams& params);
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_MPFCI_MINER_H_

@@ -1,0 +1,52 @@
+#include "src/core/naive_miner.h"
+
+#include "src/core/extension_events.h"
+#include "src/core/fcp_sampler.h"
+#include "src/core/frequent_probability.h"
+#include "src/core/pfi_miner.h"
+#include "src/data/vertical_index.h"
+#include "src/util/check.h"
+#include "src/util/stopwatch.h"
+
+namespace pfci {
+
+MiningResult MineNaive(const UncertainDatabase& db,
+                       const MiningParams& params) {
+  PFCI_CHECK(params.min_sup >= 1);
+  Stopwatch timer;
+  MiningResult result;
+  const VerticalIndex index(db);
+  const FrequentProbability freq(index, params.min_sup);
+  Rng rng(params.seed);
+
+  // Stage 1: all probabilistic frequent itemsets (PrFC <= PrF, so the
+  // answer set is contained in the PFIs).
+  const std::vector<PfiEntry> pfis =
+      MinePfi(db, params.min_sup, params.pfct, /*use_chernoff=*/true,
+              &result.stats);
+
+  // Stage 2: check each PFI's frequent closed probability by sampling.
+  for (const PfiEntry& pfi : pfis) {
+    const ExtensionEventSet events(index, freq, pfi.items, pfi.tids);
+    const ApproxFcpResult approx =
+        ApproxFcp(pfi.pr_f, events, params.epsilon, params.delta, rng);
+    ++result.stats.sampled_fcp_computations;
+    result.stats.total_samples += approx.samples;
+    if (approx.fcp > params.pfct) {
+      PfciEntry entry;
+      entry.items = pfi.items;
+      entry.fcp = approx.fcp;
+      entry.pr_f = pfi.pr_f;
+      entry.fcp_upper = pfi.pr_f;
+      entry.method = FcpMethod::kSampled;
+      result.itemsets.push_back(std::move(entry));
+    }
+  }
+
+  result.stats.dp_runs = freq.dp_runs();
+  result.stats.seconds = timer.ElapsedSeconds();
+  result.Sort();
+  return result;
+}
+
+}  // namespace pfci

@@ -1,0 +1,25 @@
+// The Naive baseline of the paper's Fig. 5.
+//
+// First mines all probabilistic frequent itemsets with the DP-based PFI
+// miner (the role TODIS [22] plays in the paper), then directly runs the
+// ApproxFCP sampler on every single one of them — no bounding, no
+// superset/subset pruning, no search-space sharing. This is the strawman
+// whose cost explodes as min_sup decreases.
+#ifndef PFCI_CORE_NAIVE_MINER_H_
+#define PFCI_CORE_NAIVE_MINER_H_
+
+#include "src/core/mining_params.h"
+#include "src/core/mining_result.h"
+#include "src/data/uncertain_database.h"
+
+namespace pfci {
+
+/// Mines probabilistic frequent closed itemsets the naive way. Returns the
+/// same itemsets as MineMpfci (up to sampling noise on borderline
+/// itemsets), but does exhaustive per-itemset work.
+MiningResult MineNaive(const UncertainDatabase& db,
+                       const MiningParams& params);
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_NAIVE_MINER_H_

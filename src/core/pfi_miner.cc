@@ -1,0 +1,125 @@
+#include "src/core/pfi_miner.h"
+
+#include <algorithm>
+
+#include "src/core/frequent_probability.h"
+#include "src/data/vertical_index.h"
+#include "src/util/check.h"
+
+namespace pfci {
+
+namespace {
+
+class PfiSearch {
+ public:
+  PfiSearch(const UncertainDatabase& db, std::size_t min_sup, double pft,
+            bool use_chernoff, FrequencyMode mode, MiningStats* stats)
+      : pft_(pft),
+        use_chernoff_(use_chernoff),
+        mode_(mode),
+        stats_(stats),
+        index_(db),
+        freq_(index_, min_sup) {}
+
+  std::vector<PfiEntry> Run() {
+    for (Item item : index_.occurring_items()) {
+      TidList tids = index_.TidsOfItem(item);
+      const double pr_f = QualifyingPrF(tids);
+      if (pr_f > pft_) {
+        candidates_.push_back(item);
+        Emit(Itemset{item}, std::move(tids), pr_f);
+      }
+    }
+    // The singleton pass above seeded `result_`; extend depth-first.
+    const std::size_t num_singletons = result_.size();
+    for (std::size_t s = 0; s < num_singletons; ++s) {
+      // Copy: Dfs appends to result_ and may reallocate.
+      const PfiEntry seed = result_[s];
+      Dfs(seed.items, seed.tids, IndexOfCandidate(seed.items.LastItem()));
+    }
+    std::sort(result_.begin(), result_.end());
+    return std::move(result_);
+  }
+
+ private:
+  std::size_t IndexOfCandidate(Item item) const {
+    return static_cast<std::size_t>(
+        std::lower_bound(candidates_.begin(), candidates_.end(), item) -
+        candidates_.begin());
+  }
+
+  /// PrF if the itemset qualifies, otherwise a value <= pft (with pruning
+  /// counters updated).
+  double QualifyingPrF(const TidList& tids) {
+    if (tids.size() < freq_.min_sup()) {
+      if (stats_ != nullptr) ++stats_->pruned_by_frequency;
+      return 0.0;
+    }
+    if (use_chernoff_ && freq_.PrFUpperBound(tids) <= pft_) {
+      if (stats_ != nullptr) ++stats_->pruned_by_chernoff;
+      return 0.0;
+    }
+    const double pr_f =
+        mode_ == FrequencyMode::kExactDp
+            ? freq_.PrF(tids)
+            : TailAtLeastWithMode(index_.ProbsOf(tids), freq_.min_sup(),
+                                  mode_);
+    if (pr_f <= pft_ && stats_ != nullptr) ++stats_->pruned_by_frequency;
+    return pr_f;
+  }
+
+  void Emit(Itemset items, TidList tids, double pr_f) {
+    PfiEntry entry;
+    entry.items = std::move(items);
+    entry.pr_f = pr_f;
+    entry.tids = std::move(tids);
+    result_.push_back(std::move(entry));
+  }
+
+  void Dfs(const Itemset& x, const TidList& tids,
+           std::size_t candidate_pos) {
+    if (stats_ != nullptr) ++stats_->nodes_visited;
+    for (std::size_t c = candidate_pos + 1; c < candidates_.size(); ++c) {
+      const Item item = candidates_[c];
+      TidList child_tids = IntersectTids(tids, index_.TidsOfItem(item));
+      const double pr_f = QualifyingPrF(child_tids);
+      if (pr_f <= pft_) continue;
+      const Itemset child = x.WithItem(item);
+      Emit(child, child_tids, pr_f);
+      Dfs(child, child_tids, c);
+    }
+  }
+
+  double pft_;
+  bool use_chernoff_;
+  FrequencyMode mode_;
+  MiningStats* stats_;
+  VerticalIndex index_;
+  FrequentProbability freq_;
+  std::vector<Item> candidates_;
+  std::vector<PfiEntry> result_;
+};
+
+}  // namespace
+
+std::vector<PfiEntry> MinePfi(const UncertainDatabase& db,
+                              std::size_t min_sup, double pft,
+                              bool use_chernoff, MiningStats* stats) {
+  PFCI_CHECK(min_sup >= 1);
+  PfiSearch search(db, min_sup, pft, use_chernoff, FrequencyMode::kExactDp,
+                   stats);
+  return search.Run();
+}
+
+std::vector<PfiEntry> MinePfiApproximate(const UncertainDatabase& db,
+                                         std::size_t min_sup, double pft,
+                                         FrequencyMode mode,
+                                         MiningStats* stats) {
+  PFCI_CHECK(min_sup >= 1);
+  // The Chernoff bound stays valid (it bounds the true tail, and every
+  // approximation is consistent with it on the scales where it prunes).
+  PfiSearch search(db, min_sup, pft, /*use_chernoff=*/true, mode, stats);
+  return search.Run();
+}
+
+}  // namespace pfci

@@ -1,0 +1,51 @@
+// Probabilistic frequent itemset (PFI) mining — the baseline of [22].
+//
+// Returns all itemsets with PrF(X) > pft (Definition 3.5). PrF is
+// anti-monotone, so a depth-first enumeration with Chernoff-Hoeffding and
+// exact-DP pruning is complete; this plays the role of the TODIS/DP
+// algorithms of [22] as the first stage of the Naive baseline (Fig. 5)
+// and as the "PFI" series of the compression experiment (Fig. 10).
+#ifndef PFCI_CORE_PFI_MINER_H_
+#define PFCI_CORE_PFI_MINER_H_
+
+#include <vector>
+
+#include "src/core/mining_result.h"
+#include "src/data/tidlist.h"
+#include "src/data/uncertain_database.h"
+#include "src/prob/tail_approximations.h"
+
+namespace pfci {
+
+/// One probabilistic frequent itemset with its frequent probability and
+/// tid-list (kept so downstream checkers need not recompute it).
+struct PfiEntry {
+  Itemset items;
+  double pr_f = 0.0;
+  TidList tids;
+
+  friend bool operator<(const PfiEntry& a, const PfiEntry& b) {
+    return a.items < b.items;
+  }
+};
+
+/// Mines all itemsets with PrF(X) > pft at support threshold min_sup.
+/// `stats` (optional) accumulates pruning counters.
+std::vector<PfiEntry> MinePfi(const UncertainDatabase& db,
+                              std::size_t min_sup, double pft,
+                              bool use_chernoff = true,
+                              MiningStats* stats = nullptr);
+
+/// Approximate PFI mining in the spirit of [3]: the exact frequent-
+/// probability DP is replaced by a distributional approximation of the
+/// Poisson-binomial tail (normal, refined normal, or Poisson). Much
+/// faster at large min_sup, at the price of possible misclassification of
+/// borderline itemsets. kExactDp reproduces MinePfi.
+std::vector<PfiEntry> MinePfiApproximate(const UncertainDatabase& db,
+                                         std::size_t min_sup, double pft,
+                                         FrequencyMode mode,
+                                         MiningStats* stats = nullptr);
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_PFI_MINER_H_

@@ -1,0 +1,80 @@
+#include "src/core/probabilistic_support.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/data/vertical_index.h"
+#include "src/prob/poisson_binomial.h"
+#include "src/util/check.h"
+
+namespace pfci {
+
+namespace {
+
+std::size_t PsupFromProbs(const std::vector<double>& probs, double pft) {
+  if (probs.empty()) return 0;
+  const std::vector<double> pmf = PoissonBinomialPmf(probs);
+  // Walk the tail down from s = n; psup is the largest s whose tail
+  // probability still reaches pft.
+  double tail = 0.0;
+  for (std::size_t s = pmf.size(); s-- > 1;) {
+    tail += pmf[s];
+    if (tail >= pft) return s;
+  }
+  return 0;
+}
+
+void Enumerate(const VerticalIndex& index, std::size_t min_sup,
+               const Itemset& x, const TidList& tids, Item next_item,
+               const std::function<void(const Itemset&, const TidList&)>& fn) {
+  if (!x.empty()) fn(x, tids);
+  const auto& items = index.occurring_items();
+  for (Item item : items) {
+    if (item < next_item) continue;
+    const TidList child = IntersectTids(tids, index.TidsOfItem(item));
+    if (child.size() < min_sup) continue;
+    Enumerate(index, min_sup, x.WithItem(item), child, item + 1, fn);
+  }
+}
+
+}  // namespace
+
+std::size_t ProbabilisticSupport(const UncertainDatabase& db,
+                                 const Itemset& x, double pft) {
+  PFCI_CHECK(pft > 0.0 && pft <= 1.0);
+  std::vector<double> probs;
+  for (const auto& t : db.transactions()) {
+    if (x.IsSubsetOf(t.items)) probs.push_back(t.prob);
+  }
+  return PsupFromProbs(probs, pft);
+}
+
+std::vector<PsupEntry> MinePsupClosed(const UncertainDatabase& db,
+                                      std::size_t min_sup, double pft) {
+  PFCI_CHECK(min_sup >= 1);
+  const VerticalIndex index(db);
+  std::vector<PsupEntry> result;
+  TidList all_tids(db.size());
+  for (Tid tid = 0; tid < db.size(); ++tid) all_tids[tid] = tid;
+
+  Enumerate(index, min_sup, Itemset{}, all_tids, 0,
+            [&](const Itemset& x, const TidList& tids) {
+              const std::size_t psup =
+                  PsupFromProbs(index.ProbsOf(tids), pft);
+              if (psup < min_sup) return;
+              // Closed under [34] iff every one-item extension has a
+              // strictly smaller probabilistic support (sufficient by
+              // anti-monotonicity of psup).
+              for (Item item : index.occurring_items()) {
+                if (x.Contains(item)) continue;
+                const TidList ext =
+                    IntersectTids(tids, index.TidsOfItem(item));
+                if (PsupFromProbs(index.ProbsOf(ext), pft) >= psup) return;
+              }
+              result.push_back(PsupEntry{x, psup});
+            });
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace pfci

@@ -1,0 +1,48 @@
+// Probabilistic-support semantics of [34] (Tang & Peterson), implemented
+// for the paper's Sec. II comparison (Table IV example).
+//
+// Given a probabilistic frequent threshold pft, the probabilistic support
+// of X is the largest support level s with Pr{support(X) >= s} >= pft.
+// Under [34], X is a "probabilistic frequent closed itemset" iff
+// psup(X) >= min_sup and every proper superset has strictly smaller
+// probabilistic support. The paper argues these semantics are unstable in
+// pft (its Table IV example); this module lets the comparison be
+// reproduced exactly.
+#ifndef PFCI_CORE_PROBABILISTIC_SUPPORT_H_
+#define PFCI_CORE_PROBABILISTIC_SUPPORT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/data/itemset.h"
+#include "src/data/uncertain_database.h"
+
+namespace pfci {
+
+/// psup(X): max { s : Pr{support(X) >= s} >= pft }, 0 when even s=1 fails.
+std::size_t ProbabilisticSupport(const UncertainDatabase& db,
+                                 const Itemset& x, double pft);
+
+/// An itemset with its probabilistic support.
+struct PsupEntry {
+  Itemset items;
+  std::size_t psup = 0;
+
+  friend bool operator<(const PsupEntry& a, const PsupEntry& b) {
+    return a.items < b.items;
+  }
+  friend bool operator==(const PsupEntry& a, const PsupEntry& b) {
+    return a.psup == b.psup && a.items == b.items;
+  }
+};
+
+/// Mines the frequent closed itemsets under [34]'s semantics: psup(X) >=
+/// min_sup and psup(Y) < psup(X) for every proper superset Y. Exhaustive
+/// over itemsets with count >= min_sup — intended for the small
+/// comparison examples, not for large datasets.
+std::vector<PsupEntry> MinePsupClosed(const UncertainDatabase& db,
+                                      std::size_t min_sup, double pft);
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_PROBABILISTIC_SUPPORT_H_

@@ -1,0 +1,37 @@
+#include "src/core/stream_miner.h"
+
+#include <utility>
+
+#include "src/core/mpfci_miner.h"
+#include "src/util/check.h"
+
+namespace pfci {
+
+StreamingPfciMiner::StreamingPfciMiner(MiningParams params,
+                                       std::size_t window_size)
+    : params_(params), window_size_(window_size) {
+  PFCI_CHECK(window_size >= 1);
+  PFCI_CHECK(params.min_sup >= 1);
+  PFCI_CHECK(params.min_sup <= window_size);
+}
+
+void StreamingPfciMiner::Observe(Itemset items, double prob) {
+  PFCI_CHECK(prob > 0.0 && prob <= 1.0);
+  if (window_.size() == window_size_) window_.pop_front();
+  window_.push_back(UncertainTransaction{std::move(items), prob});
+  ++seen_;
+}
+
+UncertainDatabase StreamingPfciMiner::WindowSnapshot() const {
+  UncertainDatabase db;
+  for (const UncertainTransaction& t : window_) db.Add(t.items, t.prob);
+  return db;
+}
+
+MiningResult StreamingPfciMiner::MineWindow() {
+  MiningParams params = params_;
+  params.seed = params_.seed + 0x9e3779b9ULL * (++mine_calls_);
+  return MineMpfci(WindowSnapshot(), params);
+}
+
+}  // namespace pfci

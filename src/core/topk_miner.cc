@@ -1,0 +1,184 @@
+#include "src/core/topk_miner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/fcp_engine.h"
+#include "src/core/frequent_probability.h"
+#include "src/data/vertical_index.h"
+#include "src/util/check.h"
+#include "src/util/stopwatch.h"
+
+namespace pfci {
+
+namespace {
+
+/// DFS search with a rising pruning threshold (the k-th best FCP in hand).
+class TopkSearch {
+ public:
+  TopkSearch(const UncertainDatabase& db, const MiningParams& params,
+             std::size_t k)
+      : params_(params),
+        k_(k),
+        index_(db),
+        freq_(index_, params.min_sup),
+        rng_(params.seed) {}
+
+  MiningResult Run() {
+    Stopwatch timer;
+    BuildCandidates();
+    for (std::size_t c = 0; c < candidates_.size(); ++c) {
+      const Item item = candidates_[c];
+      const TidList& tids = index_.TidsOfItem(item);
+      const double pr_f = freq_.PrF(tids);
+      if (pr_f <= Threshold()) continue;
+      Dfs(Itemset{item}, tids, pr_f, c);
+    }
+    MiningResult result;
+    result.stats = stats_;
+    result.stats.dp_runs = freq_.dp_runs();
+    result.stats.seconds = timer.ElapsedSeconds();
+    // Descending FCP, ties resolved by itemset order for determinism.
+    std::sort(top_.begin(), top_.end(),
+              [](const PfciEntry& a, const PfciEntry& b) {
+                if (a.fcp != b.fcp) return a.fcp > b.fcp;
+                return a.items < b.items;
+              });
+    result.itemsets = std::move(top_);
+    return result;
+  }
+
+ private:
+  /// The active pruning threshold: the k-th best FCP once k results are
+  /// held, never below the caller's floor.
+  double Threshold() const {
+    if (top_.size() < k_) return params_.pfct;
+    return std::max(params_.pfct, worst_in_top_);
+  }
+
+  void RecomputeWorst() {
+    worst_in_top_ = 1.0;
+    for (const PfciEntry& entry : top_) {
+      worst_in_top_ = std::min(worst_in_top_, entry.fcp);
+    }
+  }
+
+  void Offer(PfciEntry entry) {
+    if (top_.size() < k_) {
+      top_.push_back(std::move(entry));
+      if (top_.size() == k_) RecomputeWorst();
+      return;
+    }
+    if (entry.fcp <= worst_in_top_) return;
+    // Replace the current worst.
+    std::size_t worst_pos = 0;
+    for (std::size_t i = 1; i < top_.size(); ++i) {
+      if (top_[i].fcp < top_[worst_pos].fcp) worst_pos = i;
+    }
+    top_[worst_pos] = std::move(entry);
+    RecomputeWorst();
+  }
+
+  void BuildCandidates() {
+    for (Item item : index_.occurring_items()) {
+      const TidList& tids = index_.TidsOfItem(item);
+      if (tids.size() < params_.min_sup) continue;
+      // The floor threshold is the only sound candidate filter here (the
+      // dynamic threshold starts at the floor and only rises).
+      if (params_.pruning.chernoff &&
+          freq_.PrFUpperBound(tids) <= params_.pfct) {
+        ++stats_.pruned_by_chernoff;
+        continue;
+      }
+      candidates_.push_back(item);
+    }
+  }
+
+  bool SupersetPruned(const Itemset& x, const TidList& tids) const {
+    const Item last = x.LastItem();
+    for (Item item : index_.occurring_items()) {
+      if (item >= last) break;
+      if (x.Contains(item)) continue;
+      const TidList& item_tids = index_.TidsOfItem(item);
+      if (item_tids.size() < tids.size()) continue;
+      if (IntersectTidsSize(tids, item_tids) == tids.size()) return true;
+    }
+    return false;
+  }
+
+  void Dfs(const Itemset& x, const TidList& tids, double pr_f,
+           std::size_t last_candidate_pos) {
+    ++stats_.nodes_visited;
+    if (params_.pruning.superset && SupersetPruned(x, tids)) {
+      ++stats_.pruned_by_superset;
+      return;
+    }
+
+    bool x_may_be_closed = true;
+    for (std::size_t c = last_candidate_pos + 1; c < candidates_.size();
+         ++c) {
+      const Item item = candidates_[c];
+      const TidList child_tids = IntersectTids(tids, index_.TidsOfItem(item));
+      const bool same_count = child_tids.size() == tids.size();
+      if (params_.pruning.subset && same_count) x_may_be_closed = false;
+
+      bool child_qualifies = child_tids.size() >= params_.min_sup;
+      if (child_qualifies && params_.pruning.chernoff &&
+          freq_.PrFUpperBound(child_tids) <= Threshold()) {
+        ++stats_.pruned_by_chernoff;
+        child_qualifies = false;
+      }
+      if (child_qualifies) {
+        const double child_pr_f = freq_.PrF(child_tids);
+        if (child_pr_f <= Threshold()) {
+          ++stats_.pruned_by_frequency;
+        } else {
+          Dfs(x.WithItem(item), child_tids, child_pr_f, c);
+        }
+      }
+      if (params_.pruning.subset && same_count) break;
+    }
+
+    if (!x_may_be_closed) {
+      ++stats_.pruned_by_subset;
+      return;
+    }
+    // Evaluate against the *current* threshold.
+    MiningParams node_params = params_;
+    node_params.pfct = Threshold();
+    const FcpEngine engine(index_, freq_, node_params);
+    const FcpComputation comp = engine.Evaluate(x, tids, pr_f, rng_, &stats_);
+    if (comp.is_pfci) {
+      PfciEntry entry;
+      entry.items = x;
+      entry.fcp = comp.fcp;
+      entry.pr_f = comp.pr_f;
+      entry.fcp_lower = comp.bounds_computed ? comp.bounds.lower : 0.0;
+      entry.fcp_upper = comp.bounds_computed ? comp.bounds.upper : comp.pr_f;
+      entry.method = comp.method;
+      Offer(std::move(entry));
+    }
+  }
+
+  MiningParams params_;
+  std::size_t k_;
+  VerticalIndex index_;
+  FrequentProbability freq_;
+  Rng rng_;
+  std::vector<Item> candidates_;
+  std::vector<PfciEntry> top_;
+  double worst_in_top_ = 1.0;
+  MiningStats stats_;
+};
+
+}  // namespace
+
+MiningResult MineTopKPfci(const UncertainDatabase& db,
+                          const MiningParams& params, std::size_t k) {
+  PFCI_CHECK(params.min_sup >= 1);
+  PFCI_CHECK(k >= 1);
+  TopkSearch search(db, params, k);
+  return search.Run();
+}
+
+}  // namespace pfci

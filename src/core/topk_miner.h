@@ -1,0 +1,29 @@
+// Top-k probabilistic frequent closed itemset mining.
+//
+// A natural extension of the paper's problem (threshold-free usage): find
+// the k itemsets with the largest frequent closed probability. The search
+// reuses MPFCI's machinery with a *rising* threshold: once k results are
+// held, the smallest FCP in hand acts as pfct for all remaining pruning
+// (valid because PrFC <= PrF and PrF is anti-monotone).
+#ifndef PFCI_CORE_TOPK_MINER_H_
+#define PFCI_CORE_TOPK_MINER_H_
+
+#include <cstddef>
+
+#include "src/core/mining_params.h"
+#include "src/core/mining_result.h"
+#include "src/data/uncertain_database.h"
+
+namespace pfci {
+
+/// Returns (up to) k itemsets with the largest PrFC, sorted by descending
+/// PrFC (ties by itemset order). `params.pfct` serves as an additional
+/// floor: itemsets with PrFC <= params.pfct are never reported, so pass
+/// pfct = 0 for an unconditional top-k. Ranking uses the engine's FCP
+/// estimates (exact at default settings whenever the event count permits).
+MiningResult MineTopKPfci(const UncertainDatabase& db,
+                          const MiningParams& params, std::size_t k);
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_TOPK_MINER_H_

@@ -1,0 +1,116 @@
+#include "src/data/database_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/string_util.h"
+
+namespace pfci {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+bool SaveUncertainDatabase(const UncertainDatabase& db,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# pfci uncertain transaction database: prob item item ...\n";
+  for (const auto& t : db.transactions()) {
+    out << FormatDouble(t.prob, 12);
+    for (Item item : t.items.items()) out << ' ' << item;
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadUncertainDatabase(const std::string& path, UncertainDatabase* db,
+                           std::string* error) {
+  *db = UncertainDatabase();
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return false;
+  }
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const std::vector<std::string> tokens = SplitTokens(stripped);
+    double prob = 0.0;
+    // The negated comparison also rejects NaN.
+    if (!ParseDouble(tokens[0], &prob) || !(prob > 0.0 && prob <= 1.0)) {
+      SetError(error, "line " + std::to_string(line_number) +
+                          ": bad probability '" + tokens[0] + "'");
+      *db = UncertainDatabase();
+      return false;
+    }
+    std::vector<Item> items;
+    items.reserve(tokens.size() - 1);
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      unsigned int item = 0;
+      if (!ParseUint32(tokens[i], &item)) {
+        SetError(error, "line " + std::to_string(line_number) +
+                            ": bad item '" + tokens[i] + "'");
+        *db = UncertainDatabase();
+        return false;
+      }
+      items.push_back(item);
+    }
+    db->Add(Itemset(std::move(items)), prob);
+  }
+  return true;
+}
+
+bool SaveExactTransactions(const std::vector<Itemset>& transactions,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const Itemset& t : transactions) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << t[i];
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadExactTransactions(const std::string& path,
+                           std::vector<Itemset>* transactions,
+                           std::string* error) {
+  transactions->clear();
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return false;
+  }
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::vector<Item> items;
+    for (const std::string& token : SplitTokens(stripped)) {
+      unsigned int item = 0;
+      if (!ParseUint32(token, &item)) {
+        SetError(error, "line " + std::to_string(line_number) +
+                            ": bad item '" + token + "'");
+        transactions->clear();
+        return false;
+      }
+      items.push_back(item);
+    }
+    transactions->push_back(Itemset(std::move(items)));
+  }
+  return true;
+}
+
+}  // namespace pfci

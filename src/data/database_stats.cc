@@ -1,0 +1,45 @@
+#include "src/data/database_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/string_util.h"
+
+namespace pfci {
+
+std::string DatabaseStats::ToString() const {
+  return "transactions=" + std::to_string(num_transactions) +
+         " items=" + std::to_string(num_items) +
+         " avg_len=" + FormatDouble(avg_length, 4) +
+         " max_len=" + std::to_string(max_length) +
+         " mean_prob=" + FormatDouble(mean_prob, 4) +
+         " stddev_prob=" + FormatDouble(stddev_prob, 4);
+}
+
+DatabaseStats ComputeStats(const UncertainDatabase& db) {
+  DatabaseStats stats;
+  stats.num_transactions = db.size();
+  stats.num_items = db.ItemUniverse().size();
+  if (db.empty()) return stats;
+
+  double total_length = 0.0;
+  double sum_prob = 0.0;
+  for (const auto& t : db.transactions()) {
+    total_length += static_cast<double>(t.items.size());
+    stats.max_length = std::max(stats.max_length, t.items.size());
+    sum_prob += t.prob;
+  }
+  const double n = static_cast<double>(db.size());
+  stats.avg_length = total_length / n;
+  stats.mean_prob = sum_prob / n;
+
+  double sum_sq = 0.0;
+  for (const auto& t : db.transactions()) {
+    const double d = t.prob - stats.mean_prob;
+    sum_sq += d * d;
+  }
+  stats.stddev_prob = std::sqrt(sum_sq / n);
+  return stats;
+}
+
+}  // namespace pfci

@@ -1,0 +1,31 @@
+// Dataset characteristics (paper Table VIII).
+#ifndef PFCI_DATA_DATABASE_STATS_H_
+#define PFCI_DATA_DATABASE_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/data/uncertain_database.h"
+
+namespace pfci {
+
+/// Summary statistics of an uncertain database, matching the columns of
+/// the paper's Table VIII plus probability moments.
+struct DatabaseStats {
+  std::size_t num_transactions = 0;
+  std::size_t num_items = 0;  ///< Distinct items.
+  double avg_length = 0.0;
+  std::size_t max_length = 0;
+  double mean_prob = 0.0;
+  double stddev_prob = 0.0;
+
+  /// Renders a short human-readable summary line.
+  std::string ToString() const;
+};
+
+/// Computes the statistics of `db`.
+DatabaseStats ComputeStats(const UncertainDatabase& db);
+
+}  // namespace pfci
+
+#endif  // PFCI_DATA_DATABASE_STATS_H_

@@ -1,0 +1,66 @@
+#include "src/data/item_uncertain_database.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace pfci {
+
+double ItemUncertainTransaction::ContainmentProb(const Itemset& x) const {
+  double prob = 1.0;
+  auto it = items.begin();
+  for (Item needed : x.items()) {
+    while (it != items.end() && it->item < needed) ++it;
+    if (it == items.end() || it->item != needed) return 0.0;
+    prob *= it->prob;
+  }
+  return prob;
+}
+
+Itemset ItemUncertainTransaction::CertainItems() const {
+  std::vector<Item> ids;
+  ids.reserve(items.size());
+  for (const ProbItem& occurrence : items) ids.push_back(occurrence.item);
+  return Itemset(std::move(ids));
+}
+
+void ItemUncertainDatabase::Add(std::vector<ProbItem> items) {
+  std::sort(items.begin(), items.end(),
+            [](const ProbItem& a, const ProbItem& b) {
+              return a.item < b.item;
+            });
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    PFCI_CHECK(items[i].prob > 0.0 && items[i].prob <= 1.0);
+    if (i > 0) PFCI_CHECK(items[i - 1].item != items[i].item);
+  }
+  transactions_.push_back(ItemUncertainTransaction{std::move(items)});
+}
+
+std::vector<double> ItemUncertainDatabase::ContainmentProbs(
+    const Itemset& x) const {
+  std::vector<double> probs;
+  probs.reserve(transactions_.size());
+  for (const auto& t : transactions_) probs.push_back(t.ContainmentProb(x));
+  return probs;
+}
+
+double ItemUncertainDatabase::ExpectedSupport(const Itemset& x) const {
+  double esup = 0.0;
+  for (const auto& t : transactions_) esup += t.ContainmentProb(x);
+  return esup;
+}
+
+std::vector<Item> ItemUncertainDatabase::ItemUniverse() const {
+  std::vector<Item> universe;
+  for (const auto& t : transactions_) {
+    for (const ProbItem& occurrence : t.items) {
+      universe.push_back(occurrence.item);
+    }
+  }
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()),
+                 universe.end());
+  return universe;
+}
+
+}  // namespace pfci

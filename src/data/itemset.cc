@@ -1,0 +1,94 @@
+#include "src/data/itemset.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace pfci {
+
+Itemset::Itemset(std::vector<Item> items) : items_(std::move(items)) {
+  std::sort(items_.begin(), items_.end());
+  items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+}
+
+Itemset::Itemset(std::initializer_list<Item> items)
+    : Itemset(std::vector<Item>(items)) {}
+
+Item Itemset::LastItem() const {
+  PFCI_CHECK(!items_.empty());
+  return items_.back();
+}
+
+bool Itemset::Contains(Item item) const {
+  return std::binary_search(items_.begin(), items_.end(), item);
+}
+
+bool Itemset::IsSubsetOf(const Itemset& other) const {
+  return std::includes(other.items_.begin(), other.items_.end(),
+                       items_.begin(), items_.end());
+}
+
+bool Itemset::IsProperSupersetOf(const Itemset& other) const {
+  return items_.size() > other.items_.size() && other.IsSubsetOf(*this);
+}
+
+Itemset Itemset::WithItem(Item item) const {
+  PFCI_DCHECK(!Contains(item));
+  Itemset result;
+  result.items_.reserve(items_.size() + 1);
+  auto pos = std::lower_bound(items_.begin(), items_.end(), item);
+  result.items_.insert(result.items_.end(), items_.begin(), pos);
+  result.items_.push_back(item);
+  result.items_.insert(result.items_.end(), pos, items_.end());
+  return result;
+}
+
+Itemset Itemset::WithoutItem(Item item) const {
+  Itemset result;
+  result.items_.reserve(items_.size());
+  for (Item existing : items_) {
+    if (existing != item) result.items_.push_back(existing);
+  }
+  return result;
+}
+
+Itemset Itemset::UnionWith(const Itemset& other) const {
+  Itemset result;
+  result.items_.reserve(items_.size() + other.items_.size());
+  std::set_union(items_.begin(), items_.end(), other.items_.begin(),
+                 other.items_.end(), std::back_inserter(result.items_));
+  return result;
+}
+
+Itemset Itemset::IntersectWith(const Itemset& other) const {
+  Itemset result;
+  std::set_intersection(items_.begin(), items_.end(), other.items_.begin(),
+                        other.items_.end(), std::back_inserter(result.items_));
+  return result;
+}
+
+std::string Itemset::ToString(bool letters) const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ' ';
+    if (letters && items_[i] < 26) {
+      out += static_cast<char>('a' + items_[i]);
+    } else {
+      out += std::to_string(items_[i]);
+    }
+  }
+  out += '}';
+  return out;
+}
+
+std::size_t ItemsetHash::operator()(const Itemset& itemset) const {
+  // FNV-1a over the item ids.
+  std::size_t hash = 1469598103934665603ULL;
+  for (Item item : itemset.items()) {
+    hash ^= item;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace pfci

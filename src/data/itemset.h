@@ -1,0 +1,70 @@
+// Itemset: an ordered set of items.
+#ifndef PFCI_DATA_ITEMSET_H_
+#define PFCI_DATA_ITEMSET_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/data/item.h"
+
+namespace pfci {
+
+/// A set of items kept sorted ascending and duplicate-free.
+///
+/// Value type: copyable, movable, equality- and less-than-comparable
+/// (lexicographic), hashable via ItemsetHash.
+class Itemset {
+ public:
+  Itemset() = default;
+
+  /// Builds from arbitrary items; sorts and deduplicates.
+  explicit Itemset(std::vector<Item> items);
+  Itemset(std::initializer_list<Item> items);
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const std::vector<Item>& items() const { return items_; }
+  Item operator[](std::size_t i) const { return items_[i]; }
+
+  /// Largest item; itemset must be non-empty.
+  Item LastItem() const;
+
+  bool Contains(Item item) const;
+  bool IsSubsetOf(const Itemset& other) const;
+  bool IsProperSupersetOf(const Itemset& other) const;
+
+  /// Returns a copy extended with `item` (which must not be contained).
+  Itemset WithItem(Item item) const;
+
+  /// Returns a copy with `item` removed (no-op if absent).
+  Itemset WithoutItem(Item item) const;
+
+  /// Set union / intersection.
+  Itemset UnionWith(const Itemset& other) const;
+  Itemset IntersectWith(const Itemset& other) const;
+
+  /// Renders as "{a b c}" using item ids, or letters for ids < 26 when
+  /// `letters` is true (matches the paper's examples).
+  std::string ToString(bool letters = false) const;
+
+  friend bool operator==(const Itemset& a, const Itemset& b) {
+    return a.items_ == b.items_;
+  }
+  friend bool operator<(const Itemset& a, const Itemset& b) {
+    return a.items_ < b.items_;
+  }
+
+ private:
+  std::vector<Item> items_;
+};
+
+/// Hash functor for unordered containers keyed by Itemset.
+struct ItemsetHash {
+  std::size_t operator()(const Itemset& itemset) const;
+};
+
+}  // namespace pfci
+
+#endif  // PFCI_DATA_ITEMSET_H_

@@ -1,0 +1,64 @@
+#include "src/data/possible_world.h"
+
+#include "src/util/check.h"
+
+namespace pfci {
+
+std::vector<Tid> PossibleWorld::PresentTids() const {
+  std::vector<Tid> tids;
+  for (Tid tid = 0; tid < present_.size(); ++tid) {
+    if (present_[tid]) tids.push_back(tid);
+  }
+  return tids;
+}
+
+std::size_t PossibleWorld::NumPresent() const {
+  std::size_t count = 0;
+  for (std::uint8_t p : present_) count += p;
+  return count;
+}
+
+double PossibleWorld::Probability(const UncertainDatabase& db) const {
+  PFCI_CHECK_EQ(db.size(), present_.size());
+  double prob = 1.0;
+  for (Tid tid = 0; tid < present_.size(); ++tid) {
+    prob *= present_[tid] ? db.prob(tid) : 1.0 - db.prob(tid);
+  }
+  return prob;
+}
+
+std::size_t PossibleWorld::Support(const UncertainDatabase& db,
+                                   const Itemset& x) const {
+  std::size_t support = 0;
+  for (Tid tid = 0; tid < present_.size(); ++tid) {
+    if (present_[tid] && x.IsSubsetOf(db.transaction(tid).items)) ++support;
+  }
+  return support;
+}
+
+bool PossibleWorld::IsClosed(const UncertainDatabase& db,
+                             const Itemset& x) const {
+  // Closure = intersection of the present transactions containing X.
+  bool any = false;
+  Itemset closure;
+  for (Tid tid = 0; tid < present_.size(); ++tid) {
+    if (!present_[tid]) continue;
+    const Itemset& t = db.transaction(tid).items;
+    if (!x.IsSubsetOf(t)) continue;
+    if (!any) {
+      closure = t;
+      any = true;
+    } else {
+      closure = closure.IntersectWith(t);
+    }
+  }
+  return any && closure == x;
+}
+
+bool PossibleWorld::IsFrequentClosed(const UncertainDatabase& db,
+                                     const Itemset& x,
+                                     std::size_t min_sup) const {
+  return Support(db, x) >= min_sup && IsClosed(db, x);
+}
+
+}  // namespace pfci

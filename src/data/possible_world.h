@@ -1,0 +1,58 @@
+// Possible worlds of an uncertain database.
+#ifndef PFCI_DATA_POSSIBLE_WORLD_H_
+#define PFCI_DATA_POSSIBLE_WORLD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/item.h"
+#include "src/data/itemset.h"
+#include "src/data/uncertain_database.h"
+
+namespace pfci {
+
+/// One possible world: a subset of the database's transactions (paper
+/// Sec. I, possible-world semantics). Stored as a presence bitmap aligned
+/// with the database's tids.
+class PossibleWorld {
+ public:
+  /// Creates a world over `db_size` transactions, all absent.
+  explicit PossibleWorld(std::size_t db_size) : present_(db_size, 0) {}
+
+  /// Creates a world from an explicit presence bitmap.
+  explicit PossibleWorld(std::vector<std::uint8_t> present)
+      : present_(std::move(present)) {}
+
+  std::size_t db_size() const { return present_.size(); }
+  bool IsPresent(Tid tid) const { return present_[tid] != 0; }
+  void SetPresent(Tid tid, bool present) { present_[tid] = present ? 1 : 0; }
+
+  /// Tids of the present transactions, ascending.
+  std::vector<Tid> PresentTids() const;
+
+  /// Number of present transactions.
+  std::size_t NumPresent() const;
+
+  /// Probability of this world under `db`'s tuple-independence measure.
+  double Probability(const UncertainDatabase& db) const;
+
+  /// Support of X in this world: present transactions containing X.
+  std::size_t Support(const UncertainDatabase& db, const Itemset& x) const;
+
+  /// Whether X is closed in this world per Definition 3.6 and the paper's
+  /// convention: X must appear (support >= 1) and no proper superset may
+  /// have equal support. Equivalently, X equals the intersection of the
+  /// present transactions containing it.
+  bool IsClosed(const UncertainDatabase& db, const Itemset& x) const;
+
+  /// Whether X is a frequent closed itemset in this world (Definition 3.3).
+  bool IsFrequentClosed(const UncertainDatabase& db, const Itemset& x,
+                        std::size_t min_sup) const;
+
+ private:
+  std::vector<std::uint8_t> present_;
+};
+
+}  // namespace pfci
+
+#endif  // PFCI_DATA_POSSIBLE_WORLD_H_

@@ -1,0 +1,45 @@
+#include "src/data/tidlist.h"
+
+#include <algorithm>
+
+namespace pfci {
+
+TidList IntersectTids(const TidList& a, const TidList& b) {
+  TidList out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::size_t IntersectTidsSize(const TidList& a, const TidList& b) {
+  std::size_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+TidList DifferenceTids(const TidList& a, const TidList& b) {
+  TidList out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+bool TidsSubset(const TidList& a, const TidList& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace pfci

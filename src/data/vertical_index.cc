@@ -1,0 +1,46 @@
+#include "src/data/vertical_index.h"
+
+#include <numeric>
+
+namespace pfci {
+
+VerticalIndex::VerticalIndex(const UncertainDatabase& db) : db_(&db) {
+  tids_by_item_.resize(db.MaxItemPlusOne());
+  for (Tid tid = 0; tid < db.size(); ++tid) {
+    for (Item item : db.transaction(tid).items.items()) {
+      tids_by_item_[item].push_back(tid);
+    }
+  }
+  for (Item item = 0; item < tids_by_item_.size(); ++item) {
+    if (!tids_by_item_[item].empty()) occurring_items_.push_back(item);
+  }
+  all_tids_.resize(db.size());
+  std::iota(all_tids_.begin(), all_tids_.end(), Tid{0});
+}
+
+const TidList& VerticalIndex::TidsOfItem(Item item) const {
+  if (item >= tids_by_item_.size()) return empty_;
+  return tids_by_item_[item];
+}
+
+TidList VerticalIndex::TidsOf(const Itemset& x) const {
+  if (x.empty()) return all_tids_;
+  TidList tids = TidsOfItem(x[0]);
+  for (std::size_t i = 1; i < x.size() && !tids.empty(); ++i) {
+    tids = IntersectTids(tids, TidsOfItem(x[i]));
+  }
+  return tids;
+}
+
+std::size_t VerticalIndex::Count(const Itemset& x) const {
+  return TidsOf(x).size();
+}
+
+std::vector<double> VerticalIndex::ProbsOf(const TidList& tids) const {
+  std::vector<double> probs;
+  probs.reserve(tids.size());
+  for (Tid tid : tids) probs.push_back(db_->prob(tid));
+  return probs;
+}
+
+}  // namespace pfci

@@ -1,0 +1,49 @@
+// Vertical (item -> tid-list) index over an uncertain database.
+#ifndef PFCI_DATA_VERTICAL_INDEX_H_
+#define PFCI_DATA_VERTICAL_INDEX_H_
+
+#include <vector>
+
+#include "src/data/item.h"
+#include "src/data/itemset.h"
+#include "src/data/tidlist.h"
+#include "src/data/uncertain_database.h"
+
+namespace pfci {
+
+/// Precomputed per-item tid-lists plus helpers to derive Tids(X) for any
+/// itemset X by intersection. Items absent from the database have empty
+/// tid-lists.
+class VerticalIndex {
+ public:
+  explicit VerticalIndex(const UncertainDatabase& db);
+
+  /// Tid-list of a single item (empty if the item never occurs).
+  const TidList& TidsOfItem(Item item) const;
+
+  /// Tids(X): transactions possibly containing the whole itemset.
+  /// The empty itemset maps to all transactions.
+  TidList TidsOf(const Itemset& x) const;
+
+  /// count(X) = |Tids(X)| (Definition 4.2).
+  std::size_t Count(const Itemset& x) const;
+
+  /// Items that occur in at least one transaction, ascending.
+  const std::vector<Item>& occurring_items() const { return occurring_items_; }
+
+  /// Existence probabilities of the given transactions, in tid order.
+  std::vector<double> ProbsOf(const TidList& tids) const;
+
+  const UncertainDatabase& db() const { return *db_; }
+
+ private:
+  const UncertainDatabase* db_;
+  std::vector<TidList> tids_by_item_;
+  std::vector<Item> occurring_items_;
+  TidList all_tids_;
+  TidList empty_;
+};
+
+}  // namespace pfci
+
+#endif  // PFCI_DATA_VERTICAL_INDEX_H_

@@ -1,0 +1,35 @@
+#include "src/data/world_enumerator.h"
+
+#include <cstdint>
+
+#include "src/util/check.h"
+
+namespace pfci {
+
+void EnumerateWorlds(
+    const UncertainDatabase& db,
+    const std::function<void(const PossibleWorld&, double)>& visit) {
+  const std::size_t n = db.size();
+  PFCI_CHECK(n <= kMaxEnumerableTransactions);
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  PossibleWorld world(n);
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    double prob = 1.0;
+    for (Tid tid = 0; tid < n; ++tid) {
+      const bool present = (mask >> tid) & 1;
+      world.SetPresent(tid, present);
+      prob *= present ? db.prob(tid) : 1.0 - db.prob(tid);
+    }
+    visit(world, prob);
+  }
+}
+
+PossibleWorld SampleWorld(const UncertainDatabase& db, Rng& rng) {
+  PossibleWorld world(db.size());
+  for (Tid tid = 0; tid < db.size(); ++tid) {
+    world.SetPresent(tid, rng.NextBernoulli(db.prob(tid)));
+  }
+  return world;
+}
+
+}  // namespace pfci

@@ -1,0 +1,32 @@
+// Exhaustive enumeration and i.i.d. sampling of possible worlds.
+//
+// Enumeration is exponential (2^n worlds) and exists for ground-truth
+// oracles and tiny demonstrations (paper Table III); sampling powers the
+// naive Monte-Carlo baseline discussed in Sec. IV.B.4.
+#ifndef PFCI_DATA_WORLD_ENUMERATOR_H_
+#define PFCI_DATA_WORLD_ENUMERATOR_H_
+
+#include <functional>
+
+#include "src/data/possible_world.h"
+#include "src/data/uncertain_database.h"
+#include "src/util/random.h"
+
+namespace pfci {
+
+/// Largest database size accepted by EnumerateWorlds.
+inline constexpr std::size_t kMaxEnumerableTransactions = 24;
+
+/// Calls `visit(world, probability)` for every possible world of `db`,
+/// including the empty one. Probabilities sum to 1. CHECKs that
+/// db.size() <= kMaxEnumerableTransactions.
+void EnumerateWorlds(
+    const UncertainDatabase& db,
+    const std::function<void(const PossibleWorld&, double)>& visit);
+
+/// Draws one world by flipping each transaction's existence coin.
+PossibleWorld SampleWorld(const UncertainDatabase& db, Rng& rng);
+
+}  // namespace pfci
+
+#endif  // PFCI_DATA_WORLD_ENUMERATOR_H_

@@ -1,0 +1,85 @@
+#include "src/datagen/mushroom_generator.h"
+
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace pfci {
+
+TransactionDatabase GenerateMushroomLike(const MushroomParams& params) {
+  PFCI_CHECK(params.num_attributes >= 1);
+  PFCI_CHECK(params.values_per_attribute >= 1);
+  PFCI_CHECK(params.num_species >= 1);
+  PFCI_CHECK(params.num_universal_attributes <= params.num_attributes);
+  Rng rng(params.seed);
+
+  const std::size_t num_attrs = params.num_attributes;
+
+  // Attribute domains: sizes vary around the average (mushroom's real
+  // domains range from 1 to 12 values). The first
+  // `num_universal_attributes` attributes have a single value — items
+  // present in every transaction, like mushroom's veil-type.
+  std::vector<std::size_t> domain_size(num_attrs);
+  std::vector<Item> first_item(num_attrs);
+  Item next_item = 0;
+  for (std::size_t a = 0; a < num_attrs; ++a) {
+    if (a < params.num_universal_attributes) {
+      domain_size[a] = 1;
+    } else {
+      const long spread =
+          static_cast<long>(params.values_per_attribute > 2
+                                ? params.values_per_attribute - 2
+                                : 0);
+      const long size =
+          static_cast<long>(params.values_per_attribute) +
+          (spread > 0 ? rng.NextInRange(-spread / 2, spread) : 0);
+      domain_size[a] = static_cast<std::size_t>(size < 2 ? 2 : size);
+    }
+    first_item[a] = next_item;
+    next_item += static_cast<Item>(domain_size[a]);
+  }
+
+  // A `deterministic_fraction` of the multi-valued attributes is perfectly
+  // species-determined; the rest deviates with `within_species_noise`.
+  std::vector<bool> deterministic(num_attrs, false);
+  for (std::size_t a = params.num_universal_attributes; a < num_attrs; ++a) {
+    deterministic[a] = rng.NextBernoulli(params.deterministic_fraction);
+  }
+
+  // Each species prefers one value per attribute; species frequencies are
+  // skewed (exponential weights) like real mushroom species counts.
+  // Preferences are skewed towards low value indices, which yields the
+  // globally dominant items mushroom exhibits.
+  std::vector<std::vector<std::size_t>> preferred(
+      params.num_species, std::vector<std::size_t>(num_attrs));
+  for (std::size_t s = 0; s < params.num_species; ++s) {
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      const double u = rng.NextDouble();
+      const std::size_t value = static_cast<std::size_t>(
+          u * u * static_cast<double>(domain_size[a]));
+      preferred[s][a] = value < domain_size[a] ? value : domain_size[a] - 1;
+    }
+  }
+  std::vector<double> species_weight(params.num_species);
+  for (double& w : species_weight) w = rng.NextExponential(1.0);
+
+  TransactionDatabase db;
+  for (std::size_t t = 0; t < params.num_transactions; ++t) {
+    const std::size_t species = rng.NextWeighted(species_weight);
+    std::vector<Item> items;
+    items.reserve(num_attrs);
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      std::size_t value = preferred[species][a];
+      if (!deterministic[a] &&
+          rng.NextBernoulli(params.within_species_noise)) {
+        value = static_cast<std::size_t>(rng.NextBelow(domain_size[a]));
+      }
+      items.push_back(first_item[a] + static_cast<Item>(value));
+    }
+    db.Add(Itemset(std::move(items)));
+  }
+  return db;
+}
+
+}  // namespace pfci

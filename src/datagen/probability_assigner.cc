@@ -1,0 +1,31 @@
+#include "src/datagen/probability_assigner.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace pfci {
+
+UncertainDatabase AssignGaussianProbabilities(
+    const TransactionDatabase& exact, const GaussianAssignerParams& params) {
+  PFCI_CHECK(params.min_prob > 0.0 && params.min_prob <= 1.0);
+  Rng rng(params.seed);
+  UncertainDatabase db;
+  for (const Itemset& t : exact.transactions()) {
+    const double drawn = rng.NextGaussian(params.mean, params.spread);
+    const double prob = std::clamp(drawn, params.min_prob, 1.0);
+    db.Add(t, prob);
+  }
+  return db;
+}
+
+UncertainDatabase AssignUniformProbability(const TransactionDatabase& exact,
+                                           double prob) {
+  PFCI_CHECK(prob > 0.0 && prob <= 1.0);
+  UncertainDatabase db;
+  for (const Itemset& t : exact.transactions()) db.Add(t, prob);
+  return db;
+}
+
+}  // namespace pfci

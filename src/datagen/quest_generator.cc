@@ -1,0 +1,122 @@
+#include "src/datagen/quest_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace pfci {
+
+namespace {
+
+/// One potential maximal pattern with its selection weight and corruption.
+struct PotentialPattern {
+  std::vector<Item> items;  ///< Sorted.
+  double weight = 0.0;
+  double corruption = 0.0;  ///< Probability of dropping each item.
+};
+
+std::vector<PotentialPattern> BuildPatternPool(const QuestParams& params,
+                                               Rng& rng) {
+  std::vector<PotentialPattern> pool;
+  pool.reserve(params.num_patterns);
+  std::vector<Item> previous;
+  for (std::size_t p = 0; p < params.num_patterns; ++p) {
+    PotentialPattern pattern;
+    // Pattern length ~ Poisson(I), at least 1, at most N.
+    std::size_t length = static_cast<std::size_t>(
+        std::max(1, rng.NextPoisson(params.avg_pattern_length)));
+    length = std::min(length, params.num_items);
+
+    // A `correlation` fraction of items is borrowed from the previous
+    // pattern; the rest is drawn uniformly.
+    std::vector<Item> items;
+    if (!previous.empty()) {
+      std::vector<Item> shuffled = previous;
+      rng.Shuffle(shuffled);
+      const std::size_t reuse = std::min<std::size_t>(
+          shuffled.size(),
+          static_cast<std::size_t>(std::lround(params.correlation *
+                                               static_cast<double>(length))));
+      items.assign(shuffled.begin(), shuffled.begin() + reuse);
+    }
+    while (items.size() < length) {
+      const Item candidate =
+          static_cast<Item>(rng.NextBelow(params.num_items));
+      if (std::find(items.begin(), items.end(), candidate) == items.end()) {
+        items.push_back(candidate);
+      }
+    }
+    std::sort(items.begin(), items.end());
+    previous = items;
+
+    pattern.items = std::move(items);
+    // Exponentially distributed weights, normalized later by NextWeighted.
+    pattern.weight = rng.NextExponential(1.0);
+    pattern.corruption = std::clamp(
+        rng.NextGaussian(params.corruption_mean, params.corruption_stddev),
+        0.0, 0.95);
+    pool.push_back(std::move(pattern));
+  }
+  return pool;
+}
+
+}  // namespace
+
+TransactionDatabase GenerateQuest(const QuestParams& params) {
+  PFCI_CHECK(params.num_items >= 1);
+  PFCI_CHECK(params.num_patterns >= 1);
+  PFCI_CHECK(params.avg_transaction_length >= 1.0);
+  Rng rng(params.seed);
+
+  const std::vector<PotentialPattern> pool = BuildPatternPool(params, rng);
+  std::vector<double> weights;
+  weights.reserve(pool.size());
+  for (const auto& pattern : pool) weights.push_back(pattern.weight);
+
+  TransactionDatabase db;
+  for (std::size_t t = 0; t < params.num_transactions; ++t) {
+    // Transaction size ~ Poisson(T), at least 1, capped by N.
+    std::size_t target = static_cast<std::size_t>(
+        std::max(1, rng.NextPoisson(params.avg_transaction_length)));
+    target = std::min(target, params.num_items);
+
+    std::vector<Item> items;
+    // Keep adding (corrupted) patterns until the target size is reached;
+    // a pattern overshooting the target by more than half is put back
+    // (classic Quest rule), but always accept when the basket is empty to
+    // guarantee progress.
+    int attempts = 0;
+    while (items.size() < target && attempts < 64) {
+      ++attempts;
+      const PotentialPattern& pattern = pool[rng.NextWeighted(weights)];
+      std::vector<Item> kept;
+      for (Item item : pattern.items) {
+        if (!rng.NextBernoulli(pattern.corruption)) kept.push_back(item);
+      }
+      if (kept.empty()) continue;
+      // Count genuinely new items.
+      std::size_t novel = 0;
+      for (Item item : kept) {
+        if (std::find(items.begin(), items.end(), item) == items.end()) {
+          ++novel;
+        }
+      }
+      const std::size_t projected = items.size() + novel;
+      if (!items.empty() && projected > target + (novel + 1) / 2) continue;
+      for (Item item : kept) {
+        if (std::find(items.begin(), items.end(), item) == items.end()) {
+          items.push_back(item);
+        }
+      }
+    }
+    if (items.empty()) {
+      items.push_back(static_cast<Item>(rng.NextBelow(params.num_items)));
+    }
+    db.Add(Itemset(std::move(items)));
+  }
+  return db;
+}
+
+}  // namespace pfci

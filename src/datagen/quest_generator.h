@@ -1,0 +1,41 @@
+// IBM Quest-style synthetic basket data generator (Agrawal & Srikant).
+//
+// The paper's synthetic dataset T20I10D30KP40 is produced by the IBM
+// dataset generator [5]: T = average transaction length, I = average
+// length of the maximal potential patterns, D = number of transactions,
+// and (per the paper's naming) P40 = 40 distinct items. That tool is not
+// available offline, so this module reimplements the published generative
+// process: a pool of weighted potential maximal itemsets with pairwise
+// correlation, assembled into transactions with per-pattern corruption.
+#ifndef PFCI_DATAGEN_QUEST_GENERATOR_H_
+#define PFCI_DATAGEN_QUEST_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/exact/transaction_database.h"
+
+namespace pfci {
+
+/// Parameters of the Quest generative process.
+struct QuestParams {
+  std::size_t num_transactions = 30000;    ///< D
+  double avg_transaction_length = 20.0;    ///< T
+  double avg_pattern_length = 10.0;        ///< I
+  std::size_t num_items = 40;              ///< N (paper: P40)
+  std::size_t num_patterns = 40;           ///< |L|, pool of potential patterns
+  double correlation = 0.5;                ///< Fraction of items reused from
+                                           ///< the previous pattern.
+  double corruption_mean = 0.5;            ///< Mean per-pattern corruption.
+  double corruption_stddev = 0.1;
+  std::uint64_t seed = 42;
+};
+
+/// Generates an exact transaction database per `params`. Deterministic for
+/// a fixed seed.
+TransactionDatabase GenerateQuest(const QuestParams& params);
+
+}  // namespace pfci
+
+#endif  // PFCI_DATAGEN_QUEST_GENERATOR_H_

@@ -1,0 +1,71 @@
+#include "src/exact/apriori.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace pfci {
+
+std::vector<Itemset> AprioriGenCandidates(
+    const std::vector<Itemset>& frequent_k) {
+  std::vector<Itemset> candidates;
+  for (std::size_t a = 0; a < frequent_k.size(); ++a) {
+    for (std::size_t b = a + 1; b < frequent_k.size(); ++b) {
+      const auto& ia = frequent_k[a].items();
+      const auto& ib = frequent_k[b].items();
+      // Join requires equal (k-1)-prefixes; lists are sorted so the joinable
+      // partners of `a` are contiguous.
+      if (!std::equal(ia.begin(), ia.end() - 1, ib.begin(), ib.end() - 1)) {
+        break;
+      }
+      Itemset candidate = frequent_k[a].WithItem(ib.back());
+      // Downward-closure pruning: all k-subsets must be frequent.
+      bool all_subsets_frequent = true;
+      for (Item drop : candidate.items()) {
+        const Itemset subset = candidate.WithoutItem(drop);
+        if (!std::binary_search(frequent_k.begin(), frequent_k.end(),
+                                subset)) {
+          all_subsets_frequent = false;
+          break;
+        }
+      }
+      if (all_subsets_frequent) candidates.push_back(std::move(candidate));
+    }
+  }
+  return candidates;
+}
+
+std::vector<SupportedItemset> AprioriMine(const TransactionDatabase& db,
+                                          std::size_t min_sup) {
+  PFCI_CHECK(min_sup >= 1);
+  std::vector<SupportedItemset> result;
+
+  // Level 1.
+  std::vector<Itemset> level;
+  for (Item item : db.ItemUniverse()) {
+    const Itemset candidate{item};
+    const std::size_t support = db.Support(candidate);
+    if (support >= min_sup) {
+      result.push_back(SupportedItemset{candidate, support});
+      level.push_back(candidate);
+    }
+  }
+
+  while (!level.empty()) {
+    std::sort(level.begin(), level.end());
+    std::vector<Itemset> next_level;
+    for (const Itemset& candidate : AprioriGenCandidates(level)) {
+      const std::size_t support = db.Support(candidate);
+      if (support >= min_sup) {
+        result.push_back(SupportedItemset{candidate, support});
+        next_level.push_back(candidate);
+      }
+    }
+    level.swap(next_level);
+  }
+
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace pfci

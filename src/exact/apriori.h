@@ -1,0 +1,27 @@
+// Apriori levelwise frequent itemset mining [3].
+//
+// Reference baseline used to cross-validate FP-growth and as the template
+// the probabilistic BFS miners follow.
+#ifndef PFCI_EXACT_APRIORI_H_
+#define PFCI_EXACT_APRIORI_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/exact/transaction_database.h"
+
+namespace pfci {
+
+/// Mines all itemsets with support >= min_sup (min_sup >= 1) by levelwise
+/// candidate generation and returns them sorted.
+std::vector<SupportedItemset> AprioriMine(const TransactionDatabase& db,
+                                          std::size_t min_sup);
+
+/// Generates the (k+1)-candidates from sorted frequent k-itemsets by
+/// prefix join + subset pruning. Exposed for testing.
+std::vector<Itemset> AprioriGenCandidates(
+    const std::vector<Itemset>& frequent_k);
+
+}  // namespace pfci
+
+#endif  // PFCI_EXACT_APRIORI_H_

@@ -1,0 +1,26 @@
+// CHARM-style closed frequent itemset mining (Zaki & Hsiao [29]).
+//
+// A second, independently-implemented closed-itemset algorithm: IT-tree
+// search over (itemset, tidset) pairs with CHARM's four properties
+// (tidset-equality merging) and subsumption checking against a hash of
+// mined closed sets. Exists to cross-validate the LCM-style miner in
+// closed_miner.h — two different algorithms agreeing over randomized
+// inputs is the library's strongest exact-substrate guarantee.
+#ifndef PFCI_EXACT_CHARM_MINER_H_
+#define PFCI_EXACT_CHARM_MINER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/exact/transaction_database.h"
+
+namespace pfci {
+
+/// Mines all closed itemsets with support >= min_sup (min_sup >= 1),
+/// returned sorted. Result is identical to MineClosedItemsets.
+std::vector<SupportedItemset> CharmMineClosedItemsets(
+    const TransactionDatabase& db, std::size_t min_sup);
+
+}  // namespace pfci
+
+#endif  // PFCI_EXACT_CHARM_MINER_H_

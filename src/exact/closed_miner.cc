@@ -1,0 +1,141 @@
+#include "src/exact/closed_miner.h"
+
+#include <algorithm>
+
+#include "src/exact/fp_growth.h"
+#include "src/util/check.h"
+
+namespace pfci {
+
+namespace {
+
+/// Exact-data vertical index: tid-lists over a TransactionDatabase.
+class ExactIndex {
+ public:
+  explicit ExactIndex(const TransactionDatabase& db) : db_(&db) {
+    tids_by_item_.resize(db.MaxItemPlusOne());
+    for (std::size_t tid = 0; tid < db.size(); ++tid) {
+      for (Item item : db.transaction(tid).items()) {
+        tids_by_item_[item].push_back(static_cast<Tid>(tid));
+      }
+    }
+  }
+
+  const std::vector<Tid>& TidsOfItem(Item item) const {
+    return tids_by_item_[item];
+  }
+
+  std::size_t num_items() const { return tids_by_item_.size(); }
+
+  /// Items contained in every transaction of `tids` (tids non-empty).
+  std::vector<Item> ClosureOf(const std::vector<Tid>& tids) const {
+    PFCI_DCHECK(!tids.empty());
+    std::vector<Item> closure(db_->transaction(tids[0]).items().begin(),
+                              db_->transaction(tids[0]).items().end());
+    for (std::size_t i = 1; i < tids.size() && !closure.empty(); ++i) {
+      const auto& t = db_->transaction(tids[i]).items();
+      std::vector<Item> next;
+      next.reserve(closure.size());
+      std::set_intersection(closure.begin(), closure.end(), t.begin(),
+                            t.end(), std::back_inserter(next));
+      closure.swap(next);
+    }
+    return closure;
+  }
+
+ private:
+  const TransactionDatabase* db_;
+  std::vector<std::vector<Tid>> tids_by_item_;
+};
+
+std::vector<Tid> Intersect(const std::vector<Tid>& a,
+                           const std::vector<Tid>& b) {
+  std::vector<Tid> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// DFS over prefix-preserving closure extensions.
+///
+/// `closure` is the (sorted) closed itemset at this node, `tids` its
+/// tid-list, and `core` the extension item that produced it (items <= core
+/// may not newly appear in a child closure outside the current closure).
+void Dfs(const ExactIndex& index, std::size_t min_sup,
+         const std::vector<Item>& closure, const std::vector<Tid>& tids,
+         long core,
+         const std::function<void(const Itemset&, std::size_t)>& emit) {
+  if (!closure.empty()) emit(Itemset(closure), tids.size());
+
+  for (Item j = static_cast<Item>(core + 1); j < index.num_items(); ++j) {
+    if (std::binary_search(closure.begin(), closure.end(), j)) continue;
+    std::vector<Tid> child_tids = Intersect(tids, index.TidsOfItem(j));
+    if (child_tids.size() < min_sup || child_tids.empty()) continue;
+    std::vector<Item> child_closure = index.ClosureOf(child_tids);
+    // Prefix-preservation test: the child closure must not introduce an
+    // item smaller than j outside the parent closure, otherwise this
+    // closed set is reachable (and emitted) from another branch.
+    bool duplicate = false;
+    for (Item k : child_closure) {
+      if (k >= j) break;
+      if (!std::binary_search(closure.begin(), closure.end(), k)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    Dfs(index, min_sup, child_closure, child_tids, static_cast<long>(j),
+        emit);
+  }
+}
+
+}  // namespace
+
+void MineClosedItemsetsInto(
+    const TransactionDatabase& db, std::size_t min_sup,
+    const std::function<void(const Itemset&, std::size_t)>& emit) {
+  PFCI_CHECK(min_sup >= 1);
+  // No itemset can have support >= min_sup beyond the database size.
+  if (db.empty() || db.size() < min_sup) return;
+  const ExactIndex index(db);
+  std::vector<Tid> all_tids(db.size());
+  for (std::size_t tid = 0; tid < db.size(); ++tid) {
+    all_tids[tid] = static_cast<Tid>(tid);
+  }
+  const std::vector<Item> root_closure = index.ClosureOf(all_tids);
+  Dfs(index, min_sup, root_closure, all_tids, -1, emit);
+}
+
+std::vector<SupportedItemset> MineClosedItemsets(const TransactionDatabase& db,
+                                                 std::size_t min_sup) {
+  std::vector<SupportedItemset> result;
+  MineClosedItemsetsInto(db, min_sup,
+                         [&](const Itemset& itemset, std::size_t support) {
+                           result.push_back(SupportedItemset{itemset, support});
+                         });
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<SupportedItemset> MineClosedItemsetsBruteForce(
+    const TransactionDatabase& db, std::size_t min_sup) {
+  const std::vector<SupportedItemset> frequent =
+      MineFrequentItemsets(db, min_sup);
+  std::vector<SupportedItemset> closed;
+  for (const auto& candidate : frequent) {
+    bool is_closed = true;
+    for (const auto& other : frequent) {
+      if (other.support == candidate.support &&
+          other.items.IsProperSupersetOf(candidate.items)) {
+        is_closed = false;
+        break;
+      }
+    }
+    if (is_closed) closed.push_back(candidate);
+  }
+  std::sort(closed.begin(), closed.end());
+  return closed;
+}
+
+}  // namespace pfci

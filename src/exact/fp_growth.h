@@ -1,0 +1,29 @@
+// FP-growth frequent itemset mining over exact data [13].
+//
+// Used by the compression-quality experiment (Fig. 10: the "FI" series is
+// produced by FP-growth on the deterministic dataset) and by the
+// possible-world oracles.
+#ifndef PFCI_EXACT_FP_GROWTH_H_
+#define PFCI_EXACT_FP_GROWTH_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/exact/transaction_database.h"
+
+namespace pfci {
+
+/// Calls `emit(itemset, support)` once for every (non-empty) itemset with
+/// support >= min_sup. min_sup must be >= 1. Emission order is
+/// unspecified.
+void FpGrowth(const TransactionDatabase& db, std::size_t min_sup,
+              const std::function<void(const Itemset&, std::size_t)>& emit);
+
+/// Convenience wrapper collecting all frequent itemsets, sorted.
+std::vector<SupportedItemset> MineFrequentItemsets(
+    const TransactionDatabase& db, std::size_t min_sup);
+
+}  // namespace pfci
+
+#endif  // PFCI_EXACT_FP_GROWTH_H_

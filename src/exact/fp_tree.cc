@@ -1,0 +1,81 @@
+#include "src/exact/fp_tree.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace pfci {
+
+FpTree::Node* FpTree::Node::FindChild(Item child_item) const {
+  for (const auto& child : children) {
+    if (child->item == child_item) return child.get();
+  }
+  return nullptr;
+}
+
+FpTree::FpTree(const std::vector<WeightedItemList>& rows) {
+  Item max_item_plus_one = 0;
+  for (const auto& row : rows) {
+    for (Item item : row.items) {
+      max_item_plus_one = std::max(max_item_plus_one, item + 1);
+    }
+  }
+  header_slot_.assign(max_item_plus_one, -1);
+  for (const auto& row : rows) {
+    if (!row.items.empty()) Insert(row.items, row.count);
+  }
+}
+
+void FpTree::Insert(const std::vector<Item>& items, std::size_t count) {
+  Node* node = &root_;
+  for (Item item : items) {
+    Node* child = node->FindChild(item);
+    if (child == nullptr) {
+      auto owned = std::make_unique<Node>();
+      child = owned.get();
+      child->item = item;
+      child->parent = node;
+      node->children.push_back(std::move(owned));
+      // Thread the node into the header chain.
+      int slot = header_slot_[item];
+      if (slot < 0) {
+        slot = static_cast<int>(header_.size());
+        header_slot_[item] = slot;
+        header_.push_back(HeaderEntry{item, 0, nullptr});
+      }
+      child->next_same_item = header_[slot].head;
+      header_[slot].head = child;
+    }
+    child->count += count;
+    header_[header_slot_[item]].total_count += count;
+    node = child;
+  }
+}
+
+bool FpTree::IsSinglePath() const {
+  const Node* node = &root_;
+  while (!node->children.empty()) {
+    if (node->children.size() > 1) return false;
+    node = node->children.front().get();
+  }
+  return true;
+}
+
+std::vector<WeightedItemList> FpTree::ConditionalPatternBase(Item item) const {
+  std::vector<WeightedItemList> base;
+  if (item >= header_slot_.size() || header_slot_[item] < 0) return base;
+  for (const Node* node = header_[header_slot_[item]].head; node != nullptr;
+       node = node->next_same_item) {
+    WeightedItemList row;
+    row.count = node->count;
+    for (const Node* up = node->parent; up != nullptr && up->parent != nullptr;
+         up = up->parent) {
+      row.items.push_back(up->item);
+    }
+    std::reverse(row.items.begin(), row.items.end());
+    if (!row.items.empty()) base.push_back(std::move(row));
+  }
+  return base;
+}
+
+}  // namespace pfci

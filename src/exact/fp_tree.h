@@ -1,0 +1,72 @@
+// FP-tree: the prefix-tree structure behind FP-growth [13].
+#ifndef PFCI_EXACT_FP_TREE_H_
+#define PFCI_EXACT_FP_TREE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/data/item.h"
+
+namespace pfci {
+
+/// A transaction (already filtered and ordered) with a multiplicity,
+/// as inserted into an FP-tree. Conditional pattern bases are weighted,
+/// hence the count.
+struct WeightedItemList {
+  std::vector<Item> items;  ///< In tree insertion order.
+  std::size_t count = 1;
+};
+
+/// Prefix tree with per-item node links and a header table.
+class FpTree {
+ public:
+  struct Node {
+    Item item = 0;
+    std::size_t count = 0;
+    Node* parent = nullptr;
+    Node* next_same_item = nullptr;  ///< Node-link chain.
+    std::vector<std::unique_ptr<Node>> children;
+
+    Node* FindChild(Item child_item) const;
+  };
+
+  /// Header entry: an item, its total count in the tree, and the head of
+  /// its node-link chain.
+  struct HeaderEntry {
+    Item item = 0;
+    std::size_t total_count = 0;
+    Node* head = nullptr;
+  };
+
+  /// Builds the tree from weighted item lists. Items inside each list must
+  /// already be ordered consistently (the caller orders by descending
+  /// global frequency, the classic FP-growth heuristic).
+  explicit FpTree(const std::vector<WeightedItemList>& rows);
+
+  const Node* root() const { return &root_; }
+
+  /// Header entries present in this tree, in insertion order of the item
+  /// ordering used by the caller (ascending item-rank).
+  const std::vector<HeaderEntry>& header() const { return header_; }
+
+  /// Whether the tree consists of a single path (enables the FP-growth
+  /// single-path shortcut).
+  bool IsSinglePath() const;
+
+  /// The conditional pattern base of `item`: for every node carrying the
+  /// item, the path from its parent up to the root (reversed into root-
+  /// first order) weighted by the node count.
+  std::vector<WeightedItemList> ConditionalPatternBase(Item item) const;
+
+ private:
+  void Insert(const std::vector<Item>& items, std::size_t count);
+
+  Node root_;
+  std::vector<HeaderEntry> header_;
+  std::vector<int> header_slot_;  ///< item -> index into header_, or -1.
+};
+
+}  // namespace pfci
+
+#endif  // PFCI_EXACT_FP_TREE_H_

@@ -1,0 +1,90 @@
+#include "src/harness/dataset_factory.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/datagen/mushroom_generator.h"
+#include "src/datagen/probability_assigner.h"
+#include "src/datagen/quest_generator.h"
+#include "src/util/check.h"
+
+namespace pfci {
+
+BenchScale ScaleFromEnv() {
+  const char* value = std::getenv("PFCI_BENCH_SCALE");
+  if (value != nullptr && std::strcmp(value, "full") == 0) {
+    return BenchScale::kFull;
+  }
+  return BenchScale::kQuick;
+}
+
+const char* ScaleName(BenchScale scale) {
+  return scale == BenchScale::kFull ? "full" : "quick";
+}
+
+UncertainDatabase MakePaperExampleDb() {
+  UncertainDatabase db;
+  db.Add(Itemset{0, 1, 2, 3}, 0.9);  // T1 a b c d
+  db.Add(Itemset{0, 1, 2}, 0.6);     // T2 a b c
+  db.Add(Itemset{0, 1, 2}, 0.7);     // T3 a b c
+  db.Add(Itemset{0, 1, 2, 3}, 0.9);  // T4 a b c d
+  return db;
+}
+
+UncertainDatabase MakeTable4Db() {
+  UncertainDatabase db = MakePaperExampleDb();
+  db.Add(Itemset{0, 1}, 0.4);  // T5 a b
+  db.Add(Itemset{0}, 0.4);     // T6 a
+  return db;
+}
+
+TransactionDatabase MakeExactMushroom(BenchScale scale) {
+  MushroomParams params;
+  if (scale == BenchScale::kQuick) {
+    params.num_transactions = 2000;
+    params.num_attributes = 14;
+    params.values_per_attribute = 4;
+    params.num_species = 10;
+  }
+  return GenerateMushroomLike(params);
+}
+
+TransactionDatabase MakeExactQuest(BenchScale scale) {
+  QuestParams params;  // Defaults are the paper's T20I10D30KP40.
+  if (scale == BenchScale::kQuick) {
+    params.num_transactions = 3000;
+    params.avg_transaction_length = 10.0;
+    params.avg_pattern_length = 5.0;
+    params.num_items = 30;
+    params.num_patterns = 30;
+  }
+  return GenerateQuest(params);
+}
+
+UncertainDatabase MakeUncertainMushroom(BenchScale scale, double mean,
+                                        double spread) {
+  GaussianAssignerParams params;
+  params.mean = mean;
+  params.spread = spread;
+  params.seed = 101;
+  return AssignGaussianProbabilities(MakeExactMushroom(scale), params);
+}
+
+UncertainDatabase MakeUncertainQuest(BenchScale scale, double mean,
+                                     double spread) {
+  GaussianAssignerParams params;
+  params.mean = mean;
+  params.spread = spread;
+  params.seed = 202;
+  return AssignGaussianProbabilities(MakeExactQuest(scale), params);
+}
+
+std::size_t AbsoluteMinSup(std::size_t num_transactions, double relative) {
+  PFCI_CHECK(relative > 0.0 && relative <= 1.0);
+  const std::size_t abs = static_cast<std::size_t>(
+      std::ceil(relative * static_cast<double>(num_transactions)));
+  return abs < 1 ? 1 : abs;
+}
+
+}  // namespace pfci

@@ -1,0 +1,53 @@
+// Canonical datasets of the paper's experimental section.
+#ifndef PFCI_HARNESS_DATASET_FACTORY_H_
+#define PFCI_HARNESS_DATASET_FACTORY_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/data/uncertain_database.h"
+#include "src/exact/transaction_database.h"
+
+namespace pfci {
+
+/// Bench scale: `kQuick` (default) shrinks the datasets so every figure
+/// binary finishes in seconds on a laptop; `kFull` matches the paper's
+/// dataset sizes (Table VIII). Selected via PFCI_BENCH_SCALE=quick|full.
+enum class BenchScale { kQuick, kFull };
+
+/// Reads PFCI_BENCH_SCALE from the environment (default kQuick).
+BenchScale ScaleFromEnv();
+
+const char* ScaleName(BenchScale scale);
+
+/// The paper's running example (Table II): T1 abcd .9, T2 abc .6,
+/// T3 abc .7, T4 abcd .9 with items a..d = 0..3.
+UncertainDatabase MakePaperExampleDb();
+
+/// The extended example of Sec. II (Table IV): Table II plus
+/// T5 ab .4 and T6 a .4.
+UncertainDatabase MakeTable4Db();
+
+/// Mushroom-shaped exact dataset (substitute for UCI Mushroom, see
+/// DESIGN.md §3) at the requested scale.
+TransactionDatabase MakeExactMushroom(BenchScale scale);
+
+/// Quest-generated exact dataset shaped like T20I10D30KP40.
+TransactionDatabase MakeExactQuest(BenchScale scale);
+
+/// Uncertain Mushroom with Gaussian probabilities (paper default:
+/// mean 0.5, spread 0.25).
+UncertainDatabase MakeUncertainMushroom(BenchScale scale, double mean = 0.5,
+                                        double spread = 0.25);
+
+/// Uncertain Quest dataset (paper default: mean 0.8, spread 0.1).
+UncertainDatabase MakeUncertainQuest(BenchScale scale, double mean = 0.8,
+                                     double spread = 0.1);
+
+/// Absolute support threshold from a relative one (fraction of |db|),
+/// at least 1.
+std::size_t AbsoluteMinSup(std::size_t num_transactions, double relative);
+
+}  // namespace pfci
+
+#endif  // PFCI_HARNESS_DATASET_FACTORY_H_

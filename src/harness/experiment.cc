@@ -1,0 +1,69 @@
+#include "src/harness/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/stopwatch.h"
+
+namespace pfci {
+
+double TimeRun(const std::function<void()>& fn) {
+  Stopwatch timer;
+  fn();
+  return timer.ElapsedSeconds();
+}
+
+namespace {
+
+std::size_t IntersectionSize(std::vector<Itemset> a, std::vector<Itemset> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::size_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+double ResultPrecision(const std::vector<Itemset>& found,
+                       const std::vector<Itemset>& truth) {
+  if (found.empty()) return 1.0;
+  return static_cast<double>(IntersectionSize(found, truth)) /
+         static_cast<double>(found.size());
+}
+
+double ResultRecall(const std::vector<Itemset>& found,
+                    const std::vector<Itemset>& truth) {
+  if (truth.empty()) return 1.0;
+  return static_cast<double>(IntersectionSize(found, truth)) /
+         static_cast<double>(truth.size());
+}
+
+std::vector<Itemset> ItemsetsOf(const MiningResult& result) {
+  std::vector<Itemset> itemsets;
+  itemsets.reserve(result.itemsets.size());
+  for (const PfciEntry& entry : result.itemsets) {
+    itemsets.push_back(entry.items);
+  }
+  return itemsets;
+}
+
+void PrintBanner(const std::string& figure, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace pfci

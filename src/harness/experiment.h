@@ -1,0 +1,33 @@
+// Small helpers shared by the figure-regeneration binaries.
+#ifndef PFCI_HARNESS_EXPERIMENT_H_
+#define PFCI_HARNESS_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/mining_result.h"
+
+namespace pfci {
+
+/// Wall-clock time of one invocation of `fn`, in seconds.
+double TimeRun(const std::function<void()>& fn);
+
+/// Precision |FR ∩ TI| / |FR| of a result set against ground truth
+/// (paper Sec. V.C); 1 when FR is empty.
+double ResultPrecision(const std::vector<Itemset>& found,
+                       const std::vector<Itemset>& truth);
+
+/// Recall |FR ∩ TI| / |TI|; 1 when TI is empty.
+double ResultRecall(const std::vector<Itemset>& found,
+                    const std::vector<Itemset>& truth);
+
+/// Extracts the itemsets of a mining result.
+std::vector<Itemset> ItemsetsOf(const MiningResult& result);
+
+/// Prints a standard experiment banner (figure id, dataset, scale).
+void PrintBanner(const std::string& figure, const std::string& description);
+
+}  // namespace pfci
+
+#endif  // PFCI_HARNESS_EXPERIMENT_H_

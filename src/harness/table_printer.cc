@@ -1,0 +1,54 @@
+#include "src/harness/table_printer.h"
+
+#include <algorithm>
+
+namespace pfci {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Render() const {
+  // Column widths over header + rows.
+  std::size_t num_columns = header_.size();
+  for (const auto& row : rows_) {
+    num_columns = std::max(num_columns, row.size());
+  }
+  std::vector<std::size_t> width(num_columns, 0);
+  const auto account = [&width](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  account(header_);
+  for (const auto& row : rows_) account(row);
+
+  std::string out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(width[c] - row[c].size(), ' ');
+      }
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < num_columns; ++c) {
+      total += width[c] + (c > 0 ? 2 : 0);
+    }
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+}  // namespace pfci

@@ -1,0 +1,33 @@
+// Fixed-width table rendering for bench output.
+#ifndef PFCI_HARNESS_TABLE_PRINTER_H_
+#define PFCI_HARNESS_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace pfci {
+
+/// Collects rows of cells and renders them column-aligned, mirroring the
+/// row/series layout of the paper's tables and figures.
+class TablePrinter {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row (may have fewer cells than the header).
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with two-space column gaps and a separator line
+  /// under the header.
+  std::string Render() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pfci
+
+#endif  // PFCI_HARNESS_TABLE_PRINTER_H_

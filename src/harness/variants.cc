@@ -1,0 +1,89 @@
+#include "src/harness/variants.h"
+
+#include "src/core/bfs_miner.h"
+#include "src/core/mpfci_miner.h"
+#include "src/core/naive_miner.h"
+
+namespace pfci {
+
+const char* VariantName(AlgorithmVariant variant) {
+  switch (variant) {
+    case AlgorithmVariant::kMpfci:
+      return "MPFCI";
+    case AlgorithmVariant::kNoCh:
+      return "MPFCI-NoCH";
+    case AlgorithmVariant::kNoSuper:
+      return "MPFCI-NoSuper";
+    case AlgorithmVariant::kNoSub:
+      return "MPFCI-NoSub";
+    case AlgorithmVariant::kNoBound:
+      return "MPFCI-NoBound";
+    case AlgorithmVariant::kBfs:
+      return "MPFCI-BFS";
+    case AlgorithmVariant::kNaive:
+      return "Naive";
+  }
+  return "unknown";
+}
+
+std::vector<AlgorithmVariant> PruningVariants() {
+  return {AlgorithmVariant::kMpfci, AlgorithmVariant::kNoCh,
+          AlgorithmVariant::kNoSuper, AlgorithmVariant::kNoSub,
+          AlgorithmVariant::kNoBound};
+}
+
+MiningParams ApplyVariant(AlgorithmVariant variant, MiningParams params) {
+  switch (variant) {
+    case AlgorithmVariant::kMpfci:
+      break;
+    case AlgorithmVariant::kNoCh:
+      params.pruning.chernoff = false;
+      break;
+    case AlgorithmVariant::kNoSuper:
+      params.pruning.superset = false;
+      break;
+    case AlgorithmVariant::kNoSub:
+      params.pruning.subset = false;
+      break;
+    case AlgorithmVariant::kNoBound:
+      params.pruning.fcp_bounds = false;
+      break;
+    case AlgorithmVariant::kBfs:
+      // BFS cannot use superset/subset pruning (Table VII).
+      params.pruning.superset = false;
+      params.pruning.subset = false;
+      break;
+    case AlgorithmVariant::kNaive:
+      params.pruning.superset = false;
+      params.pruning.subset = false;
+      params.pruning.fcp_bounds = false;
+      break;
+  }
+  return params;
+}
+
+MiningResult RunVariant(AlgorithmVariant variant, const UncertainDatabase& db,
+                        const MiningParams& params) {
+  const MiningParams applied = ApplyVariant(variant, params);
+  switch (variant) {
+    case AlgorithmVariant::kBfs:
+      return MineMpfciBfs(db, applied);
+    case AlgorithmVariant::kNaive:
+      return MineNaive(db, applied);
+    default:
+      return MineMpfci(db, applied);
+  }
+}
+
+std::string VariantFeatureTable() {
+  return
+      "Algorithm      CH  Super  Sub  PB  Framework\n"
+      "MPFCI          y   y      y    y   DFS\n"
+      "MPFCI-NoCH     -   y      y    y   DFS\n"
+      "MPFCI-NoBound  y   y      y    -   DFS\n"
+      "MPFCI-NoSuper  y   -      y    y   DFS\n"
+      "MPFCI-NoSub    y   y      -    y   DFS\n"
+      "MPFCI-BFS      y   -      -    y   BFS\n";
+}
+
+}  // namespace pfci

@@ -1,0 +1,43 @@
+// The algorithm variants of the paper's Table VII.
+#ifndef PFCI_HARNESS_VARIANTS_H_
+#define PFCI_HARNESS_VARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/mining_params.h"
+#include "src/core/mining_result.h"
+#include "src/data/uncertain_database.h"
+
+namespace pfci {
+
+/// Every algorithm configuration evaluated in the paper.
+enum class AlgorithmVariant {
+  kMpfci,    ///< All prunings, DFS.
+  kNoCh,     ///< Without Chernoff-Hoeffding pruning.
+  kNoSuper,  ///< Without superset pruning.
+  kNoSub,    ///< Without subset pruning.
+  kNoBound,  ///< Without the Lemma 4.4 probability bounds.
+  kBfs,      ///< Breadth-first framework (CH + bounds only).
+  kNaive,    ///< PFI mining + per-itemset ApproxFCP.
+};
+
+/// Display name ("MPFCI", "MPFCI-NoCH", ...).
+const char* VariantName(AlgorithmVariant variant);
+
+/// The five DFS pruning variants of Fig. 6-9.
+std::vector<AlgorithmVariant> PruningVariants();
+
+/// Applies the variant's toggles to a base parameter set.
+MiningParams ApplyVariant(AlgorithmVariant variant, MiningParams params);
+
+/// Runs the variant (dispatching to the DFS, BFS, or naive miner).
+MiningResult RunVariant(AlgorithmVariant variant, const UncertainDatabase& db,
+                        const MiningParams& params);
+
+/// Renders the Table VII feature matrix.
+std::string VariantFeatureTable();
+
+}  // namespace pfci
+
+#endif  // PFCI_HARNESS_VARIANTS_H_

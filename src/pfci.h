@@ -1,0 +1,69 @@
+// Umbrella header for the pfci library.
+//
+// pfci reproduces "Discovering Threshold-based Frequent Closed Itemsets
+// over Probabilistic Data" (Tong, Chen, Ding — ICDE 2012). A transaction
+// database under the tuple-uncertainty model encodes 2^n possible worlds;
+// the library mines the itemsets whose probability of being a *frequent
+// closed* itemset across those worlds exceeds a threshold, a #P-hard
+// quantity tamed by pruning, analytic bounds and an FPRAS sampler.
+//
+// Typical usage:
+//
+//   #include "src/pfci.h"
+//
+//   pfci::UncertainDatabase db;
+//   db.Add(pfci::Itemset{0, 1, 2}, 0.9);   // tuple exists w.p. 0.9
+//   ...
+//   pfci::MiningParams params;
+//   params.min_sup = 2;
+//   params.pfct = 0.8;
+//   pfci::MiningResult result = pfci::MineMpfci(db, params);
+//
+// Entry points by task:
+//  * Mining:     MineMpfci (DFS, recommended), MineMpfciBfs, MineNaive,
+//                MineTopKPfci, MinePfi / MinePfiApproximate,
+//                MineExpectedSupport, MinePsupClosed.
+//  * Per-itemset probabilities: FcpEngine, FrequentProbability,
+//                ExactClosedProbability / ApproxClosedProbability.
+//  * Oracles:    BruteForceItemsetProbabilities, BruteForceMinePfci
+//                (possible-world enumeration, small inputs).
+//  * Exact data: FpGrowth, MineClosedItemsets, CharmMineClosedItemsets,
+//                AprioriMine.
+//  * Data:       GenerateQuest, GenerateMushroomLike,
+//                AssignGaussianProbabilities, Load/SaveUncertainDatabase.
+#ifndef PFCI_PFCI_H_
+#define PFCI_PFCI_H_
+
+#include "src/core/bfs_miner.h"
+#include "src/core/brute_force.h"
+#include "src/core/closed_probability.h"
+#include "src/core/expected_support_miner.h"
+#include "src/core/fcp_engine.h"
+#include "src/core/item_uncertain_miners.h"
+#include "src/core/mdnf_reduction.h"
+#include "src/core/mining_params.h"
+#include "src/core/mining_result.h"
+#include "src/core/mpfci_miner.h"
+#include "src/core/naive_miner.h"
+#include "src/core/pfi_miner.h"
+#include "src/core/probabilistic_support.h"
+#include "src/core/stream_miner.h"
+#include "src/core/topk_miner.h"
+#include "src/data/database_io.h"
+#include "src/data/database_stats.h"
+#include "src/data/item_uncertain_database.h"
+#include "src/data/itemset.h"
+#include "src/data/possible_world.h"
+#include "src/data/uncertain_database.h"
+#include "src/data/vertical_index.h"
+#include "src/data/world_enumerator.h"
+#include "src/datagen/mushroom_generator.h"
+#include "src/datagen/probability_assigner.h"
+#include "src/datagen/quest_generator.h"
+#include "src/exact/apriori.h"
+#include "src/exact/charm_miner.h"
+#include "src/exact/closed_miner.h"
+#include "src/exact/fp_growth.h"
+#include "src/exact/transaction_database.h"
+
+#endif  // PFCI_PFCI_H_

@@ -1,0 +1,49 @@
+#include "src/prob/conditional_sampler.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace pfci {
+
+ConditionalBernoulliSampler::ConditionalBernoulliSampler(
+    std::vector<double> probs, std::size_t min_sum)
+    : probs_(std::move(probs)),
+      min_sum_(min_sum),
+      stride_(min_sum + 1),
+      tail_((probs_.size() + 1) * (min_sum + 1), 0.0) {
+  const std::size_t n = probs_.size();
+  // Base case: with no variables left, the residual requirement must be 0.
+  tail_[n * stride_ + 0] = 1.0;
+  for (std::size_t i = n; i-- > 0;) {
+    const double p = probs_[i];
+    PFCI_DCHECK(p >= 0.0 && p <= 1.0);
+    for (std::size_t d = 0; d <= min_sum_; ++d) {
+      const std::size_t d_minus = d > 0 ? d - 1 : 0;
+      tail_[i * stride_ + d] = p * Tail(i + 1, d_minus) +
+                               (1.0 - p) * Tail(i + 1, d);
+    }
+  }
+  condition_probability_ = Tail(0, min_sum_);
+}
+
+void ConditionalBernoulliSampler::Sample(Rng& rng,
+                                         std::vector<std::uint8_t>* out) const {
+  PFCI_CHECK(Feasible());
+  const std::size_t n = probs_.size();
+  out->assign(n, 0);
+  std::size_t deficit = min_sum_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t d_minus = deficit > 0 ? deficit - 1 : 0;
+    const double denom = Tail(i, deficit);
+    PFCI_DCHECK(denom > 0.0);
+    const double pr_one = probs_[i] * Tail(i + 1, d_minus) / denom;
+    if (rng.NextBernoulli(pr_one)) {
+      (*out)[i] = 1;
+      deficit = d_minus;
+    }
+  }
+  PFCI_DCHECK(deficit == 0);
+}
+
+}  // namespace pfci

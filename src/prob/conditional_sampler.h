@@ -1,0 +1,55 @@
+// Sampling a Bernoulli vector conditioned on its sum reaching a threshold.
+//
+// The paper's ApproxFCP sampler (Sec. IV.B.4) must draw a possible world
+// that satisfies an event C_i, i.e. the transactions of Tids(X + e_i) must
+// be present at least min_sup times. That is exactly sampling independent
+// Bernoulli indicators conditioned on {sum >= min_sup}, which this class
+// performs exactly via a backward tail table and a forward sequential scan.
+#ifndef PFCI_PROB_CONDITIONAL_SAMPLER_H_
+#define PFCI_PROB_CONDITIONAL_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace pfci {
+
+/// Exact sampler for (X_1..X_n) ~ independent Bernoulli(p_i) conditioned on
+/// sum X_i >= min_sum.
+///
+/// Construction costs O(n * min_sum) time and space; each Sample() costs
+/// O(n) time. The distribution is exact (no rejection).
+class ConditionalBernoulliSampler {
+ public:
+  /// Builds the tail table. `min_sum` may be 0 (unconditional sampling).
+  ConditionalBernoulliSampler(std::vector<double> probs, std::size_t min_sum);
+
+  /// Pr{sum >= min_sum} under the unconditioned product measure. If this is
+  /// 0 the condition is unsatisfiable and Sample() must not be called.
+  double condition_probability() const { return condition_probability_; }
+
+  /// Whether the conditioning event has positive probability.
+  bool Feasible() const { return condition_probability_ > 0.0; }
+
+  /// Draws one vector into `out` (resized to n; out[i] in {0,1}).
+  void Sample(Rng& rng, std::vector<std::uint8_t>* out) const;
+
+  std::size_t size() const { return probs_.size(); }
+
+ private:
+  // tail_[i * stride_ + d] = Pr{ sum of X_i..X_{n-1} >= d }, d <= min_sum.
+  double Tail(std::size_t i, std::size_t d) const {
+    return tail_[i * stride_ + d];
+  }
+
+  std::vector<double> probs_;
+  std::size_t min_sum_;
+  std::size_t stride_;
+  std::vector<double> tail_;
+  double condition_probability_;
+};
+
+}  // namespace pfci
+
+#endif  // PFCI_PROB_CONDITIONAL_SAMPLER_H_

@@ -1,0 +1,30 @@
+#include "src/prob/inclusion_exclusion.h"
+
+#include <bit>
+#include <cstdint>
+
+#include "src/util/check.h"
+
+namespace pfci {
+
+double UnionByInclusionExclusion(
+    std::size_t m,
+    const std::function<double(const std::vector<std::size_t>&)>&
+        intersection_prob) {
+  PFCI_CHECK(m <= kMaxInclusionExclusionEvents);
+  if (m == 0) return 0.0;
+  double total = 0.0;
+  std::vector<std::size_t> subset;
+  const std::uint64_t limit = std::uint64_t{1} << m;
+  for (std::uint64_t mask = 1; mask < limit; ++mask) {
+    subset.clear();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (mask & (std::uint64_t{1} << i)) subset.push_back(i);
+    }
+    const double term = intersection_prob(subset);
+    total += (std::popcount(mask) % 2 == 1) ? term : -term;
+  }
+  return total;
+}
+
+}  // namespace pfci

@@ -1,0 +1,31 @@
+// Exact union probability via the inclusion-exclusion principle.
+//
+// Sec. IV.B.1 of the paper expresses the frequent non-closed probability
+// as Pr(C_1 ∪ ... ∪ C_m) and expands it by inclusion-exclusion; the
+// callback supplies Pr(∩_{i in S} C_i) for each non-empty subset S.
+// Exponential in m — use only for small m (the core caps it at
+// `exact_event_limit`) and as a test oracle.
+#ifndef PFCI_PROB_INCLUSION_EXCLUSION_H_
+#define PFCI_PROB_INCLUSION_EXCLUSION_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace pfci {
+
+/// Maximum number of events accepted by UnionByInclusionExclusion.
+inline constexpr std::size_t kMaxInclusionExclusionEvents = 25;
+
+/// Computes Pr(∪_{i<m} C_i) = Σ_{∅≠S} (-1)^{|S|+1} Pr(∩_{i∈S} C_i).
+///
+/// `intersection_prob` receives the sorted member indices of S. m must be
+/// at most kMaxInclusionExclusionEvents (CHECKed).
+double UnionByInclusionExclusion(
+    std::size_t m,
+    const std::function<double(const std::vector<std::size_t>&)>&
+        intersection_prob);
+
+}  // namespace pfci
+
+#endif  // PFCI_PROB_INCLUSION_EXCLUSION_H_

@@ -1,0 +1,62 @@
+#include "src/prob/poisson_binomial.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace pfci {
+
+std::vector<double> PoissonBinomialPmf(const std::vector<double>& probs) {
+  std::vector<double> pmf(probs.size() + 1, 0.0);
+  pmf[0] = 1.0;
+  std::size_t upper = 0;  // Highest index with possibly non-zero mass.
+  for (double p : probs) {
+    PFCI_DCHECK(p >= 0.0 && p <= 1.0);
+    ++upper;
+    for (std::size_t s = upper; s > 0; --s) {
+      pmf[s] = pmf[s] * (1.0 - p) + pmf[s - 1] * p;
+    }
+    pmf[0] *= (1.0 - p);
+  }
+  return pmf;
+}
+
+double PoissonBinomialTailAtLeast(const std::vector<double>& probs,
+                                  std::size_t threshold) {
+  if (threshold == 0) return 1.0;
+  if (threshold > probs.size()) return 0.0;
+
+  // dp[s] = Pr{partial sum == s} for s < threshold; `reached` absorbs all
+  // probability mass that has attained the threshold.
+  std::vector<double> dp(threshold, 0.0);
+  dp[0] = 1.0;
+  double reached = 0.0;
+  std::size_t upper = 0;  // Highest state index that can currently be live.
+  for (double p : probs) {
+    PFCI_DCHECK(p >= 0.0 && p <= 1.0);
+    // dp[threshold-1] is zero until that state becomes reachable, so the
+    // absorption step is always safe.
+    reached += dp[threshold - 1] * p;
+    const std::size_t top = std::min(upper + 1, threshold - 1);
+    for (std::size_t s = top; s > 0; --s) {
+      dp[s] = dp[s] * (1.0 - p) + dp[s - 1] * p;
+    }
+    dp[0] *= (1.0 - p);
+    upper = top;
+  }
+  return reached;
+}
+
+double PoissonBinomialMean(const std::vector<double>& probs) {
+  double mean = 0.0;
+  for (double p : probs) mean += p;
+  return mean;
+}
+
+double PoissonBinomialVariance(const std::vector<double>& probs) {
+  double var = 0.0;
+  for (double p : probs) var += p * (1.0 - p);
+  return var;
+}
+
+}  // namespace pfci

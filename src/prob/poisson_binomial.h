@@ -1,0 +1,39 @@
+// Poisson-binomial distribution: sum of independent, non-identical
+// Bernoulli variables.
+//
+// Under the tuple-uncertainty model the support of an itemset X is exactly
+// Poisson-binomial over the existence probabilities of the transactions that
+// contain X, so this is the probabilistic core of the whole library
+// (Definition 3.4 of the paper; the DP is the "dynamic programming approach
+// [22]" the paper relies on).
+#ifndef PFCI_PROB_POISSON_BINOMIAL_H_
+#define PFCI_PROB_POISSON_BINOMIAL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pfci {
+
+/// Full probability mass function of sum(Bernoulli(p_i)).
+/// Returns a vector of size n+1 where element s is Pr{sum == s}.
+/// O(n^2) time, O(n) space.
+std::vector<double> PoissonBinomialPmf(const std::vector<double>& probs);
+
+/// Pr{ sum(Bernoulli(p_i)) >= threshold }.
+///
+/// Uses the truncated dynamic program of the paper's frequent-probability
+/// computation: states 0..threshold-1 plus one absorbing "reached threshold"
+/// state, O(n * threshold) time and O(threshold) space. threshold == 0
+/// returns 1 exactly.
+double PoissonBinomialTailAtLeast(const std::vector<double>& probs,
+                                  std::size_t threshold);
+
+/// Expected value of the sum (sum of p_i).
+double PoissonBinomialMean(const std::vector<double>& probs);
+
+/// Variance of the sum (sum of p_i (1 - p_i)).
+double PoissonBinomialVariance(const std::vector<double>& probs);
+
+}  // namespace pfci
+
+#endif  // PFCI_PROB_POISSON_BINOMIAL_H_

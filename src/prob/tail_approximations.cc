@@ -1,0 +1,122 @@
+#include "src/prob/tail_approximations.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/prob/poisson_binomial.h"
+#include "src/util/check.h"
+
+namespace pfci {
+
+double StdNormalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+namespace {
+
+/// Standard normal pdf.
+double StdNormalPdf(double z) {
+  constexpr double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * z * z);
+}
+
+struct Moments {
+  double mu = 0.0;
+  double var = 0.0;
+  double third = 0.0;  ///< Third central moment.
+};
+
+Moments ComputeMoments(const std::vector<double>& probs) {
+  Moments m;
+  for (double p : probs) {
+    PFCI_DCHECK(p >= 0.0 && p <= 1.0);
+    m.mu += p;
+    const double q = 1.0 - p;
+    m.var += p * q;
+    // E[(X - p)^3] for a Bernoulli = p q (1 - 2p); independent summands
+    // add their third central moments.
+    m.third += p * q * (1.0 - 2.0 * p);
+  }
+  return m;
+}
+
+}  // namespace
+
+double NormalTailAtLeast(const std::vector<double>& probs,
+                         std::size_t threshold) {
+  if (threshold == 0) return 1.0;
+  if (threshold > probs.size()) return 0.0;
+  const Moments m = ComputeMoments(probs);
+  if (m.var <= 0.0) {
+    // Degenerate (all p in {0,1}): the sum is deterministic at mu.
+    return m.mu >= static_cast<double>(threshold) ? 1.0 : 0.0;
+  }
+  const double sigma = std::sqrt(m.var);
+  const double z = (static_cast<double>(threshold) - 0.5 - m.mu) / sigma;
+  return std::clamp(1.0 - StdNormalCdf(z), 0.0, 1.0);
+}
+
+double RefinedNormalTailAtLeast(const std::vector<double>& probs,
+                                std::size_t threshold) {
+  if (threshold == 0) return 1.0;
+  if (threshold > probs.size()) return 0.0;
+  const Moments m = ComputeMoments(probs);
+  if (m.var <= 0.0) {
+    return m.mu >= static_cast<double>(threshold) ? 1.0 : 0.0;
+  }
+  const double sigma = std::sqrt(m.var);
+  const double gamma = m.third / (m.var * sigma);  // Skewness.
+  const double z = (static_cast<double>(threshold) - 0.5 - m.mu) / sigma;
+  // First-order Edgeworth expansion:
+  //   Pr{S <= s} ~ Phi(z) + gamma (1 - z^2) phi(z) / 6.
+  const double cdf =
+      StdNormalCdf(z) + gamma * (1.0 - z * z) * StdNormalPdf(z) / 6.0;
+  return std::clamp(1.0 - cdf, 0.0, 1.0);
+}
+
+double PoissonTailAtLeast(const std::vector<double>& probs,
+                          std::size_t threshold) {
+  if (threshold == 0) return 1.0;
+  const double mu = PoissonBinomialMean(probs);
+  if (mu <= 0.0) return 0.0;
+  // Pr{Poisson(mu) >= t} = 1 - sum_{k < t} e^-mu mu^k / k!, evaluated
+  // with a running term to avoid overflow.
+  double term = std::exp(-mu);  // k = 0.
+  double cdf = term;
+  for (std::size_t k = 1; k < threshold; ++k) {
+    term *= mu / static_cast<double>(k);
+    cdf += term;
+  }
+  return std::clamp(1.0 - cdf, 0.0, 1.0);
+}
+
+const char* FrequencyModeName(FrequencyMode mode) {
+  switch (mode) {
+    case FrequencyMode::kExactDp:
+      return "exact-dp";
+    case FrequencyMode::kNormal:
+      return "normal";
+    case FrequencyMode::kRefinedNormal:
+      return "refined-normal";
+    case FrequencyMode::kPoisson:
+      return "poisson";
+  }
+  return "unknown";
+}
+
+double TailAtLeastWithMode(const std::vector<double>& probs,
+                           std::size_t threshold, FrequencyMode mode) {
+  switch (mode) {
+    case FrequencyMode::kExactDp:
+      return PoissonBinomialTailAtLeast(probs, threshold);
+    case FrequencyMode::kNormal:
+      return NormalTailAtLeast(probs, threshold);
+    case FrequencyMode::kRefinedNormal:
+      return RefinedNormalTailAtLeast(probs, threshold);
+    case FrequencyMode::kPoisson:
+      return PoissonTailAtLeast(probs, threshold);
+  }
+  return 0.0;
+}
+
+}  // namespace pfci

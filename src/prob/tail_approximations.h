@@ -1,0 +1,54 @@
+// Fast approximations of the Poisson-binomial upper tail.
+//
+// The paper's related work ([3], Wang et al.) accelerates probabilistic
+// frequent itemset mining by replacing the exact O(n * min_sup) dynamic
+// program with distributional approximations. This module provides the
+// two classical ones — the central-limit (normal) approximation with
+// continuity correction and skew refinement, and Le Cam's Poisson
+// approximation — plus a combined heuristic that picks by regime. They
+// power the approximate PFI mining mode and the frequency-mode ablation
+// bench.
+#ifndef PFCI_PROB_TAIL_APPROXIMATIONS_H_
+#define PFCI_PROB_TAIL_APPROXIMATIONS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pfci {
+
+/// Standard normal CDF.
+double StdNormalCdf(double z);
+
+/// Normal approximation of Pr{S >= threshold} with continuity correction:
+/// 1 - Phi((threshold - 0.5 - mu) / sigma). Exact moments of the
+/// Poisson-binomial are used.
+double NormalTailAtLeast(const std::vector<double>& probs,
+                         std::size_t threshold);
+
+/// Second-order (Cornish-Fisher / Edgeworth) refinement of the normal
+/// approximation using the third central moment (skewness correction).
+double RefinedNormalTailAtLeast(const std::vector<double>& probs,
+                                std::size_t threshold);
+
+/// Le Cam's Poisson approximation: S ~ Poisson(mu), with total-variation
+/// error at most 2 * sum p_i^2. Suited to the sparse/small-p regime.
+double PoissonTailAtLeast(const std::vector<double>& probs,
+                          std::size_t threshold);
+
+/// How a frequency evaluator should compute Poisson-binomial tails.
+enum class FrequencyMode {
+  kExactDp,        ///< The exact dynamic program (default everywhere).
+  kNormal,         ///< Continuity-corrected normal approximation.
+  kRefinedNormal,  ///< Normal + skewness correction.
+  kPoisson,        ///< Le Cam Poisson approximation.
+};
+
+const char* FrequencyModeName(FrequencyMode mode);
+
+/// Dispatches to the requested approximation (or the exact DP).
+double TailAtLeastWithMode(const std::vector<double>& probs,
+                           std::size_t threshold, FrequencyMode mode);
+
+}  // namespace pfci
+
+#endif  // PFCI_PROB_TAIL_APPROXIMATIONS_H_

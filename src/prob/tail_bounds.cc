@@ -1,0 +1,53 @@
+#include "src/prob/tail_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace pfci {
+
+double HoeffdingUpperTail(double mu, std::size_t n, double s) {
+  PFCI_CHECK(mu >= 0.0);
+  if (n == 0) return s <= 0.0 ? 1.0 : 0.0;
+  if (s <= mu) return 1.0;
+  const double t = s - mu;
+  return std::exp(-2.0 * t * t / static_cast<double>(n));
+}
+
+double ChernoffUpperTail(double mu, double s) {
+  if (s <= mu) return 1.0;
+  if (mu == 0.0) return 0.0;  // S == 0 almost surely.
+  const double d = (s - mu) / mu;
+  return std::exp(-d * d * mu / (2.0 + d));
+}
+
+double KlChernoffUpperTail(double mu, std::size_t n, double s) {
+  if (n == 0) return s <= 0.0 ? 1.0 : 0.0;
+  if (s <= mu) return 1.0;
+  if (s > static_cast<double>(n)) return 0.0;
+  const double q = mu / static_cast<double>(n);
+  const double a = s / static_cast<double>(n);
+  if (q == 0.0) return 0.0;
+  // KL(a || q) = a ln(a/q) + (1-a) ln((1-a)/(1-q)), with the a == 1 edge
+  // handled by dropping the vanishing second term.
+  double kl = a * std::log(a / q);
+  if (a < 1.0) kl += (1.0 - a) * std::log((1.0 - a) / (1.0 - q));
+  return std::exp(-static_cast<double>(n) * kl);
+}
+
+double BestUpperTailBound(double mu, std::size_t n, double s) {
+  const double bound = std::min({HoeffdingUpperTail(mu, n, s),
+                                 ChernoffUpperTail(mu, s),
+                                 KlChernoffUpperTail(mu, n, s)});
+  return std::clamp(bound, 0.0, 1.0);
+}
+
+double ChernoffLowerTail(double mu, double s) {
+  if (s >= mu) return 1.0;
+  if (mu == 0.0) return 1.0;
+  const double d = (mu - s) / mu;
+  return std::exp(-d * d * mu / 2.0);
+}
+
+}  // namespace pfci

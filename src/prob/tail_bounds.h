@@ -1,0 +1,37 @@
+// Chernoff / Hoeffding tail bounds for Poisson-binomial sums.
+//
+// These power the paper's Lemma 4.1 (Chernoff-Hoeffding bound-based
+// pruning): an itemset is provably probabilistically infrequent when an
+// upper bound on Pr{support >= min_sup} already falls at or below pfct,
+// without running the exact O(n * min_sup) dynamic program.
+#ifndef PFCI_PROB_TAIL_BOUNDS_H_
+#define PFCI_PROB_TAIL_BOUNDS_H_
+
+#include <cstddef>
+
+namespace pfci {
+
+/// Hoeffding's additive bound: Pr{S >= s} <= exp(-2 (s - mu)^2 / n)
+/// for s > mu; returns 1 otherwise. `n` is the number of Bernoulli terms.
+double HoeffdingUpperTail(double mu, std::size_t n, double s);
+
+/// Multiplicative Chernoff bound: with d = (s - mu)/mu,
+/// Pr{S >= s} <= exp(-d^2 mu / (2 + d)) for s > mu; returns 1 otherwise.
+double ChernoffUpperTail(double mu, double s);
+
+/// Chernoff bound in Kullback-Leibler form (Hoeffding 1963, Thm 1):
+/// Pr{S >= s} <= exp(-n KL(s/n || mu/n)) for s > mu; returns 1 otherwise.
+/// This is the tightest of the three classical bounds.
+double KlChernoffUpperTail(double mu, std::size_t n, double s);
+
+/// Best available upper bound on Pr{S >= s}: the minimum of the three
+/// bounds above, clamped to [0, 1].
+double BestUpperTailBound(double mu, std::size_t n, double s);
+
+/// Upper bound on the lower tail Pr{S <= s} via multiplicative Chernoff:
+/// Pr{S <= (1-d) mu} <= exp(-d^2 mu / 2) for s < mu; returns 1 otherwise.
+double ChernoffLowerTail(double mu, double s);
+
+}  // namespace pfci
+
+#endif  // PFCI_PROB_TAIL_BOUNDS_H_

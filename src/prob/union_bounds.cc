@@ -1,0 +1,74 @@
+#include "src/prob/union_bounds.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace pfci {
+
+double PairwiseProbabilities::SumSingles() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < m_; ++i) sum += Get(i, i);
+  return sum;
+}
+
+double PairwiseProbabilities::SumPairs() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (std::size_t j = i + 1; j < m_; ++j) sum += Get(i, j);
+  }
+  return sum;
+}
+
+double DeCaenLowerBound(const PairwiseProbabilities& pairs) {
+  const std::size_t m = pairs.size();
+  double bound = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double p_i = pairs.Get(i, i);
+    if (p_i <= 0.0) continue;
+    double row = 0.0;
+    for (std::size_t j = 0; j < m; ++j) row += pairs.Get(i, j);
+    PFCI_DCHECK(row >= p_i);
+    bound += p_i * p_i / row;
+  }
+  return std::clamp(bound, 0.0, 1.0);
+}
+
+double KwerelUpperBound(const PairwiseProbabilities& pairs) {
+  const std::size_t m = pairs.size();
+  if (m == 0) return 0.0;
+  const double s1 = pairs.SumSingles();
+  const double s2 = pairs.SumPairs();
+  const double bound = s1 - 2.0 * s2 / static_cast<double>(m);
+  return std::clamp(bound, 0.0, 1.0);
+}
+
+UnionBounds ComputeUnionBounds(const PairwiseProbabilities& pairs) {
+  UnionBounds bounds;
+  const std::size_t m = pairs.size();
+  if (m == 0) {
+    bounds.lower = 0.0;
+    bounds.upper = 0.0;
+    return bounds;
+  }
+  const double s1 = pairs.SumSingles();
+  const double s2 = pairs.SumPairs();
+  double max_single = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    max_single = std::max(max_single, pairs.Get(i, i));
+  }
+  // Lower bounds: de Caen, Bonferroni degree-2, and the largest event.
+  bounds.lower = std::max({DeCaenLowerBound(pairs),
+                           std::clamp(s1 - s2, 0.0, 1.0), max_single});
+  // Upper bounds: Kwerel and Boole.
+  bounds.upper = std::min({KwerelUpperBound(pairs),
+                           std::clamp(s1, 0.0, 1.0), 1.0});
+  // Numerical safety: the analytic bounds can cross by rounding error only.
+  if (bounds.upper < bounds.lower) {
+    const double mid = 0.5 * (bounds.upper + bounds.lower);
+    bounds.lower = bounds.upper = mid;
+  }
+  return bounds;
+}
+
+}  // namespace pfci

@@ -1,0 +1,61 @@
+// Bonferroni-type bounds on the probability of a union of events from
+// first- and second-order intersection probabilities.
+//
+// The paper's Lemma 4.4 bounds the frequent non-closed probability
+// Pr(C_1 ∪ ... ∪ C_m) from below by de Caen's inequality and from above by
+// Kwerel's inequality, turning them into an upper / lower bound on the
+// frequent closed probability without any #P-hard computation.
+#ifndef PFCI_PROB_UNION_BOUNDS_H_
+#define PFCI_PROB_UNION_BOUNDS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pfci {
+
+/// Symmetric matrix of pairwise intersection probabilities.
+/// Entry (i, j) is Pr(C_i ∩ C_j); the diagonal holds Pr(C_i).
+class PairwiseProbabilities {
+ public:
+  explicit PairwiseProbabilities(std::size_t m) : m_(m), values_(m * m, 0.0) {}
+
+  std::size_t size() const { return m_; }
+
+  double Get(std::size_t i, std::size_t j) const { return values_[i * m_ + j]; }
+
+  /// Sets both (i, j) and (j, i).
+  void Set(std::size_t i, std::size_t j, double value) {
+    values_[i * m_ + j] = value;
+    values_[j * m_ + i] = value;
+  }
+
+  /// Sum of the singles Pr(C_i) (Bonferroni S1).
+  double SumSingles() const;
+
+  /// Sum of Pr(C_i ∩ C_j) over i < j (Bonferroni S2).
+  double SumPairs() const;
+
+ private:
+  std::size_t m_;
+  std::vector<double> values_;
+};
+
+/// de Caen's lower bound: Pr(∪ C_i) >= Σ_i Pr(C_i)^2 / Σ_j Pr(C_i ∩ C_j).
+/// Events with Pr(C_i) == 0 are skipped. Result clamped to [0, 1].
+double DeCaenLowerBound(const PairwiseProbabilities& pairs);
+
+/// Kwerel's upper bound: Pr(∪ C_i) <= S1 - (2/m) S2, clamped to [0, 1].
+double KwerelUpperBound(const PairwiseProbabilities& pairs);
+
+/// Combined two-sided bounds on Pr(∪ C_i). Lower also incorporates the
+/// Bonferroni lower bound S1 - S2 and max_i Pr(C_i); upper also
+/// incorporates Boole's bound min(S1, 1). Always lower <= upper.
+struct UnionBounds {
+  double lower = 0.0;
+  double upper = 1.0;
+};
+UnionBounds ComputeUnionBounds(const PairwiseProbabilities& pairs);
+
+}  // namespace pfci
+
+#endif  // PFCI_PROB_UNION_BOUNDS_H_

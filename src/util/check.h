@@ -1,0 +1,48 @@
+// Lightweight CHECK/DCHECK invariant macros.
+//
+// The library does not use exceptions (see DESIGN.md); internal invariant
+// violations abort with a diagnostic, while expected failures are reported
+// through return values.
+#ifndef PFCI_UTIL_CHECK_H_
+#define PFCI_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pfci::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace pfci::internal
+
+/// Aborts the process with a diagnostic if `expr` is false. Always enabled.
+#define PFCI_CHECK(expr)                                       \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::pfci::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                          \
+  } while (0)
+
+/// CHECK for binary comparisons; kept simple (no value printing).
+#define PFCI_CHECK_EQ(a, b) PFCI_CHECK((a) == (b))
+#define PFCI_CHECK_NE(a, b) PFCI_CHECK((a) != (b))
+#define PFCI_CHECK_LT(a, b) PFCI_CHECK((a) < (b))
+#define PFCI_CHECK_LE(a, b) PFCI_CHECK((a) <= (b))
+#define PFCI_CHECK_GT(a, b) PFCI_CHECK((a) > (b))
+#define PFCI_CHECK_GE(a, b) PFCI_CHECK((a) >= (b))
+
+/// Debug-only variant; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define PFCI_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define PFCI_DCHECK(expr) PFCI_CHECK(expr)
+#endif
+
+#endif  // PFCI_UTIL_CHECK_H_

@@ -1,0 +1,29 @@
+#include "src/util/csv_writer.h"
+
+namespace pfci {
+
+std::string EscapeCsvField(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string escaped = "\"";
+  for (char c : field) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << EscapeCsvField(fields[i]);
+  }
+  out_ << '\n';
+  ++rows_written_;
+}
+
+}  // namespace pfci

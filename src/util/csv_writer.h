@@ -1,0 +1,41 @@
+// CSV emission for experiment results (consumed by external plotting).
+#ifndef PFCI_UTIL_CSV_WRITER_H_
+#define PFCI_UTIL_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pfci {
+
+/// Writes rows of comma-separated values with minimal quoting.
+///
+/// Example:
+///   CsvWriter csv("out.csv");
+///   csv.WriteRow({"min_sup", "time_s"});
+///   csv.WriteRow({"0.4", "1.25"});
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; Ok() reports whether the open succeeded.
+  explicit CsvWriter(const std::string& path);
+
+  /// Whether the underlying stream is usable.
+  bool Ok() const { return static_cast<bool>(out_); }
+
+  /// Writes one row; fields containing commas/quotes/newlines are quoted.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Number of rows written so far (including the header).
+  int rows_written() const { return rows_written_; }
+
+ private:
+  std::ofstream out_;
+  int rows_written_ = 0;
+};
+
+/// Escapes a single CSV field (exposed for testing).
+std::string EscapeCsvField(const std::string& field);
+
+}  // namespace pfci
+
+#endif  // PFCI_UTIL_CSV_WRITER_H_

@@ -1,0 +1,69 @@
+#include "src/util/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace pfci {
+
+std::vector<std::string> SplitTokens(std::string_view text,
+                                     std::string_view delims) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find_first_of(delims, start);
+    const std::size_t stop = (end == std::string_view::npos) ? text.size() : end;
+    if (stop > start) tokens.emplace_back(text.substr(start, stop - start));
+    start = stop + 1;
+  }
+  return tokens;
+}
+
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(separator);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  std::size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  std::size_t end = text.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool ParseUint32(std::string_view text, unsigned int* value) {
+  text = StripWhitespace(text);
+  if (text.empty()) return false;
+  auto result = std::from_chars(text.data(), text.data() + text.size(), *value);
+  return result.ec == std::errc() && result.ptr == text.data() + text.size();
+}
+
+bool ParseDouble(std::string_view text, double* value) {
+  text = StripWhitespace(text);
+  if (text.empty()) return false;
+  // std::from_chars for double is not available in all libstdc++ configs;
+  // fall back to strtod on a bounded copy.
+  std::string copy(text);
+  char* end = nullptr;
+  *value = std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size();
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+  return buffer;
+}
+
+}  // namespace pfci

@@ -1,0 +1,33 @@
+// Small string helpers shared by I/O, logging and the bench harness.
+#ifndef PFCI_UTIL_STRING_UTIL_H_
+#define PFCI_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfci {
+
+/// Splits `text` on any of the characters in `delims`, dropping empty tokens.
+std::vector<std::string> SplitTokens(std::string_view text,
+                                     std::string_view delims = " \t");
+
+/// Joins string pieces with a separator.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view separator);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Parses a non-negative integer; returns false on malformed input.
+bool ParseUint32(std::string_view text, unsigned int* value);
+
+/// Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view text, double* value);
+
+/// Formats a double compactly (up to `precision` significant digits).
+std::string FormatDouble(double value, int precision = 6);
+
+}  // namespace pfci
+
+#endif  // PFCI_UTIL_STRING_UTIL_H_

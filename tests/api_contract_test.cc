@@ -1,0 +1,106 @@
+// API contract tests: invalid-usage CHECKs fire (death tests) and inert
+// inputs are truly inert.
+#include <gtest/gtest.h>
+
+#include "src/core/mpfci_miner.h"
+#include "src/core/stream_miner.h"
+#include "src/data/uncertain_database.h"
+#include "src/data/world_enumerator.h"
+#include "src/prob/karp_luby.h"
+
+namespace pfci {
+namespace {
+
+using ApiContractDeathTest = ::testing::Test;
+
+TEST(ApiContractDeathTest, RejectsInvalidProbabilities) {
+  UncertainDatabase db;
+  EXPECT_DEATH(db.Add(Itemset{0}, 0.0), "CHECK");
+  EXPECT_DEATH(db.Add(Itemset{0}, -0.1), "CHECK");
+  EXPECT_DEATH(db.Add(Itemset{0}, 1.5), "CHECK");
+}
+
+TEST(ApiContractDeathTest, RejectsInvalidMiningParams) {
+  UncertainDatabase db;
+  db.Add(Itemset{0}, 0.5);
+  MiningParams params;
+  params.min_sup = 0;  // Must be >= 1.
+  EXPECT_DEATH(MineMpfci(db, params), "CHECK");
+  params.min_sup = 1;
+  params.pfct = 1.0;  // Must be < 1 (strict comparison would be empty).
+  EXPECT_DEATH(MineMpfci(db, params), "CHECK");
+}
+
+TEST(ApiContractDeathTest, StreamWindowMustCoverMinSup) {
+  MiningParams params;
+  params.min_sup = 10;
+  EXPECT_DEATH(StreamingPfciMiner(params, /*window_size=*/5), "CHECK");
+}
+
+TEST(ApiContractDeathTest, WorldEnumerationSizeGuard) {
+  UncertainDatabase db;
+  for (int i = 0; i < 30; ++i) db.Add(Itemset{0}, 0.5);
+  EXPECT_DEATH(EnumerateWorlds(db, [](const PossibleWorld&, double) {}),
+               "CHECK");
+}
+
+TEST(ApiContractDeathTest, KarpLubyParameterGuards) {
+  EXPECT_DEATH(KarpLubyRequiredSamples(1, 0.0, 0.1), "CHECK");
+  EXPECT_DEATH(KarpLubyRequiredSamples(1, 0.1, 0.0), "CHECK");
+  EXPECT_DEATH(KarpLubyRequiredSamples(1, 0.1, 1.0), "CHECK");
+}
+
+TEST(ApiContract, EmptyTransactionsAreInert) {
+  // An empty-itemset tuple (possible via the text loader) contains no
+  // item, so it cannot affect any itemset's support or closedness.
+  UncertainDatabase with_empty;
+  with_empty.Add(Itemset{}, 0.5);
+  with_empty.Add(Itemset{0, 1}, 0.8);
+  with_empty.Add(Itemset{0, 1}, 0.7);
+  with_empty.Add(Itemset{}, 0.9);
+
+  UncertainDatabase without_empty;
+  without_empty.Add(Itemset{0, 1}, 0.8);
+  without_empty.Add(Itemset{0, 1}, 0.7);
+
+  MiningParams params;
+  params.min_sup = 2;
+  params.pfct = 0.5;
+  const MiningResult a = MineMpfci(with_empty, params);
+  const MiningResult b = MineMpfci(without_empty, params);
+  ASSERT_EQ(a.itemsets.size(), b.itemsets.size());
+  for (std::size_t i = 0; i < a.itemsets.size(); ++i) {
+    EXPECT_EQ(a.itemsets[i].items, b.itemsets[i].items);
+    EXPECT_NEAR(a.itemsets[i].fcp, b.itemsets[i].fcp, 1e-12);
+  }
+}
+
+TEST(ApiContract, ResultsIndependentOfTransactionOrder) {
+  // Permuting the transactions permutes tids but cannot change any
+  // probability.
+  UncertainDatabase forward;
+  forward.Add(Itemset{0, 1, 2}, 0.9);
+  forward.Add(Itemset{0, 1}, 0.4);
+  forward.Add(Itemset{1, 2}, 0.7);
+  forward.Add(Itemset{0, 2}, 0.6);
+  UncertainDatabase backward;
+  backward.Add(Itemset{0, 2}, 0.6);
+  backward.Add(Itemset{1, 2}, 0.7);
+  backward.Add(Itemset{0, 1}, 0.4);
+  backward.Add(Itemset{0, 1, 2}, 0.9);
+
+  MiningParams params;
+  params.min_sup = 2;
+  params.pfct = 0.1;
+  params.exact_event_limit = 25;
+  const MiningResult a = MineMpfci(forward, params);
+  const MiningResult b = MineMpfci(backward, params);
+  ASSERT_EQ(a.itemsets.size(), b.itemsets.size());
+  for (std::size_t i = 0; i < a.itemsets.size(); ++i) {
+    EXPECT_EQ(a.itemsets[i].items, b.itemsets[i].items);
+    EXPECT_NEAR(a.itemsets[i].fcp, b.itemsets[i].fcp, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace pfci

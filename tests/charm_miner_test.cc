@@ -1,0 +1,88 @@
+// Cross-validation of the CHARM-style closed miner against the LCM-style
+// miner and the brute-force oracle — two independent algorithms agreeing
+// over randomized inputs.
+#include "src/exact/charm_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/mushroom_generator.h"
+#include "src/exact/closed_miner.h"
+#include "src/util/random.h"
+
+namespace pfci {
+namespace {
+
+TransactionDatabase RandomDb(Rng& rng, std::size_t n, std::size_t items,
+                             double density) {
+  TransactionDatabase db;
+  for (std::size_t t = 0; t < n; ++t) {
+    std::vector<Item> row;
+    for (Item i = 0; i < items; ++i) {
+      if (rng.NextBernoulli(density)) row.push_back(i);
+    }
+    db.Add(Itemset(std::move(row)));
+  }
+  return db;
+}
+
+TEST(CharmMiner, EmptyAndDegenerate) {
+  TransactionDatabase db;
+  EXPECT_TRUE(CharmMineClosedItemsets(db, 1).empty());
+  db.Add(Itemset{0, 1});
+  EXPECT_TRUE(CharmMineClosedItemsets(db, 2).empty());
+  const auto closed = CharmMineClosedItemsets(db, 1);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].items, (Itemset{0, 1}));
+  EXPECT_EQ(closed[0].support, 1u);
+}
+
+TEST(CharmMiner, MergesEqualTidsets) {
+  // Items 0 and 1 always co-occur: only the merged closed set appears.
+  TransactionDatabase db;
+  db.Add(Itemset{0, 1, 2});
+  db.Add(Itemset{0, 1});
+  db.Add(Itemset{0, 1, 2});
+  const auto closed = CharmMineClosedItemsets(db, 1);
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].items, (Itemset{0, 1}));
+  EXPECT_EQ(closed[0].support, 3u);
+  EXPECT_EQ(closed[1].items, (Itemset{0, 1, 2}));
+  EXPECT_EQ(closed[1].support, 2u);
+}
+
+class CharmAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(CharmAgreement, MatchesLcmStyleMinerOnRandomData) {
+  Rng rng(GetParam() * 31 + 17);
+  const std::size_t n = 6 + rng.NextBelow(12);
+  const std::size_t items = 4 + rng.NextBelow(4);
+  const double density = 0.3 + 0.5 * rng.NextDouble();
+  const TransactionDatabase db = RandomDb(rng, n, items, density);
+  for (std::size_t min_sup : {1, 2, 3}) {
+    EXPECT_EQ(CharmMineClosedItemsets(db, min_sup),
+              MineClosedItemsets(db, min_sup))
+        << "seed=" << GetParam() << " min_sup=" << min_sup;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatabases, CharmAgreement,
+                         ::testing::Range(0, 40));
+
+TEST(CharmMiner, MatchesOnCorrelatedMushroomData) {
+  MushroomParams params;
+  params.num_transactions = 300;
+  params.num_attributes = 7;
+  params.values_per_attribute = 3;
+  params.num_species = 5;
+  const TransactionDatabase db = GenerateMushroomLike(params);
+  for (double rel : {0.3, 0.15}) {
+    const std::size_t min_sup =
+        static_cast<std::size_t>(rel * static_cast<double>(db.size()));
+    EXPECT_EQ(CharmMineClosedItemsets(db, min_sup),
+              MineClosedItemsets(db, min_sup))
+        << rel;
+  }
+}
+
+}  // namespace
+}  // namespace pfci

@@ -1,0 +1,137 @@
+// Unit tests for the conditional Bernoulli-vector sampler (the world
+// sampler inside ApproxFCP).
+#include "src/prob/conditional_sampler.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/prob/poisson_binomial.h"
+
+namespace pfci {
+namespace {
+
+TEST(ConditionalSampler, ConditionProbabilityMatchesTail) {
+  const std::vector<double> probs = {0.9, 0.6, 0.7, 0.9};
+  for (std::size_t s = 0; s <= 5; ++s) {
+    const ConditionalBernoulliSampler sampler(probs, s);
+    EXPECT_NEAR(sampler.condition_probability(),
+                PoissonBinomialTailAtLeast(probs, s), 1e-12)
+        << "s=" << s;
+  }
+}
+
+TEST(ConditionalSampler, InfeasibleCondition) {
+  const ConditionalBernoulliSampler sampler({0.5, 0.5}, 3);
+  EXPECT_FALSE(sampler.Feasible());
+  EXPECT_DOUBLE_EQ(sampler.condition_probability(), 0.0);
+}
+
+TEST(ConditionalSampler, UnconditionalWhenMinSumZero) {
+  const ConditionalBernoulliSampler sampler({0.25, 0.75}, 0);
+  EXPECT_TRUE(sampler.Feasible());
+  EXPECT_DOUBLE_EQ(sampler.condition_probability(), 1.0);
+}
+
+TEST(ConditionalSampler, SamplesAlwaysSatisfyCondition) {
+  const std::vector<double> probs = {0.2, 0.3, 0.4, 0.5, 0.6};
+  const ConditionalBernoulliSampler sampler(probs, 3);
+  ASSERT_TRUE(sampler.Feasible());
+  Rng rng(5);
+  std::vector<std::uint8_t> out;
+  for (int i = 0; i < 2000; ++i) {
+    sampler.Sample(rng, &out);
+    ASSERT_EQ(out.size(), probs.size());
+    int sum = 0;
+    for (std::uint8_t bit : out) sum += bit;
+    EXPECT_GE(sum, 3);
+  }
+}
+
+TEST(ConditionalSampler, DeterministicEntriesRespected) {
+  // p = 1 entries must always be present; p = 0 entries never.
+  const std::vector<double> probs = {1.0, 0.0, 0.5};
+  const ConditionalBernoulliSampler sampler(probs, 1);
+  Rng rng(9);
+  std::vector<std::uint8_t> out;
+  for (int i = 0; i < 200; ++i) {
+    sampler.Sample(rng, &out);
+    EXPECT_EQ(out[0], 1);
+    EXPECT_EQ(out[1], 0);
+  }
+}
+
+TEST(ConditionalSampler, EmpiricalDistributionMatchesConditional) {
+  // Exhaustive check on a 3-variable instance: empirical pattern
+  // frequencies converge to Pr(pattern | sum >= 2).
+  const std::vector<double> probs = {0.3, 0.6, 0.8};
+  const std::size_t min_sum = 2;
+  const ConditionalBernoulliSampler sampler(probs, min_sum);
+
+  // Exact conditional distribution.
+  std::map<int, double> expected;  // Key: bitmask.
+  double z = 0.0;
+  for (int mask = 0; mask < 8; ++mask) {
+    int sum = 0;
+    double p = 1.0;
+    for (int i = 0; i < 3; ++i) {
+      const bool on = (mask >> i) & 1;
+      sum += on ? 1 : 0;
+      p *= on ? probs[i] : 1.0 - probs[i];
+    }
+    if (sum >= static_cast<int>(min_sum)) {
+      expected[mask] = p;
+      z += p;
+    }
+  }
+  for (auto& [mask, p] : expected) p /= z;
+
+  Rng rng(123);
+  std::map<int, int> counts;
+  const int kSamples = 200000;
+  std::vector<std::uint8_t> out;
+  for (int s = 0; s < kSamples; ++s) {
+    sampler.Sample(rng, &out);
+    int mask = 0;
+    for (int i = 0; i < 3; ++i) mask |= out[i] << i;
+    ++counts[mask];
+  }
+  for (const auto& [mask, p] : expected) {
+    const double freq = static_cast<double>(counts[mask]) / kSamples;
+    EXPECT_NEAR(freq, p, 0.01) << "mask=" << mask;
+  }
+  // No out-of-condition pattern was ever produced.
+  for (const auto& [mask, count] : counts) {
+    EXPECT_TRUE(expected.count(mask)) << "mask=" << mask;
+  }
+}
+
+class SamplerFeasibility : public ::testing::TestWithParam<int> {};
+
+TEST_P(SamplerFeasibility, TailTableConsistentAcrossSizes) {
+  Rng rng(GetParam() + 31);
+  const std::size_t n = 1 + rng.NextBelow(20);
+  std::vector<double> probs(n);
+  for (double& p : probs) p = rng.NextDouble();
+  const std::size_t min_sum = rng.NextBelow(n + 2);
+  const ConditionalBernoulliSampler sampler(probs, min_sum);
+  EXPECT_NEAR(sampler.condition_probability(),
+              PoissonBinomialTailAtLeast(probs, min_sum), 1e-12);
+  if (sampler.Feasible()) {
+    std::vector<std::uint8_t> out;
+    for (int i = 0; i < 50; ++i) {
+      sampler.Sample(rng, &out);
+      std::size_t sum = 0;
+      for (std::uint8_t bit : out) sum += bit;
+      EXPECT_GE(sum, min_sum);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SamplerFeasibility,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace pfci

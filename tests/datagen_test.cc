@@ -1,0 +1,168 @@
+// Unit tests for the synthetic data generators and the Gaussian
+// probability assigner.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/data/database_stats.h"
+#include "src/datagen/mushroom_generator.h"
+#include "src/datagen/probability_assigner.h"
+#include "src/datagen/quest_generator.h"
+#include "src/exact/closed_miner.h"
+#include "src/exact/fp_growth.h"
+
+namespace pfci {
+namespace {
+
+TEST(QuestGenerator, RespectsShapeParameters) {
+  QuestParams params;
+  params.num_transactions = 2000;
+  params.avg_transaction_length = 8.0;
+  params.avg_pattern_length = 4.0;
+  params.num_items = 30;
+  params.seed = 5;
+  const TransactionDatabase db = GenerateQuest(params);
+  ASSERT_EQ(db.size(), 2000u);
+
+  double total_length = 0.0;
+  Item max_item = 0;
+  for (const Itemset& t : db.transactions()) {
+    ASSERT_FALSE(t.empty());
+    total_length += static_cast<double>(t.size());
+    max_item = std::max(max_item, t.LastItem());
+  }
+  EXPECT_LT(max_item, 30u);
+  const double avg = total_length / 2000.0;
+  // Corruption and the put-back rule push the realized average below T;
+  // it must still be in a sane band around the target.
+  EXPECT_GT(avg, 3.0);
+  EXPECT_LT(avg, 12.0);
+}
+
+TEST(QuestGenerator, DeterministicForSeed) {
+  QuestParams params;
+  params.num_transactions = 100;
+  params.num_items = 20;
+  params.seed = 9;
+  const TransactionDatabase a = GenerateQuest(params);
+  const TransactionDatabase b = GenerateQuest(params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.transaction(i), b.transaction(i));
+  }
+  params.seed = 10;
+  const TransactionDatabase c = GenerateQuest(params);
+  bool any_differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a.transaction(i) == c.transaction(i))) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(QuestGenerator, ProducesFrequentPatterns) {
+  // The pattern pool must induce itemsets far above independence levels.
+  QuestParams params;
+  params.num_transactions = 1500;
+  params.avg_transaction_length = 8.0;
+  params.avg_pattern_length = 4.0;
+  params.num_items = 24;
+  const TransactionDatabase db = GenerateQuest(params);
+  const auto frequent =
+      MineFrequentItemsets(db, db.size() / 10);  // 10% support.
+  bool has_pair = false;
+  for (const auto& entry : frequent) has_pair |= entry.items.size() >= 2;
+  EXPECT_TRUE(has_pair);
+}
+
+TEST(MushroomGenerator, FixedLengthCategoricalRows) {
+  MushroomParams params;
+  params.num_transactions = 500;
+  params.num_attributes = 10;
+  params.values_per_attribute = 4;
+  params.seed = 3;
+  const TransactionDatabase db = GenerateMushroomLike(params);
+  ASSERT_EQ(db.size(), 500u);
+  for (const Itemset& t : db.transactions()) {
+    EXPECT_EQ(t.size(), 10u);  // Exactly one value per attribute.
+  }
+}
+
+TEST(MushroomGenerator, DefaultShapeMatchesMushroom) {
+  const TransactionDatabase db = GenerateMushroomLike(MushroomParams{});
+  EXPECT_EQ(db.size(), 8124u);
+  const std::size_t items = db.ItemUniverse().size();
+  // Real mushroom has 119 distinct items; the generator's domains total
+  // roughly 23 * 5.
+  EXPECT_GT(items, 60u);
+  EXPECT_LT(items, 160u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(db.transaction(i).size(), 23u);
+  }
+}
+
+TEST(MushroomGenerator, StrongClosureCompression) {
+  // The species mixture must create correlated blocks: far fewer closed
+  // than frequent itemsets at a moderate threshold (mushroom's hallmark).
+  MushroomParams params;
+  params.num_transactions = 400;
+  params.num_attributes = 8;
+  params.values_per_attribute = 4;
+  params.num_species = 6;
+  const TransactionDatabase db = GenerateMushroomLike(params);
+  const std::size_t min_sup = db.size() / 5;
+  const auto frequent = MineFrequentItemsets(db, min_sup);
+  const auto closed = MineClosedItemsets(db, min_sup);
+  ASSERT_FALSE(frequent.empty());
+  EXPECT_LT(static_cast<double>(closed.size()),
+            0.7 * static_cast<double>(frequent.size()));
+}
+
+TEST(ProbabilityAssigner, GaussianClampsAndIsDeterministic) {
+  TransactionDatabase exact;
+  for (int i = 0; i < 4000; ++i) exact.Add(Itemset{0});
+  GaussianAssignerParams params;
+  params.mean = 0.5;
+  params.spread = 0.25;
+  params.seed = 77;
+  const UncertainDatabase db = AssignGaussianProbabilities(exact, params);
+  ASSERT_EQ(db.size(), 4000u);
+  double sum = 0.0;
+  for (const auto& t : db.transactions()) {
+    EXPECT_GT(t.prob, 0.0);
+    EXPECT_LE(t.prob, 1.0);
+    sum += t.prob;
+  }
+  EXPECT_NEAR(sum / 4000.0, 0.5, 0.02);
+
+  const UncertainDatabase again = AssignGaussianProbabilities(exact, params);
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    EXPECT_DOUBLE_EQ(db.prob(i), again.prob(i));
+  }
+}
+
+TEST(ProbabilityAssigner, HighMeanLowSpread) {
+  TransactionDatabase exact;
+  for (int i = 0; i < 2000; ++i) exact.Add(Itemset{0});
+  GaussianAssignerParams params;
+  params.mean = 0.8;
+  params.spread = 0.1;
+  const UncertainDatabase db = AssignGaussianProbabilities(exact, params);
+  const DatabaseStats stats = ComputeStats(db);
+  EXPECT_NEAR(stats.mean_prob, 0.8, 0.02);
+  EXPECT_LT(stats.stddev_prob, 0.12);
+}
+
+TEST(ProbabilityAssigner, Uniform) {
+  TransactionDatabase exact;
+  exact.Add(Itemset{0, 1});
+  exact.Add(Itemset{2});
+  const UncertainDatabase db = AssignUniformProbability(exact, 0.4);
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_DOUBLE_EQ(db.prob(0), 0.4);
+  EXPECT_DOUBLE_EQ(db.prob(1), 0.4);
+  EXPECT_EQ(db.transaction(0).items, (Itemset{0, 1}));
+}
+
+}  // namespace
+}  // namespace pfci

@@ -1,0 +1,79 @@
+// Cross-validation of the UF-growth-style weighted FP-growth against the
+// DFS expected-support miner, plus weighted-count semantics checks.
+#include <gtest/gtest.h>
+
+#include "src/core/expected_support_miner.h"
+#include "src/harness/dataset_factory.h"
+#include "src/util/random.h"
+
+namespace pfci {
+namespace {
+
+UncertainDatabase RandomDb(Rng& rng, std::size_t n, std::size_t items,
+                           double density) {
+  UncertainDatabase db;
+  for (std::size_t t = 0; t < n; ++t) {
+    std::vector<Item> row;
+    for (Item i = 0; i < items; ++i) {
+      if (rng.NextBernoulli(density)) row.push_back(i);
+    }
+    if (row.empty()) row.push_back(static_cast<Item>(rng.NextBelow(items)));
+    db.Add(Itemset(std::move(row)), 0.05 + 0.95 * rng.NextDouble());
+  }
+  return db;
+}
+
+void ExpectSameAnswer(const std::vector<ExpectedSupportEntry>& a,
+                      const std::vector<ExpectedSupportEntry>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].items, b[i].items);
+    EXPECT_NEAR(a[i].expected_support, b[i].expected_support, 1e-9);
+  }
+}
+
+TEST(ExpectedSupportFpGrowth, PaperExample) {
+  const UncertainDatabase db = MakePaperExampleDb();
+  for (double min_esup : {0.5, 1.7, 2.5, 3.0}) {
+    ExpectSameAnswer(MineExpectedSupportFpGrowth(db, min_esup),
+                     MineExpectedSupport(db, min_esup));
+  }
+}
+
+TEST(ExpectedSupportFpGrowth, WeightedCountsAreExpectedSupports) {
+  const UncertainDatabase db = MakeTable4Db();
+  const auto mined = MineExpectedSupportFpGrowth(db, 0.3);
+  for (const auto& entry : mined) {
+    EXPECT_NEAR(entry.expected_support, db.ExpectedSupport(entry.items),
+                1e-9)
+        << entry.items.ToString(true);
+  }
+}
+
+class EsupMinersAgree : public ::testing::TestWithParam<int> {};
+
+TEST_P(EsupMinersAgree, RandomDatabases) {
+  Rng rng(GetParam() * 97 + 11);
+  const UncertainDatabase db =
+      RandomDb(rng, 8 + rng.NextBelow(10), 4 + rng.NextBelow(3),
+               0.3 + 0.5 * rng.NextDouble());
+  for (double min_esup : {0.4, 1.0, 2.0}) {
+    SCOPED_TRACE("seed=" + std::to_string(GetParam()) +
+                 " min_esup=" + std::to_string(min_esup));
+    ExpectSameAnswer(MineExpectedSupportFpGrowth(db, min_esup),
+                     MineExpectedSupport(db, min_esup));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatabases, EsupMinersAgree,
+                         ::testing::Range(0, 25));
+
+TEST(ExpectedSupportFpGrowth, QuickDatasetScale) {
+  const UncertainDatabase db = MakeUncertainQuest(BenchScale::kQuick);
+  const double min_esup = 0.2 * static_cast<double>(db.size());
+  ExpectSameAnswer(MineExpectedSupportFpGrowth(db, min_esup),
+                   MineExpectedSupport(db, min_esup));
+}
+
+}  // namespace
+}  // namespace pfci

@@ -1,0 +1,137 @@
+// Unit tests for the extension events C_i and their intersection
+// probabilities (the DNF factorization of Sec. IV.B.1).
+#include "src/core/extension_events.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.h"
+#include "src/data/world_enumerator.h"
+#include "src/harness/dataset_factory.h"
+#include "src/util/random.h"
+
+namespace pfci {
+namespace {
+
+/// Exact Pr(C_i for all i in S) by world enumeration: every present
+/// transaction containing X also contains all of S's items, and the
+/// support of X ∪ S reaches min_sup.
+double BruteForceIntersection(const UncertainDatabase& db, const Itemset& x,
+                              const std::vector<Item>& extension,
+                              std::size_t min_sup) {
+  double total = 0.0;
+  Itemset extended = x;
+  for (Item e : extension) extended = extended.WithItem(e);
+  EnumerateWorlds(db, [&](const PossibleWorld& world, double prob) {
+    // Every present transaction containing X must contain the extension.
+    for (Tid tid = 0; tid < db.size(); ++tid) {
+      if (!world.IsPresent(tid)) continue;
+      const Itemset& t = db.transaction(tid).items;
+      if (x.IsSubsetOf(t) && !extended.IsSubsetOf(t)) return;
+    }
+    if (world.Support(db, extended) >= min_sup) total += prob;
+  });
+  return total;
+}
+
+TEST(ExtensionEvents, PaperExampleEventOfAbc) {
+  const UncertainDatabase db = MakePaperExampleDb();
+  const VerticalIndex index(db);
+  const FrequentProbability freq(index, 2);
+  const Itemset abc{0, 1, 2};
+  const TidList tids = index.TidsOf(abc);
+  const ExtensionEventSet events(index, freq, abc, tids);
+  // Only item d (=3) can extend abc.
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events.events()[0].item, 3u);
+  // Pr(C_d) = (1-.6)(1-.7) * Pr{PB(.9,.9) >= 2} = .12 * .81 = .0972.
+  EXPECT_NEAR(events.PrSingle(0), 0.0972, 1e-12);
+  EXPECT_FALSE(events.HasSameCountExtension());
+}
+
+TEST(ExtensionEvents, SameCountExtensionDetected) {
+  const UncertainDatabase db = MakePaperExampleDb();
+  const VerticalIndex index(db);
+  const FrequentProbability freq(index, 2);
+  // {a,b}: item c occurs in every transaction containing ab.
+  const Itemset ab{0, 1};
+  const TidList tids = index.TidsOf(ab);
+  const ExtensionEventSet events(index, freq, ab, tids);
+  EXPECT_TRUE(events.HasSameCountExtension());
+}
+
+TEST(ExtensionEvents, CertainTransactionKillsEvent) {
+  // A p=1 transaction containing X but not X+e makes C_e impossible.
+  UncertainDatabase db;
+  db.Add(Itemset{0, 1}, 0.5);
+  db.Add(Itemset{0}, 1.0);  // Contains X={a} but never e=b, and is certain.
+  const VerticalIndex index(db);
+  const FrequentProbability freq(index, 1);
+  const Itemset a{0};
+  const TidList tids = index.TidsOf(a);
+  const ExtensionEventSet events(index, freq, a, tids);
+  EXPECT_EQ(events.size(), 0u);  // The b-event is impossible.
+}
+
+TEST(ExtensionEvents, CountBelowMinSupSkipsEvent) {
+  const UncertainDatabase db = MakePaperExampleDb();
+  const VerticalIndex index(db);
+  const FrequentProbability freq(index, 3);
+  // {abc} with min_sup=3: the d-extension has count 2 < 3, impossible.
+  const Itemset abc{0, 1, 2};
+  const TidList tids = index.TidsOf(abc);
+  const ExtensionEventSet events(index, freq, abc, tids);
+  EXPECT_EQ(events.size(), 0u);
+}
+
+TEST(ExtensionEvents, IntersectionMatchesBruteForce) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    UncertainDatabase db;
+    const std::size_t n = 5 + rng.NextBelow(5);
+    for (std::size_t t = 0; t < n; ++t) {
+      std::vector<Item> items;
+      for (Item i = 0; i < 5; ++i) {
+        if (rng.NextBernoulli(0.6)) items.push_back(i);
+      }
+      if (items.empty()) items.push_back(0);
+      db.Add(Itemset(std::move(items)), 0.1 + 0.9 * rng.NextDouble());
+    }
+    const std::size_t min_sup = 1 + rng.NextBelow(3);
+    const VerticalIndex index(db);
+    const FrequentProbability freq(index, min_sup);
+    const Itemset x{0};
+    const TidList tids = index.TidsOf(x);
+    if (tids.empty()) continue;
+    const ExtensionEventSet events(index, freq, x, tids);
+
+    // Singles.
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const double truth = BruteForceIntersection(
+          db, x, {events.events()[i].item}, min_sup);
+      EXPECT_NEAR(events.PrSingle(i), truth, 1e-9)
+          << "trial=" << trial << " i=" << i;
+      EXPECT_NEAR(events.PrIntersection({i}), truth, 1e-9);
+    }
+    // Pairs.
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      for (std::size_t j = i + 1; j < events.size(); ++j) {
+        const double truth = BruteForceIntersection(
+            db, x, {events.events()[i].item, events.events()[j].item},
+            min_sup);
+        EXPECT_NEAR(events.PrIntersection({i, j}), truth, 1e-9)
+            << "trial=" << trial;
+      }
+    }
+    // The pairwise matrix agrees with the individual calls.
+    const PairwiseProbabilities pairs = events.BuildPairwise();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_DOUBLE_EQ(pairs.Get(i, i), events.PrSingle(i));
+      for (std::size_t j = i + 1; j < events.size(); ++j) {
+        EXPECT_DOUBLE_EQ(pairs.Get(i, j), events.PrIntersection({i, j}));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfci

@@ -1,0 +1,113 @@
+// Statistical validation of the FPRAS guarantee (paper Sec. IV.B.4):
+// Pr( |est - PrFNC| <= eps * PrFNC ) >= 1 - delta. Runs many independent
+// ApproxFCP estimates against the exact inclusion-exclusion value and
+// checks the empirical coverage. Also validates unbiasedness.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/extension_events.h"
+#include "src/core/fcp_exact.h"
+#include "src/core/fcp_sampler.h"
+#include "src/core/frequent_probability.h"
+#include "src/data/vertical_index.h"
+#include "src/prob/karp_luby.h"
+#include "src/util/random.h"
+
+namespace pfci {
+namespace {
+
+/// A small but non-trivial database: 12 transactions over 6 items with a
+/// mix of probabilities, chosen so X = {0} has several extension events
+/// with moderate probabilities (the regime where sampling is actually
+/// exercised).
+UncertainDatabase TestDb() {
+  UncertainDatabase db;
+  Rng rng(12321);
+  for (int t = 0; t < 12; ++t) {
+    std::vector<Item> items = {0};
+    for (Item i = 1; i < 6; ++i) {
+      if (rng.NextBernoulli(0.7)) items.push_back(i);
+    }
+    db.Add(Itemset(std::move(items)), 0.3 + 0.6 * rng.NextDouble());
+  }
+  return db;
+}
+
+TEST(FprasGuarantee, EmpiricalCoverageMeetsConfidence) {
+  const UncertainDatabase db = TestDb();
+  const VerticalIndex index(db);
+  const std::size_t min_sup = 3;
+  const FrequentProbability freq(index, min_sup);
+  const Itemset x{0};
+  const TidList tids = index.TidsOf(x);
+  const double pr_f = freq.PrF(tids);
+  const ExtensionEventSet events(index, freq, x, tids);
+  ASSERT_GE(events.size(), 2u);
+
+  const double exact_fnc = ExactFrequentNonClosedProbability(events);
+  ASSERT_GT(exact_fnc, 0.0);
+
+  const double epsilon = 0.2;
+  const double delta = 0.2;
+  const int kRepetitions = 60;
+  int within = 0;
+  double sum_estimates = 0.0;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    Rng rng(1000 + rep);
+    const ApproxFcpResult result =
+        ApproxFcp(pr_f, events, epsilon, delta, rng);
+    sum_estimates += result.fnc;
+    if (std::abs(result.fnc - exact_fnc) <= epsilon * exact_fnc) ++within;
+  }
+  // The guarantee promises >= 1 - delta = 80% coverage; in practice the
+  // bound is loose and coverage is near 100%. Require comfortably above
+  // the guaranteed level while leaving statistical slack.
+  EXPECT_GE(static_cast<double>(within) / kRepetitions, 1.0 - delta)
+      << "exact=" << exact_fnc;
+  // Unbiasedness: the mean over repetitions converges to the exact value.
+  EXPECT_NEAR(sum_estimates / kRepetitions, exact_fnc, 0.05 * exact_fnc);
+}
+
+TEST(FprasGuarantee, TighterEpsilonShrinksError) {
+  const UncertainDatabase db = TestDb();
+  const VerticalIndex index(db);
+  const FrequentProbability freq(index, 3);
+  const Itemset x{0};
+  const TidList tids = index.TidsOf(x);
+  const double pr_f = freq.PrF(tids);
+  const ExtensionEventSet events(index, freq, x, tids);
+  const double exact_fnc = ExactFrequentNonClosedProbability(events);
+
+  const auto mean_abs_error = [&](double epsilon) {
+    double total = 0.0;
+    const int reps = 30;
+    for (int rep = 0; rep < reps; ++rep) {
+      Rng rng(5000 + rep);
+      total += std::abs(
+          ApproxFcp(pr_f, events, epsilon, 0.1, rng).fnc - exact_fnc);
+    }
+    return total / reps;
+  };
+  // Halving epsilon quadruples the sample count; the mean absolute error
+  // must shrink (allowing generous statistical slack).
+  EXPECT_LT(mean_abs_error(0.05), mean_abs_error(0.3) + 1e-12);
+}
+
+TEST(FprasGuarantee, SampleCountMatchesFormula) {
+  const UncertainDatabase db = TestDb();
+  const VerticalIndex index(db);
+  const FrequentProbability freq(index, 3);
+  const Itemset x{0};
+  const TidList tids = index.TidsOf(x);
+  const ExtensionEventSet events(index, freq, x, tids);
+  Rng rng(1);
+  const double epsilon = 0.25, delta = 0.15;
+  const ApproxFcpResult result =
+      ApproxFcp(freq.PrF(tids), events, epsilon, delta, rng);
+  EXPECT_EQ(result.samples,
+            KarpLubyRequiredSamples(events.size(), epsilon, delta));
+}
+
+}  // namespace
+}  // namespace pfci

@@ -1,0 +1,104 @@
+// Unit tests for the bench harness: variants, table printer, dataset
+// factory, experiment helpers.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "src/data/database_stats.h"
+#include "src/harness/dataset_factory.h"
+#include "src/harness/experiment.h"
+#include "src/harness/table_printer.h"
+#include "src/harness/variants.h"
+
+namespace pfci {
+namespace {
+
+TEST(Variants, NamesAndToggles) {
+  EXPECT_STREQ(VariantName(AlgorithmVariant::kMpfci), "MPFCI");
+  EXPECT_STREQ(VariantName(AlgorithmVariant::kNoBound), "MPFCI-NoBound");
+  EXPECT_STREQ(VariantName(AlgorithmVariant::kBfs), "MPFCI-BFS");
+
+  MiningParams base;
+  EXPECT_FALSE(ApplyVariant(AlgorithmVariant::kNoCh, base).pruning.chernoff);
+  EXPECT_FALSE(
+      ApplyVariant(AlgorithmVariant::kNoSuper, base).pruning.superset);
+  EXPECT_FALSE(ApplyVariant(AlgorithmVariant::kNoSub, base).pruning.subset);
+  EXPECT_FALSE(
+      ApplyVariant(AlgorithmVariant::kNoBound, base).pruning.fcp_bounds);
+  const MiningParams bfs = ApplyVariant(AlgorithmVariant::kBfs, base);
+  EXPECT_FALSE(bfs.pruning.superset);
+  EXPECT_FALSE(bfs.pruning.subset);
+  EXPECT_TRUE(bfs.pruning.fcp_bounds);
+  EXPECT_EQ(PruningVariants().size(), 5u);
+  EXPECT_NE(VariantFeatureTable().find("MPFCI-NoBound"), std::string::npos);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table;
+  table.SetHeader({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "2.5"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("longer  2.5"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TablePrinter, NoHeader) {
+  TablePrinter table;
+  table.AddRow({"a", "b"});
+  EXPECT_EQ(table.Render(), "a  b\n");
+}
+
+TEST(DatasetFactory, PaperExampleShape) {
+  const UncertainDatabase db = MakePaperExampleDb();
+  EXPECT_EQ(db.size(), 4u);
+  const UncertainDatabase table4 = MakeTable4Db();
+  EXPECT_EQ(table4.size(), 6u);
+  EXPECT_DOUBLE_EQ(table4.prob(4), 0.4);
+}
+
+TEST(DatasetFactory, QuickDatasets) {
+  const UncertainDatabase mushroom = MakeUncertainMushroom(BenchScale::kQuick);
+  EXPECT_GT(mushroom.size(), 100u);
+  const DatabaseStats stats = ComputeStats(mushroom);
+  EXPECT_NEAR(stats.mean_prob, 0.5, 0.1);
+
+  const UncertainDatabase quest = MakeUncertainQuest(BenchScale::kQuick);
+  EXPECT_GT(quest.size(), 100u);
+  EXPECT_NEAR(ComputeStats(quest).mean_prob, 0.8, 0.05);
+}
+
+TEST(DatasetFactory, AbsoluteMinSup) {
+  EXPECT_EQ(AbsoluteMinSup(100, 0.3), 30u);
+  EXPECT_EQ(AbsoluteMinSup(101, 0.3), 31u);  // Ceil.
+  EXPECT_EQ(AbsoluteMinSup(3, 0.01), 1u);    // At least 1.
+  EXPECT_EQ(AbsoluteMinSup(10, 1.0), 10u);
+}
+
+TEST(DatasetFactory, ScaleFromEnv) {
+  unsetenv("PFCI_BENCH_SCALE");
+  EXPECT_EQ(ScaleFromEnv(), BenchScale::kQuick);
+  setenv("PFCI_BENCH_SCALE", "full", 1);
+  EXPECT_EQ(ScaleFromEnv(), BenchScale::kFull);
+  setenv("PFCI_BENCH_SCALE", "quick", 1);
+  EXPECT_EQ(ScaleFromEnv(), BenchScale::kQuick);
+  unsetenv("PFCI_BENCH_SCALE");
+  EXPECT_STREQ(ScaleName(BenchScale::kFull), "full");
+}
+
+TEST(Experiment, PrecisionRecall) {
+  const std::vector<Itemset> truth = {Itemset{0}, Itemset{1}, Itemset{2}};
+  const std::vector<Itemset> found = {Itemset{0}, Itemset{2}, Itemset{5}};
+  EXPECT_NEAR(ResultPrecision(found, truth), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(ResultRecall(found, truth), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ResultPrecision({}, truth), 1.0);
+  EXPECT_DOUBLE_EQ(ResultRecall(found, {}), 1.0);
+}
+
+TEST(Experiment, TimeRunIsNonNegative) {
+  EXPECT_GE(TimeRun([] {}), 0.0);
+}
+
+}  // namespace
+}  // namespace pfci

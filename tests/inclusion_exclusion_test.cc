@@ -1,0 +1,91 @@
+// Unit tests for the generic inclusion-exclusion union computation.
+#include "src/prob/inclusion_exclusion.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace pfci {
+namespace {
+
+TEST(InclusionExclusion, NoEvents) {
+  EXPECT_DOUBLE_EQ(
+      UnionByInclusionExclusion(0, [](const std::vector<std::size_t>&) {
+        return 1.0;
+      }),
+      0.0);
+}
+
+TEST(InclusionExclusion, SingleEvent) {
+  EXPECT_DOUBLE_EQ(
+      UnionByInclusionExclusion(1,
+                                [](const std::vector<std::size_t>& s) {
+                                  EXPECT_EQ(s.size(), 1u);
+                                  return 0.37;
+                                }),
+      0.37);
+}
+
+TEST(InclusionExclusion, TwoEventsClassicFormula) {
+  // P(A ∪ B) = P(A) + P(B) - P(A ∩ B).
+  const auto prob = [](const std::vector<std::size_t>& s) {
+    if (s.size() == 1) return s[0] == 0 ? 0.5 : 0.4;
+    return 0.2;
+  };
+  EXPECT_NEAR(UnionByInclusionExclusion(2, prob), 0.7, 1e-12);
+}
+
+TEST(InclusionExclusion, IndependentEvents) {
+  // For independent events Pr(∩S) = Π p_i and the union is
+  // 1 - Π (1 - p_i).
+  const std::vector<double> p = {0.1, 0.3, 0.5, 0.7, 0.2};
+  const auto prob = [&p](const std::vector<std::size_t>& s) {
+    double value = 1.0;
+    for (std::size_t i : s) value *= p[i];
+    return value;
+  };
+  double expected = 1.0;
+  for (double pi : p) expected *= 1.0 - pi;
+  EXPECT_NEAR(UnionByInclusionExclusion(p.size(), prob), 1.0 - expected,
+              1e-12);
+}
+
+TEST(InclusionExclusion, FiniteSpaceCrossCheck) {
+  // Random events on a finite outcome space: inclusion-exclusion must
+  // equal the direct union measure.
+  Rng rng(77);
+  const std::size_t m = 6;
+  const std::size_t space = 32;
+  std::vector<double> outcome_prob(space);
+  double total = 0.0;
+  for (double& q : outcome_prob) {
+    q = rng.NextDouble();
+    total += q;
+  }
+  for (double& q : outcome_prob) q /= total;
+  std::vector<std::vector<bool>> member(m, std::vector<bool>(space));
+  for (auto& row : member) {
+    for (std::size_t w = 0; w < space; ++w) row[w] = rng.NextBernoulli(0.4);
+  }
+  const auto prob = [&](const std::vector<std::size_t>& s) {
+    double value = 0.0;
+    for (std::size_t w = 0; w < space; ++w) {
+      bool in_all = true;
+      for (std::size_t i : s) in_all = in_all && member[i][w];
+      if (in_all) value += outcome_prob[w];
+    }
+    return value;
+  };
+  double direct = 0.0;
+  for (std::size_t w = 0; w < space; ++w) {
+    bool in_any = false;
+    for (std::size_t i = 0; i < m; ++i) in_any = in_any || member[i][w];
+    if (in_any) direct += outcome_prob[w];
+  }
+  EXPECT_NEAR(UnionByInclusionExclusion(m, prob), direct, 1e-12);
+}
+
+}  // namespace
+}  // namespace pfci

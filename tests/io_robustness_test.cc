@@ -1,0 +1,120 @@
+// Robustness of the text loaders: random byte soup, truncated files, and
+// boundary values must never crash, and must either parse cleanly or fail
+// with an error while leaving the output empty.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/data/database_io.h"
+#include "src/util/random.h"
+
+namespace pfci {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(IoRobustness, RandomByteSoupNeverCrashes) {
+  const std::string path = TempPath("pfci_fuzz.utd");
+  Rng rng(4096);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string content;
+    const std::size_t length = rng.NextBelow(200);
+    for (std::size_t i = 0; i < length; ++i) {
+      // Printable-ish bytes plus newlines and separators.
+      const char alphabet[] =
+          "0123456789 .eE+-#\nabcxyz\t\r";
+      content += alphabet[rng.NextBelow(sizeof(alphabet) - 1)];
+    }
+    WriteFile(path, content);
+    UncertainDatabase db;
+    std::string error;
+    const bool ok = LoadUncertainDatabase(path, &db, &error);
+    if (!ok) {
+      EXPECT_TRUE(db.empty()) << "failed load must leave db empty";
+      EXPECT_FALSE(error.empty());
+    } else {
+      for (const auto& t : db.transactions()) {
+        EXPECT_GT(t.prob, 0.0);
+        EXPECT_LE(t.prob, 1.0);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoRobustness, BoundaryProbabilities) {
+  const std::string path = TempPath("pfci_boundary.utd");
+  WriteFile(path, "1.0 1 2\n0.0000001 3\n");
+  UncertainDatabase db;
+  std::string error;
+  ASSERT_TRUE(LoadUncertainDatabase(path, &db, &error)) << error;
+  EXPECT_DOUBLE_EQ(db.prob(0), 1.0);
+  EXPECT_GT(db.prob(1), 0.0);
+
+  WriteFile(path, "0 1 2\n");  // Zero probability: rejected.
+  EXPECT_FALSE(LoadUncertainDatabase(path, &db, &error));
+  WriteFile(path, "1.0000001 1\n");  // Above one: rejected.
+  EXPECT_FALSE(LoadUncertainDatabase(path, &db, &error));
+  WriteFile(path, "-0.5 1\n");  // Negative: rejected.
+  EXPECT_FALSE(LoadUncertainDatabase(path, &db, &error));
+  std::remove(path.c_str());
+}
+
+TEST(IoRobustness, ProbabilityOnlyLinesAreEmptyTransactions) {
+  // A line with a probability and no items is syntactically valid: an
+  // empty (but existing) transaction.
+  const std::string path = TempPath("pfci_empty_tx.utd");
+  WriteFile(path, "0.5\n0.25 7\n");
+  UncertainDatabase db;
+  std::string error;
+  ASSERT_TRUE(LoadUncertainDatabase(path, &db, &error)) << error;
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_TRUE(db.transaction(0).items.empty());
+  EXPECT_EQ(db.transaction(1).items, (Itemset{7}));
+  std::remove(path.c_str());
+}
+
+TEST(IoRobustness, CommentsAndBlankLinesIgnoredEverywhere) {
+  const std::string path = TempPath("pfci_comments.utd");
+  WriteFile(path, "# header\n\n   \n0.5 1 2\n# middle\n0.25 3\n");
+  UncertainDatabase db;
+  std::string error;
+  ASSERT_TRUE(LoadUncertainDatabase(path, &db, &error)) << error;
+  EXPECT_EQ(db.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(IoRobustness, ExactLoaderRejectsNegativeItems) {
+  const std::string path = TempPath("pfci_neg.dat");
+  WriteFile(path, "1 2 -3\n");
+  std::vector<Itemset> transactions;
+  std::string error;
+  EXPECT_FALSE(LoadExactTransactions(path, &transactions, &error));
+  EXPECT_TRUE(transactions.empty());
+  std::remove(path.c_str());
+}
+
+TEST(IoRobustness, LargeItemIdsRoundTrip) {
+  const std::string path = TempPath("pfci_large_ids.utd");
+  UncertainDatabase db;
+  db.Add(Itemset{0, 4294967294u}, 0.5);
+  ASSERT_TRUE(SaveUncertainDatabase(db, path));
+  UncertainDatabase loaded;
+  std::string error;
+  ASSERT_TRUE(LoadUncertainDatabase(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.transaction(0).items, (Itemset{0, 4294967294u}));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pfci

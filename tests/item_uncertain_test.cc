@@ -1,0 +1,184 @@
+// Tests for the item-level uncertainty model ([9]): containment
+// probabilities, expected support, and both miners — cross-validated
+// against explicit enumeration of item-occurrence worlds.
+#include <cstdint>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "src/core/item_uncertain_miners.h"
+#include "src/prob/poisson_binomial.h"
+#include "src/util/random.h"
+
+namespace pfci {
+namespace {
+
+/// Enumerates every world of an item-uncertain database (each item
+/// occurrence flips its own coin) and calls visit(world transactions,
+/// probability). Total occurrences must stay <= 20.
+void EnumerateItemWorlds(
+    const ItemUncertainDatabase& db,
+    const std::function<void(const std::vector<Itemset>&, double)>& visit) {
+  std::size_t total_coins = 0;
+  for (const auto& t : db.transactions()) total_coins += t.items.size();
+  ASSERT_LE(total_coins, 20u);
+  const std::uint64_t limit = std::uint64_t{1} << total_coins;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    std::vector<Itemset> world;
+    double prob = 1.0;
+    std::size_t coin = 0;
+    for (const auto& t : db.transactions()) {
+      std::vector<Item> present;
+      for (const ProbItem& occurrence : t.items) {
+        const bool on = (mask >> coin) & 1;
+        ++coin;
+        prob *= on ? occurrence.prob : 1.0 - occurrence.prob;
+        if (on) present.push_back(occurrence.item);
+      }
+      world.push_back(Itemset(std::move(present)));
+    }
+    visit(world, prob);
+  }
+}
+
+ItemUncertainDatabase SmallDb() {
+  // 3 transactions, 7 occurrences total.
+  ItemUncertainDatabase db;
+  db.Add({{0, 0.9}, {1, 0.5}, {2, 0.7}});
+  db.Add({{0, 0.4}, {1, 0.8}});
+  db.Add({{1, 0.6}, {2, 0.3}});
+  return db;
+}
+
+TEST(ItemUncertainDatabase, ContainmentProbs) {
+  const ItemUncertainDatabase db = SmallDb();
+  EXPECT_NEAR(db.transaction(0).ContainmentProb(Itemset{0, 1}), 0.45, 1e-12);
+  EXPECT_NEAR(db.transaction(1).ContainmentProb(Itemset{0, 1}), 0.32, 1e-12);
+  EXPECT_DOUBLE_EQ(db.transaction(2).ContainmentProb(Itemset{0}), 0.0);
+  EXPECT_DOUBLE_EQ(db.transaction(0).ContainmentProb(Itemset{}), 1.0);
+  EXPECT_EQ(db.transaction(0).CertainItems(), (Itemset{0, 1, 2}));
+  EXPECT_EQ(db.ItemUniverse(), (std::vector<Item>{0, 1, 2}));
+}
+
+TEST(ItemUncertainDatabase, ExpectedSupportMatchesWorldSum) {
+  const ItemUncertainDatabase db = SmallDb();
+  for (const Itemset& x : {Itemset{0}, Itemset{1}, Itemset{0, 1},
+                           Itemset{1, 2}, Itemset{0, 1, 2}}) {
+    double world_sum = 0.0;
+    EnumerateItemWorlds(db, [&](const std::vector<Itemset>& world,
+                                double prob) {
+      for (const Itemset& t : world) {
+        if (x.IsSubsetOf(t)) world_sum += prob;
+      }
+    });
+    EXPECT_NEAR(db.ExpectedSupport(x), world_sum, 1e-12) << x.ToString();
+  }
+}
+
+TEST(ItemUncertainDatabase, SupportIsPoissonBinomialOverContainment) {
+  const ItemUncertainDatabase db = SmallDb();
+  const Itemset x{1, 2};
+  // Distribution of support(X) over item-occurrence worlds.
+  std::vector<double> world_pmf(db.size() + 1, 0.0);
+  EnumerateItemWorlds(db, [&](const std::vector<Itemset>& world,
+                              double prob) {
+    std::size_t support = 0;
+    for (const Itemset& t : world) {
+      if (x.IsSubsetOf(t)) ++support;
+    }
+    world_pmf[support] += prob;
+  });
+  // Poisson-binomial over the containment probabilities.
+  const std::vector<double> pmf = PoissonBinomialPmf(db.ContainmentProbs(x));
+  for (std::size_t s = 0; s <= db.size(); ++s) {
+    EXPECT_NEAR(world_pmf[s], pmf[s], 1e-12) << "s=" << s;
+  }
+}
+
+TEST(ItemUncertainMiners, ExpectedSupportMinerComplete) {
+  const ItemUncertainDatabase db = SmallDb();
+  const auto mined = MineExpectedSupportItemLevel(db, 0.5);
+  for (const auto& entry : mined) {
+    EXPECT_NEAR(entry.expected_support, db.ExpectedSupport(entry.items),
+                1e-12);
+    EXPECT_GE(entry.expected_support, 0.5);
+  }
+  // Completeness: check every subset of the universe by hand.
+  const auto contains = [&mined](const Itemset& x) {
+    for (const auto& entry : mined) {
+      if (entry.items == x) return true;
+    }
+    return false;
+  };
+  for (std::uint32_t mask = 1; mask < 8; ++mask) {
+    std::vector<Item> items;
+    for (Item i = 0; i < 3; ++i) {
+      if (mask & (1u << i)) items.push_back(i);
+    }
+    const Itemset x(items);
+    EXPECT_EQ(contains(x), db.ExpectedSupport(x) >= 0.5) << x.ToString();
+  }
+}
+
+TEST(ItemUncertainMiners, PfiMinerMatchesWorldEnumeration) {
+  const ItemUncertainDatabase db = SmallDb();
+  const std::size_t min_sup = 2;
+  for (double pft : {0.1, 0.3, 0.6}) {
+    const auto mined = MinePfiItemLevel(db, min_sup, pft);
+    for (std::uint32_t mask = 1; mask < 8; ++mask) {
+      std::vector<Item> items;
+      for (Item i = 0; i < 3; ++i) {
+        if (mask & (1u << i)) items.push_back(i);
+      }
+      const Itemset x(items);
+      double pr_f = 0.0;
+      EnumerateItemWorlds(db, [&](const std::vector<Itemset>& world,
+                                  double prob) {
+        std::size_t support = 0;
+        for (const Itemset& t : world) {
+          if (x.IsSubsetOf(t)) ++support;
+        }
+        if (support >= min_sup) pr_f += prob;
+      });
+      const ItemPfiEntry* found = nullptr;
+      for (const auto& entry : mined) {
+        if (entry.items == x) found = &entry;
+      }
+      if (pr_f > pft) {
+        ASSERT_NE(found, nullptr) << x.ToString() << " pft=" << pft;
+        EXPECT_NEAR(found->pr_f, pr_f, 1e-12);
+      } else {
+        EXPECT_EQ(found, nullptr) << x.ToString() << " pft=" << pft;
+      }
+    }
+  }
+}
+
+TEST(ItemUncertainMiners, RandomizedAgainstEnumeration) {
+  Rng rng(8080);
+  for (int trial = 0; trial < 10; ++trial) {
+    ItemUncertainDatabase db;
+    std::size_t coins = 0;
+    while (coins < 14) {
+      std::vector<ProbItem> occurrences;
+      for (Item i = 0; i < 4 && coins + occurrences.size() < 16; ++i) {
+        if (rng.NextBernoulli(0.6)) {
+          occurrences.push_back(
+              ProbItem{i, 0.1 + 0.9 * rng.NextDouble()});
+        }
+      }
+      if (occurrences.empty()) continue;
+      coins += occurrences.size();
+      db.Add(std::move(occurrences));
+    }
+    const double min_esup = 0.5 + rng.NextDouble();
+    const auto mined = MineExpectedSupportItemLevel(db, min_esup);
+    for (const auto& entry : mined) {
+      EXPECT_NEAR(entry.expected_support, db.ExpectedSupport(entry.items),
+                  1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfci

@@ -1,0 +1,87 @@
+// Unit tests for Itemset and its set algebra.
+#include "src/data/itemset.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace pfci {
+namespace {
+
+TEST(Itemset, ConstructionSortsAndDeduplicates) {
+  const Itemset x({3, 1, 2, 1, 3});
+  EXPECT_EQ(x.size(), 3u);
+  EXPECT_EQ(x.items(), (std::vector<Item>{1, 2, 3}));
+}
+
+TEST(Itemset, EmptyBasics) {
+  const Itemset empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.Contains(0));
+  EXPECT_TRUE(empty.IsSubsetOf(Itemset{1, 2}));
+}
+
+TEST(Itemset, ContainsAndSubset) {
+  const Itemset x{1, 3, 5};
+  EXPECT_TRUE(x.Contains(3));
+  EXPECT_FALSE(x.Contains(2));
+  EXPECT_TRUE(x.IsSubsetOf(Itemset{0, 1, 2, 3, 4, 5}));
+  EXPECT_FALSE(x.IsSubsetOf(Itemset{1, 3}));
+  EXPECT_TRUE((Itemset{1, 3}).IsSubsetOf(x));
+}
+
+TEST(Itemset, ProperSuperset) {
+  EXPECT_TRUE((Itemset{1, 2, 3}).IsProperSupersetOf(Itemset{1, 3}));
+  EXPECT_FALSE((Itemset{1, 3}).IsProperSupersetOf(Itemset{1, 3}));
+  EXPECT_FALSE((Itemset{1, 3}).IsProperSupersetOf(Itemset{2}));
+}
+
+TEST(Itemset, WithItemKeepsOrder) {
+  const Itemset x{1, 5};
+  EXPECT_EQ(x.WithItem(3).items(), (std::vector<Item>{1, 3, 5}));
+  EXPECT_EQ(x.WithItem(0).items(), (std::vector<Item>{0, 1, 5}));
+  EXPECT_EQ(x.WithItem(9).items(), (std::vector<Item>{1, 5, 9}));
+}
+
+TEST(Itemset, WithoutItem) {
+  const Itemset x{1, 3, 5};
+  EXPECT_EQ(x.WithoutItem(3).items(), (std::vector<Item>{1, 5}));
+  EXPECT_EQ(x.WithoutItem(4).items(), (std::vector<Item>{1, 3, 5}));
+}
+
+TEST(Itemset, UnionAndIntersection) {
+  const Itemset a{1, 2, 4};
+  const Itemset b{2, 3, 4};
+  EXPECT_EQ(a.UnionWith(b).items(), (std::vector<Item>{1, 2, 3, 4}));
+  EXPECT_EQ(a.IntersectWith(b).items(), (std::vector<Item>{2, 4}));
+  EXPECT_TRUE(a.IntersectWith(Itemset{7}).empty());
+}
+
+TEST(Itemset, LastItem) {
+  EXPECT_EQ((Itemset{4, 9, 2}).LastItem(), 9u);
+}
+
+TEST(Itemset, ComparisonIsLexicographic) {
+  EXPECT_LT(Itemset({1, 2}), Itemset({1, 3}));
+  EXPECT_LT(Itemset({1}), Itemset({1, 2}));   // Prefix sorts first.
+  EXPECT_LT(Itemset({1, 0}), Itemset({1}));   // {0,1} < {1} element-wise.
+}
+
+TEST(Itemset, ToStringFormats) {
+  EXPECT_EQ((Itemset{0, 1, 2}).ToString(true), "{a b c}");
+  EXPECT_EQ((Itemset{0, 27}).ToString(true), "{a 27}");
+  EXPECT_EQ((Itemset{5, 10}).ToString(false), "{5 10}");
+  EXPECT_EQ(Itemset().ToString(), "{}");
+}
+
+TEST(Itemset, HashConsistentWithEquality) {
+  const ItemsetHash hash;
+  EXPECT_EQ(hash(Itemset{1, 2, 3}), hash(Itemset({3, 2, 1})));
+  std::unordered_set<Itemset, ItemsetHash> set;
+  set.insert(Itemset{1, 2});
+  set.insert(Itemset({2, 1}));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pfci

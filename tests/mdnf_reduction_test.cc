@@ -1,0 +1,102 @@
+// Tests for the Theorem 3.1 #P-hardness reduction and the closed
+// probability PrC, cross-checked three ways: brute-force assignment
+// counting, inclusion-exclusion via the reduction, and possible-world
+// enumeration.
+#include "src/core/mdnf_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.h"
+#include "src/core/closed_probability.h"
+#include "src/harness/dataset_factory.h"
+#include "src/util/random.h"
+
+namespace pfci {
+namespace {
+
+TEST(MdnfReduction, PaperExampleDatabaseShape) {
+  // F = (v1 ∧ v2 ∧ v3) ∨ (v1 ∧ v2 ∧ v4) ∨ (v2 ∧ v3 ∧ v4): the paper's
+  // Table VI instance (0-based variables).
+  MonotoneDnf formula;
+  formula.num_variables = 4;
+  formula.clauses = {{0, 1, 2}, {0, 1, 3}, {1, 2, 3}};
+  const MdnfReduction reduction = BuildMdnfReduction(formula);
+  ASSERT_EQ(reduction.db.size(), 4u);
+  // Table VI: T1 = {X, e3}, T2 = {X}, T3 = {X, e2}, T4 = {X, e1}
+  // (e_i item ids are 1+i here, X is item 0).
+  EXPECT_EQ(reduction.db.transaction(0).items, (Itemset{0, 3}));
+  EXPECT_EQ(reduction.db.transaction(1).items, (Itemset{0}));
+  EXPECT_EQ(reduction.db.transaction(2).items, (Itemset{0, 2}));
+  EXPECT_EQ(reduction.db.transaction(3).items, (Itemset{0, 1}));
+  for (Tid tid = 0; tid < 4; ++tid) {
+    EXPECT_DOUBLE_EQ(reduction.db.prob(tid), 0.5);
+  }
+}
+
+TEST(MdnfReduction, BruteForceCounter) {
+  MonotoneDnf formula;
+  formula.num_variables = 3;
+  formula.clauses = {{0}, {1, 2}};
+  // v0 ∨ (v1 ∧ v2): satisfying assignments = 4 (v0 true) + 1 (v0 false,
+  // v1 v2 true) = 5.
+  EXPECT_EQ(CountSatisfyingAssignments(formula), 5u);
+}
+
+TEST(MdnfReduction, ClosedProbabilityEncodesModelCount) {
+  MonotoneDnf formula;
+  formula.num_variables = 4;
+  formula.clauses = {{0, 1, 2}, {0, 1, 3}, {1, 2, 3}};
+  const std::uint64_t direct = CountSatisfyingAssignments(formula);
+  EXPECT_EQ(CountSatisfyingAssignmentsViaClosedProbability(formula), direct);
+
+  // And PrC(X) by world enumeration matches 1 - N/2^m.
+  const MdnfReduction reduction = BuildMdnfReduction(formula);
+  const WorldProbabilities truth = BruteForceItemsetProbabilities(
+      reduction.db, reduction.x, /*min_sup=*/1);
+  EXPECT_NEAR(truth.pr_c, 1.0 - static_cast<double>(direct) / 16.0, 1e-12);
+}
+
+TEST(MdnfReduction, RandomFormulasRoundTrip) {
+  Rng rng(606);
+  for (int trial = 0; trial < 25; ++trial) {
+    MonotoneDnf formula;
+    formula.num_variables = 2 + rng.NextBelow(6);
+    const std::size_t num_clauses = 1 + rng.NextBelow(5);
+    for (std::size_t c = 0; c < num_clauses; ++c) {
+      std::vector<std::size_t> clause;
+      for (std::size_t v = 0; v < formula.num_variables; ++v) {
+        if (rng.NextBernoulli(0.5)) clause.push_back(v);
+      }
+      if (clause.empty()) clause.push_back(rng.NextBelow(formula.num_variables));
+      formula.clauses.push_back(std::move(clause));
+    }
+    EXPECT_EQ(CountSatisfyingAssignmentsViaClosedProbability(formula),
+              CountSatisfyingAssignments(formula))
+        << "trial=" << trial;
+  }
+}
+
+TEST(ClosedProbability, PaperExampleValues) {
+  const UncertainDatabase db = MakePaperExampleDb();
+  // PrC = PrFC at min_sup = 1; cross-check against world enumeration.
+  for (const Itemset& x : {Itemset{0, 1, 2}, Itemset{0, 1, 2, 3},
+                           Itemset{0, 1}, Itemset{3}}) {
+    const WorldProbabilities truth =
+        BruteForceItemsetProbabilities(db, x, 1);
+    EXPECT_NEAR(ExactClosedProbability(db, x), truth.pr_c, 1e-12)
+        << x.ToString(true);
+  }
+}
+
+TEST(ClosedProbability, ApproxTracksExact) {
+  const UncertainDatabase db = MakeTable4Db();
+  Rng rng(9);
+  const Itemset abc{0, 1, 2};
+  const double exact = ExactClosedProbability(db, abc);
+  const ApproxFcpResult approx =
+      ApproxClosedProbability(db, abc, 0.05, 0.05, rng);
+  EXPECT_NEAR(approx.fcp, exact, 0.03);
+}
+
+}  // namespace
+}  // namespace pfci

@@ -1,0 +1,62 @@
+// Unit tests for the result/statistics value types.
+#include "src/core/mining_result.h"
+
+#include <gtest/gtest.h>
+
+namespace pfci {
+namespace {
+
+TEST(FcpMethodNames, AllNamed) {
+  EXPECT_STREQ(FcpMethodName(FcpMethod::kUndecided), "undecided");
+  EXPECT_STREQ(FcpMethodName(FcpMethod::kZeroByCount), "zero-by-count");
+  EXPECT_STREQ(FcpMethodName(FcpMethod::kBoundsDecided), "bounds");
+  EXPECT_STREQ(FcpMethodName(FcpMethod::kExact), "exact");
+  EXPECT_STREQ(FcpMethodName(FcpMethod::kSampled), "sampled");
+}
+
+TEST(MiningResult, SortAndFind) {
+  MiningResult result;
+  PfciEntry b;
+  b.items = Itemset{1, 2};
+  b.fcp = 0.9;
+  PfciEntry a;
+  a.items = Itemset{0};
+  a.fcp = 0.85;
+  result.itemsets = {b, a};
+  result.Sort();
+  EXPECT_EQ(result.itemsets[0].items, (Itemset{0}));
+  EXPECT_EQ(result.itemsets[1].items, (Itemset{1, 2}));
+
+  const PfciEntry* found = result.Find(Itemset{1, 2});
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->fcp, 0.9);
+  EXPECT_EQ(result.Find(Itemset{7}), nullptr);
+}
+
+TEST(MiningResult, ToStringRendersEntries) {
+  MiningResult result;
+  PfciEntry entry;
+  entry.items = Itemset{0, 1};
+  entry.fcp = 0.875;
+  entry.pr_f = 0.97;
+  entry.method = FcpMethod::kExact;
+  result.itemsets.push_back(entry);
+  const std::string text = result.ToString(/*letters=*/true);
+  EXPECT_NE(text.find("{a b}"), std::string::npos);
+  EXPECT_NE(text.find("0.875"), std::string::npos);
+  EXPECT_NE(text.find("exact"), std::string::npos);
+}
+
+TEST(MiningStats, ToStringContainsEveryCounter) {
+  MiningStats stats;
+  stats.nodes_visited = 11;
+  stats.pruned_by_chernoff = 22;
+  stats.total_samples = 33;
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("nodes=11"), std::string::npos);
+  EXPECT_NE(text.find("ch_pruned=22"), std::string::npos);
+  EXPECT_NE(text.find("samples=33"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfci

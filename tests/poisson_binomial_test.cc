@@ -1,0 +1,118 @@
+// Unit tests for the Poisson-binomial distribution primitives.
+#include "src/prob/poisson_binomial.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace pfci {
+namespace {
+
+TEST(PoissonBinomialPmf, EmptyInput) {
+  const std::vector<double> pmf = PoissonBinomialPmf({});
+  ASSERT_EQ(pmf.size(), 1u);
+  EXPECT_DOUBLE_EQ(pmf[0], 1.0);
+}
+
+TEST(PoissonBinomialPmf, SingleBernoulli) {
+  const std::vector<double> pmf = PoissonBinomialPmf({0.3});
+  ASSERT_EQ(pmf.size(), 2u);
+  EXPECT_DOUBLE_EQ(pmf[0], 0.7);
+  EXPECT_DOUBLE_EQ(pmf[1], 0.3);
+}
+
+TEST(PoissonBinomialPmf, MatchesBinomialForEqualProbs) {
+  // n=6, p=0.5: pmf[k] = C(6,k)/64.
+  const std::vector<double> pmf =
+      PoissonBinomialPmf(std::vector<double>(6, 0.5));
+  const double kBinomial[] = {1, 6, 15, 20, 15, 6, 1};
+  ASSERT_EQ(pmf.size(), 7u);
+  for (int k = 0; k <= 6; ++k) {
+    EXPECT_NEAR(pmf[k], kBinomial[k] / 64.0, 1e-12) << k;
+  }
+}
+
+TEST(PoissonBinomialPmf, SumsToOne) {
+  const std::vector<double> probs = {0.9, 0.6, 0.7, 0.9, 0.05, 1.0, 0.33};
+  double total = 0.0;
+  for (double mass : PoissonBinomialPmf(probs)) total += mass;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PoissonBinomialPmf, DeterministicEntries) {
+  // With p = 1 entries the sum shifts deterministically.
+  const std::vector<double> pmf = PoissonBinomialPmf({1.0, 1.0, 0.5});
+  EXPECT_DOUBLE_EQ(pmf[0], 0.0);
+  EXPECT_DOUBLE_EQ(pmf[1], 0.0);
+  EXPECT_DOUBLE_EQ(pmf[2], 0.5);
+  EXPECT_DOUBLE_EQ(pmf[3], 0.5);
+}
+
+TEST(PoissonBinomialTail, ThresholdZeroIsOne) {
+  EXPECT_DOUBLE_EQ(PoissonBinomialTailAtLeast({}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(PoissonBinomialTailAtLeast({0.2, 0.4}, 0), 1.0);
+}
+
+TEST(PoissonBinomialTail, ThresholdAboveNIsZero) {
+  EXPECT_DOUBLE_EQ(PoissonBinomialTailAtLeast({0.9, 0.9}, 3), 0.0);
+  EXPECT_DOUBLE_EQ(PoissonBinomialTailAtLeast({}, 1), 0.0);
+}
+
+TEST(PoissonBinomialTail, PaperExampleValue) {
+  // Pr{S >= 2} over (.9,.6,.7,.9) = 0.9726 (paper Example 1.2 support
+  // distribution of {abc}).
+  EXPECT_NEAR(PoissonBinomialTailAtLeast({0.9, 0.6, 0.7, 0.9}, 2), 0.9726,
+              1e-12);
+}
+
+class TailVsPmf : public ::testing::TestWithParam<int> {};
+
+TEST_P(TailVsPmf, TruncatedDpMatchesFullPmf) {
+  // Property: for random prob vectors, the truncated tail DP agrees with
+  // the full pmf's suffix sums at every threshold.
+  Rng rng(GetParam());
+  const std::size_t n = 1 + rng.NextBelow(12);
+  std::vector<double> probs(n);
+  for (double& p : probs) p = rng.NextDouble();
+  const std::vector<double> pmf = PoissonBinomialPmf(probs);
+  for (std::size_t s = 0; s <= n + 1; ++s) {
+    double suffix = 0.0;
+    for (std::size_t k = s; k <= n; ++k) suffix += pmf[k];
+    EXPECT_NEAR(PoissonBinomialTailAtLeast(probs, s), suffix, 1e-12)
+        << "n=" << n << " s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomVectors, TailVsPmf, ::testing::Range(0, 40));
+
+TEST(PoissonBinomialMoments, MeanAndVariance) {
+  const std::vector<double> probs = {0.1, 0.5, 0.9};
+  EXPECT_DOUBLE_EQ(PoissonBinomialMean(probs), 1.5);
+  EXPECT_NEAR(PoissonBinomialVariance(probs), 0.09 + 0.25 + 0.09, 1e-12);
+}
+
+TEST(PoissonBinomialTail, MonotoneInThreshold) {
+  const std::vector<double> probs = {0.3, 0.8, 0.5, 0.6, 0.2};
+  double previous = 1.0;
+  for (std::size_t s = 0; s <= probs.size(); ++s) {
+    const double tail = PoissonBinomialTailAtLeast(probs, s);
+    EXPECT_LE(tail, previous + 1e-15);
+    previous = tail;
+  }
+}
+
+TEST(PoissonBinomialTail, MonotoneInProbabilities) {
+  // Increasing any p_i cannot decrease the tail.
+  const std::vector<double> base = {0.3, 0.4, 0.5, 0.6};
+  const double before = PoissonBinomialTailAtLeast(base, 2);
+  std::vector<double> bumped = base;
+  bumped[0] = 0.9;
+  EXPECT_GE(PoissonBinomialTailAtLeast(bumped, 2), before);
+}
+
+}  // namespace
+}  // namespace pfci

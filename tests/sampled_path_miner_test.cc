@@ -1,0 +1,78 @@
+// End-to-end validation of the Monte-Carlo decision path inside the full
+// miner: with force_sampling and bounds disabled, MPFCI's membership
+// decisions must still match the brute-force oracle for every itemset
+// whose true PrFC is not within the sampler's noise band of pfct.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.h"
+#include "src/core/mpfci_miner.h"
+#include "src/util/random.h"
+
+namespace pfci {
+namespace {
+
+UncertainDatabase RandomDb(Rng& rng, std::size_t n, std::size_t items,
+                           double density) {
+  UncertainDatabase db;
+  for (std::size_t t = 0; t < n; ++t) {
+    std::vector<Item> row;
+    for (Item i = 0; i < items; ++i) {
+      if (rng.NextBernoulli(density)) row.push_back(i);
+    }
+    if (row.empty()) row.push_back(static_cast<Item>(rng.NextBelow(items)));
+    db.Add(Itemset(std::move(row)), 0.05 + 0.95 * rng.NextDouble());
+  }
+  return db;
+}
+
+class SampledPathTrial : public ::testing::TestWithParam<int> {};
+
+TEST_P(SampledPathTrial, MembershipMatchesOracleOutsideNoiseBand) {
+  Rng rng(GetParam() * 6101 + 41);
+  const UncertainDatabase db = RandomDb(rng, 8 + rng.NextBelow(3), 5, 0.55);
+  const std::size_t min_sup = 1 + rng.NextBelow(2);
+  const double pfct = 0.4;
+
+  MiningParams params;
+  params.min_sup = min_sup;
+  params.pfct = pfct;
+  params.force_sampling = true;      // Every check goes through ApproxFCP.
+  params.pruning.fcp_bounds = false; // No analytic rescue.
+  params.epsilon = 0.05;
+  params.delta = 0.05;
+  params.seed = GetParam();
+  const MiningResult mined = MineMpfci(db, params);
+
+  const std::vector<FcpGroundTruth> truth = BruteForceAllFcp(db, min_sup);
+  // Decisions may legitimately flip only inside the sampler's noise band
+  // around pfct; the FPRAS bounds the union estimate's relative error by
+  // epsilon w.h.p., and PrFNC <= 1, so 3*epsilon is a generous band.
+  const double band = 3.0 * params.epsilon;
+
+  for (const FcpGroundTruth& entry : truth) {
+    if (std::abs(entry.fcp - pfct) < band) continue;
+    const bool should_be_in = entry.fcp > pfct;
+    const bool is_in = mined.Find(entry.items) != nullptr;
+    EXPECT_EQ(is_in, should_be_in)
+        << entry.items.ToString() << " fcp=" << entry.fcp
+        << " seed=" << GetParam();
+  }
+  // And nothing outside the oracle's support can ever be reported.
+  for (const PfciEntry& entry : mined.itemsets) {
+    bool known = false;
+    for (const FcpGroundTruth& t : truth) {
+      if (t.items == entry.items) {
+        known = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(known) << entry.items.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SampledPathTrial, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace pfci

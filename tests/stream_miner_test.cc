@@ -1,0 +1,104 @@
+// Tests for the sliding-window streaming PFCI miner.
+#include "src/core/stream_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/mpfci_miner.h"
+#include "src/harness/dataset_factory.h"
+#include "src/util/random.h"
+
+namespace pfci {
+namespace {
+
+MiningParams Params(std::size_t min_sup) {
+  MiningParams params;
+  params.min_sup = min_sup;
+  params.pfct = 0.5;
+  return params;
+}
+
+TEST(StreamMiner, WindowSemantics) {
+  StreamingPfciMiner miner(Params(2), /*window_size=*/3);
+  EXPECT_EQ(miner.window_fill(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    miner.Observe(Itemset{static_cast<Item>(i)}, 0.9);
+  }
+  EXPECT_EQ(miner.window_fill(), 3u);
+  EXPECT_EQ(miner.transactions_seen(), 5u);
+  // The window holds the 3 most recent transactions (items 2, 3, 4).
+  const UncertainDatabase snapshot = miner.WindowSnapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot.transaction(0).items, (Itemset{2}));
+  EXPECT_EQ(snapshot.transaction(2).items, (Itemset{4}));
+}
+
+TEST(StreamMiner, MineWindowMatchesDirectMining) {
+  const UncertainDatabase db = MakePaperExampleDb();
+  StreamingPfciMiner miner(Params(2), /*window_size=*/4);
+  for (const auto& t : db.transactions()) miner.Observe(t.items, t.prob);
+
+  MiningParams params = Params(2);
+  params.pfct = 0.8;
+  StreamingPfciMiner paper_miner(params, 4);
+  for (const auto& t : db.transactions()) {
+    paper_miner.Observe(t.items, t.prob);
+  }
+  const MiningResult windowed = paper_miner.MineWindow();
+  const MiningResult direct = MineMpfci(db, params);
+  ASSERT_EQ(windowed.itemsets.size(), direct.itemsets.size());
+  for (std::size_t i = 0; i < direct.itemsets.size(); ++i) {
+    EXPECT_EQ(windowed.itemsets[i].items, direct.itemsets[i].items);
+    EXPECT_NEAR(windowed.itemsets[i].fcp, direct.itemsets[i].fcp, 1e-12);
+  }
+}
+
+TEST(StreamMiner, DetectsPatternDrift) {
+  // Phase 1 streams {0,1} baskets, phase 2 streams {2,3}: after the
+  // window rolls over, the answer must follow the new pattern.
+  StreamingPfciMiner miner(Params(4), /*window_size=*/8);
+  for (int i = 0; i < 8; ++i) miner.Observe(Itemset{0, 1}, 0.95);
+  MiningResult phase1 = miner.MineWindow();
+  ASSERT_EQ(phase1.itemsets.size(), 1u);
+  EXPECT_EQ(phase1.itemsets[0].items, (Itemset{0, 1}));
+
+  for (int i = 0; i < 8; ++i) miner.Observe(Itemset{2, 3}, 0.95);
+  MiningResult phase2 = miner.MineWindow();
+  ASSERT_EQ(phase2.itemsets.size(), 1u);
+  EXPECT_EQ(phase2.itemsets[0].items, (Itemset{2, 3}));
+}
+
+TEST(StreamMiner, PartialWindowIsMineable) {
+  StreamingPfciMiner miner(Params(1), /*window_size=*/100);
+  miner.Observe(Itemset{7}, 0.6);
+  const MiningResult result = miner.MineWindow();
+  ASSERT_EQ(result.itemsets.size(), 1u);
+  EXPECT_NEAR(result.itemsets[0].fcp, 0.6, 1e-12);
+}
+
+TEST(StreamMiner, RepeatedMiningIsDeterministicGivenSeed) {
+  Rng rng(777);
+  MiningParams params = Params(3);
+  params.seed = 12;
+  StreamingPfciMiner a(params, 16);
+  StreamingPfciMiner b(params, 16);
+  for (int i = 0; i < 16; ++i) {
+    std::vector<Item> items;
+    for (Item j = 0; j < 4; ++j) {
+      if (rng.NextBernoulli(0.7)) items.push_back(j);
+    }
+    if (items.empty()) items.push_back(0);
+    const double prob = 0.2 + 0.8 * rng.NextDouble();
+    a.Observe(Itemset(items), prob);
+    b.Observe(Itemset(items), prob);
+  }
+  const MiningResult ra = a.MineWindow();
+  const MiningResult rb = b.MineWindow();
+  ASSERT_EQ(ra.itemsets.size(), rb.itemsets.size());
+  for (std::size_t i = 0; i < ra.itemsets.size(); ++i) {
+    EXPECT_EQ(ra.itemsets[i].items, rb.itemsets[i].items);
+    EXPECT_DOUBLE_EQ(ra.itemsets[i].fcp, rb.itemsets[i].fcp);
+  }
+}
+
+}  // namespace
+}  // namespace pfci

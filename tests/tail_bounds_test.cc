@@ -1,0 +1,83 @@
+// Unit tests for the Chernoff / Hoeffding tail bounds (Lemma 4.1 support).
+#include "src/prob/tail_bounds.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/prob/poisson_binomial.h"
+#include "src/util/random.h"
+
+namespace pfci {
+namespace {
+
+TEST(TailBounds, TrivialBelowMean) {
+  EXPECT_DOUBLE_EQ(HoeffdingUpperTail(5.0, 10, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(ChernoffUpperTail(5.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(KlChernoffUpperTail(5.0, 10, 3.0), 1.0);
+}
+
+TEST(TailBounds, ZeroMeanUpperTailIsZero) {
+  EXPECT_DOUBLE_EQ(ChernoffUpperTail(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(KlChernoffUpperTail(0.0, 10, 1.0), 0.0);
+}
+
+TEST(TailBounds, AboveNIsZero) {
+  EXPECT_DOUBLE_EQ(KlChernoffUpperTail(2.0, 4, 5.0), 0.0);
+}
+
+TEST(TailBounds, DecreaseWithThreshold) {
+  double previous = 1.0;
+  for (double s = 6.0; s <= 10.0; s += 1.0) {
+    const double bound = BestUpperTailBound(5.0, 10, s);
+    EXPECT_LE(bound, previous + 1e-15);
+    previous = bound;
+  }
+}
+
+class BoundsValidity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundsValidity, UpperBoundsDominateExactTail) {
+  // Property: every bound is a genuine upper bound on the exact
+  // Poisson-binomial tail, for random vectors and all thresholds.
+  Rng rng(GetParam() * 131 + 7);
+  const std::size_t n = 2 + rng.NextBelow(30);
+  std::vector<double> probs(n);
+  for (double& p : probs) p = rng.NextDouble();
+  const double mu = PoissonBinomialMean(probs);
+  for (std::size_t s = 0; s <= n; ++s) {
+    const double exact = PoissonBinomialTailAtLeast(probs, s);
+    const double sd = static_cast<double>(s);
+    EXPECT_GE(HoeffdingUpperTail(mu, n, sd) + 1e-12, exact) << "s=" << s;
+    EXPECT_GE(ChernoffUpperTail(mu, sd) + 1e-12, exact) << "s=" << s;
+    EXPECT_GE(KlChernoffUpperTail(mu, n, sd) + 1e-12, exact) << "s=" << s;
+    EXPECT_GE(BestUpperTailBound(mu, n, sd) + 1e-12, exact) << "s=" << s;
+  }
+}
+
+TEST_P(BoundsValidity, LowerTailBoundDominatesExactLowerTail) {
+  Rng rng(GetParam() * 977 + 3);
+  const std::size_t n = 2 + rng.NextBelow(30);
+  std::vector<double> probs(n);
+  for (double& p : probs) p = rng.NextDouble();
+  const double mu = PoissonBinomialMean(probs);
+  for (std::size_t s = 0; s <= n; ++s) {
+    // Pr{S <= s} = 1 - Pr{S >= s+1}.
+    const double exact = 1.0 - PoissonBinomialTailAtLeast(probs, s + 1);
+    EXPECT_GE(ChernoffLowerTail(mu, static_cast<double>(s)) + 1e-12, exact)
+        << "s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomVectors, BoundsValidity,
+                         ::testing::Range(0, 25));
+
+TEST(TailBounds, KlIsTightestOnBinomial) {
+  // On Binomial(100, 0.3) at s=50, the KL bound should beat Hoeffding.
+  const double mu = 30.0;
+  EXPECT_LT(KlChernoffUpperTail(mu, 100, 50.0),
+            HoeffdingUpperTail(mu, 100, 50.0));
+}
+
+}  // namespace
+}  // namespace pfci

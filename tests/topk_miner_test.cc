@@ -1,0 +1,107 @@
+// Tests for the top-k PFCI miner extension.
+#include "src/core/topk_miner.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.h"
+#include "src/core/mpfci_miner.h"
+#include "src/harness/dataset_factory.h"
+#include "src/util/random.h"
+
+namespace pfci {
+namespace {
+
+MiningParams BaseParams(std::size_t min_sup) {
+  MiningParams params;
+  params.min_sup = min_sup;
+  params.pfct = 0.0;
+  params.exact_event_limit = 25;
+  return params;
+}
+
+TEST(TopkMiner, PaperExampleTopTwo) {
+  const UncertainDatabase db = MakePaperExampleDb();
+  const MiningResult result = MineTopKPfci(db, BaseParams(2), 2);
+  ASSERT_EQ(result.itemsets.size(), 2u);
+  // Descending FCP: {abc} 0.8754, then {abcd} 0.81.
+  EXPECT_EQ(result.itemsets[0].items, (Itemset{0, 1, 2}));
+  EXPECT_NEAR(result.itemsets[0].fcp, 0.8754, 1e-9);
+  EXPECT_EQ(result.itemsets[1].items, (Itemset{0, 1, 2, 3}));
+  EXPECT_NEAR(result.itemsets[1].fcp, 0.81, 1e-9);
+}
+
+TEST(TopkMiner, KLargerThanAnswerReturnsAll) {
+  const UncertainDatabase db = MakePaperExampleDb();
+  const MiningResult result = MineTopKPfci(db, BaseParams(2), 50);
+  // Only two itemsets have positive FCP at min_sup 2.
+  EXPECT_EQ(result.itemsets.size(), 2u);
+}
+
+TEST(TopkMiner, FloorThresholdRespected) {
+  const UncertainDatabase db = MakePaperExampleDb();
+  MiningParams params = BaseParams(2);
+  params.pfct = 0.85;  // Only {abc} exceeds this.
+  const MiningResult result = MineTopKPfci(db, params, 5);
+  ASSERT_EQ(result.itemsets.size(), 1u);
+  EXPECT_EQ(result.itemsets[0].items, (Itemset{0, 1, 2}));
+}
+
+TEST(TopkMiner, MatchesBruteForceRankingOnRandomDbs) {
+  Rng rng(2468);
+  for (int trial = 0; trial < 12; ++trial) {
+    UncertainDatabase db;
+    const std::size_t n = 6 + rng.NextBelow(4);
+    for (std::size_t t = 0; t < n; ++t) {
+      std::vector<Item> items;
+      for (Item i = 0; i < 5; ++i) {
+        if (rng.NextBernoulli(0.55)) items.push_back(i);
+      }
+      if (items.empty()) items.push_back(0);
+      db.Add(Itemset(std::move(items)), 0.1 + 0.9 * rng.NextDouble());
+    }
+    const std::size_t min_sup = 1 + rng.NextBelow(2);
+    const std::size_t k = 1 + rng.NextBelow(4);
+
+    std::vector<FcpGroundTruth> truth = BruteForceAllFcp(db, min_sup);
+    std::sort(truth.begin(), truth.end(),
+              [](const FcpGroundTruth& a, const FcpGroundTruth& b) {
+                if (a.fcp != b.fcp) return a.fcp > b.fcp;
+                return a.items < b.items;
+              });
+
+    const MiningResult result = MineTopKPfci(db, BaseParams(min_sup), k);
+    const std::size_t expected = std::min(k, truth.size());
+    ASSERT_EQ(result.itemsets.size(), expected) << "trial=" << trial;
+    for (std::size_t i = 0; i < expected; ++i) {
+      // FCP values must match the i-th best exactly (ties may permute the
+      // itemsets, so compare the probability, not the identity).
+      EXPECT_NEAR(result.itemsets[i].fcp, truth[i].fcp, 1e-9)
+          << "trial=" << trial << " i=" << i;
+    }
+  }
+}
+
+TEST(TopkMiner, ConsistentWithThresholdMiner) {
+  const UncertainDatabase db = MakeUncertainQuest(BenchScale::kQuick);
+  MiningParams params = BaseParams(AbsoluteMinSup(db.size(), 0.3));
+  params.pfct = 0.8;
+  const MiningResult threshold_result = MineMpfci(db, params);
+  const std::size_t k = threshold_result.itemsets.size();
+  ASSERT_GT(k, 0u);
+  // Top-k with floor 0.8 returns exactly the threshold answer, ranked.
+  const MiningResult topk = MineTopKPfci(db, params, k + 10);
+  ASSERT_EQ(topk.itemsets.size(), k);
+  for (const PfciEntry& entry : topk.itemsets) {
+    EXPECT_NE(threshold_result.Find(entry.items), nullptr)
+        << entry.items.ToString();
+  }
+  // Ranked descending.
+  for (std::size_t i = 1; i < topk.itemsets.size(); ++i) {
+    EXPECT_GE(topk.itemsets[i - 1].fcp + 1e-12, topk.itemsets[i].fcp);
+  }
+}
+
+}  // namespace
+}  // namespace pfci

@@ -1,0 +1,115 @@
+// Unit tests for the de Caen / Kwerel / Bonferroni union bounds
+// (Lemma 4.4 machinery).
+#include "src/prob/union_bounds.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace pfci {
+namespace {
+
+/// A random family of events over a finite space of `space` outcomes with
+/// random outcome probabilities; returns the pairwise matrix and the exact
+/// union probability for cross-checking.
+struct RandomEventFamily {
+  PairwiseProbabilities pairs;
+  double exact_union;
+};
+
+RandomEventFamily MakeFamily(Rng& rng, std::size_t m, std::size_t space) {
+  // Outcome probabilities.
+  std::vector<double> outcome_prob(space);
+  double total = 0.0;
+  for (double& p : outcome_prob) {
+    p = rng.NextDouble();
+    total += p;
+  }
+  for (double& p : outcome_prob) p /= total;
+
+  // Event membership.
+  std::vector<std::vector<bool>> member(m, std::vector<bool>(space));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t w = 0; w < space; ++w) {
+      member[i][w] = rng.NextBernoulli(0.3);
+    }
+  }
+
+  RandomEventFamily family{PairwiseProbabilities(m), 0.0};
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i; j < m; ++j) {
+      double p = 0.0;
+      for (std::size_t w = 0; w < space; ++w) {
+        if (member[i][w] && member[j][w]) p += outcome_prob[w];
+      }
+      family.pairs.Set(i, j, p);
+    }
+  }
+  for (std::size_t w = 0; w < space; ++w) {
+    bool in_union = false;
+    for (std::size_t i = 0; i < m; ++i) in_union = in_union || member[i][w];
+    if (in_union) family.exact_union += outcome_prob[w];
+  }
+  return family;
+}
+
+TEST(PairwiseProbabilities, Sums) {
+  PairwiseProbabilities pairs(3);
+  pairs.Set(0, 0, 0.5);
+  pairs.Set(1, 1, 0.25);
+  pairs.Set(2, 2, 0.125);
+  pairs.Set(0, 1, 0.2);
+  pairs.Set(0, 2, 0.1);
+  pairs.Set(1, 2, 0.05);
+  EXPECT_DOUBLE_EQ(pairs.SumSingles(), 0.875);
+  EXPECT_DOUBLE_EQ(pairs.SumPairs(), 0.35);
+  EXPECT_DOUBLE_EQ(pairs.Get(1, 0), 0.2);  // Symmetric.
+}
+
+TEST(UnionBounds, EmptyFamily) {
+  const UnionBounds bounds = ComputeUnionBounds(PairwiseProbabilities(0));
+  EXPECT_DOUBLE_EQ(bounds.lower, 0.0);
+  EXPECT_DOUBLE_EQ(bounds.upper, 0.0);
+}
+
+TEST(UnionBounds, SingleEvent) {
+  PairwiseProbabilities pairs(1);
+  pairs.Set(0, 0, 0.42);
+  const UnionBounds bounds = ComputeUnionBounds(pairs);
+  EXPECT_NEAR(bounds.lower, 0.42, 1e-12);
+  EXPECT_NEAR(bounds.upper, 0.42, 1e-12);
+}
+
+TEST(UnionBounds, DisjointEventsAreExact) {
+  // For disjoint events both bounds collapse to the sum.
+  PairwiseProbabilities pairs(3);
+  pairs.Set(0, 0, 0.1);
+  pairs.Set(1, 1, 0.2);
+  pairs.Set(2, 2, 0.3);
+  const UnionBounds bounds = ComputeUnionBounds(pairs);
+  EXPECT_NEAR(bounds.lower, 0.6, 1e-12);
+  EXPECT_NEAR(bounds.upper, 0.6, 1e-12);
+}
+
+class UnionBoundsValidity : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnionBoundsValidity, BoundsBracketExactUnion) {
+  Rng rng(GetParam() * 17 + 5);
+  const std::size_t m = 1 + rng.NextBelow(8);
+  const RandomEventFamily family = MakeFamily(rng, m, 64);
+  EXPECT_LE(DeCaenLowerBound(family.pairs), family.exact_union + 1e-12);
+  EXPECT_GE(KwerelUpperBound(family.pairs), family.exact_union - 1e-12);
+  const UnionBounds bounds = ComputeUnionBounds(family.pairs);
+  EXPECT_LE(bounds.lower, family.exact_union + 1e-12);
+  EXPECT_GE(bounds.upper, family.exact_union - 1e-12);
+  EXPECT_LE(bounds.lower, bounds.upper + 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFamilies, UnionBoundsValidity,
+                         ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace pfci

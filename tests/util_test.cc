@@ -1,0 +1,187 @@
+// Unit tests for the utility layer (RNG, strings, CSV).
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/csv_writer.h"
+#include "src/util/random.h"
+#include "src/util/stopwatch.h"
+#include "src/util/string_util.h"
+
+namespace pfci {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a(), b());
+  EXPECT_EQ(a(), b());
+  Rng a2(42);
+  EXPECT_NE(a2(), c());
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(8);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) ++counts[rng.NextBelow(7)];
+  for (int count : counts) {
+    EXPECT_GT(count, 8000);  // Roughly uniform (expected 10000).
+    EXPECT_LT(count, 12000);
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo = saw_lo || v == -2;
+    saw_hi = saw_hi || v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(10);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  EXPECT_FALSE(rng.NextBernoulli(-0.5));
+  EXPECT_TRUE(rng.NextBernoulli(1.5));
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian(2.0, 3.0);
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(12);
+  for (double mean : {2.5, 60.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.NextPoisson(mean);
+    EXPECT_NEAR(sum / n, mean, mean * 0.05) << mean;
+  }
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.NextWeighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(14);
+  std::vector<int> values = {1, 2, 3, 4, 5};
+  rng.Shuffle(values);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(StringUtil, SplitTokens) {
+  EXPECT_EQ(SplitTokens("a b  c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitTokens("  "), std::vector<std::string>{});
+  EXPECT_EQ(SplitTokens("x,y;z", ",;"),
+            (std::vector<std::string>{"x", "y", "z"}));
+}
+
+TEST(StringUtil, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringUtil, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringUtil, ParseUint32) {
+  unsigned int value = 0;
+  EXPECT_TRUE(ParseUint32("123", &value));
+  EXPECT_EQ(value, 123u);
+  EXPECT_TRUE(ParseUint32(" 7 ", &value));
+  EXPECT_EQ(value, 7u);
+  EXPECT_FALSE(ParseUint32("12x", &value));
+  EXPECT_FALSE(ParseUint32("", &value));
+  EXPECT_FALSE(ParseUint32("-3", &value));
+}
+
+TEST(StringUtil, ParseDouble) {
+  double value = 0.0;
+  EXPECT_TRUE(ParseDouble("0.25", &value));
+  EXPECT_DOUBLE_EQ(value, 0.25);
+  EXPECT_TRUE(ParseDouble("1e-3", &value));
+  EXPECT_DOUBLE_EQ(value, 1e-3);
+  EXPECT_FALSE(ParseDouble("abc", &value));
+  EXPECT_FALSE(ParseDouble("", &value));
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(2.0), "2");
+}
+
+TEST(CsvWriter, EscapesSpecialFields) {
+  EXPECT_EQ(EscapeCsvField("plain"), "plain");
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriter, WritesRowsToFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pfci_csv_test.csv").string();
+  {
+    CsvWriter csv(path);
+    ASSERT_TRUE(csv.Ok());
+    csv.WriteRow({"a", "b,c"});
+    csv.WriteRow({"1", "2"});
+    EXPECT_EQ(csv.rows_written(), 2);
+  }
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "a,\"b,c\"\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch timer;
+  const double t0 = timer.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  timer.Reset();
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  EXPECT_LT(timer.ElapsedSeconds(), 5.0);
+}
+
+}  // namespace
+}  // namespace pfci

@@ -1,0 +1,78 @@
+// Dataset inspection tool: prints Table VIII-style characteristics of a
+// `.utd` (uncertain) or `.dat` (exact) transaction file, plus the item
+// frequency profile.
+//
+//   $ pfci_stats DATA.utd [--top=10]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/data/database_io.h"
+#include "src/data/database_stats.h"
+#include "src/data/vertical_index.h"
+#include "src/util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace pfci;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s DATA.{utd|dat} [--top=N]\n", argv[0]);
+    return 1;
+  }
+  const std::string path = argv[1];
+  unsigned int top = 10;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--top=", 6) == 0) {
+      if (!ParseUint32(argv[i] + 6, &top)) {
+        std::fprintf(stderr, "bad --top value\n");
+        return 1;
+      }
+    }
+  }
+
+  UncertainDatabase db;
+  std::string error;
+  const bool is_exact = path.size() >= 4 &&
+                        path.compare(path.size() - 4, 4, ".dat") == 0;
+  if (is_exact) {
+    std::vector<Itemset> transactions;
+    if (!LoadExactTransactions(path, &transactions, &error)) {
+      std::fprintf(stderr, "failed to load %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    for (Itemset& t : transactions) db.Add(std::move(t), 1.0);
+  } else if (!LoadUncertainDatabase(path, &db, &error)) {
+    std::fprintf(stderr, "failed to load %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+
+  std::printf("%s\n", ComputeStats(db).ToString().c_str());
+
+  const VerticalIndex index(db);
+  struct ItemProfile {
+    Item item;
+    std::size_t count;
+    double expected_support;
+  };
+  std::vector<ItemProfile> profile;
+  for (Item item : index.occurring_items()) {
+    const TidList& tids = index.TidsOfItem(item);
+    double esup = 0.0;
+    for (Tid tid : tids) esup += db.prob(tid);
+    profile.push_back(ItemProfile{item, tids.size(), esup});
+  }
+  std::sort(profile.begin(), profile.end(),
+            [](const ItemProfile& a, const ItemProfile& b) {
+              return a.count > b.count;
+            });
+  std::printf("\ntop-%u items by count (item, count, expected support):\n",
+              top);
+  for (std::size_t i = 0; i < profile.size() && i < top; ++i) {
+    std::printf("  %6u  %8zu  %10.2f\n", profile[i].item, profile[i].count,
+                profile[i].expected_support);
+  }
+  return 0;
+}
