@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_checker"
+  "../bench/ablation_checker.pdb"
+  "CMakeFiles/ablation_checker.dir/ablation_checker.cc.o"
+  "CMakeFiles/ablation_checker.dir/ablation_checker.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_naive_vs_mpfci"
+  "../bench/fig05_naive_vs_mpfci.pdb"
+  "CMakeFiles/fig05_naive_vs_mpfci.dir/fig05_naive_vs_mpfci.cc.o"
+  "CMakeFiles/fig05_naive_vs_mpfci.dir/fig05_naive_vs_mpfci.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_naive_vs_mpfci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

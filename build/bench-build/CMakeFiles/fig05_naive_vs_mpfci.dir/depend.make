@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_naive_vs_mpfci.
+# This may be replaced when dependencies are built.

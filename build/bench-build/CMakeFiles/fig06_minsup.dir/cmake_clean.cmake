@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_minsup"
+  "../bench/fig06_minsup.pdb"
+  "CMakeFiles/fig06_minsup.dir/fig06_minsup.cc.o"
+  "CMakeFiles/fig06_minsup.dir/fig06_minsup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_minsup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

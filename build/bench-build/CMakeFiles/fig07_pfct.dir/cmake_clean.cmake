@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_pfct"
+  "../bench/fig07_pfct.pdb"
+  "CMakeFiles/fig07_pfct.dir/fig07_pfct.cc.o"
+  "CMakeFiles/fig07_pfct.dir/fig07_pfct.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_pfct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_epsilon"
+  "../bench/fig08_epsilon.pdb"
+  "CMakeFiles/fig08_epsilon.dir/fig08_epsilon.cc.o"
+  "CMakeFiles/fig08_epsilon.dir/fig08_epsilon.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_delta"
+  "../bench/fig09_delta.pdb"
+  "CMakeFiles/fig09_delta.dir/fig09_delta.cc.o"
+  "CMakeFiles/fig09_delta.dir/fig09_delta.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

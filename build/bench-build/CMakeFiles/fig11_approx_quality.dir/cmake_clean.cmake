@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_approx_quality"
+  "../bench/fig11_approx_quality.pdb"
+  "CMakeFiles/fig11_approx_quality.dir/fig11_approx_quality.cc.o"
+  "CMakeFiles/fig11_approx_quality.dir/fig11_approx_quality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_approx_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

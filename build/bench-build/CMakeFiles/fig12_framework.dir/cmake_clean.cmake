@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_framework"
+  "../bench/fig12_framework.pdb"
+  "CMakeFiles/fig12_framework.dir/fig12_framework.cc.o"
+  "CMakeFiles/fig12_framework.dir/fig12_framework.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table08_datasets"
+  "../bench/table08_datasets.pdb"
+  "CMakeFiles/table08_datasets.dir/table08_datasets.cc.o"
+  "CMakeFiles/table08_datasets.dir/table08_datasets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

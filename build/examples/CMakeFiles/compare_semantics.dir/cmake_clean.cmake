@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_semantics.dir/compare_semantics.cpp.o"
+  "CMakeFiles/compare_semantics.dir/compare_semantics.cpp.o.d"
+  "compare_semantics"
+  "compare_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

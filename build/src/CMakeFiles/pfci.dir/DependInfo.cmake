@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bfs_miner.cc" "src/CMakeFiles/pfci.dir/core/bfs_miner.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/bfs_miner.cc.o.d"
+  "/root/repo/src/core/brute_force.cc" "src/CMakeFiles/pfci.dir/core/brute_force.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/brute_force.cc.o.d"
+  "/root/repo/src/core/closed_probability.cc" "src/CMakeFiles/pfci.dir/core/closed_probability.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/closed_probability.cc.o.d"
+  "/root/repo/src/core/expected_support_miner.cc" "src/CMakeFiles/pfci.dir/core/expected_support_miner.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/expected_support_miner.cc.o.d"
+  "/root/repo/src/core/extension_events.cc" "src/CMakeFiles/pfci.dir/core/extension_events.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/extension_events.cc.o.d"
+  "/root/repo/src/core/fcp_bounds.cc" "src/CMakeFiles/pfci.dir/core/fcp_bounds.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/fcp_bounds.cc.o.d"
+  "/root/repo/src/core/fcp_engine.cc" "src/CMakeFiles/pfci.dir/core/fcp_engine.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/fcp_engine.cc.o.d"
+  "/root/repo/src/core/fcp_exact.cc" "src/CMakeFiles/pfci.dir/core/fcp_exact.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/fcp_exact.cc.o.d"
+  "/root/repo/src/core/fcp_sampler.cc" "src/CMakeFiles/pfci.dir/core/fcp_sampler.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/fcp_sampler.cc.o.d"
+  "/root/repo/src/core/frequent_probability.cc" "src/CMakeFiles/pfci.dir/core/frequent_probability.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/frequent_probability.cc.o.d"
+  "/root/repo/src/core/item_uncertain_miners.cc" "src/CMakeFiles/pfci.dir/core/item_uncertain_miners.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/item_uncertain_miners.cc.o.d"
+  "/root/repo/src/core/mdnf_reduction.cc" "src/CMakeFiles/pfci.dir/core/mdnf_reduction.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/mdnf_reduction.cc.o.d"
+  "/root/repo/src/core/mining_result.cc" "src/CMakeFiles/pfci.dir/core/mining_result.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/mining_result.cc.o.d"
+  "/root/repo/src/core/mpfci_miner.cc" "src/CMakeFiles/pfci.dir/core/mpfci_miner.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/mpfci_miner.cc.o.d"
+  "/root/repo/src/core/naive_miner.cc" "src/CMakeFiles/pfci.dir/core/naive_miner.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/naive_miner.cc.o.d"
+  "/root/repo/src/core/pfi_miner.cc" "src/CMakeFiles/pfci.dir/core/pfi_miner.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/pfi_miner.cc.o.d"
+  "/root/repo/src/core/probabilistic_support.cc" "src/CMakeFiles/pfci.dir/core/probabilistic_support.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/probabilistic_support.cc.o.d"
+  "/root/repo/src/core/stream_miner.cc" "src/CMakeFiles/pfci.dir/core/stream_miner.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/stream_miner.cc.o.d"
+  "/root/repo/src/core/topk_miner.cc" "src/CMakeFiles/pfci.dir/core/topk_miner.cc.o" "gcc" "src/CMakeFiles/pfci.dir/core/topk_miner.cc.o.d"
+  "/root/repo/src/data/database_io.cc" "src/CMakeFiles/pfci.dir/data/database_io.cc.o" "gcc" "src/CMakeFiles/pfci.dir/data/database_io.cc.o.d"
+  "/root/repo/src/data/database_stats.cc" "src/CMakeFiles/pfci.dir/data/database_stats.cc.o" "gcc" "src/CMakeFiles/pfci.dir/data/database_stats.cc.o.d"
+  "/root/repo/src/data/item_uncertain_database.cc" "src/CMakeFiles/pfci.dir/data/item_uncertain_database.cc.o" "gcc" "src/CMakeFiles/pfci.dir/data/item_uncertain_database.cc.o.d"
+  "/root/repo/src/data/itemset.cc" "src/CMakeFiles/pfci.dir/data/itemset.cc.o" "gcc" "src/CMakeFiles/pfci.dir/data/itemset.cc.o.d"
+  "/root/repo/src/data/possible_world.cc" "src/CMakeFiles/pfci.dir/data/possible_world.cc.o" "gcc" "src/CMakeFiles/pfci.dir/data/possible_world.cc.o.d"
+  "/root/repo/src/data/tidlist.cc" "src/CMakeFiles/pfci.dir/data/tidlist.cc.o" "gcc" "src/CMakeFiles/pfci.dir/data/tidlist.cc.o.d"
+  "/root/repo/src/data/uncertain_database.cc" "src/CMakeFiles/pfci.dir/data/uncertain_database.cc.o" "gcc" "src/CMakeFiles/pfci.dir/data/uncertain_database.cc.o.d"
+  "/root/repo/src/data/vertical_index.cc" "src/CMakeFiles/pfci.dir/data/vertical_index.cc.o" "gcc" "src/CMakeFiles/pfci.dir/data/vertical_index.cc.o.d"
+  "/root/repo/src/data/world_enumerator.cc" "src/CMakeFiles/pfci.dir/data/world_enumerator.cc.o" "gcc" "src/CMakeFiles/pfci.dir/data/world_enumerator.cc.o.d"
+  "/root/repo/src/datagen/mushroom_generator.cc" "src/CMakeFiles/pfci.dir/datagen/mushroom_generator.cc.o" "gcc" "src/CMakeFiles/pfci.dir/datagen/mushroom_generator.cc.o.d"
+  "/root/repo/src/datagen/probability_assigner.cc" "src/CMakeFiles/pfci.dir/datagen/probability_assigner.cc.o" "gcc" "src/CMakeFiles/pfci.dir/datagen/probability_assigner.cc.o.d"
+  "/root/repo/src/datagen/quest_generator.cc" "src/CMakeFiles/pfci.dir/datagen/quest_generator.cc.o" "gcc" "src/CMakeFiles/pfci.dir/datagen/quest_generator.cc.o.d"
+  "/root/repo/src/exact/apriori.cc" "src/CMakeFiles/pfci.dir/exact/apriori.cc.o" "gcc" "src/CMakeFiles/pfci.dir/exact/apriori.cc.o.d"
+  "/root/repo/src/exact/charm_miner.cc" "src/CMakeFiles/pfci.dir/exact/charm_miner.cc.o" "gcc" "src/CMakeFiles/pfci.dir/exact/charm_miner.cc.o.d"
+  "/root/repo/src/exact/closed_miner.cc" "src/CMakeFiles/pfci.dir/exact/closed_miner.cc.o" "gcc" "src/CMakeFiles/pfci.dir/exact/closed_miner.cc.o.d"
+  "/root/repo/src/exact/fp_growth.cc" "src/CMakeFiles/pfci.dir/exact/fp_growth.cc.o" "gcc" "src/CMakeFiles/pfci.dir/exact/fp_growth.cc.o.d"
+  "/root/repo/src/exact/fp_tree.cc" "src/CMakeFiles/pfci.dir/exact/fp_tree.cc.o" "gcc" "src/CMakeFiles/pfci.dir/exact/fp_tree.cc.o.d"
+  "/root/repo/src/exact/transaction_database.cc" "src/CMakeFiles/pfci.dir/exact/transaction_database.cc.o" "gcc" "src/CMakeFiles/pfci.dir/exact/transaction_database.cc.o.d"
+  "/root/repo/src/harness/dataset_factory.cc" "src/CMakeFiles/pfci.dir/harness/dataset_factory.cc.o" "gcc" "src/CMakeFiles/pfci.dir/harness/dataset_factory.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/pfci.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/pfci.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/table_printer.cc" "src/CMakeFiles/pfci.dir/harness/table_printer.cc.o" "gcc" "src/CMakeFiles/pfci.dir/harness/table_printer.cc.o.d"
+  "/root/repo/src/harness/variants.cc" "src/CMakeFiles/pfci.dir/harness/variants.cc.o" "gcc" "src/CMakeFiles/pfci.dir/harness/variants.cc.o.d"
+  "/root/repo/src/prob/conditional_sampler.cc" "src/CMakeFiles/pfci.dir/prob/conditional_sampler.cc.o" "gcc" "src/CMakeFiles/pfci.dir/prob/conditional_sampler.cc.o.d"
+  "/root/repo/src/prob/inclusion_exclusion.cc" "src/CMakeFiles/pfci.dir/prob/inclusion_exclusion.cc.o" "gcc" "src/CMakeFiles/pfci.dir/prob/inclusion_exclusion.cc.o.d"
+  "/root/repo/src/prob/karp_luby.cc" "src/CMakeFiles/pfci.dir/prob/karp_luby.cc.o" "gcc" "src/CMakeFiles/pfci.dir/prob/karp_luby.cc.o.d"
+  "/root/repo/src/prob/poisson_binomial.cc" "src/CMakeFiles/pfci.dir/prob/poisson_binomial.cc.o" "gcc" "src/CMakeFiles/pfci.dir/prob/poisson_binomial.cc.o.d"
+  "/root/repo/src/prob/tail_approximations.cc" "src/CMakeFiles/pfci.dir/prob/tail_approximations.cc.o" "gcc" "src/CMakeFiles/pfci.dir/prob/tail_approximations.cc.o.d"
+  "/root/repo/src/prob/tail_bounds.cc" "src/CMakeFiles/pfci.dir/prob/tail_bounds.cc.o" "gcc" "src/CMakeFiles/pfci.dir/prob/tail_bounds.cc.o.d"
+  "/root/repo/src/prob/union_bounds.cc" "src/CMakeFiles/pfci.dir/prob/union_bounds.cc.o" "gcc" "src/CMakeFiles/pfci.dir/prob/union_bounds.cc.o.d"
+  "/root/repo/src/util/csv_writer.cc" "src/CMakeFiles/pfci.dir/util/csv_writer.cc.o" "gcc" "src/CMakeFiles/pfci.dir/util/csv_writer.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/pfci.dir/util/random.cc.o" "gcc" "src/CMakeFiles/pfci.dir/util/random.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/pfci.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/pfci.dir/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

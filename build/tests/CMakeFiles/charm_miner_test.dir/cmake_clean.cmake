@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charm_miner_test.dir/charm_miner_test.cc.o"
+  "CMakeFiles/charm_miner_test.dir/charm_miner_test.cc.o.d"
+  "charm_miner_test"
+  "charm_miner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charm_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

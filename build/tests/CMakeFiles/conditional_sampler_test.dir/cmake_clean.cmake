@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conditional_sampler_test.dir/conditional_sampler_test.cc.o"
+  "CMakeFiles/conditional_sampler_test.dir/conditional_sampler_test.cc.o.d"
+  "conditional_sampler_test"
+  "conditional_sampler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conditional_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distribution_consistency_test.dir/distribution_consistency_test.cc.o"
+  "CMakeFiles/distribution_consistency_test.dir/distribution_consistency_test.cc.o.d"
+  "distribution_consistency_test"
+  "distribution_consistency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distribution_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_mining_test.dir/exact_mining_test.cc.o"
+  "CMakeFiles/exact_mining_test.dir/exact_mining_test.cc.o.d"
+  "exact_mining_test"
+  "exact_mining_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_mining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

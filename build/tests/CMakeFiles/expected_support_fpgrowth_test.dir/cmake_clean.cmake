@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expected_support_fpgrowth_test.dir/expected_support_fpgrowth_test.cc.o"
+  "CMakeFiles/expected_support_fpgrowth_test.dir/expected_support_fpgrowth_test.cc.o.d"
+  "expected_support_fpgrowth_test"
+  "expected_support_fpgrowth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expected_support_fpgrowth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

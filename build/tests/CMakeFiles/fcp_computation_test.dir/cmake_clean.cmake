@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcp_computation_test.dir/fcp_computation_test.cc.o"
+  "CMakeFiles/fcp_computation_test.dir/fcp_computation_test.cc.o.d"
+  "fcp_computation_test"
+  "fcp_computation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcp_computation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

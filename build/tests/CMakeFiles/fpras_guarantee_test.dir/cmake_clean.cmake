@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpras_guarantee_test.dir/fpras_guarantee_test.cc.o"
+  "CMakeFiles/fpras_guarantee_test.dir/fpras_guarantee_test.cc.o.d"
+  "fpras_guarantee_test"
+  "fpras_guarantee_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpras_guarantee_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequent_probability_test.dir/frequent_probability_test.cc.o"
+  "CMakeFiles/frequent_probability_test.dir/frequent_probability_test.cc.o.d"
+  "frequent_probability_test"
+  "frequent_probability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequent_probability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_robustness_test.dir/io_robustness_test.cc.o"
+  "CMakeFiles/io_robustness_test.dir/io_robustness_test.cc.o.d"
+  "io_robustness_test"
+  "io_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/item_uncertain_test.dir/item_uncertain_test.cc.o"
+  "CMakeFiles/item_uncertain_test.dir/item_uncertain_test.cc.o.d"
+  "item_uncertain_test"
+  "item_uncertain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/item_uncertain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/karp_luby_test.dir/karp_luby_test.cc.o"
+  "CMakeFiles/karp_luby_test.dir/karp_luby_test.cc.o.d"
+  "karp_luby_test"
+  "karp_luby_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/karp_luby_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdnf_reduction_test.dir/mdnf_reduction_test.cc.o"
+  "CMakeFiles/mdnf_reduction_test.dir/mdnf_reduction_test.cc.o.d"
+  "mdnf_reduction_test"
+  "mdnf_reduction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdnf_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_behavior_test.dir/miner_behavior_test.cc.o"
+  "CMakeFiles/miner_behavior_test.dir/miner_behavior_test.cc.o.d"
+  "miner_behavior_test"
+  "miner_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

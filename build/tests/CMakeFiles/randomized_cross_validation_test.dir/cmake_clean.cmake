@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomized_cross_validation_test.dir/randomized_cross_validation_test.cc.o"
+  "CMakeFiles/randomized_cross_validation_test.dir/randomized_cross_validation_test.cc.o.d"
+  "randomized_cross_validation_test"
+  "randomized_cross_validation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomized_cross_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

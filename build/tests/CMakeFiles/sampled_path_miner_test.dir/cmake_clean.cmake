@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampled_path_miner_test.dir/sampled_path_miner_test.cc.o"
+  "CMakeFiles/sampled_path_miner_test.dir/sampled_path_miner_test.cc.o.d"
+  "sampled_path_miner_test"
+  "sampled_path_miner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampled_path_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

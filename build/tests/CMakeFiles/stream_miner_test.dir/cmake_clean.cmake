@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_miner_test.dir/stream_miner_test.cc.o"
+  "CMakeFiles/stream_miner_test.dir/stream_miner_test.cc.o.d"
+  "stream_miner_test"
+  "stream_miner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

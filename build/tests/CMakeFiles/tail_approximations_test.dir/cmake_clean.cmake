@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tail_approximations_test.dir/tail_approximations_test.cc.o"
+  "CMakeFiles/tail_approximations_test.dir/tail_approximations_test.cc.o.d"
+  "tail_approximations_test"
+  "tail_approximations_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tail_approximations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/union_bounds_test.dir/union_bounds_test.cc.o"
+  "CMakeFiles/union_bounds_test.dir/union_bounds_test.cc.o.d"
+  "union_bounds_test"
+  "union_bounds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/union_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

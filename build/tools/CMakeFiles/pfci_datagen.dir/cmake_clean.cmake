@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfci_datagen.dir/pfci_datagen.cc.o"
+  "CMakeFiles/pfci_datagen.dir/pfci_datagen.cc.o.d"
+  "pfci_datagen"
+  "pfci_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfci_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfci_stats.dir/pfci_stats.cc.o"
+  "CMakeFiles/pfci_stats.dir/pfci_stats.cc.o.d"
+  "pfci_stats"
+  "pfci_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfci_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

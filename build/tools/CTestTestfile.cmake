@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_datagen_quest "/root/repo/build/tools/pfci_datagen" "quest" "/root/repo/build/tools/smoke.utd" "--transactions=200" "--items=16" "--avg-len=6" "--pattern-len=3")
+set_tests_properties(tool_datagen_quest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_datagen_mushroom_exact "/root/repo/build/tools/pfci_datagen" "mushroom" "/root/repo/build/tools/smoke.dat" "--exact" "--transactions=200" "--attributes=8")
+set_tests_properties(tool_datagen_mushroom_exact PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_stats "/root/repo/build/tools/pfci_stats" "/root/repo/build/tools/smoke.utd" "--top=5")
+set_tests_properties(tool_stats PROPERTIES  DEPENDS "tool_datagen_quest" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
