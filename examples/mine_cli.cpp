@@ -1,7 +1,9 @@
 // Command-line miner: discover probabilistic frequent closed itemsets in
 // a `.utd` file (one transaction per line: `prob item item ...`).
 //
-//   $ ./mine_cli DATA.utd MIN_SUP [PFCT=0.8] [--algo=mpfci|bfs|naive]
+//   $ ./mine_cli DATA.utd MIN_SUP [PFCT=0.8]
+//                [--algo=mpfci|bfs|naive|topk|pfi|esup]
+//                [--threads=N] [--progress] [--top-k=K]
 //                [--epsilon=0.1] [--delta=0.1] [--csv=OUT.csv]
 //
 // With no arguments, writes the paper's Table II database to a temp file
@@ -11,11 +13,11 @@
 #include <cstring>
 #include <string>
 
+#include "src/core/mine.h"
 #include "src/core/mining_result.h"
 #include "src/data/database_io.h"
 #include "src/data/database_stats.h"
 #include "src/harness/dataset_factory.h"
-#include "src/harness/variants.h"
 #include "src/util/csv_writer.h"
 #include "src/util/string_util.h"
 
@@ -34,22 +36,25 @@ int main(int argc, char** argv) {
   using namespace pfci;
 
   std::string path;
-  MiningParams params;
-  params.pfct = 0.8;
-  AlgorithmVariant algo = AlgorithmVariant::kMpfci;
+  MiningRequest request;
+  request.params.pfct = 0.8;
+  bool show_progress = false;
   std::string csv_path;
 
   if (argc < 3) {
-    std::printf("usage: %s DATA.utd MIN_SUP [PFCT] [--algo=mpfci|bfs|naive]"
-                " [--epsilon=E] [--delta=D] [--csv=OUT.csv]\n"
-                "no input given — demonstrating on the paper's Table II.\n\n",
-                argv[0]);
+    std::printf(
+        "usage: %s DATA.utd MIN_SUP [PFCT]"
+        " [--algo=mpfci|bfs|naive|topk|pfi|esup]\n"
+        "       [--threads=N] [--progress] [--top-k=K]"
+        " [--epsilon=E] [--delta=D] [--csv=OUT.csv]\n"
+        "no input given — demonstrating on the paper's Table II.\n\n",
+        argv[0]);
     path = "/tmp/pfci_demo.utd";
     if (!SaveUncertainDatabase(MakePaperExampleDb(), path)) {
       std::fprintf(stderr, "cannot write demo file %s\n", path.c_str());
       return 1;
     }
-    params.min_sup = 2;
+    request.params.min_sup = 2;
   } else {
     path = argv[1];
     unsigned int min_sup = 0;
@@ -57,7 +62,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bad MIN_SUP '%s'\n", argv[2]);
       return 1;
     }
-    params.min_sup = min_sup;
+    request.params.min_sup = min_sup;
     int position = 3;
     if (argc > position && argv[position][0] != '-') {
       double pfct = 0.0;
@@ -65,26 +70,48 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad PFCT '%s'\n", argv[position]);
         return 1;
       }
-      params.pfct = pfct;
+      request.params.pfct = pfct;
       ++position;
     }
     for (; position < argc; ++position) {
       std::string value;
       if (ParseFlag(argv[position], "--algo", &value)) {
         if (value == "mpfci") {
-          algo = AlgorithmVariant::kMpfci;
+          request.algorithm = Algorithm::kMpfci;
         } else if (value == "bfs") {
-          algo = AlgorithmVariant::kBfs;
+          request.algorithm = Algorithm::kMpfciBfs;
         } else if (value == "naive") {
-          algo = AlgorithmVariant::kNaive;
+          request.algorithm = Algorithm::kNaive;
+        } else if (value == "topk") {
+          request.algorithm = Algorithm::kTopK;
+        } else if (value == "pfi") {
+          request.algorithm = Algorithm::kPfi;
+        } else if (value == "esup") {
+          request.algorithm = Algorithm::kExpectedSupport;
         } else {
           std::fprintf(stderr, "unknown --algo '%s'\n", value.c_str());
           return 1;
         }
+      } else if (ParseFlag(argv[position], "--threads", &value)) {
+        unsigned int threads = 0;
+        if (!ParseUint32(value, &threads)) {
+          std::fprintf(stderr, "bad --threads '%s'\n", value.c_str());
+          return 1;
+        }
+        request.execution.num_threads = threads;
+      } else if (ParseFlag(argv[position], "--top-k", &value)) {
+        unsigned int top_k = 0;
+        if (!ParseUint32(value, &top_k) || top_k == 0) {
+          std::fprintf(stderr, "bad --top-k '%s'\n", value.c_str());
+          return 1;
+        }
+        request.top_k = top_k;
+      } else if (std::strcmp(argv[position], "--progress") == 0) {
+        show_progress = true;
       } else if (ParseFlag(argv[position], "--epsilon", &value)) {
-        if (!ParseDouble(value, &params.epsilon)) return 1;
+        if (!ParseDouble(value, &request.params.epsilon)) return 1;
       } else if (ParseFlag(argv[position], "--delta", &value)) {
-        if (!ParseDouble(value, &params.delta)) return 1;
+        if (!ParseDouble(value, &request.params.delta)) return 1;
       } else if (ParseFlag(argv[position], "--csv", &value)) {
         csv_path = value;
       } else {
@@ -92,6 +119,15 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+  }
+
+  if (show_progress) {
+    request.progress_interval = 1024;
+    request.progress = [](const MiningProgress& progress) {
+      std::fprintf(stderr, "\r%llu nodes, %llu itemsets",
+                   static_cast<unsigned long long>(progress.nodes_visited),
+                   static_cast<unsigned long long>(progress.itemsets_found));
+    };
   }
 
   UncertainDatabase db;
@@ -103,10 +139,16 @@ int main(int argc, char** argv) {
   }
   std::printf("loaded %s: %s\n", path.c_str(),
               ComputeStats(db).ToString().c_str());
-  std::printf("mining with %s, min_sup=%zu, pfct=%g\n", VariantName(algo),
-              params.min_sup, params.pfct);
+  const std::string threads_label =
+      request.execution.num_threads == 0
+          ? "auto"
+          : std::to_string(request.execution.num_threads);
+  std::printf("mining with %s, min_sup=%zu, pfct=%g, threads=%s\n",
+              AlgorithmName(request.algorithm), request.params.min_sup,
+              request.params.pfct, threads_label.c_str());
 
-  const MiningResult result = RunVariant(algo, db, params);
+  const MiningResult result = Mine(db, request);
+  if (show_progress) std::fprintf(stderr, "\n");
   std::printf("\n%zu probabilistic frequent closed itemsets:\n",
               result.itemsets.size());
   std::printf("%s", result.ToString().c_str());

@@ -7,7 +7,9 @@
 #include "src/core/frequent_probability.h"
 #include "src/data/vertical_index.h"
 #include "src/util/check.h"
+#include "src/util/random.h"
 #include "src/util/stopwatch.h"
+#include "src/util/thread_pool.h"
 
 namespace pfci {
 
@@ -24,13 +26,21 @@ struct LevelEntry {
 
 MiningResult MineMpfciBfs(const UncertainDatabase& db,
                           const MiningParams& params) {
-  PFCI_CHECK(params.min_sup >= 1);
+  ExecutionContext exec;
+  exec.pool = &ThreadPool::Shared();
+  return MineMpfciBfs(db, params, exec);
+}
+
+MiningResult MineMpfciBfs(const UncertainDatabase& db,
+                          const MiningParams& params,
+                          const ExecutionContext& exec) {
+  const std::string error = ValidateParams(params);
+  PFCI_CHECK_MSG(error.empty(), "invalid MiningParams: " + error);
   Stopwatch timer;
   MiningResult result;
   const VerticalIndex index(db);
   const FrequentProbability freq(index, params.min_sup);
-  const FcpEngine engine(index, freq, params);
-  Rng rng(params.seed);
+  const FcpEngine engine(index, freq, params, exec);
 
   // Qualifies a candidate itemset; returns PrF > pfct ? PrF : 0 and
   // updates pruning counters.
@@ -52,22 +62,6 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
     return pr_f;
   };
 
-  const auto check_and_emit = [&](const LevelEntry& entry) {
-    const FcpComputation comp =
-        engine.Evaluate(entry.items, entry.tids, entry.pr_f, rng,
-                        &result.stats);
-    if (comp.is_pfci) {
-      PfciEntry out;
-      out.items = entry.items;
-      out.fcp = comp.fcp;
-      out.pr_f = comp.pr_f;
-      out.fcp_lower = comp.bounds_computed ? comp.bounds.lower : 0.0;
-      out.fcp_upper = comp.bounds_computed ? comp.bounds.upper : comp.pr_f;
-      out.method = comp.method;
-      result.itemsets.push_back(std::move(out));
-    }
-  };
-
   // Level 1.
   std::vector<LevelEntry> level;
   for (Item item : index.occurring_items()) {
@@ -78,9 +72,48 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
     if (entry.pr_f > 0.0) level.push_back(std::move(entry));
   }
 
+  // Global position of the first entry of the current level across the
+  // whole run; the per-entry RNG stream is derived from it, so it is
+  // independent of thread count and scheduling.
+  std::uint64_t entry_counter = 0;
   while (!level.empty()) {
     result.stats.nodes_visited += level.size();
-    for (const LevelEntry& entry : level) check_and_emit(entry);
+    if (exec.progress != nullptr) exec.progress->AddNodes(level.size());
+
+    // Evaluate the whole level in parallel; commit in level order.
+    std::vector<FcpComputation> comps(level.size());
+    std::vector<MiningStats> comp_stats(level.size());
+    const auto evaluate = [&](std::size_t i) {
+      Rng rng(DeriveSeed(params.seed, entry_counter + i));
+      comps[i] = engine.Evaluate(level[i].items, level[i].tids,
+                                 level[i].pr_f, rng, &comp_stats[i]);
+    };
+    if (exec.pool != nullptr && exec.pool->num_threads() > 1) {
+      exec.pool->ParallelFor(level.size(), evaluate, /*grain=*/1);
+    } else {
+      for (std::size_t i = 0; i < level.size(); ++i) evaluate(i);
+    }
+    entry_counter += level.size();
+
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      const MiningStats& part = comp_stats[i];
+      result.stats.decided_by_bounds += part.decided_by_bounds;
+      result.stats.zero_by_count += part.zero_by_count;
+      result.stats.exact_fcp_computations += part.exact_fcp_computations;
+      result.stats.sampled_fcp_computations += part.sampled_fcp_computations;
+      result.stats.total_samples += part.total_samples;
+      const FcpComputation& comp = comps[i];
+      if (!comp.is_pfci) continue;
+      PfciEntry out;
+      out.items = level[i].items;
+      out.fcp = comp.fcp;
+      out.pr_f = comp.pr_f;
+      out.fcp_lower = comp.bounds_computed ? comp.bounds.lower : 0.0;
+      out.fcp_upper = comp.bounds_computed ? comp.bounds.upper : comp.pr_f;
+      out.method = comp.method;
+      result.itemsets.push_back(std::move(out));
+      if (exec.progress != nullptr) exec.progress->AddItemsets();
+    }
 
     // Generate level k+1 by prefix join (entries are sorted because the
     // construction preserves lexicographic order).

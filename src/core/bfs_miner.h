@@ -9,6 +9,7 @@
 #ifndef PFCI_CORE_BFS_MINER_H_
 #define PFCI_CORE_BFS_MINER_H_
 
+#include "src/core/execution.h"
 #include "src/core/mining_params.h"
 #include "src/core/mining_result.h"
 #include "src/data/uncertain_database.h"
@@ -16,9 +17,18 @@
 namespace pfci {
 
 /// Mines all probabilistic frequent closed itemsets breadth-first.
-/// The superset/subset toggles in params.pruning are ignored.
+/// The superset/subset toggles in params.pruning are ignored. Thin
+/// wrapper over the ExecutionContext overload (shared pool).
 MiningResult MineMpfciBfs(const UncertainDatabase& db,
                           const MiningParams& params);
+
+/// Execution-aware variant used by Mine(): the FCP evaluations of one
+/// level run as parallel tasks, each seeded from params.seed and the
+/// entry's global position, and the results are committed in level order
+/// — output is bit-identical for any thread count.
+MiningResult MineMpfciBfs(const UncertainDatabase& db,
+                          const MiningParams& params,
+                          const ExecutionContext& exec);
 
 }  // namespace pfci
 

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/core/execution.h"
 #include "src/core/mining_result.h"
 #include "src/data/itemset.h"
 #include "src/data/uncertain_database.h"
@@ -23,10 +24,13 @@ struct WorldProbabilities {
   double pr_fc = 0.0;  ///< Frequent closed probability (Definition 3.7).
 };
 
-/// Computes PrF / PrC / PrFC of a single itemset exactly.
-WorldProbabilities BruteForceItemsetProbabilities(const UncertainDatabase& db,
-                                                  const Itemset& x,
-                                                  std::size_t min_sup);
+/// Computes PrF / PrC / PrFC of a single itemset exactly. The world space
+/// is partitioned into fixed index ranges that fan out over `exec.pool`;
+/// partial sums merge in range order, so the result does not depend on
+/// the thread count.
+WorldProbabilities BruteForceItemsetProbabilities(
+    const UncertainDatabase& db, const Itemset& x, std::size_t min_sup,
+    const ExecutionContext& exec = ExecutionContext{});
 
 /// An itemset with its exact frequent closed probability.
 struct FcpGroundTruth {
@@ -39,14 +43,16 @@ struct FcpGroundTruth {
 };
 
 /// Exact PrFC of every itemset that is frequent closed in at least one
-/// possible world, obtained by mining each world.
-std::vector<FcpGroundTruth> BruteForceAllFcp(const UncertainDatabase& db,
-                                             std::size_t min_sup);
+/// possible world, obtained by mining each world. Parallelized like
+/// BruteForceItemsetProbabilities (fixed ranges, in-order merge).
+std::vector<FcpGroundTruth> BruteForceAllFcp(
+    const UncertainDatabase& db, std::size_t min_sup,
+    const ExecutionContext& exec = ExecutionContext{});
 
 /// Exact probabilistic frequent closed itemsets: PrFC(X) > pfct.
-std::vector<FcpGroundTruth> BruteForceMinePfci(const UncertainDatabase& db,
-                                               std::size_t min_sup,
-                                               double pfct);
+std::vector<FcpGroundTruth> BruteForceMinePfci(
+    const UncertainDatabase& db, std::size_t min_sup, double pfct,
+    const ExecutionContext& exec = ExecutionContext{});
 
 }  // namespace pfci
 

@@ -1,0 +1,115 @@
+// Execution policy and progress plumbing shared by every miner.
+//
+// The public knobs live in ExecutionPolicy (how many threads, whether the
+// run must be bit-reproducible across thread counts); the runtime state a
+// miner actually carries around lives in ExecutionContext (a pool to run
+// on, a progress sink to report into). Mine() translates the former into
+// the latter; the compatibility wrappers build a default context.
+#ifndef PFCI_CORE_EXECUTION_H_
+#define PFCI_CORE_EXECUTION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+namespace pfci {
+
+class ThreadPool;
+
+/// How a mining request is executed.
+struct ExecutionPolicy {
+  /// Threads the run may use; 0 means "all hardware threads". 1 runs
+  /// strictly sequentially on the calling thread.
+  std::size_t num_threads = 0;
+
+  /// When true (default), results are bit-identical for every value of
+  /// num_threads: subtree/batch RNGs are derived from the seed alone and
+  /// reductions happen in a fixed order. When false, sampling batch
+  /// granularity may adapt to the thread count (slightly less scheduling
+  /// overhead, reproducible only for a fixed num_threads).
+  bool deterministic = true;
+};
+
+/// Snapshot handed to a progress callback.
+struct MiningProgress {
+  std::uint64_t nodes_visited = 0;   ///< Search-tree nodes expanded so far.
+  std::uint64_t itemsets_found = 0;  ///< Qualifying itemsets emitted so far.
+};
+
+/// Observer invoked (at a bounded rate, possibly from worker threads, but
+/// never concurrently with itself) while a mining run progresses.
+using ProgressCallback = std::function<void(const MiningProgress&)>;
+
+/// Thread-safe, rate-bounded fan-in for progress reporting: miners count
+/// events from any thread; the callback fires at most once per `interval`
+/// nodes, serialized by an internal mutex.
+class ProgressSink {
+ public:
+  /// `interval` >= 1: minimum node count between callback invocations.
+  ProgressSink(ProgressCallback callback, std::uint64_t interval)
+      : callback_(std::move(callback)),
+        interval_(interval == 0 ? 1 : interval) {}
+
+  /// Records `n` expanded nodes; may fire the callback.
+  void AddNodes(std::uint64_t n = 1) {
+    const std::uint64_t total =
+        nodes_.fetch_add(n, std::memory_order_relaxed) + n;
+    MaybeFire(total / interval_);
+  }
+
+  /// Records `n` emitted itemsets (never fires by itself; the next node
+  /// tick reports it).
+  void AddItemsets(std::uint64_t n = 1) {
+    itemsets_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Unconditionally reports the final counts (end of the run).
+  void Flush() {
+    std::lock_guard<std::mutex> lock(fire_mutex_);
+    callback_(Snapshot());
+  }
+
+ private:
+  MiningProgress Snapshot() const {
+    MiningProgress progress;
+    progress.nodes_visited = nodes_.load(std::memory_order_relaxed);
+    progress.itemsets_found = itemsets_.load(std::memory_order_relaxed);
+    return progress;
+  }
+
+  void MaybeFire(std::uint64_t tick) {
+    if (tick <= last_tick_.load(std::memory_order_relaxed)) return;
+    // Losing the race just delays the report to the next tick.
+    if (!fire_mutex_.try_lock()) return;
+    if (last_tick_.load(std::memory_order_relaxed) < tick) {
+      last_tick_.store(tick, std::memory_order_relaxed);
+      callback_(Snapshot());
+    }
+    fire_mutex_.unlock();
+  }
+
+  ProgressCallback callback_;
+  std::uint64_t interval_;
+  std::atomic<std::uint64_t> nodes_{0};
+  std::atomic<std::uint64_t> itemsets_{0};
+  std::atomic<std::uint64_t> last_tick_{0};
+  std::mutex fire_mutex_;
+};
+
+/// Runtime execution state threaded through the miners. Copyable; all
+/// referenced objects are owned by the caller and must outlive the run.
+struct ExecutionContext {
+  ThreadPool* pool = nullptr;        ///< Null: run sequentially.
+  bool deterministic = true;         ///< See ExecutionPolicy.
+  ProgressSink* progress = nullptr;  ///< Null: no progress reporting.
+};
+
+/// Threads a policy resolves to on this machine (>= 1).
+std::size_t ResolveNumThreads(const ExecutionPolicy& policy);
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_EXECUTION_H_

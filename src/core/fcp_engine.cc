@@ -18,8 +18,8 @@ constexpr double kBoundsMeetTolerance = 1e-12;
 
 FcpEngine::FcpEngine(const VerticalIndex& index,
                      const FrequentProbability& freq,
-                     const MiningParams& params)
-    : index_(&index), freq_(&freq), params_(params) {}
+                     const MiningParams& params, const ExecutionContext& exec)
+    : index_(&index), freq_(&freq), params_(params), exec_(exec) {}
 
 FcpComputation FcpEngine::Evaluate(const Itemset& x, const TidList& tids,
                                    double pr_f, Rng& rng,
@@ -83,7 +83,8 @@ FcpComputation FcpEngine::EvaluateInternal(const Itemset& x,
     if (stats != nullptr) ++stats->exact_fcp_computations;
   } else {
     const ApproxFcpResult approx =
-        ApproxFcp(pr_f, events, params_.epsilon, params_.delta, rng);
+        ApproxFcp(pr_f, events, params_.epsilon, params_.delta, rng,
+                  exec_.pool, exec_.deterministic);
     out.fcp = approx.fcp;
     out.samples = approx.samples;
     out.method = FcpMethod::kSampled;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "src/core/execution.h"
 #include "src/core/extension_events.h"
 #include "src/core/fcp_bounds.h"
 #include "src/core/frequent_probability.h"
@@ -32,12 +33,17 @@ struct FcpComputation {
   std::uint64_t samples = 0;
 };
 
-/// Stateless evaluator bound to a database and mining parameters.
+/// Stateless evaluator bound to a database and mining parameters. Safe to
+/// share across threads: Evaluate only mutates caller-owned state (`rng`,
+/// `stats`).
 class FcpEngine {
  public:
-  /// `index` and `freq` must outlive the engine.
+  /// `index` and `freq` must outlive the engine. `exec.pool`, when set,
+  /// parallelizes the ApproxFCP sample batches; `exec.progress` is unused
+  /// here.
   FcpEngine(const VerticalIndex& index, const FrequentProbability& freq,
-            const MiningParams& params);
+            const MiningParams& params,
+            const ExecutionContext& exec = ExecutionContext{});
 
   /// Decides whether X (with Tids(X) = `tids` and PrF(X) = `pr_f`)
   /// qualifies, with early exits against params.pfct. `stats` may be null.
@@ -59,6 +65,7 @@ class FcpEngine {
   const VerticalIndex* index_;
   const FrequentProbability* freq_;
   MiningParams params_;
+  ExecutionContext exec_;
 };
 
 }  // namespace pfci

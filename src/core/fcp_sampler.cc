@@ -2,15 +2,24 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/prob/conditional_sampler.h"
 #include "src/prob/karp_luby.h"
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace pfci {
 
 namespace {
+
+/// Fixed number of sample batches in deterministic mode. Independent of
+/// the thread count by design: the batch split defines the RNG streams, so
+/// it must be a constant for results to be reproducible on any machine.
+/// 32 keeps per-batch work large (required sample counts are in the
+/// thousands) while oversubscribing typical core counts for stealing.
+constexpr std::size_t kDeterministicBatches = 32;
 
 /// Bitmask over the dense positions of Tids(X).
 class PositionMask {
@@ -39,7 +48,8 @@ class PositionMask {
 }  // namespace
 
 ApproxFcpResult ApproxFcp(double pr_f, const ExtensionEventSet& events,
-                          double epsilon, double delta, Rng& rng) {
+                          double epsilon, double delta, Rng& rng,
+                          ThreadPool* pool, bool deterministic) {
   ApproxFcpResult result;
   const std::size_t m = events.size();
   if (m == 0) {
@@ -72,7 +82,20 @@ ApproxFcpResult ApproxFcp(double pr_f, const ExtensionEventSet& events,
 
   // Conditional world samplers, built lazily per event: an event that is
   // never drawn never pays the O(|tids| * min_sup) table construction.
+  // Shared across batches (construction is deterministic and does not
+  // consume randomness); call_once makes the lazy build race-free.
   std::vector<std::unique_ptr<ConditionalBernoulliSampler>> samplers(m);
+  std::unique_ptr<std::once_flag[]> sampler_once(new std::once_flag[m]);
+  const auto sampler_of = [&](std::size_t i)
+      -> const ConditionalBernoulliSampler& {
+    std::call_once(sampler_once[i], [&] {
+      const ExtensionEvent& event = events.events()[i];
+      samplers[i] = std::make_unique<ConditionalBernoulliSampler>(
+          index.ProbsOf(event.tids), min_sup);
+      PFCI_CHECK(samplers[i]->Feasible());
+    });
+    return *samplers[i];
+  };
 
   std::vector<double> event_probs;
   event_probs.reserve(m);
@@ -80,38 +103,72 @@ ApproxFcpResult ApproxFcp(double pr_f, const ExtensionEventSet& events,
     event_probs.push_back(event.prob);
   }
 
-  PositionMask world(x_tids.size());
-  std::vector<std::uint8_t> indicator;
-  const auto sample_is_canonical = [&](std::size_t i, Rng& sample_rng) {
-    const ExtensionEvent& event = events.events()[i];
-    if (samplers[i] == nullptr) {
-      samplers[i] = std::make_unique<ConditionalBernoulliSampler>(
-          index.ProbsOf(event.tids), min_sup);
-      PFCI_CHECK(samplers[i]->Feasible());
-    }
-    // Conditional world given C_i: transactions of Tids(X) \ Tids(X+e_i)
-    // are forced absent, the Tids(X+e_i) indicators are drawn conditioned
-    // on reaching min_sup.
-    samplers[i]->Sample(sample_rng, &indicator);
-    world.Clear();
-    for (std::size_t k = 0; k < event.tids.size(); ++k) {
-      if (indicator[k]) world.Set(position_of(event.tids[k]));
-    }
-    // Canonical iff no earlier event also covers the world.
-    for (std::size_t j = 0; j < i; ++j) {
-      if (event_probs[j] > 0.0 && event_mask[j].Covers(world)) return false;
-    }
-    return true;
-  };
-
   const std::uint64_t num_samples = KarpLubyRequiredSamples(m, epsilon, delta);
-  const KarpLubyResult kl =
-      KarpLubyUnionEstimate(event_probs, num_samples, rng, sample_is_canonical);
 
-  result.fnc = kl.estimate;
-  result.samples = kl.samples;
-  result.successes = kl.successes;
-  result.fcp = std::clamp(pr_f - kl.estimate, 0.0, 1.0);
+  // Batch split: one base value from the caller's rng defines every
+  // batch's stream; the split itself depends only on the sample count (in
+  // deterministic mode), never on the thread count.
+  const std::uint64_t base_seed = rng();
+  std::size_t num_batches = kDeterministicBatches;
+  if (!deterministic && pool != nullptr) {
+    num_batches = pool->num_threads() * 4;
+  }
+  num_batches = static_cast<std::size_t>(
+      std::min<std::uint64_t>(num_batches, std::max<std::uint64_t>(
+                                               1, num_samples)));
+
+  std::vector<KarpLubyResult> batch(num_batches);
+  const auto run_batch = [&](std::size_t b) {
+    const std::uint64_t batch_samples =
+        num_samples / num_batches + (b < num_samples % num_batches ? 1 : 0);
+    Rng batch_rng(DeriveSeed(base_seed, b));
+    // Per-batch scratch: one world mask and indicator buffer, reused
+    // across the batch's samples.
+    PositionMask world(x_tids.size());
+    std::vector<std::uint8_t> indicator;
+    const auto sample_is_canonical = [&](std::size_t i, Rng& sample_rng) {
+      const ExtensionEvent& event = events.events()[i];
+      // Conditional world given C_i: transactions of Tids(X) \ Tids(X+e_i)
+      // are forced absent, the Tids(X+e_i) indicators are drawn
+      // conditioned on reaching min_sup.
+      sampler_of(i).Sample(sample_rng, &indicator);
+      world.Clear();
+      for (std::size_t k = 0; k < event.tids.size(); ++k) {
+        if (indicator[k]) world.Set(position_of(event.tids[k]));
+      }
+      // Canonical iff no earlier event also covers the world.
+      for (std::size_t j = 0; j < i; ++j) {
+        if (event_probs[j] > 0.0 && event_mask[j].Covers(world)) return false;
+      }
+      return true;
+    };
+    batch[b] = KarpLubyUnionEstimate(event_probs, batch_samples, batch_rng,
+                                     sample_is_canonical);
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && num_batches > 1) {
+    pool->ParallelFor(num_batches, run_batch, /*grain=*/1);
+  } else {
+    for (std::size_t b = 0; b < num_batches; ++b) run_batch(b);
+  }
+
+  // Reduce in batch order (fixed regardless of which thread ran what).
+  // Each batch estimate is z * successes_b / samples_b, so the combined
+  // estimate z * Σ successes / Σ samples is the samples-weighted mean.
+  double weighted = 0.0;
+  std::uint64_t samples = 0;
+  std::uint64_t successes = 0;
+  for (const KarpLubyResult& kl : batch) {
+    weighted += kl.estimate * static_cast<double>(kl.samples);
+    samples += kl.samples;
+    successes += kl.successes;
+  }
+  const double estimate =
+      samples == 0 ? 0.0 : weighted / static_cast<double>(samples);
+
+  result.fnc = estimate;
+  result.samples = samples;
+  result.successes = successes;
+  result.fcp = std::clamp(pr_f - estimate, 0.0, 1.0);
   return result;
 }
 

@@ -19,6 +19,8 @@
 
 namespace pfci {
 
+class ThreadPool;
+
 /// Result of one ApproxFCP run.
 struct ApproxFcpResult {
   double fcp = 0.0;             ///< Estimated PrFC(X), clamped to [0, 1].
@@ -29,8 +31,20 @@ struct ApproxFcpResult {
 
 /// Runs ApproxFCP. `pr_f` is the exact frequent probability of X;
 /// `epsilon`/`delta` control the sample count as in the paper.
+///
+/// The Monte-Carlo loop runs as independently seeded sample batches whose
+/// partial counts reduce in a fixed order: batch b's Rng derives from one
+/// draw of `rng` and the batch index, so the estimate is a pure function
+/// of the rng state — identical whether batches run sequentially
+/// (`pool == nullptr`) or on any number of threads. Exactly one value is
+/// consumed from `rng` per call (when events is non-empty). With
+/// `deterministic` false the batch count may adapt to the pool's thread
+/// count instead of the fixed default (reproducible only per thread
+/// count).
 ApproxFcpResult ApproxFcp(double pr_f, const ExtensionEventSet& events,
-                          double epsilon, double delta, Rng& rng);
+                          double epsilon, double delta, Rng& rng,
+                          ThreadPool* pool = nullptr,
+                          bool deterministic = true);
 
 }  // namespace pfci
 

@@ -30,7 +30,7 @@ double FrequentProbability::PrFFromProbs(
   if (BestUpperTailBound(mu, probs.size(), s) < kNegligible) return 0.0;
   // Lower-tail short circuit: Pr{S <= min_sup - 1} ~ 0 -> PrF ~ 1.
   if (ChernoffLowerTail(mu, s - 1.0) < kNegligible) return 1.0;
-  ++dp_runs_;
+  dp_runs_.fetch_add(1, std::memory_order_relaxed);
   return PoissonBinomialTailAtLeast(probs, min_sup_);
 }
 

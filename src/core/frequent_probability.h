@@ -8,6 +8,7 @@
 #ifndef PFCI_CORE_FREQUENT_PROBABILITY_H_
 #define PFCI_CORE_FREQUENT_PROBABILITY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -34,14 +35,19 @@ class FrequentProbability {
 
   std::size_t min_sup() const { return min_sup_; }
 
-  /// Number of exact DP executions so far (work accounting).
-  std::uint64_t dp_runs() const { return dp_runs_; }
-  void ResetCounters() { dp_runs_ = 0; }
+  /// Number of exact DP executions so far (work accounting). The counter
+  /// is atomic so one evaluator can be shared by all tasks of a parallel
+  /// mining run; the total is deterministic (the set of DPs executed does
+  /// not depend on scheduling), only the increment order varies.
+  std::uint64_t dp_runs() const {
+    return dp_runs_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() { dp_runs_.store(0, std::memory_order_relaxed); }
 
  private:
   const VerticalIndex* index_;
   std::size_t min_sup_;
-  mutable std::uint64_t dp_runs_ = 0;
+  mutable std::atomic<std::uint64_t> dp_runs_{0};
 };
 
 }  // namespace pfci

@@ -1,0 +1,163 @@
+#include "src/core/mine.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/core/bfs_miner.h"
+#include "src/core/expected_support_miner.h"
+#include "src/core/mpfci_miner.h"
+#include "src/core/naive_miner.h"
+#include "src/core/pfi_miner.h"
+#include "src/core/topk_miner.h"
+#include "src/util/check.h"
+#include "src/util/stopwatch.h"
+#include "src/util/thread_pool.h"
+
+namespace pfci {
+
+namespace {
+
+/// PFI mining through the unified interface: entries carry pr_f, fcp 0.
+MiningResult RunPfi(const UncertainDatabase& db, const MiningRequest& request,
+                    const ExecutionContext& exec) {
+  Stopwatch timer;
+  MiningResult result;
+  const std::vector<PfiEntry> pfis =
+      MinePfi(db, request.params.min_sup, request.params.pfct,
+              request.params.pruning.chernoff, &result.stats);
+  result.itemsets.reserve(pfis.size());
+  for (const PfiEntry& pfi : pfis) {
+    PfciEntry entry;
+    entry.items = pfi.items;
+    entry.pr_f = pfi.pr_f;
+    entry.fcp = 0.0;
+    entry.fcp_upper = pfi.pr_f;
+    result.itemsets.push_back(std::move(entry));
+  }
+  if (exec.progress != nullptr) {
+    exec.progress->AddItemsets(result.itemsets.size());
+  }
+  result.stats.seconds = timer.ElapsedSeconds();
+  result.Sort();
+  return result;
+}
+
+/// Expected-support mining through the unified interface: the expected
+/// support is reported in the pr_f field, fcp is 0.
+MiningResult RunExpectedSupport(const UncertainDatabase& db,
+                                const MiningRequest& request,
+                                const ExecutionContext& exec) {
+  Stopwatch timer;
+  MiningResult result;
+  const double min_esup = request.min_esup > 0.0
+                              ? request.min_esup
+                              : static_cast<double>(request.params.min_sup);
+  const std::vector<ExpectedSupportEntry> entries =
+      MineExpectedSupport(db, min_esup);
+  result.itemsets.reserve(entries.size());
+  for (const ExpectedSupportEntry& in : entries) {
+    PfciEntry entry;
+    entry.items = in.items;
+    entry.pr_f = in.expected_support;
+    entry.fcp = 0.0;
+    entry.fcp_upper = in.expected_support;
+    result.itemsets.push_back(std::move(entry));
+  }
+  if (exec.progress != nullptr) {
+    exec.progress->AddItemsets(result.itemsets.size());
+  }
+  result.stats.seconds = timer.ElapsedSeconds();
+  result.Sort();
+  return result;
+}
+
+}  // namespace
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kMpfci:
+      return "mpfci";
+    case Algorithm::kMpfciBfs:
+      return "bfs";
+    case Algorithm::kNaive:
+      return "naive";
+    case Algorithm::kTopK:
+      return "topk";
+    case Algorithm::kPfi:
+      return "pfi";
+    case Algorithm::kExpectedSupport:
+      return "esup";
+  }
+  return "unknown";
+}
+
+std::string ValidateRequest(const MiningRequest& request) {
+  const std::string params_error = ValidateParams(request.params);
+  if (!params_error.empty()) return params_error;
+  if (request.algorithm == Algorithm::kTopK && request.top_k < 1) {
+    return "top_k must be >= 1 for Algorithm::kTopK";
+  }
+  if (request.min_esup < 0.0) {
+    return "min_esup must be >= 0";
+  }
+  if (request.progress && request.progress_interval < 1) {
+    return "progress_interval must be >= 1";
+  }
+  return "";
+}
+
+MiningResult Mine(const UncertainDatabase& db, const MiningRequest& request) {
+  const std::string error = ValidateRequest(request);
+  PFCI_CHECK_MSG(error.empty(), "invalid MiningRequest: " + error);
+
+  // Thread-count 0 means "library default": share the lazily-created
+  // global pool. An explicit count gets a dedicated pool of that size so
+  // the request's policy is honored exactly.
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = nullptr;
+  if (request.execution.num_threads == 0) {
+    pool = &ThreadPool::Shared();
+  } else {
+    owned_pool =
+        std::make_unique<ThreadPool>(ResolveNumThreads(request.execution));
+    pool = owned_pool.get();
+  }
+
+  std::unique_ptr<ProgressSink> sink;
+  if (request.progress) {
+    sink = std::make_unique<ProgressSink>(request.progress,
+                                          request.progress_interval);
+  }
+
+  ExecutionContext exec;
+  exec.pool = pool;
+  exec.deterministic = request.execution.deterministic;
+  exec.progress = sink.get();
+
+  MiningResult result;
+  switch (request.algorithm) {
+    case Algorithm::kMpfci:
+      result = MineMpfci(db, request.params, exec);
+      break;
+    case Algorithm::kMpfciBfs:
+      result = MineMpfciBfs(db, request.params, exec);
+      break;
+    case Algorithm::kNaive:
+      result = MineNaive(db, request.params, exec);
+      break;
+    case Algorithm::kTopK:
+      result = MineTopKPfci(db, request.params, request.top_k, exec);
+      break;
+    case Algorithm::kPfi:
+      result = RunPfi(db, request, exec);
+      break;
+    case Algorithm::kExpectedSupport:
+      result = RunExpectedSupport(db, request, exec);
+      break;
+  }
+
+  if (sink != nullptr) sink->Flush();
+  return result;
+}
+
+}  // namespace pfci

@@ -1,0 +1,80 @@
+// Unified mining entry point: pfci::Mine(db, MiningRequest).
+//
+// One dispatch replaces the historical per-algorithm free functions: a
+// MiningRequest bundles the problem parameters (MiningParams), the
+// algorithm to run, the execution policy (thread count, determinism), and
+// an optional progress observer. The free functions (MineMpfci,
+// MineMpfciBfs, MineNaive, MineTopKPfci, ...) remain as thin wrappers
+// over the same implementations, so existing call sites keep compiling.
+//
+// Determinism contract: with execution.deterministic == true (default),
+// Mine() produces bit-identical MiningResult.itemsets — including sampled
+// fcp values — for every num_threads, because all RNG streams are derived
+// from params.seed per unit of work and reductions run in a fixed order.
+#ifndef PFCI_CORE_MINE_H_
+#define PFCI_CORE_MINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/core/execution.h"
+#include "src/core/mining_params.h"
+#include "src/core/mining_result.h"
+#include "src/data/uncertain_database.h"
+
+namespace pfci {
+
+/// The mining algorithms reachable through Mine().
+enum class Algorithm {
+  kMpfci,            ///< DFS MPFCI with all prunings (recommended).
+  kMpfciBfs,         ///< Breadth-first MPFCI framework.
+  kNaive,            ///< PFI mining + per-itemset ApproxFCP (baseline).
+  kTopK,             ///< Top-k PFCI by descending PrFC (uses top_k).
+  kPfi,              ///< Probabilistic frequent itemsets only (no
+                     ///< closedness): entries carry pr_f, fcp is 0.
+  kExpectedSupport,  ///< Expected-support frequent itemsets (uses
+                     ///< min_esup): the expected support is reported in
+                     ///< the pr_f field, fcp is 0.
+};
+
+/// Display name ("mpfci", "bfs", "naive", "topk", "pfi", "esup").
+const char* AlgorithmName(Algorithm algorithm);
+
+/// Everything Mine() needs for one run.
+struct MiningRequest {
+  /// Problem parameters (thresholds, pruning toggles, seed).
+  MiningParams params;
+
+  /// Which miner to dispatch to.
+  Algorithm algorithm = Algorithm::kMpfci;
+
+  /// Thread count and reproducibility guarantees.
+  ExecutionPolicy execution;
+
+  /// Result count for Algorithm::kTopK (ignored otherwise).
+  std::size_t top_k = 10;
+
+  /// Threshold for Algorithm::kExpectedSupport; values <= 0 default to
+  /// params.min_sup (ignored by the other algorithms).
+  double min_esup = 0.0;
+
+  /// Optional observer for long runs; invoked at most once per
+  /// `progress_interval` search nodes (from any thread, never
+  /// concurrently), plus once with the final counts.
+  ProgressCallback progress;
+
+  /// Minimum node count between progress callbacks (>= 1).
+  std::uint64_t progress_interval = 4096;
+};
+
+/// Checks `request` (including its params); empty string when valid.
+std::string ValidateRequest(const MiningRequest& request);
+
+/// Runs the requested algorithm and returns its result. CHECK-fails with
+/// the ValidateRequest() message on invalid requests.
+MiningResult Mine(const UncertainDatabase& db, const MiningRequest& request);
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_MINE_H_

@@ -1,0 +1,23 @@
+#include "src/core/mining_params.h"
+
+namespace pfci {
+
+std::string ValidateParams(const MiningParams& params) {
+  if (params.min_sup < 1) {
+    return "min_sup must be >= 1";
+  }
+  // Negated comparisons so NaN falls into the error branch.
+  if (!(params.pfct >= 0.0 && params.pfct < 1.0)) {
+    return "pfct must lie in [0, 1): the comparison PrFC(X) > pfct is "
+           "strict, so pfct = 1 would make every result set empty";
+  }
+  if (!(params.epsilon > 0.0)) {
+    return "epsilon must be > 0";
+  }
+  if (!(params.delta > 0.0 && params.delta < 1.0)) {
+    return "delta must lie in (0, 1)";
+  }
+  return "";
+}
+
+}  // namespace pfci

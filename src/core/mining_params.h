@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace pfci {
 
@@ -46,6 +47,12 @@ struct MiningParams {
   /// deterministic given the seed.
   std::uint64_t seed = 1234;
 };
+
+/// Checks every field of `params`; returns an empty string when valid and
+/// a descriptive error otherwise. Mine() and the free-function wrappers
+/// all funnel through this, so invalid usage fails with the same message
+/// everywhere.
+std::string ValidateParams(const MiningParams& params);
 
 }  // namespace pfci
 

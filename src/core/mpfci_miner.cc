@@ -1,33 +1,66 @@
 #include "src/core/mpfci_miner.h"
 
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "src/core/fcp_engine.h"
 #include "src/core/frequent_probability.h"
 #include "src/data/vertical_index.h"
 #include "src/util/check.h"
+#include "src/util/random.h"
 #include "src/util/stopwatch.h"
+#include "src/util/thread_pool.h"
 
 namespace pfci {
 
 namespace {
 
-/// DFS state shared across the whole run.
+/// Shared read-only search state plus the per-subtree DFS.
+///
+/// Parallel structure: BuildCandidates runs once (sequentially), then each
+/// first-level candidate's subtree is an independent task — the DFS below
+/// candidate c only ever touches candidates after position c, the index,
+/// and per-task state, so tasks never synchronize. Each task's Rng is
+/// seeded by DeriveSeed(params.seed, root item), making every subtree's
+/// sampling stream a pure function of the seed: the merged, re-sorted
+/// output is bit-identical for any thread count.
 class MpfciSearch {
  public:
-  MpfciSearch(const UncertainDatabase& db, const MiningParams& params)
+  MpfciSearch(const UncertainDatabase& db, const MiningParams& params,
+              const ExecutionContext& exec)
       : params_(params),
+        exec_(exec),
         index_(db),
         freq_(index_, params.min_sup),
-        engine_(index_, freq_, params),
-        rng_(params.seed) {}
+        engine_(index_, freq_, params, exec) {}
 
   MiningResult Run() {
     Stopwatch timer;
     BuildCandidates();
-    for (std::size_t c = 0; c < candidates_.size(); ++c) {
-      const Item item = candidates_[c];
-      Dfs(Itemset{item}, index_.TidsOfItem(item), candidate_pr_f_[c], c);
+
+    const std::size_t n = candidates_.size();
+    std::vector<MiningResult> subtree(n);
+    const auto mine_subtree = [&](std::size_t c) {
+      Rng rng(DeriveSeed(params_.seed, candidates_[c]));
+      TaskState task{&subtree[c], &rng};
+      Dfs(task, Itemset{candidates_[c]}, index_.TidsOfItem(candidates_[c]),
+          candidate_pr_f_[c], c);
+    };
+    if (exec_.pool != nullptr && exec_.pool->num_threads() > 1) {
+      // Grain 1: first-level subtrees vary wildly in cost; stealing at
+      // single-subtree granularity is what balances them.
+      exec_.pool->ParallelFor(n, mine_subtree, /*grain=*/1);
+    } else {
+      for (std::size_t c = 0; c < n; ++c) mine_subtree(c);
+    }
+
+    // Deterministic merge: candidate order, then the canonical sort.
+    for (MiningResult& part : subtree) {
+      for (PfciEntry& entry : part.itemsets) {
+        result_.itemsets.push_back(std::move(entry));
+      }
+      AccumulateStats(part.stats);
     }
     result_.stats.dp_runs = freq_.dp_runs();
     result_.stats.seconds = timer.ElapsedSeconds();
@@ -36,6 +69,12 @@ class MpfciSearch {
   }
 
  private:
+  /// Mutable state owned by one subtree task.
+  struct TaskState {
+    MiningResult* out;
+    Rng* rng;
+  };
+
   /// Phase 1 of Fig. 1: the candidate set of probabilistic frequent
   /// single items (Lemma 4.1 + exact check).
   void BuildCandidates() {
@@ -77,12 +116,14 @@ class MpfciSearch {
 
   /// One node of the set-enumeration tree. `x` extends only with
   /// candidate items after position `last_candidate_pos`.
-  void Dfs(const Itemset& x, const TidList& tids, double pr_f,
-           std::size_t last_candidate_pos) {
-    ++result_.stats.nodes_visited;
+  void Dfs(TaskState& task, const Itemset& x, const TidList& tids,
+           double pr_f, std::size_t last_candidate_pos) {
+    MiningStats& stats = task.out->stats;
+    ++stats.nodes_visited;
+    if (exec_.progress != nullptr) exec_.progress->AddNodes();
 
     if (params_.pruning.superset && SupersetPruned(x, tids)) {
-      ++result_.stats.pruned_by_superset;
+      ++stats.pruned_by_superset;
       return;
     }
 
@@ -102,29 +143,29 @@ class MpfciSearch {
 
       bool child_qualifies = child_tids.size() >= params_.min_sup;
       if (!child_qualifies) {
-        ++result_.stats.pruned_by_frequency;
+        ++stats.pruned_by_frequency;
       } else if (params_.pruning.chernoff &&
                  freq_.PrFUpperBound(child_tids) <= params_.pfct) {
-        ++result_.stats.pruned_by_chernoff;
+        ++stats.pruned_by_chernoff;
         child_qualifies = false;
       }
       if (child_qualifies) {
         const double child_pr_f = freq_.PrF(child_tids);
         if (child_pr_f <= params_.pfct) {
-          ++result_.stats.pruned_by_frequency;
+          ++stats.pruned_by_frequency;
         } else {
-          Dfs(x.WithItem(item), child_tids, child_pr_f, c);
+          Dfs(task, x.WithItem(item), child_tids, child_pr_f, c);
         }
       }
       if (params_.pruning.subset && same_count) break;
     }
 
     if (!x_may_be_closed) {
-      ++result_.stats.pruned_by_subset;
+      ++stats.pruned_by_subset;
       return;
     }
     const FcpComputation comp =
-        engine_.Evaluate(x, tids, pr_f, rng_, &result_.stats);
+        engine_.Evaluate(x, tids, pr_f, *task.rng, &stats);
     if (comp.is_pfci) {
       PfciEntry entry;
       entry.items = x;
@@ -133,15 +174,32 @@ class MpfciSearch {
       entry.fcp_lower = comp.bounds_computed ? comp.bounds.lower : 0.0;
       entry.fcp_upper = comp.bounds_computed ? comp.bounds.upper : comp.pr_f;
       entry.method = comp.method;
-      result_.itemsets.push_back(std::move(entry));
+      task.out->itemsets.push_back(std::move(entry));
+      if (exec_.progress != nullptr) exec_.progress->AddItemsets();
     }
   }
 
+  /// Adds a subtree's counters into the run totals (dp_runs and seconds
+  /// are owned by Run()).
+  void AccumulateStats(const MiningStats& part) {
+    MiningStats& total = result_.stats;
+    total.nodes_visited += part.nodes_visited;
+    total.pruned_by_chernoff += part.pruned_by_chernoff;
+    total.pruned_by_frequency += part.pruned_by_frequency;
+    total.pruned_by_superset += part.pruned_by_superset;
+    total.pruned_by_subset += part.pruned_by_subset;
+    total.decided_by_bounds += part.decided_by_bounds;
+    total.zero_by_count += part.zero_by_count;
+    total.exact_fcp_computations += part.exact_fcp_computations;
+    total.sampled_fcp_computations += part.sampled_fcp_computations;
+    total.total_samples += part.total_samples;
+  }
+
   MiningParams params_;
+  ExecutionContext exec_;
   VerticalIndex index_;
   FrequentProbability freq_;
   FcpEngine engine_;
-  Rng rng_;
   std::vector<Item> candidates_;
   std::vector<double> candidate_pr_f_;
   MiningResult result_;
@@ -151,9 +209,16 @@ class MpfciSearch {
 
 MiningResult MineMpfci(const UncertainDatabase& db,
                        const MiningParams& params) {
-  PFCI_CHECK(params.min_sup >= 1);
-  PFCI_CHECK(params.pfct >= 0.0 && params.pfct < 1.0);
-  MpfciSearch search(db, params);
+  ExecutionContext exec;
+  exec.pool = &ThreadPool::Shared();
+  return MineMpfci(db, params, exec);
+}
+
+MiningResult MineMpfci(const UncertainDatabase& db, const MiningParams& params,
+                       const ExecutionContext& exec) {
+  const std::string error = ValidateParams(params);
+  PFCI_CHECK_MSG(error.empty(), "invalid MiningParams: " + error);
+  MpfciSearch search(db, params, exec);
   return search.Run();
 }
 

@@ -11,6 +11,7 @@
 #ifndef PFCI_CORE_MPFCI_MINER_H_
 #define PFCI_CORE_MPFCI_MINER_H_
 
+#include "src/core/execution.h"
 #include "src/core/mining_params.h"
 #include "src/core/mining_result.h"
 #include "src/data/uncertain_database.h"
@@ -19,8 +20,19 @@ namespace pfci {
 
 /// Mines all probabilistic frequent closed itemsets of `db`
 /// (PrFC(X) > params.pfct with support threshold params.min_sup),
-/// returning them sorted together with run statistics.
+/// returning them sorted together with run statistics. Thin wrapper over
+/// the ExecutionContext overload using the shared thread pool; prefer
+/// Mine() (src/core/mine.h) when you need execution/progress control.
 MiningResult MineMpfci(const UncertainDatabase& db, const MiningParams& params);
+
+/// Execution-aware variant used by Mine(): first-level candidate subtrees
+/// of the set-enumeration tree are mined as independent work-stealing
+/// tasks on `exec.pool`, each with its own Rng derived from params.seed
+/// and the subtree's root item; per-task results are merged in candidate
+/// order and re-sorted, so the output is bit-identical for any thread
+/// count. `exec.pool == nullptr` runs sequentially.
+MiningResult MineMpfci(const UncertainDatabase& db, const MiningParams& params,
+                       const ExecutionContext& exec);
 
 }  // namespace pfci
 

@@ -1,23 +1,34 @@
 #include "src/core/naive_miner.h"
 
+#include <vector>
+
 #include "src/core/extension_events.h"
 #include "src/core/fcp_sampler.h"
 #include "src/core/frequent_probability.h"
 #include "src/core/pfi_miner.h"
 #include "src/data/vertical_index.h"
 #include "src/util/check.h"
+#include "src/util/random.h"
 #include "src/util/stopwatch.h"
+#include "src/util/thread_pool.h"
 
 namespace pfci {
 
 MiningResult MineNaive(const UncertainDatabase& db,
                        const MiningParams& params) {
-  PFCI_CHECK(params.min_sup >= 1);
+  ExecutionContext exec;
+  exec.pool = &ThreadPool::Shared();
+  return MineNaive(db, params, exec);
+}
+
+MiningResult MineNaive(const UncertainDatabase& db, const MiningParams& params,
+                       const ExecutionContext& exec) {
+  const std::string error = ValidateParams(params);
+  PFCI_CHECK_MSG(error.empty(), "invalid MiningParams: " + error);
   Stopwatch timer;
   MiningResult result;
   const VerticalIndex index(db);
   const FrequentProbability freq(index, params.min_sup);
-  Rng rng(params.seed);
 
   // Stage 1: all probabilistic frequent itemsets (PrFC <= PrF, so the
   // answer set is contained in the PFIs).
@@ -26,20 +37,38 @@ MiningResult MineNaive(const UncertainDatabase& db,
               &result.stats);
 
   // Stage 2: check each PFI's frequent closed probability by sampling.
-  for (const PfiEntry& pfi : pfis) {
-    const ExtensionEventSet events(index, freq, pfi.items, pfi.tids);
-    const ApproxFcpResult approx =
-        ApproxFcp(pfi.pr_f, events, params.epsilon, params.delta, rng);
+  // Independent per PFI, so the checks fan out over the pool; the i-th
+  // check's RNG derives from (seed, i), and results merge in PFI order,
+  // keeping the output identical for any thread count. The batch-level
+  // parallelism inside ApproxFcp is left off here — one task per PFI is
+  // already finer-grained than the pool.
+  std::vector<ApproxFcpResult> checks(pfis.size());
+  const auto check = [&](std::size_t i) {
+    Rng rng(DeriveSeed(params.seed, i));
+    const ExtensionEventSet events(index, freq, pfis[i].items, pfis[i].tids);
+    checks[i] = ApproxFcp(pfis[i].pr_f, events, params.epsilon, params.delta,
+                          rng, /*pool=*/nullptr, exec.deterministic);
+    if (exec.progress != nullptr) exec.progress->AddNodes();
+  };
+  if (exec.pool != nullptr && exec.pool->num_threads() > 1) {
+    exec.pool->ParallelFor(pfis.size(), check, /*grain=*/1);
+  } else {
+    for (std::size_t i = 0; i < pfis.size(); ++i) check(i);
+  }
+
+  for (std::size_t i = 0; i < pfis.size(); ++i) {
+    const ApproxFcpResult& approx = checks[i];
     ++result.stats.sampled_fcp_computations;
     result.stats.total_samples += approx.samples;
     if (approx.fcp > params.pfct) {
       PfciEntry entry;
-      entry.items = pfi.items;
+      entry.items = pfis[i].items;
       entry.fcp = approx.fcp;
-      entry.pr_f = pfi.pr_f;
-      entry.fcp_upper = pfi.pr_f;
+      entry.pr_f = pfis[i].pr_f;
+      entry.fcp_upper = pfis[i].pr_f;
       entry.method = FcpMethod::kSampled;
       result.itemsets.push_back(std::move(entry));
+      if (exec.progress != nullptr) exec.progress->AddItemsets();
     }
   }
 

@@ -8,6 +8,7 @@
 #ifndef PFCI_CORE_NAIVE_MINER_H_
 #define PFCI_CORE_NAIVE_MINER_H_
 
+#include "src/core/execution.h"
 #include "src/core/mining_params.h"
 #include "src/core/mining_result.h"
 #include "src/data/uncertain_database.h"
@@ -16,9 +17,17 @@ namespace pfci {
 
 /// Mines probabilistic frequent closed itemsets the naive way. Returns the
 /// same itemsets as MineMpfci (up to sampling noise on borderline
-/// itemsets), but does exhaustive per-itemset work.
+/// itemsets), but does exhaustive per-itemset work. Thin wrapper over the
+/// ExecutionContext overload (shared pool).
 MiningResult MineNaive(const UncertainDatabase& db,
                        const MiningParams& params);
+
+/// Execution-aware variant used by Mine(): the per-PFI ApproxFCP checks of
+/// stage 2 (the dominant cost) run as parallel tasks, each seeded from
+/// params.seed and the PFI's position, merged in PFI order — output is
+/// bit-identical for any thread count.
+MiningResult MineNaive(const UncertainDatabase& db, const MiningParams& params,
+                       const ExecutionContext& exec);
 
 }  // namespace pfci
 

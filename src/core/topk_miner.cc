@@ -8,6 +8,7 @@
 #include "src/data/vertical_index.h"
 #include "src/util/check.h"
 #include "src/util/stopwatch.h"
+#include "src/util/thread_pool.h"
 
 namespace pfci {
 
@@ -17,8 +18,9 @@ namespace {
 class TopkSearch {
  public:
   TopkSearch(const UncertainDatabase& db, const MiningParams& params,
-             std::size_t k)
+             std::size_t k, const ExecutionContext& exec)
       : params_(params),
+        exec_(exec),
         k_(k),
         index_(db),
         freq_(index_, params.min_sup),
@@ -109,6 +111,7 @@ class TopkSearch {
   void Dfs(const Itemset& x, const TidList& tids, double pr_f,
            std::size_t last_candidate_pos) {
     ++stats_.nodes_visited;
+    if (exec_.progress != nullptr) exec_.progress->AddNodes();
     if (params_.pruning.superset && SupersetPruned(x, tids)) {
       ++stats_.pruned_by_superset;
       return;
@@ -146,7 +149,7 @@ class TopkSearch {
     // Evaluate against the *current* threshold.
     MiningParams node_params = params_;
     node_params.pfct = Threshold();
-    const FcpEngine engine(index_, freq_, node_params);
+    const FcpEngine engine(index_, freq_, node_params, exec_);
     const FcpComputation comp = engine.Evaluate(x, tids, pr_f, rng_, &stats_);
     if (comp.is_pfci) {
       PfciEntry entry;
@@ -156,11 +159,13 @@ class TopkSearch {
       entry.fcp_lower = comp.bounds_computed ? comp.bounds.lower : 0.0;
       entry.fcp_upper = comp.bounds_computed ? comp.bounds.upper : comp.pr_f;
       entry.method = comp.method;
+      if (exec_.progress != nullptr) exec_.progress->AddItemsets();
       Offer(std::move(entry));
     }
   }
 
   MiningParams params_;
+  ExecutionContext exec_;
   std::size_t k_;
   VerticalIndex index_;
   FrequentProbability freq_;
@@ -175,9 +180,18 @@ class TopkSearch {
 
 MiningResult MineTopKPfci(const UncertainDatabase& db,
                           const MiningParams& params, std::size_t k) {
-  PFCI_CHECK(params.min_sup >= 1);
+  ExecutionContext exec;
+  exec.pool = &ThreadPool::Shared();
+  return MineTopKPfci(db, params, k, exec);
+}
+
+MiningResult MineTopKPfci(const UncertainDatabase& db,
+                          const MiningParams& params, std::size_t k,
+                          const ExecutionContext& exec) {
+  const std::string error = ValidateParams(params);
+  PFCI_CHECK_MSG(error.empty(), "invalid MiningParams: " + error);
   PFCI_CHECK(k >= 1);
-  TopkSearch search(db, params, k);
+  TopkSearch search(db, params, k, exec);
   return search.Run();
 }
 

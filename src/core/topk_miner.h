@@ -10,6 +10,7 @@
 
 #include <cstddef>
 
+#include "src/core/execution.h"
 #include "src/core/mining_params.h"
 #include "src/core/mining_result.h"
 #include "src/data/uncertain_database.h"
@@ -23,6 +24,13 @@ namespace pfci {
 /// estimates (exact at default settings whenever the event count permits).
 MiningResult MineTopKPfci(const UncertainDatabase& db,
                           const MiningParams& params, std::size_t k);
+
+/// Execution-aware variant used by Mine(). The search itself is
+/// sequential (the rising threshold makes node order load-bearing), but
+/// ApproxFCP sample batches run on `exec.pool` and progress is reported.
+MiningResult MineTopKPfci(const UncertainDatabase& db,
+                          const MiningParams& params, std::size_t k,
+                          const ExecutionContext& exec);
 
 }  // namespace pfci
 

@@ -6,14 +6,25 @@
 
 namespace pfci {
 
+std::uint64_t NumWorlds(const UncertainDatabase& db) {
+  PFCI_CHECK(db.size() <= kMaxEnumerableTransactions);
+  return std::uint64_t{1} << db.size();
+}
+
 void EnumerateWorlds(
     const UncertainDatabase& db,
     const std::function<void(const PossibleWorld&, double)>& visit) {
+  EnumerateWorldsRange(db, 0, NumWorlds(db), visit);
+}
+
+void EnumerateWorldsRange(
+    const UncertainDatabase& db, std::uint64_t begin, std::uint64_t end,
+    const std::function<void(const PossibleWorld&, double)>& visit) {
   const std::size_t n = db.size();
-  PFCI_CHECK(n <= kMaxEnumerableTransactions);
-  const std::uint64_t limit = std::uint64_t{1} << n;
+  PFCI_CHECK(begin <= end);
+  PFCI_CHECK(end <= NumWorlds(db));
   PossibleWorld world(n);
-  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+  for (std::uint64_t mask = begin; mask < end; ++mask) {
     double prob = 1.0;
     for (Tid tid = 0; tid < n; ++tid) {
       const bool present = (mask >> tid) & 1;

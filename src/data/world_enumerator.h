@@ -6,6 +6,7 @@
 #ifndef PFCI_DATA_WORLD_ENUMERATOR_H_
 #define PFCI_DATA_WORLD_ENUMERATOR_H_
 
+#include <cstdint>
 #include <functional>
 
 #include "src/data/possible_world.h"
@@ -17,11 +18,24 @@ namespace pfci {
 /// Largest database size accepted by EnumerateWorlds.
 inline constexpr std::size_t kMaxEnumerableTransactions = 24;
 
+/// Total number of possible worlds of `db` (2^db.size()). CHECKs that
+/// db.size() <= kMaxEnumerableTransactions.
+std::uint64_t NumWorlds(const UncertainDatabase& db);
+
 /// Calls `visit(world, probability)` for every possible world of `db`,
 /// including the empty one. Probabilities sum to 1. CHECKs that
 /// db.size() <= kMaxEnumerableTransactions.
 void EnumerateWorlds(
     const UncertainDatabase& db,
+    const std::function<void(const PossibleWorld&, double)>& visit);
+
+/// Like EnumerateWorlds, but visits only the worlds with indices in
+/// [begin, end) — the world at index i realizes transaction t iff bit t
+/// of i is set. Disjoint ranges partition the world space exactly, which
+/// is what the parallel brute-force oracles build on. CHECKs that the
+/// range lies within [0, NumWorlds(db)].
+void EnumerateWorldsRange(
+    const UncertainDatabase& db, std::uint64_t begin, std::uint64_t end,
     const std::function<void(const PossibleWorld&, double)>& visit);
 
 /// Draws one world by flipping each transaction's existence coin.

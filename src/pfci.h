@@ -14,15 +14,18 @@
 //   pfci::UncertainDatabase db;
 //   db.Add(pfci::Itemset{0, 1, 2}, 0.9);   // tuple exists w.p. 0.9
 //   ...
-//   pfci::MiningParams params;
-//   params.min_sup = 2;
-//   params.pfct = 0.8;
-//   pfci::MiningResult result = pfci::MineMpfci(db, params);
+//   pfci::MiningRequest request;
+//   request.params.min_sup = 2;
+//   request.params.pfct = 0.8;
+//   request.execution.num_threads = 4;   // 0 = library default
+//   pfci::MiningResult result = pfci::Mine(db, request);
 //
 // Entry points by task:
-//  * Mining:     MineMpfci (DFS, recommended), MineMpfciBfs, MineNaive,
-//                MineTopKPfci, MinePfi / MinePfiApproximate,
-//                MineExpectedSupport, MinePsupClosed.
+//  * Mining:     Mine (unified dispatch over Algorithm + ExecutionPolicy,
+//                recommended); the per-algorithm free functions MineMpfci,
+//                MineMpfciBfs, MineNaive, MineTopKPfci, MinePfi /
+//                MinePfiApproximate, MineExpectedSupport, MinePsupClosed
+//                remain as thin wrappers.
 //  * Per-itemset probabilities: FcpEngine, FrequentProbability,
 //                ExactClosedProbability / ApproxClosedProbability.
 //  * Oracles:    BruteForceItemsetProbabilities, BruteForceMinePfci
@@ -41,6 +44,7 @@
 #include "src/core/fcp_engine.h"
 #include "src/core/item_uncertain_miners.h"
 #include "src/core/mdnf_reduction.h"
+#include "src/core/mine.h"
 #include "src/core/mining_params.h"
 #include "src/core/mining_result.h"
 #include "src/core/mpfci_miner.h"

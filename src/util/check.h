@@ -8,12 +8,21 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace pfci::internal {
 
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr) {
   std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] inline void CheckFailedMsg(const char* file, int line,
+                                        const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line,
+               message.c_str());
   std::fflush(stderr);
   std::abort();
 }
@@ -26,6 +35,15 @@ namespace pfci::internal {
     if (!(expr)) {                                             \
       ::pfci::internal::CheckFailed(__FILE__, __LINE__, #expr); \
     }                                                          \
+  } while (0)
+
+/// CHECK with a caller-supplied message (e.g. a ValidateParams() error);
+/// `msg` (const char* or std::string) is evaluated only on failure.
+#define PFCI_CHECK_MSG(expr, msg)                                  \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::pfci::internal::CheckFailedMsg(__FILE__, __LINE__, (msg)); \
+    }                                                              \
   } while (0)
 
 /// CHECK for binary comparisons; kept simple (no value printing).

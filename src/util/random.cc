@@ -118,6 +118,15 @@ double Rng::NextExponential(double rate) {
   return -std::log(u) / rate;
 }
 
+std::uint64_t DeriveSeed(std::uint64_t base, std::uint64_t stream) {
+  // Distinct golden-ratio multiples keep nearby (base, stream) pairs far
+  // apart before the splitmix64 finalizer scrambles them.
+  std::uint64_t x = base ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 std::size_t Rng::NextWeighted(const std::vector<double>& weights) {
   PFCI_CHECK(!weights.empty());
   double total = 0.0;

@@ -75,6 +75,13 @@ class Rng {
   double spare_gaussian_ = 0.0;
 };
 
+/// Derives an independent-stream seed from a base seed and a stream index
+/// (splitmix64-style avalanche). The parallel miners seed one Rng per
+/// subtree / sample batch with DeriveSeed(params.seed, stream) so that the
+/// random stream of each unit of work is a pure function of the seed —
+/// never of the thread count or scheduling order (see DESIGN.md §7).
+std::uint64_t DeriveSeed(std::uint64_t base, std::uint64_t stream);
+
 }  // namespace pfci
 
 #endif  // PFCI_UTIL_RANDOM_H_

@@ -1,9 +1,18 @@
-// API contract tests: invalid-usage CHECKs fire (death tests) and inert
-// inputs are truly inert.
+// API contract tests: invalid-usage CHECKs fire (death tests), inert
+// inputs are truly inert, and the unified Mine() entry point agrees with
+// the historical free-function wrappers.
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "src/core/bfs_miner.h"
+#include "src/core/expected_support_miner.h"
+#include "src/core/mine.h"
 #include "src/core/mpfci_miner.h"
+#include "src/core/naive_miner.h"
+#include "src/core/pfi_miner.h"
 #include "src/core/stream_miner.h"
+#include "src/core/topk_miner.h"
 #include "src/data/uncertain_database.h"
 #include "src/data/world_enumerator.h"
 #include "src/prob/karp_luby.h"
@@ -48,6 +57,150 @@ TEST(ApiContractDeathTest, KarpLubyParameterGuards) {
   EXPECT_DEATH(KarpLubyRequiredSamples(1, 0.0, 0.1), "CHECK");
   EXPECT_DEATH(KarpLubyRequiredSamples(1, 0.1, 0.0), "CHECK");
   EXPECT_DEATH(KarpLubyRequiredSamples(1, 0.1, 1.0), "CHECK");
+}
+
+TEST(ApiContract, ValidateParamsReportsTheOffendingField) {
+  MiningParams params;
+  EXPECT_EQ(ValidateParams(params), "");
+  params.min_sup = 0;
+  EXPECT_NE(ValidateParams(params).find("min_sup"), std::string::npos);
+  params.min_sup = 1;
+  params.pfct = 1.0;
+  EXPECT_NE(ValidateParams(params).find("pfct"), std::string::npos);
+  params.pfct = 0.8;
+  params.epsilon = 0.0;
+  EXPECT_NE(ValidateParams(params).find("epsilon"), std::string::npos);
+  params.epsilon = 0.1;
+  params.delta = 1.0;
+  EXPECT_NE(ValidateParams(params).find("delta"), std::string::npos);
+}
+
+TEST(ApiContract, ValidateRequestCoversRequestFields) {
+  MiningRequest request;
+  EXPECT_EQ(ValidateRequest(request), "");
+  request.algorithm = Algorithm::kTopK;
+  request.top_k = 0;
+  EXPECT_NE(ValidateRequest(request).find("top_k"), std::string::npos);
+  request.top_k = 10;
+  request.min_esup = -1.0;
+  EXPECT_NE(ValidateRequest(request).find("min_esup"), std::string::npos);
+  request.min_esup = 0.0;
+  request.params.min_sup = 0;
+  EXPECT_NE(ValidateRequest(request).find("min_sup"), std::string::npos);
+}
+
+TEST(ApiContractDeathTest, MineRejectsInvalidRequests) {
+  UncertainDatabase db;
+  db.Add(Itemset{0}, 0.5);
+  MiningRequest request;
+  request.params.pfct = 1.5;
+  EXPECT_DEATH(Mine(db, request), "CHECK");
+  request.params.pfct = 0.8;
+  request.algorithm = Algorithm::kTopK;
+  request.top_k = 0;
+  EXPECT_DEATH(Mine(db, request), "CHECK");
+}
+
+TEST(ApiContract, AlgorithmNamesAreStable) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kMpfci), "mpfci");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kMpfciBfs), "bfs");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kNaive), "naive");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kTopK), "topk");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kPfi), "pfi");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kExpectedSupport), "esup");
+}
+
+/// A fixed 6-transaction database exercising all miners cheaply.
+UncertainDatabase MakeSmallDb() {
+  UncertainDatabase db;
+  db.Add(Itemset{0, 1, 2, 3}, 0.9);
+  db.Add(Itemset{0, 1, 2}, 0.6);
+  db.Add(Itemset{0, 1, 2}, 0.7);
+  db.Add(Itemset{0, 1, 2, 3}, 0.9);
+  db.Add(Itemset{0, 1}, 0.4);
+  db.Add(Itemset{0}, 0.4);
+  return db;
+}
+
+void ExpectSameItemsets(const MiningResult& a, const MiningResult& b) {
+  ASSERT_EQ(a.itemsets.size(), b.itemsets.size());
+  for (std::size_t i = 0; i < a.itemsets.size(); ++i) {
+    EXPECT_EQ(a.itemsets[i].items, b.itemsets[i].items);
+    EXPECT_EQ(a.itemsets[i].fcp, b.itemsets[i].fcp);
+    EXPECT_EQ(a.itemsets[i].pr_f, b.itemsets[i].pr_f);
+  }
+}
+
+TEST(ApiContract, MineMatchesFreeFunctionWrappers) {
+  const UncertainDatabase db = MakeSmallDb();
+  MiningRequest request;
+  request.params.min_sup = 2;
+  request.params.pfct = 0.1;
+
+  request.algorithm = Algorithm::kMpfci;
+  ExpectSameItemsets(Mine(db, request), MineMpfci(db, request.params));
+
+  request.algorithm = Algorithm::kMpfciBfs;
+  ExpectSameItemsets(Mine(db, request), MineMpfciBfs(db, request.params));
+
+  request.algorithm = Algorithm::kNaive;
+  ExpectSameItemsets(Mine(db, request), MineNaive(db, request.params));
+
+  request.algorithm = Algorithm::kTopK;
+  request.top_k = 3;
+  ExpectSameItemsets(Mine(db, request),
+                     MineTopKPfci(db, request.params, request.top_k));
+}
+
+TEST(ApiContract, MinePfiAlgorithmReportsFrequentProbabilities) {
+  const UncertainDatabase db = MakeSmallDb();
+  MiningRequest request;
+  request.algorithm = Algorithm::kPfi;
+  request.params.min_sup = 2;
+  request.params.pfct = 0.1;
+  const MiningResult result = Mine(db, request);
+  const std::vector<PfiEntry> pfis =
+      MinePfi(db, request.params.min_sup, request.params.pfct);
+  ASSERT_EQ(result.itemsets.size(), pfis.size());
+  for (std::size_t i = 0; i < pfis.size(); ++i) {
+    EXPECT_EQ(result.itemsets[i].items, pfis[i].items);
+    EXPECT_EQ(result.itemsets[i].pr_f, pfis[i].pr_f);
+    EXPECT_EQ(result.itemsets[i].fcp, 0.0);
+  }
+}
+
+TEST(ApiContract, MineExpectedSupportAlgorithmReportsExpectedSupports) {
+  const UncertainDatabase db = MakeSmallDb();
+  MiningRequest request;
+  request.algorithm = Algorithm::kExpectedSupport;
+  request.params.min_sup = 2;
+  request.min_esup = 1.5;
+  const MiningResult result = Mine(db, request);
+  const std::vector<ExpectedSupportEntry> expected =
+      MineExpectedSupport(db, request.min_esup);
+  ASSERT_EQ(result.itemsets.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(result.itemsets[i].items, expected[i].items);
+    EXPECT_EQ(result.itemsets[i].pr_f, expected[i].expected_support);
+  }
+}
+
+TEST(ApiContract, ProgressCallbackFiresAndCountsItemsets) {
+  const UncertainDatabase db = MakeSmallDb();
+  MiningRequest request;
+  request.params.min_sup = 2;
+  request.params.pfct = 0.1;
+  request.progress_interval = 1;  // Fire as often as allowed.
+  MiningProgress last;
+  std::size_t calls = 0;
+  request.progress = [&](const MiningProgress& progress) {
+    last = progress;
+    ++calls;
+  };
+  const MiningResult result = Mine(db, request);
+  EXPECT_GE(calls, 1u);  // At least the final flush.
+  EXPECT_EQ(last.itemsets_found, result.itemsets.size());
+  EXPECT_EQ(last.nodes_visited, result.stats.nodes_visited);
 }
 
 TEST(ApiContract, EmptyTransactionsAreInert) {

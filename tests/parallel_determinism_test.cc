@@ -1,0 +1,189 @@
+// Parallel determinism: with execution.deterministic (the default),
+// Mine() must produce bit-identical results — items, pr_f, and *sampled*
+// fcp values included — for every thread count. See DESIGN.md §7 for the
+// seed-derivation and in-order-merge scheme that makes this hold.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/brute_force.h"
+#include "src/core/mine.h"
+#include "src/core/mpfci_miner.h"
+#include "src/datagen/probability_assigner.h"
+#include "src/datagen/quest_generator.h"
+#include "src/util/thread_pool.h"
+
+namespace pfci {
+namespace {
+
+/// A small-but-not-trivial Quest dataset: large enough that the DFS has
+/// many first-level subtrees to schedule and the sampler actually runs.
+UncertainDatabase MakeTestDb(std::uint64_t seed) {
+  QuestParams quest;
+  quest.num_transactions = 120;
+  quest.avg_transaction_length = 8.0;
+  quest.avg_pattern_length = 4.0;
+  quest.num_items = 24;
+  quest.num_patterns = 12;
+  quest.seed = seed;
+  GaussianAssignerParams assign;
+  assign.mean = 0.8;
+  assign.spread = 0.1;
+  assign.seed = seed + 1;
+  return AssignGaussianProbabilities(GenerateQuest(quest), assign);
+}
+
+/// Exact equality across every reported field — the contract is
+/// bit-identical, not merely close.
+void ExpectIdentical(const MiningResult& a, const MiningResult& b) {
+  ASSERT_EQ(a.itemsets.size(), b.itemsets.size());
+  for (std::size_t i = 0; i < a.itemsets.size(); ++i) {
+    EXPECT_EQ(a.itemsets[i].items, b.itemsets[i].items);
+    EXPECT_EQ(a.itemsets[i].fcp, b.itemsets[i].fcp);
+    EXPECT_EQ(a.itemsets[i].pr_f, b.itemsets[i].pr_f);
+    EXPECT_EQ(a.itemsets[i].fcp_lower, b.itemsets[i].fcp_lower);
+    EXPECT_EQ(a.itemsets[i].fcp_upper, b.itemsets[i].fcp_upper);
+    EXPECT_EQ(a.itemsets[i].method, b.itemsets[i].method);
+  }
+}
+
+MiningResult MineWithThreads(const UncertainDatabase& db,
+                             const MiningRequest& base,
+                             std::size_t num_threads) {
+  MiningRequest request = base;
+  request.execution.num_threads = num_threads;
+  return Mine(db, request);
+}
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ParallelDeterminismTest, MpfciIdenticalAcrossThreadCounts) {
+  const UncertainDatabase db = MakeTestDb(GetParam());
+  MiningRequest request;
+  request.params.min_sup = 8;
+  request.params.pfct = 0.3;
+  request.params.seed = GetParam();
+  const MiningResult one = MineWithThreads(db, request, 1);
+  EXPECT_FALSE(one.itemsets.empty());
+  ExpectIdentical(one, MineWithThreads(db, request, 2));
+  ExpectIdentical(one, MineWithThreads(db, request, 8));
+}
+
+TEST_P(ParallelDeterminismTest, MpfciSampledPathIdenticalAcrossThreadCounts) {
+  // Force the Karp-Luby sampler on every FCP computation: this is the
+  // path where per-batch RNG streams and in-order reduction carry the
+  // whole determinism guarantee.
+  const UncertainDatabase db = MakeTestDb(GetParam());
+  MiningRequest request;
+  request.params.min_sup = 8;
+  request.params.pfct = 0.3;
+  request.params.seed = GetParam();
+  request.params.force_sampling = true;
+  request.params.exact_event_limit = 0;
+  request.params.pruning.fcp_bounds = false;
+  // Loose tolerances: the determinism contract is independent of the
+  // sample count, and tight ones make this test dominate the suite.
+  request.params.epsilon = 0.5;
+  request.params.delta = 0.3;
+  const MiningResult one = MineWithThreads(db, request, 1);
+  EXPECT_FALSE(one.itemsets.empty());
+  ExpectIdentical(one, MineWithThreads(db, request, 2));
+  ExpectIdentical(one, MineWithThreads(db, request, 8));
+}
+
+TEST_P(ParallelDeterminismTest, BfsIdenticalAcrossThreadCounts) {
+  const UncertainDatabase db = MakeTestDb(GetParam());
+  MiningRequest request;
+  request.algorithm = Algorithm::kMpfciBfs;
+  request.params.min_sup = 8;
+  request.params.pfct = 0.3;
+  request.params.seed = GetParam();
+  const MiningResult one = MineWithThreads(db, request, 1);
+  ExpectIdentical(one, MineWithThreads(db, request, 2));
+  ExpectIdentical(one, MineWithThreads(db, request, 8));
+}
+
+TEST_P(ParallelDeterminismTest, NaiveIdenticalAcrossThreadCounts) {
+  const UncertainDatabase db = MakeTestDb(GetParam());
+  MiningRequest request;
+  request.algorithm = Algorithm::kNaive;
+  request.params.min_sup = 10;
+  request.params.pfct = 0.4;
+  request.params.seed = GetParam();
+  // Loose tolerances, as above: Naive samples every PFI.
+  request.params.epsilon = 0.5;
+  request.params.delta = 0.3;
+  const MiningResult one = MineWithThreads(db, request, 1);
+  ExpectIdentical(one, MineWithThreads(db, request, 2));
+  ExpectIdentical(one, MineWithThreads(db, request, 8));
+}
+
+TEST_P(ParallelDeterminismTest, TopKIdenticalAcrossThreadCounts) {
+  const UncertainDatabase db = MakeTestDb(GetParam());
+  MiningRequest request;
+  request.algorithm = Algorithm::kTopK;
+  request.top_k = 5;
+  request.params.min_sup = 8;
+  request.params.pfct = 0.0;
+  request.params.seed = GetParam();
+  const MiningResult one = MineWithThreads(db, request, 1);
+  ExpectIdentical(one, MineWithThreads(db, request, 2));
+  ExpectIdentical(one, MineWithThreads(db, request, 8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminismTest,
+                         ::testing::Values(1u, 7u, 42u));
+
+TEST(ParallelDeterminism, BruteForceIdenticalAcrossThreadCounts) {
+  // 17 transactions → 2^17 worlds → 8 fixed ranges: the parallel oracle
+  // must reproduce the sequential one exactly.
+  QuestParams quest;
+  quest.num_transactions = 17;
+  quest.avg_transaction_length = 4.0;
+  quest.avg_pattern_length = 3.0;
+  quest.num_items = 8;
+  quest.num_patterns = 5;
+  quest.seed = 3;
+  GaussianAssignerParams assign;
+  const UncertainDatabase db =
+      AssignGaussianProbabilities(GenerateQuest(quest), assign);
+
+  ThreadPool pool(4);
+  ExecutionContext parallel;
+  parallel.pool = &pool;
+
+  const std::vector<FcpGroundTruth> seq = BruteForceAllFcp(db, 3);
+  const std::vector<FcpGroundTruth> par = BruteForceAllFcp(db, 3, parallel);
+  ASSERT_EQ(seq.size(), par.size());
+  ASSERT_FALSE(seq.empty());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].items, par[i].items);
+    EXPECT_EQ(seq[i].fcp, par[i].fcp);
+  }
+
+  const Itemset probe = seq.front().items;
+  const WorldProbabilities a = BruteForceItemsetProbabilities(db, probe, 3);
+  const WorldProbabilities b =
+      BruteForceItemsetProbabilities(db, probe, 3, parallel);
+  EXPECT_EQ(a.pr_f, b.pr_f);
+  EXPECT_EQ(a.pr_c, b.pr_c);
+  EXPECT_EQ(a.pr_fc, b.pr_fc);
+}
+
+TEST(ParallelDeterminism, WrapperMatchesExplicitSingleThreadRequest) {
+  // The historical free function and Mine() with the default policy must
+  // agree bit-for-bit (the wrapper routes through the same engine).
+  const UncertainDatabase db = MakeTestDb(42);
+  MiningRequest request;
+  request.params.min_sup = 8;
+  request.params.pfct = 0.3;
+  request.params.seed = 42;
+  const MiningResult via_mine = Mine(db, request);
+  const MiningResult via_wrapper = MineMpfci(db, request.params);
+  ExpectIdentical(via_mine, via_wrapper);
+}
+
+}  // namespace
+}  // namespace pfci
