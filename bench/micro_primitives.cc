@@ -118,7 +118,7 @@ FcpFixture& Fixture() {
 void BM_ExtensionEventsBuild(benchmark::State& state) {
   FcpFixture& f = Fixture();
   const Itemset x{0};
-  const TidList tids = f.index->TidsOf(x);
+  const TidSet tids = f.index->TidsOf(x);
   for (auto _ : state) {
     const ExtensionEventSet events(*f.index, *f.freq, x, tids);
     benchmark::DoNotOptimize(events.size());
@@ -129,7 +129,7 @@ BENCHMARK(BM_ExtensionEventsBuild);
 void BM_FcpBounds(benchmark::State& state) {
   FcpFixture& f = Fixture();
   const Itemset x{0};
-  const TidList tids = f.index->TidsOf(x);
+  const TidSet tids = f.index->TidsOf(x);
   const double pr_f = f.freq->PrF(tids);
   const ExtensionEventSet events(*f.index, *f.freq, x, tids);
   for (auto _ : state) {
@@ -141,7 +141,7 @@ BENCHMARK(BM_FcpBounds);
 void BM_FcpSampled(benchmark::State& state) {
   FcpFixture& f = Fixture();
   const Itemset x{0};
-  const TidList tids = f.index->TidsOf(x);
+  const TidSet tids = f.index->TidsOf(x);
   const double pr_f = f.freq->PrF(tids);
   const ExtensionEventSet events(*f.index, *f.freq, x, tids);
   Rng rng(7);

@@ -5,6 +5,7 @@
 //                [--algo=mpfci|bfs|naive|topk|pfi|esup]
 //                [--threads=N] [--progress] [--top-k=K]
 //                [--epsilon=0.1] [--delta=0.1] [--csv=OUT.csv]
+//                [--tidset=adaptive|sparse|dense] [--stats-json]
 //
 // With no arguments, writes the paper's Table II database to a temp file
 // and mines it, as a self-demonstration.
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
   MiningRequest request;
   request.params.pfct = 0.8;
   bool show_progress = false;
+  bool stats_json = false;
   std::string csv_path;
 
   if (argc < 3) {
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
         " [--algo=mpfci|bfs|naive|topk|pfi|esup]\n"
         "       [--threads=N] [--progress] [--top-k=K]"
         " [--epsilon=E] [--delta=D] [--csv=OUT.csv]\n"
+        "       [--tidset=adaptive|sparse|dense] [--stats-json]\n"
         "no input given — demonstrating on the paper's Table II.\n\n",
         argv[0]);
     path = "/tmp/pfci_demo.utd";
@@ -106,8 +109,15 @@ int main(int argc, char** argv) {
           return 1;
         }
         request.top_k = top_k;
+      } else if (ParseFlag(argv[position], "--tidset", &value)) {
+        if (!ParseTidSetMode(value.c_str(), &request.params.tidset_mode)) {
+          std::fprintf(stderr, "unknown --tidset '%s'\n", value.c_str());
+          return 1;
+        }
       } else if (std::strcmp(argv[position], "--progress") == 0) {
         show_progress = true;
+      } else if (std::strcmp(argv[position], "--stats-json") == 0) {
+        stats_json = true;
       } else if (ParseFlag(argv[position], "--epsilon", &value)) {
         if (!ParseDouble(value, &request.params.epsilon)) return 1;
       } else if (ParseFlag(argv[position], "--delta", &value)) {
@@ -153,6 +163,7 @@ int main(int argc, char** argv) {
               result.itemsets.size());
   std::printf("%s", result.ToString().c_str());
   std::printf("stats: %s\n", result.stats.ToString().c_str());
+  if (stats_json) std::printf("%s\n", result.stats.ToJson().c_str());
 
   if (!csv_path.empty()) {
     CsvWriter csv(csv_path);

@@ -18,7 +18,7 @@ namespace {
 /// One level entry: a probabilistic frequent itemset with its tid-list.
 struct LevelEntry {
   Itemset items;
-  TidList tids;
+  TidSet tids;
   double pr_f = 0.0;
 };
 
@@ -38,13 +38,13 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
   PFCI_CHECK_MSG(error.empty(), "invalid MiningParams: " + error);
   Stopwatch timer;
   MiningResult result;
-  const VerticalIndex index(db);
+  const VerticalIndex index(db, TidSetPolicyFor(params));
   const FrequentProbability freq(index, params.min_sup);
   const FcpEngine engine(index, freq, params, exec);
 
   // Qualifies a candidate itemset; returns PrF > pfct ? PrF : 0 and
   // updates pruning counters.
-  const auto qualify = [&](const TidList& tids) -> double {
+  const auto qualify = [&](const TidSet& tids) -> double {
     if (tids.size() < params.min_sup) {
       ++result.stats.pruned_by_frequency;
       return 0.0;
@@ -85,8 +85,8 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
     std::vector<MiningStats> comp_stats(level.size());
     const auto evaluate = [&](std::size_t i) {
       Rng rng(DeriveSeed(params.seed, entry_counter + i));
-      comps[i] = engine.Evaluate(level[i].items, level[i].tids,
-                                 level[i].pr_f, rng, &comp_stats[i]);
+      comps[i] = engine.Evaluate(level[i].items, level[i].tids, level[i].pr_f,
+                                 rng, &comp_stats[i], &LocalDpWorkspace());
     };
     if (exec.pool != nullptr && exec.pool->num_threads() > 1) {
       exec.pool->ParallelFor(level.size(), evaluate, /*grain=*/1);
@@ -102,6 +102,7 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
       result.stats.exact_fcp_computations += part.exact_fcp_computations;
       result.stats.sampled_fcp_computations += part.sampled_fcp_computations;
       result.stats.total_samples += part.total_samples;
+      result.stats.intersections += part.intersections;
       const FcpComputation& comp = comps[i];
       if (!comp.is_pfci) continue;
       PfciEntry out;
@@ -127,7 +128,8 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
         }
         LevelEntry child;
         child.items = level[a].items.WithItem(ib.back());
-        child.tids = IntersectTids(level[a].tids, level[b].tids);
+        child.tids = Intersect(level[a].tids, level[b].tids);
+        ++result.stats.intersections;
         child.pr_f = qualify(child.tids);
         if (child.pr_f > 0.0) next_level.push_back(std::move(child));
       }

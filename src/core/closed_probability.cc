@@ -10,7 +10,7 @@ namespace pfci {
 double ExactClosedProbability(const UncertainDatabase& db, const Itemset& x) {
   const VerticalIndex index(db);
   const FrequentProbability freq(index, /*min_sup=*/1);
-  const TidList tids = index.TidsOf(x);
+  const TidSet tids = index.TidsOf(x);
   const double pr_f = freq.PrF(tids);  // Pr{X appears at least once}.
   const ExtensionEventSet events(index, freq, x, tids);
   return ExactFcpByInclusionExclusion(pr_f, events);
@@ -21,7 +21,7 @@ ApproxFcpResult ApproxClosedProbability(const UncertainDatabase& db,
                                         double delta, Rng& rng) {
   const VerticalIndex index(db);
   const FrequentProbability freq(index, /*min_sup=*/1);
-  const TidList tids = index.TidsOf(x);
+  const TidSet tids = index.TidsOf(x);
   const double pr_f = freq.PrF(tids);
   const ExtensionEventSet events(index, freq, x, tids);
   return ApproxFcp(pr_f, events, epsilon, delta, rng);

@@ -10,19 +10,17 @@ namespace pfci {
 
 namespace {
 
-double ExpectedSupportOf(const VerticalIndex& index, const TidList& tids) {
-  double esup = 0.0;
-  for (Tid tid : tids) esup += index.db().prob(tid);
-  return esup;
+double ExpectedSupportOf(const VerticalIndex& index, const TidSet& tids) {
+  return index.SumProbsOf(tids);
 }
 
 void Dfs(const VerticalIndex& index, double min_esup,
          const std::vector<Item>& candidates, const Itemset& x,
-         const TidList& tids, std::size_t candidate_pos,
+         const TidSet& tids, std::size_t candidate_pos,
          std::vector<ExpectedSupportEntry>* out) {
   for (std::size_t c = candidate_pos + 1; c < candidates.size(); ++c) {
     const Item item = candidates[c];
-    TidList child_tids = IntersectTids(tids, index.TidsOfItem(item));
+    TidSet child_tids = Intersect(tids, index.TidsOfItem(item));
     const double esup = ExpectedSupportOf(index, child_tids);
     if (esup < min_esup) continue;
     const Itemset child = x.WithItem(item);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "src/util/check.h"
 
@@ -11,13 +12,19 @@ namespace {
 
 /// log Π (1 - p_T) over `tids`; returns -infinity when some p_T == 1
 /// (a certain transaction can never be absent, the event is impossible).
-double LogMissProbability(const VerticalIndex& index, const TidList& tids) {
+double LogMissProbability(const VerticalIndex& index, const TidSet& tids) {
   double log_miss = 0.0;
-  for (Tid tid : tids) {
+  bool impossible = false;
+  tids.ForEach([&](Tid tid) {
+    if (impossible) return;
     const double p = index.db().prob(tid);
-    if (p >= 1.0) return -std::numeric_limits<double>::infinity();
+    if (p >= 1.0) {
+      impossible = true;
+      return;
+    }
     log_miss += std::log1p(-p);
-  }
+  });
+  if (impossible) return -std::numeric_limits<double>::infinity();
   return log_miss;
 }
 
@@ -25,20 +32,25 @@ double LogMissProbability(const VerticalIndex& index, const TidList& tids) {
 
 ExtensionEventSet::ExtensionEventSet(const VerticalIndex& index,
                                      const FrequentProbability& freq,
-                                     const Itemset& x, const TidList& x_tids)
+                                     const Itemset& x, const TidSet& x_tids,
+                                     DpWorkspace* workspace,
+                                     MiningStats* stats)
     : index_(&index), freq_(&freq), x_tids_(&x_tids) {
+  DpWorkspace& ws = workspace != nullptr ? *workspace : LocalDpWorkspace();
   for (Item item : index.occurring_items()) {
     if (x.Contains(item)) continue;
     ExtensionEvent event;
     event.item = item;
-    event.tids = IntersectTids(x_tids, index.TidsOfItem(item));
+    event.tids = Intersect(x_tids, index.TidsOfItem(item));
+    if (stats != nullptr) ++stats->intersections;
     // support(X+e) can never reach min_sup >= 1: C_i is impossible.
     if (event.tids.size() < freq.min_sup()) continue;
     if (event.tids.size() == x_tids.size()) has_same_count_extension_ = true;
-    const TidList miss = DifferenceTids(x_tids, event.tids);
+    const TidSet miss = Difference(x_tids, event.tids);
+    if (stats != nullptr) ++stats->intersections;
     event.log_miss = LogMissProbability(index, miss);
     if (!std::isfinite(event.log_miss)) continue;
-    event.pr_freq = freq.PrF(event.tids);
+    event.pr_freq = freq.PrF(event.tids, ws);
     event.prob = std::exp(event.log_miss) * event.pr_freq;
     if (event.prob > 0.0) events_.push_back(std::move(event));
   }
@@ -47,12 +59,12 @@ ExtensionEventSet::ExtensionEventSet(const VerticalIndex& index,
 double ExtensionEventSet::PrIntersection(
     const std::vector<std::size_t>& subset) const {
   PFCI_CHECK(!subset.empty());
-  TidList tids = events_[subset[0]].tids;
+  TidSet tids = events_[subset[0]].tids;
   for (std::size_t k = 1; k < subset.size() && !tids.empty(); ++k) {
-    tids = IntersectTids(tids, events_[subset[k]].tids);
+    tids = Intersect(tids, events_[subset[k]].tids);
   }
   if (tids.size() < freq_->min_sup()) return 0.0;
-  const TidList miss = DifferenceTids(*x_tids_, tids);
+  const TidSet miss = Difference(*x_tids_, tids);
   const double log_miss = LogMissProbability(*index_, miss);
   if (!std::isfinite(log_miss)) return 0.0;
   return std::exp(log_miss) * freq_->PrF(tids);

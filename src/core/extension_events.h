@@ -19,8 +19,9 @@
 #include <vector>
 
 #include "src/core/frequent_probability.h"
+#include "src/core/mining_result.h"
 #include "src/data/itemset.h"
-#include "src/data/tidlist.h"
+#include "src/data/tidset.h"
 #include "src/data/vertical_index.h"
 #include "src/prob/union_bounds.h"
 
@@ -29,7 +30,7 @@ namespace pfci {
 /// One active extension event C_i.
 struct ExtensionEvent {
   Item item = 0;        ///< The extending item e_i.
-  TidList tids;         ///< Tids(X + e_i).
+  TidSet tids;          ///< Tids(X + e_i).
   double log_miss = 0;  ///< log Π (1 - p_T) over Tids(X) \ Tids(X+e_i).
   double pr_freq = 0;   ///< Pr{support(X+e_i) >= min_sup}.
   double prob = 0;      ///< Pr(C_i) = exp(log_miss) * pr_freq.
@@ -38,14 +39,18 @@ struct ExtensionEvent {
 /// The set of active (positive-probability) extension events of X.
 class ExtensionEventSet {
  public:
-  /// Builds the events. `x_tids` must equal index.TidsOf(x).
+  /// Builds the events. `x_tids` must equal index.TidsOf(x). When given,
+  /// `workspace` supplies the PrF scratch buffers (otherwise the calling
+  /// thread's LocalDpWorkspace() is used) and `stats` counts the tid-set
+  /// operations performed.
   ExtensionEventSet(const VerticalIndex& index,
                     const FrequentProbability& freq, const Itemset& x,
-                    const TidList& x_tids);
+                    const TidSet& x_tids, DpWorkspace* workspace = nullptr,
+                    MiningStats* stats = nullptr);
 
   const std::vector<ExtensionEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
-  const TidList& x_tids() const { return *x_tids_; }
+  const TidSet& x_tids() const { return *x_tids_; }
   const VerticalIndex& index() const { return *index_; }
   std::size_t min_sup() const { return freq_->min_sup(); }
 
@@ -65,7 +70,7 @@ class ExtensionEventSet {
  private:
   const VerticalIndex* index_;
   const FrequentProbability* freq_;
-  const TidList* x_tids_;
+  const TidSet* x_tids_;
   std::vector<ExtensionEvent> events_;
   bool has_same_count_extension_ = false;
 };

@@ -21,23 +21,24 @@ FcpEngine::FcpEngine(const VerticalIndex& index,
                      const MiningParams& params, const ExecutionContext& exec)
     : index_(&index), freq_(&freq), params_(params), exec_(exec) {}
 
-FcpComputation FcpEngine::Evaluate(const Itemset& x, const TidList& tids,
-                                   double pr_f, Rng& rng,
-                                   MiningStats* stats) const {
-  return EvaluateInternal(x, tids, pr_f, params_.pfct, rng, stats);
+FcpComputation FcpEngine::Evaluate(const Itemset& x, const TidSet& tids,
+                                   double pr_f, Rng& rng, MiningStats* stats,
+                                   DpWorkspace* workspace) const {
+  return EvaluateInternal(x, tids, pr_f, params_.pfct, rng, stats, workspace);
 }
 
 FcpComputation FcpEngine::ComputeFcp(const Itemset& x, Rng& rng) const {
-  const TidList tids = index_->TidsOf(x);
+  const TidSet tids = index_->TidsOf(x);
   const double pr_f = freq_->PrF(tids);
   // pfct = -1 disables every threshold-based early exit.
-  return EvaluateInternal(x, tids, pr_f, -1.0, rng, nullptr);
+  return EvaluateInternal(x, tids, pr_f, -1.0, rng, nullptr, nullptr);
 }
 
 FcpComputation FcpEngine::EvaluateInternal(const Itemset& x,
-                                           const TidList& tids, double pr_f,
+                                           const TidSet& tids, double pr_f,
                                            double pfct, Rng& rng,
-                                           MiningStats* stats) const {
+                                           MiningStats* stats,
+                                           DpWorkspace* workspace) const {
   FcpComputation out;
   out.pr_f = pr_f;
   // PrFC <= PrF: an infrequent itemset can never qualify.
@@ -46,7 +47,7 @@ FcpComputation FcpEngine::EvaluateInternal(const Itemset& x,
     return out;
   }
 
-  const ExtensionEventSet events(*index_, *freq_, x, tids);
+  const ExtensionEventSet events(*index_, *freq_, x, tids, workspace, stats);
 
   // Lemmas 4.2/4.3 endgame: a same-count superset forces PrFC(X) = 0.
   if (events.HasSameCountExtension()) {

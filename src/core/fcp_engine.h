@@ -46,9 +46,12 @@ class FcpEngine {
             const ExecutionContext& exec = ExecutionContext{});
 
   /// Decides whether X (with Tids(X) = `tids` and PrF(X) = `pr_f`)
-  /// qualifies, with early exits against params.pfct. `stats` may be null.
-  FcpComputation Evaluate(const Itemset& x, const TidList& tids, double pr_f,
-                          Rng& rng, MiningStats* stats) const;
+  /// qualifies, with early exits against params.pfct. `stats` may be
+  /// null; `workspace`, when given, supplies the PrF scratch buffers for
+  /// extension-event construction (else the calling thread's workspace).
+  FcpComputation Evaluate(const Itemset& x, const TidSet& tids, double pr_f,
+                          Rng& rng, MiningStats* stats,
+                          DpWorkspace* workspace = nullptr) const;
 
   /// Computes PrFC(X) to full available precision regardless of pfct
   /// (bounds are still used to report [lower, upper]).
@@ -58,9 +61,10 @@ class FcpEngine {
   const MiningParams& params() const { return params_; }
 
  private:
-  FcpComputation EvaluateInternal(const Itemset& x, const TidList& tids,
+  FcpComputation EvaluateInternal(const Itemset& x, const TidSet& tids,
                                   double pr_f, double pfct, Rng& rng,
-                                  MiningStats* stats) const;
+                                  MiningStats* stats,
+                                  DpWorkspace* workspace) const;
 
   const VerticalIndex* index_;
   const FrequentProbability* freq_;

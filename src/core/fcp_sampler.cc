@@ -58,7 +58,10 @@ ApproxFcpResult ApproxFcp(double pr_f, const ExtensionEventSet& events,
     return result;
   }
 
-  const TidList& x_tids = events.x_tids();
+  // The sampler's per-sample loops index tids by dense position, so the
+  // tid-sets are materialized as sorted vectors once per call — a few
+  // allocations amortized over thousands of samples.
+  const TidList x_tids = events.x_tids().ToTidList();
   const VerticalIndex& index = events.index();
   const std::size_t min_sup = events.min_sup();
 
@@ -68,15 +71,21 @@ ApproxFcpResult ApproxFcp(double pr_f, const ExtensionEventSet& events,
         std::lower_bound(x_tids.begin(), x_tids.end(), tid) - x_tids.begin());
   };
 
+  std::vector<TidList> event_tids;
+  event_tids.reserve(m);
+  for (const ExtensionEvent& event : events.events()) {
+    event_tids.push_back(event.tids.ToTidList());
+  }
+
   // Per-event membership masks over the positions of Tids(X); a sampled
   // world ω (also a mask) lies in C_j iff mask_j covers ω (all present
   // transactions contain e_j; the support condition then follows from the
   // conditioning, which guarantees >= min_sup present transactions).
   std::vector<PositionMask> event_mask;
   event_mask.reserve(m);
-  for (const ExtensionEvent& event : events.events()) {
+  for (const TidList& tids : event_tids) {
     PositionMask mask(x_tids.size());
-    for (Tid tid : event.tids) mask.Set(position_of(tid));
+    for (Tid tid : tids) mask.Set(position_of(tid));
     event_mask.push_back(std::move(mask));
   }
 
@@ -127,14 +136,14 @@ ApproxFcpResult ApproxFcp(double pr_f, const ExtensionEventSet& events,
     PositionMask world(x_tids.size());
     std::vector<std::uint8_t> indicator;
     const auto sample_is_canonical = [&](std::size_t i, Rng& sample_rng) {
-      const ExtensionEvent& event = events.events()[i];
+      const TidList& tids = event_tids[i];
       // Conditional world given C_i: transactions of Tids(X) \ Tids(X+e_i)
       // are forced absent, the Tids(X+e_i) indicators are drawn
       // conditioned on reaching min_sup.
       sampler_of(i).Sample(sample_rng, &indicator);
       world.Clear();
-      for (std::size_t k = 0; k < event.tids.size(); ++k) {
-        if (indicator[k]) world.Set(position_of(event.tids[k]));
+      for (std::size_t k = 0; k < tids.size(); ++k) {
+        if (indicator[k]) world.Set(position_of(tids[k]));
       }
       // Canonical iff no earlier event also covers the world.
       for (std::size_t j = 0; j < i; ++j) {

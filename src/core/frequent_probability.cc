@@ -21,8 +21,8 @@ FrequentProbability::FrequentProbability(const VerticalIndex& index,
   PFCI_CHECK(min_sup >= 1);
 }
 
-double FrequentProbability::PrFFromProbs(
-    const std::vector<double>& probs) const {
+double FrequentProbability::PrFFromProbs(const std::vector<double>& probs,
+                                         std::vector<double>* dp_scratch) const {
   if (probs.size() < min_sup_) return 0.0;
   const double mu = PoissonBinomialMean(probs);
   const double s = static_cast<double>(min_sup_);
@@ -31,18 +31,29 @@ double FrequentProbability::PrFFromProbs(
   // Lower-tail short circuit: Pr{S <= min_sup - 1} ~ 0 -> PrF ~ 1.
   if (ChernoffLowerTail(mu, s - 1.0) < kNegligible) return 1.0;
   dp_runs_.fetch_add(1, std::memory_order_relaxed);
-  return PoissonBinomialTailAtLeast(probs, min_sup_);
+  return PoissonBinomialTailAtLeast(probs.data(), probs.size(), min_sup_,
+                                    dp_scratch);
 }
 
-double FrequentProbability::PrF(const TidList& tids) const {
-  if (tids.size() < min_sup_) return 0.0;
-  return PrFFromProbs(index_->ProbsOf(tids));
+double FrequentProbability::PrFFromProbs(
+    const std::vector<double>& probs) const {
+  return PrFFromProbs(probs, &LocalDpWorkspace().dp);
 }
 
-double FrequentProbability::PrFUpperBound(const TidList& tids) const {
+double FrequentProbability::PrF(const TidSet& tids,
+                                DpWorkspace& workspace) const {
   if (tids.size() < min_sup_) return 0.0;
-  const std::vector<double> probs = index_->ProbsOf(tids);
-  return BestUpperTailBound(PoissonBinomialMean(probs), probs.size(),
+  index_->GatherProbs(tids, &workspace.probs);
+  return PrFFromProbs(workspace.probs, &workspace.dp);
+}
+
+double FrequentProbability::PrF(const TidSet& tids) const {
+  return PrF(tids, LocalDpWorkspace());
+}
+
+double FrequentProbability::PrFUpperBound(const TidSet& tids) const {
+  if (tids.size() < min_sup_) return 0.0;
+  return BestUpperTailBound(index_->SumProbsOf(tids), tids.size(),
                             static_cast<double>(min_sup_));
 }
 

@@ -5,6 +5,10 @@
 // exact O(n * min_sup) dynamic program with Chernoff-Hoeffding short
 // circuits: when the tail bound already pins the probability to 0 or 1
 // within 1e-15 the DP is skipped (far below any decision threshold).
+//
+// Hot-path calls take a DpWorkspace so the probability gather and the DP
+// row reuse per-thread buffers; the workspace-free overloads fall back to
+// the calling thread's LocalDpWorkspace().
 #ifndef PFCI_CORE_FREQUENT_PROBABILITY_H_
 #define PFCI_CORE_FREQUENT_PROBABILITY_H_
 
@@ -12,7 +16,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/data/tidlist.h"
+#include "src/core/execution.h"
+#include "src/data/tidset.h"
 #include "src/data/vertical_index.h"
 
 namespace pfci {
@@ -23,17 +28,23 @@ class FrequentProbability {
   FrequentProbability(const VerticalIndex& index, std::size_t min_sup);
 
   /// Exact PrF over the transactions in `tids` (modulo the 1e-15 short
-  /// circuits described above).
-  double PrF(const TidList& tids) const;
+  /// circuits described above). Uses the calling thread's workspace.
+  double PrF(const TidSet& tids) const;
+
+  /// As above with an explicit workspace (zero-alloc once warm).
+  double PrF(const TidSet& tids, DpWorkspace& workspace) const;
 
   /// Exact PrF from raw probabilities.
   double PrFFromProbs(const std::vector<double>& probs) const;
+  double PrFFromProbs(const std::vector<double>& probs,
+                      std::vector<double>* dp_scratch) const;
 
   /// Cheap upper bound on PrF (Lemma 4.1's Chernoff-Hoeffding bound):
-  /// never smaller than the exact value.
-  double PrFUpperBound(const TidList& tids) const;
+  /// never smaller than the exact value. Allocation-free.
+  double PrFUpperBound(const TidSet& tids) const;
 
   std::size_t min_sup() const { return min_sup_; }
+  const VerticalIndex& index() const { return *index_; }
 
   /// Number of exact DP executions so far (work accounting). The counter
   /// is atomic so one evaluator can be shared by all tasks of a parallel

@@ -24,7 +24,8 @@ MiningResult RunPfi(const UncertainDatabase& db, const MiningRequest& request,
   MiningResult result;
   const std::vector<PfiEntry> pfis =
       MinePfi(db, request.params.min_sup, request.params.pfct,
-              request.params.pruning.chernoff, &result.stats);
+              request.params.pruning.chernoff, &result.stats,
+              TidSetPolicyFor(request.params));
   result.itemsets.reserve(pfis.size());
   for (const PfiEntry& pfi : pfis) {
     PfciEntry entry;

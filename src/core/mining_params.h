@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/data/tidset.h"
+
 namespace pfci {
 
 /// Individually toggleable pruning rules (the algorithm variants of the
@@ -46,7 +48,19 @@ struct MiningParams {
   /// Seed for every stochastic component (sampling); runs are
   /// deterministic given the seed.
   std::uint64_t seed = 1234;
+
+  /// Tid-set representation policy: adaptive (default) picks sparse
+  /// vector vs dense bitmap per set by density; sparse/dense force one
+  /// representation everywhere. Never affects results, only layout/speed.
+  TidSetMode tidset_mode = TidSetMode::kAdaptive;
 };
+
+/// The TidSetPolicy a miner should build its VerticalIndex with.
+inline TidSetPolicy TidSetPolicyFor(const MiningParams& params) {
+  TidSetPolicy policy;
+  policy.mode = params.tidset_mode;
+  return policy;
+}
 
 /// Checks every field of `params`; returns an empty string when valid and
 /// a descriptive error otherwise. Mine() and the free-function wrappers

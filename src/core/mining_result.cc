@@ -34,7 +34,33 @@ std::string MiningStats::ToString() const {
          " sampled_fcp=" + std::to_string(sampled_fcp_computations) +
          " samples=" + std::to_string(total_samples) +
          " dp_runs=" + std::to_string(dp_runs) +
+         " intersections=" + std::to_string(intersections) +
          " time=" + FormatDouble(seconds, 4) + "s";
+}
+
+std::string MiningStats::ToJson() const {
+  std::string out = "{";
+  const auto field = [&out](const char* name, std::uint64_t value) {
+    if (out.size() > 1) out += ",";
+    out += "\"";
+    out += name;
+    out += "\":" + std::to_string(value);
+  };
+  field("nodes_visited", nodes_visited);
+  field("pruned_by_chernoff", pruned_by_chernoff);
+  field("pruned_by_frequency", pruned_by_frequency);
+  field("pruned_by_superset", pruned_by_superset);
+  field("pruned_by_subset", pruned_by_subset);
+  field("decided_by_bounds", decided_by_bounds);
+  field("zero_by_count", zero_by_count);
+  field("exact_fcp_computations", exact_fcp_computations);
+  field("sampled_fcp_computations", sampled_fcp_computations);
+  field("total_samples", total_samples);
+  field("dp_runs", dp_runs);
+  field("intersections", intersections);
+  out += ",\"seconds\":" + FormatDouble(seconds, 6);
+  out += "}";
+  return out;
 }
 
 void MiningResult::Sort() {

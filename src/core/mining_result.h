@@ -49,9 +49,18 @@ struct MiningStats {
   std::uint64_t sampled_fcp_computations = 0;
   std::uint64_t total_samples = 0;
   std::uint64_t dp_runs = 0;  ///< Exact Poisson-binomial DP executions.
+  /// Tid-set intersection/difference/subset operations performed by the
+  /// search layers (candidate generation, superset checks, extension-event
+  /// construction). Excludes the sampler's per-sample bit tests and the
+  /// exact inclusion-exclusion inner loops.
+  std::uint64_t intersections = 0;
   double seconds = 0.0;
 
   std::string ToString() const;
+
+  /// One JSON object line with every counter plus seconds, for scripted
+  /// regression tracking (schema documented in docs/FORMATS.md).
+  std::string ToJson() const;
 };
 
 /// Output of a miner: the qualifying itemsets plus run statistics.

@@ -31,7 +31,7 @@ class MpfciSearch {
               const ExecutionContext& exec)
       : params_(params),
         exec_(exec),
-        index_(db),
+        index_(db, TidSetPolicyFor(params)),
         freq_(index_, params.min_sup),
         engine_(index_, freq_, params, exec) {}
 
@@ -43,7 +43,10 @@ class MpfciSearch {
     std::vector<MiningResult> subtree(n);
     const auto mine_subtree = [&](std::size_t c) {
       Rng rng(DeriveSeed(params_.seed, candidates_[c]));
-      TaskState task{&subtree[c], &rng};
+      // The executing thread's workspace: safe because a workspace is
+      // only live within one PrF evaluation, which never suspends into
+      // the helping scheduler.
+      TaskState task{&subtree[c], &rng, &LocalDpWorkspace()};
       Dfs(task, Itemset{candidates_[c]}, index_.TidsOfItem(candidates_[c]),
           candidate_pr_f_[c], c);
     };
@@ -73,13 +76,14 @@ class MpfciSearch {
   struct TaskState {
     MiningResult* out;
     Rng* rng;
+    DpWorkspace* ws;
   };
 
   /// Phase 1 of Fig. 1: the candidate set of probabilistic frequent
   /// single items (Lemma 4.1 + exact check).
   void BuildCandidates() {
     for (Item item : index_.occurring_items()) {
-      const TidList& tids = index_.TidsOfItem(item);
+      const TidSet& tids = index_.TidsOfItem(item);
       if (tids.size() < params_.min_sup) {
         ++result_.stats.pruned_by_frequency;
         continue;
@@ -102,27 +106,29 @@ class MpfciSearch {
   /// Lemma 4.2: some item e < last(X), e not in X, has
   /// count(X+e) == count(X) -> X and its whole prefix subtree have
   /// frequent closed probability 0.
-  bool SupersetPruned(const Itemset& x, const TidList& tids) const {
+  bool SupersetPruned(const Itemset& x, const TidSet& tids,
+                      MiningStats& stats) const {
     const Item last = x.LastItem();
     for (Item item : index_.occurring_items()) {
       if (item >= last) break;
       if (x.Contains(item)) continue;
-      const TidList& item_tids = index_.TidsOfItem(item);
+      const TidSet& item_tids = index_.TidsOfItem(item);
       if (item_tids.size() < tids.size()) continue;
-      if (IntersectTidsSize(tids, item_tids) == tids.size()) return true;
+      ++stats.intersections;
+      if (IsSubsetOf(tids, item_tids)) return true;
     }
     return false;
   }
 
   /// One node of the set-enumeration tree. `x` extends only with
   /// candidate items after position `last_candidate_pos`.
-  void Dfs(TaskState& task, const Itemset& x, const TidList& tids,
+  void Dfs(TaskState& task, const Itemset& x, const TidSet& tids,
            double pr_f, std::size_t last_candidate_pos) {
     MiningStats& stats = task.out->stats;
     ++stats.nodes_visited;
     if (exec_.progress != nullptr) exec_.progress->AddNodes();
 
-    if (params_.pruning.superset && SupersetPruned(x, tids)) {
+    if (params_.pruning.superset && SupersetPruned(x, tids, stats)) {
       ++stats.pruned_by_superset;
       return;
     }
@@ -131,8 +137,8 @@ class MpfciSearch {
     for (std::size_t c = last_candidate_pos + 1; c < candidates_.size();
          ++c) {
       const Item item = candidates_[c];
-      const TidList child_tids =
-          IntersectTids(tids, index_.TidsOfItem(item));
+      const TidSet child_tids = Intersect(tids, index_.TidsOfItem(item));
+      ++stats.intersections;
       const bool same_count = child_tids.size() == tids.size();
       if (params_.pruning.subset && same_count) {
         // Lemma 4.3: X always co-occurs with X+item, so X is never
@@ -150,7 +156,7 @@ class MpfciSearch {
         child_qualifies = false;
       }
       if (child_qualifies) {
-        const double child_pr_f = freq_.PrF(child_tids);
+        const double child_pr_f = freq_.PrF(child_tids, *task.ws);
         if (child_pr_f <= params_.pfct) {
           ++stats.pruned_by_frequency;
         } else {
@@ -165,7 +171,7 @@ class MpfciSearch {
       return;
     }
     const FcpComputation comp =
-        engine_.Evaluate(x, tids, pr_f, *task.rng, &stats);
+        engine_.Evaluate(x, tids, pr_f, *task.rng, &stats, task.ws);
     if (comp.is_pfci) {
       PfciEntry entry;
       entry.items = x;
@@ -193,6 +199,7 @@ class MpfciSearch {
     total.exact_fcp_computations += part.exact_fcp_computations;
     total.sampled_fcp_computations += part.sampled_fcp_computations;
     total.total_samples += part.total_samples;
+    total.intersections += part.intersections;
   }
 
   MiningParams params_;

@@ -27,14 +27,14 @@ MiningResult MineNaive(const UncertainDatabase& db, const MiningParams& params,
   PFCI_CHECK_MSG(error.empty(), "invalid MiningParams: " + error);
   Stopwatch timer;
   MiningResult result;
-  const VerticalIndex index(db);
+  const VerticalIndex index(db, TidSetPolicyFor(params));
   const FrequentProbability freq(index, params.min_sup);
 
   // Stage 1: all probabilistic frequent itemsets (PrFC <= PrF, so the
   // answer set is contained in the PFIs).
   const std::vector<PfiEntry> pfis =
       MinePfi(db, params.min_sup, params.pfct, /*use_chernoff=*/true,
-              &result.stats);
+              &result.stats, TidSetPolicyFor(params));
 
   // Stage 2: check each PFI's frequent closed probability by sampling.
   // Independent per PFI, so the checks fan out over the pool; the i-th
@@ -45,7 +45,8 @@ MiningResult MineNaive(const UncertainDatabase& db, const MiningParams& params,
   std::vector<ApproxFcpResult> checks(pfis.size());
   const auto check = [&](std::size_t i) {
     Rng rng(DeriveSeed(params.seed, i));
-    const ExtensionEventSet events(index, freq, pfis[i].items, pfis[i].tids);
+    const ExtensionEventSet events(index, freq, pfis[i].items, pfis[i].tids,
+                                   &LocalDpWorkspace(), nullptr);
     checks[i] = ApproxFcp(pfis[i].pr_f, events, params.epsilon, params.delta,
                           rng, /*pool=*/nullptr, exec.deterministic);
     if (exec.progress != nullptr) exec.progress->AddNodes();

@@ -13,17 +13,18 @@ namespace {
 class PfiSearch {
  public:
   PfiSearch(const UncertainDatabase& db, std::size_t min_sup, double pft,
-            bool use_chernoff, FrequencyMode mode, MiningStats* stats)
+            bool use_chernoff, FrequencyMode mode, MiningStats* stats,
+            const TidSetPolicy& policy)
       : pft_(pft),
         use_chernoff_(use_chernoff),
         mode_(mode),
         stats_(stats),
-        index_(db),
+        index_(db, policy),
         freq_(index_, min_sup) {}
 
   std::vector<PfiEntry> Run() {
     for (Item item : index_.occurring_items()) {
-      TidList tids = index_.TidsOfItem(item);
+      TidSet tids = index_.TidsOfItem(item);
       const double pr_f = QualifyingPrF(tids);
       if (pr_f > pft_) {
         candidates_.push_back(item);
@@ -50,7 +51,7 @@ class PfiSearch {
 
   /// PrF if the itemset qualifies, otherwise a value <= pft (with pruning
   /// counters updated).
-  double QualifyingPrF(const TidList& tids) {
+  double QualifyingPrF(const TidSet& tids) {
     if (tids.size() < freq_.min_sup()) {
       if (stats_ != nullptr) ++stats_->pruned_by_frequency;
       return 0.0;
@@ -59,16 +60,19 @@ class PfiSearch {
       if (stats_ != nullptr) ++stats_->pruned_by_chernoff;
       return 0.0;
     }
-    const double pr_f =
-        mode_ == FrequencyMode::kExactDp
-            ? freq_.PrF(tids)
-            : TailAtLeastWithMode(index_.ProbsOf(tids), freq_.min_sup(),
-                                  mode_);
+    double pr_f;
+    if (mode_ == FrequencyMode::kExactDp) {
+      pr_f = freq_.PrF(tids);
+    } else {
+      DpWorkspace& ws = LocalDpWorkspace();
+      index_.GatherProbs(tids, &ws.probs);
+      pr_f = TailAtLeastWithMode(ws.probs, freq_.min_sup(), mode_);
+    }
     if (pr_f <= pft_ && stats_ != nullptr) ++stats_->pruned_by_frequency;
     return pr_f;
   }
 
-  void Emit(Itemset items, TidList tids, double pr_f) {
+  void Emit(Itemset items, TidSet tids, double pr_f) {
     PfiEntry entry;
     entry.items = std::move(items);
     entry.pr_f = pr_f;
@@ -76,12 +80,13 @@ class PfiSearch {
     result_.push_back(std::move(entry));
   }
 
-  void Dfs(const Itemset& x, const TidList& tids,
+  void Dfs(const Itemset& x, const TidSet& tids,
            std::size_t candidate_pos) {
     if (stats_ != nullptr) ++stats_->nodes_visited;
     for (std::size_t c = candidate_pos + 1; c < candidates_.size(); ++c) {
       const Item item = candidates_[c];
-      TidList child_tids = IntersectTids(tids, index_.TidsOfItem(item));
+      TidSet child_tids = Intersect(tids, index_.TidsOfItem(item));
+      if (stats_ != nullptr) ++stats_->intersections;
       const double pr_f = QualifyingPrF(child_tids);
       if (pr_f <= pft_) continue;
       const Itemset child = x.WithItem(item);
@@ -104,21 +109,24 @@ class PfiSearch {
 
 std::vector<PfiEntry> MinePfi(const UncertainDatabase& db,
                               std::size_t min_sup, double pft,
-                              bool use_chernoff, MiningStats* stats) {
+                              bool use_chernoff, MiningStats* stats,
+                              const TidSetPolicy& policy) {
   PFCI_CHECK(min_sup >= 1);
   PfiSearch search(db, min_sup, pft, use_chernoff, FrequencyMode::kExactDp,
-                   stats);
+                   stats, policy);
   return search.Run();
 }
 
 std::vector<PfiEntry> MinePfiApproximate(const UncertainDatabase& db,
                                          std::size_t min_sup, double pft,
                                          FrequencyMode mode,
-                                         MiningStats* stats) {
+                                         MiningStats* stats,
+                                         const TidSetPolicy& policy) {
   PFCI_CHECK(min_sup >= 1);
   // The Chernoff bound stays valid (it bounds the true tail, and every
   // approximation is consistent with it on the scales where it prunes).
-  PfiSearch search(db, min_sup, pft, /*use_chernoff=*/true, mode, stats);
+  PfiSearch search(db, min_sup, pft, /*use_chernoff=*/true, mode, stats,
+                   policy);
   return search.Run();
 }
 

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "src/core/mining_result.h"
-#include "src/data/tidlist.h"
+#include "src/data/tidset.h"
 #include "src/data/uncertain_database.h"
 #include "src/prob/tail_approximations.h"
 
@@ -22,7 +22,7 @@ namespace pfci {
 struct PfiEntry {
   Itemset items;
   double pr_f = 0.0;
-  TidList tids;
+  TidSet tids;
 
   friend bool operator<(const PfiEntry& a, const PfiEntry& b) {
     return a.items < b.items;
@@ -30,11 +30,13 @@ struct PfiEntry {
 };
 
 /// Mines all itemsets with PrF(X) > pft at support threshold min_sup.
-/// `stats` (optional) accumulates pruning counters.
+/// `stats` (optional) accumulates pruning counters; `policy` selects the
+/// tid-set representation (never affects results).
 std::vector<PfiEntry> MinePfi(const UncertainDatabase& db,
                               std::size_t min_sup, double pft,
                               bool use_chernoff = true,
-                              MiningStats* stats = nullptr);
+                              MiningStats* stats = nullptr,
+                              const TidSetPolicy& policy = TidSetPolicy{});
 
 /// Approximate PFI mining in the spirit of [3]: the exact frequent-
 /// probability DP is replaced by a distributional approximation of the
@@ -44,7 +46,9 @@ std::vector<PfiEntry> MinePfi(const UncertainDatabase& db,
 std::vector<PfiEntry> MinePfiApproximate(const UncertainDatabase& db,
                                          std::size_t min_sup, double pft,
                                          FrequencyMode mode,
-                                         MiningStats* stats = nullptr);
+                                         MiningStats* stats = nullptr,
+                                         const TidSetPolicy& policy =
+                                             TidSetPolicy{});
 
 }  // namespace pfci
 

@@ -25,13 +25,13 @@ std::size_t PsupFromProbs(const std::vector<double>& probs, double pft) {
 }
 
 void Enumerate(const VerticalIndex& index, std::size_t min_sup,
-               const Itemset& x, const TidList& tids, Item next_item,
-               const std::function<void(const Itemset&, const TidList&)>& fn) {
+               const Itemset& x, const TidSet& tids, Item next_item,
+               const std::function<void(const Itemset&, const TidSet&)>& fn) {
   if (!x.empty()) fn(x, tids);
   const auto& items = index.occurring_items();
   for (Item item : items) {
     if (item < next_item) continue;
-    const TidList child = IntersectTids(tids, index.TidsOfItem(item));
+    const TidSet child = Intersect(tids, index.TidsOfItem(item));
     if (child.size() < min_sup) continue;
     Enumerate(index, min_sup, x.WithItem(item), child, item + 1, fn);
   }
@@ -54,11 +54,9 @@ std::vector<PsupEntry> MinePsupClosed(const UncertainDatabase& db,
   PFCI_CHECK(min_sup >= 1);
   const VerticalIndex index(db);
   std::vector<PsupEntry> result;
-  TidList all_tids(db.size());
-  for (Tid tid = 0; tid < db.size(); ++tid) all_tids[tid] = tid;
 
-  Enumerate(index, min_sup, Itemset{}, all_tids, 0,
-            [&](const Itemset& x, const TidList& tids) {
+  Enumerate(index, min_sup, Itemset{}, index.all_tids(), 0,
+            [&](const Itemset& x, const TidSet& tids) {
               const std::size_t psup =
                   PsupFromProbs(index.ProbsOf(tids), pft);
               if (psup < min_sup) return;
@@ -67,8 +65,7 @@ std::vector<PsupEntry> MinePsupClosed(const UncertainDatabase& db,
               // anti-monotonicity of psup).
               for (Item item : index.occurring_items()) {
                 if (x.Contains(item)) continue;
-                const TidList ext =
-                    IntersectTids(tids, index.TidsOfItem(item));
+                const TidSet ext = Intersect(tids, index.TidsOfItem(item));
                 if (PsupFromProbs(index.ProbsOf(ext), pft) >= psup) return;
               }
               result.push_back(PsupEntry{x, psup});

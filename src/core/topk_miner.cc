@@ -22,7 +22,7 @@ class TopkSearch {
       : params_(params),
         exec_(exec),
         k_(k),
-        index_(db),
+        index_(db, TidSetPolicyFor(params)),
         freq_(index_, params.min_sup),
         rng_(params.seed) {}
 
@@ -31,7 +31,7 @@ class TopkSearch {
     BuildCandidates();
     for (std::size_t c = 0; c < candidates_.size(); ++c) {
       const Item item = candidates_[c];
-      const TidList& tids = index_.TidsOfItem(item);
+      const TidSet& tids = index_.TidsOfItem(item);
       const double pr_f = freq_.PrF(tids);
       if (pr_f <= Threshold()) continue;
       Dfs(Itemset{item}, tids, pr_f, c);
@@ -83,7 +83,7 @@ class TopkSearch {
 
   void BuildCandidates() {
     for (Item item : index_.occurring_items()) {
-      const TidList& tids = index_.TidsOfItem(item);
+      const TidSet& tids = index_.TidsOfItem(item);
       if (tids.size() < params_.min_sup) continue;
       // The floor threshold is the only sound candidate filter here (the
       // dynamic threshold starts at the floor and only rises).
@@ -96,19 +96,20 @@ class TopkSearch {
     }
   }
 
-  bool SupersetPruned(const Itemset& x, const TidList& tids) const {
+  bool SupersetPruned(const Itemset& x, const TidSet& tids) {
     const Item last = x.LastItem();
     for (Item item : index_.occurring_items()) {
       if (item >= last) break;
       if (x.Contains(item)) continue;
-      const TidList& item_tids = index_.TidsOfItem(item);
+      const TidSet& item_tids = index_.TidsOfItem(item);
       if (item_tids.size() < tids.size()) continue;
-      if (IntersectTidsSize(tids, item_tids) == tids.size()) return true;
+      ++stats_.intersections;
+      if (IsSubsetOf(tids, item_tids)) return true;
     }
     return false;
   }
 
-  void Dfs(const Itemset& x, const TidList& tids, double pr_f,
+  void Dfs(const Itemset& x, const TidSet& tids, double pr_f,
            std::size_t last_candidate_pos) {
     ++stats_.nodes_visited;
     if (exec_.progress != nullptr) exec_.progress->AddNodes();
@@ -121,7 +122,8 @@ class TopkSearch {
     for (std::size_t c = last_candidate_pos + 1; c < candidates_.size();
          ++c) {
       const Item item = candidates_[c];
-      const TidList child_tids = IntersectTids(tids, index_.TidsOfItem(item));
+      const TidSet child_tids = Intersect(tids, index_.TidsOfItem(item));
+      ++stats_.intersections;
       const bool same_count = child_tids.size() == tids.size();
       if (params_.pruning.subset && same_count) x_may_be_closed = false;
 

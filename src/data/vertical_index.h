@@ -1,4 +1,4 @@
-// Vertical (item -> tid-list) index over an uncertain database.
+// Vertical (item -> tid-set) index over an uncertain database.
 #ifndef PFCI_DATA_VERTICAL_INDEX_H_
 #define PFCI_DATA_VERTICAL_INDEX_H_
 
@@ -7,23 +7,27 @@
 #include "src/data/item.h"
 #include "src/data/itemset.h"
 #include "src/data/tidlist.h"
+#include "src/data/tidset.h"
 #include "src/data/uncertain_database.h"
 
 namespace pfci {
 
-/// Precomputed per-item tid-lists plus helpers to derive Tids(X) for any
-/// itemset X by intersection. Items absent from the database have empty
-/// tid-lists.
+/// Precomputed per-item TidSets plus helpers to derive Tids(X) for any
+/// itemset X by intersection, and a contiguous tid-ordered copy of the
+/// transaction existence probabilities so probability gathers are pure
+/// copies with no per-node allocation. Items absent from the database
+/// have empty tid-sets.
 class VerticalIndex {
  public:
-  explicit VerticalIndex(const UncertainDatabase& db);
+  explicit VerticalIndex(const UncertainDatabase& db,
+                         const TidSetPolicy& policy = TidSetPolicy{});
 
-  /// Tid-list of a single item (empty if the item never occurs).
-  const TidList& TidsOfItem(Item item) const;
+  /// Tid-set of a single item (empty if the item never occurs).
+  const TidSet& TidsOfItem(Item item) const;
 
   /// Tids(X): transactions possibly containing the whole itemset.
   /// The empty itemset maps to all transactions.
-  TidList TidsOf(const Itemset& x) const;
+  TidSet TidsOf(const Itemset& x) const;
 
   /// count(X) = |Tids(X)| (Definition 4.2).
   std::size_t Count(const Itemset& x) const;
@@ -31,17 +35,34 @@ class VerticalIndex {
   /// Items that occur in at least one transaction, ascending.
   const std::vector<Item>& occurring_items() const { return occurring_items_; }
 
+  /// Tid-set {0, ..., |db| - 1} of every transaction.
+  const TidSet& all_tids() const { return all_tids_; }
+
+  /// Copies the existence probabilities of the given transactions, in
+  /// ascending tid order, into `*out` (resized to tids.size()). Allocates
+  /// nothing once `*out` has reached capacity — the per-node fast path.
+  void GatherProbs(const TidSet& tids, std::vector<double>* out) const;
+
   /// Existence probabilities of the given transactions, in tid order.
+  /// Allocating convenience form of GatherProbs.
+  std::vector<double> ProbsOf(const TidSet& tids) const;
   std::vector<double> ProbsOf(const TidList& tids) const;
 
+  /// Sum of existence probabilities over `tids`, accumulated in ascending
+  /// tid order (bit-identical to summing ProbsOf(tids) left to right).
+  double SumProbsOf(const TidSet& tids) const;
+
+  const TidSetPolicy& policy() const { return policy_; }
   const UncertainDatabase& db() const { return *db_; }
 
  private:
   const UncertainDatabase* db_;
-  std::vector<TidList> tids_by_item_;
+  TidSetPolicy policy_;
+  std::vector<TidSet> tids_by_item_;
   std::vector<Item> occurring_items_;
-  TidList all_tids_;
-  TidList empty_;
+  TidSet all_tids_;
+  TidSet empty_;
+  std::vector<double> probs_;  ///< probs_[tid] = Pr(transaction tid exists).
 };
 
 }  // namespace pfci

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
-#include "src/data/tidlist.h"
+#include "src/data/tidset.h"
 #include "src/util/check.h"
 
 namespace pfci {
@@ -13,17 +13,17 @@ namespace {
 /// An IT-tree node: itemset with its tidset.
 struct ItNode {
   Itemset items;
-  TidList tids;
+  TidSet tids;
   bool erased = false;
 };
 
-/// Hash of a tidset (order-independent since tidsets are sorted).
-std::uint64_t TidsetHash(const TidList& tids) {
+/// Hash of a tidset (order-independent since iteration is ascending).
+std::uint64_t TidsetHash(const TidSet& tids) {
   std::uint64_t hash = 1469598103934665603ULL;
-  for (Tid tid : tids) {
+  tids.ForEach([&hash](Tid tid) {
     hash ^= tid + 0x9e3779b9;
     hash *= 1099511628211ULL;
-  }
+  });
   return hash;
 }
 
@@ -32,7 +32,7 @@ class ClosedSetStore {
  public:
   /// True if a stored closed set has the same support and contains X
   /// (then X is not closed: its closure was already mined).
-  bool Subsumes(const Itemset& x, const TidList& tids) const {
+  bool Subsumes(const Itemset& x, const TidSet& tids) const {
     const auto it = by_hash_.find(TidsetHash(tids));
     if (it == by_hash_.end()) return false;
     for (const SupportedItemset& closed : it->second) {
@@ -43,7 +43,7 @@ class ClosedSetStore {
     return false;
   }
 
-  void Insert(Itemset items, const TidList& tids) {
+  void Insert(Itemset items, const TidSet& tids) {
     by_hash_[TidsetHash(tids)].push_back(
         SupportedItemset{std::move(items), tids.size()});
   }
@@ -80,7 +80,7 @@ void Extend(std::vector<ItNode>& group, std::size_t min_sup,
     for (std::size_t j = i + 1; j < group.size(); ++j) {
       if (group[j].erased) continue;
       ItNode& xj = group[j];
-      TidList shared = IntersectTids(xi.tids, xj.tids);
+      TidSet shared = Intersect(xi.tids, xj.tids);
       if (shared.size() < min_sup) continue;
       const bool covers_xi = shared.size() == xi.tids.size();
       const bool covers_xj = shared.size() == xj.tids.size();
@@ -133,7 +133,8 @@ std::vector<SupportedItemset> CharmMineClosedItemsets(
   std::vector<ItNode> roots;
   for (Item item = 0; item < tids_by_item.size(); ++item) {
     if (tids_by_item[item].size() >= min_sup) {
-      roots.push_back(ItNode{Itemset{item}, std::move(tids_by_item[item])});
+      roots.push_back(ItNode{Itemset{item},
+                             TidSet(std::move(tids_by_item[item]), db.size())});
     }
   }
   ClosedSetStore store;

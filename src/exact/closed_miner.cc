@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/data/tidset.h"
 #include "src/exact/fp_growth.h"
 #include "src/util/check.h"
 
@@ -9,53 +10,52 @@ namespace pfci {
 
 namespace {
 
-/// Exact-data vertical index: tid-lists over a TransactionDatabase.
+/// Exact-data vertical index: tid-sets over a TransactionDatabase.
 class ExactIndex {
  public:
   explicit ExactIndex(const TransactionDatabase& db) : db_(&db) {
-    tids_by_item_.resize(db.MaxItemPlusOne());
+    std::vector<TidList> raw(db.MaxItemPlusOne());
     for (std::size_t tid = 0; tid < db.size(); ++tid) {
       for (Item item : db.transaction(tid).items()) {
-        tids_by_item_[item].push_back(static_cast<Tid>(tid));
+        raw[item].push_back(static_cast<Tid>(tid));
       }
+    }
+    tids_by_item_.reserve(raw.size());
+    for (Item item = 0; item < raw.size(); ++item) {
+      tids_by_item_.emplace_back(std::move(raw[item]), db.size());
     }
   }
 
-  const std::vector<Tid>& TidsOfItem(Item item) const {
-    return tids_by_item_[item];
-  }
+  const TidSet& TidsOfItem(Item item) const { return tids_by_item_[item]; }
 
   std::size_t num_items() const { return tids_by_item_.size(); }
 
   /// Items contained in every transaction of `tids` (tids non-empty).
-  std::vector<Item> ClosureOf(const std::vector<Tid>& tids) const {
+  std::vector<Item> ClosureOf(const TidSet& tids) const {
     PFCI_DCHECK(!tids.empty());
-    std::vector<Item> closure(db_->transaction(tids[0]).items().begin(),
-                              db_->transaction(tids[0]).items().end());
-    for (std::size_t i = 1; i < tids.size() && !closure.empty(); ++i) {
-      const auto& t = db_->transaction(tids[i]).items();
+    std::vector<Item> closure;
+    bool first = true;
+    tids.ForEach([&](Tid tid) {
+      const auto& t = db_->transaction(tid).items();
+      if (first) {
+        closure.assign(t.begin(), t.end());
+        first = false;
+        return;
+      }
+      if (closure.empty()) return;
       std::vector<Item> next;
       next.reserve(closure.size());
       std::set_intersection(closure.begin(), closure.end(), t.begin(),
                             t.end(), std::back_inserter(next));
       closure.swap(next);
-    }
+    });
     return closure;
   }
 
  private:
   const TransactionDatabase* db_;
-  std::vector<std::vector<Tid>> tids_by_item_;
+  std::vector<TidSet> tids_by_item_;
 };
-
-std::vector<Tid> Intersect(const std::vector<Tid>& a,
-                           const std::vector<Tid>& b) {
-  std::vector<Tid> out;
-  out.reserve(std::min(a.size(), b.size()));
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
-}
 
 /// DFS over prefix-preserving closure extensions.
 ///
@@ -63,14 +63,13 @@ std::vector<Tid> Intersect(const std::vector<Tid>& a,
 /// tid-list, and `core` the extension item that produced it (items <= core
 /// may not newly appear in a child closure outside the current closure).
 void Dfs(const ExactIndex& index, std::size_t min_sup,
-         const std::vector<Item>& closure, const std::vector<Tid>& tids,
-         long core,
+         const std::vector<Item>& closure, const TidSet& tids, long core,
          const std::function<void(const Itemset&, std::size_t)>& emit) {
   if (!closure.empty()) emit(Itemset(closure), tids.size());
 
   for (Item j = static_cast<Item>(core + 1); j < index.num_items(); ++j) {
     if (std::binary_search(closure.begin(), closure.end(), j)) continue;
-    std::vector<Tid> child_tids = Intersect(tids, index.TidsOfItem(j));
+    const TidSet child_tids = Intersect(tids, index.TidsOfItem(j));
     if (child_tids.size() < min_sup || child_tids.empty()) continue;
     std::vector<Item> child_closure = index.ClosureOf(child_tids);
     // Prefix-preservation test: the child closure must not introduce an
@@ -99,10 +98,7 @@ void MineClosedItemsetsInto(
   // No itemset can have support >= min_sup beyond the database size.
   if (db.empty() || db.size() < min_sup) return;
   const ExactIndex index(db);
-  std::vector<Tid> all_tids(db.size());
-  for (std::size_t tid = 0; tid < db.size(); ++tid) {
-    all_tids[tid] = static_cast<Tid>(tid);
-  }
+  const TidSet all_tids = TidSet::All(db.size());
   const std::vector<Item> root_closure = index.ClosureOf(all_tids);
   Dfs(index, min_sup, root_closure, all_tids, -1, emit);
 }

@@ -58,6 +58,7 @@
 #include "src/data/item_uncertain_database.h"
 #include "src/data/itemset.h"
 #include "src/data/possible_world.h"
+#include "src/data/tidset.h"
 #include "src/data/uncertain_database.h"
 #include "src/data/vertical_index.h"
 #include "src/data/world_enumerator.h"

@@ -23,16 +23,26 @@ std::vector<double> PoissonBinomialPmf(const std::vector<double>& probs) {
 
 double PoissonBinomialTailAtLeast(const std::vector<double>& probs,
                                   std::size_t threshold) {
+  std::vector<double> dp;
+  return PoissonBinomialTailAtLeast(probs.data(), probs.size(), threshold,
+                                    &dp);
+}
+
+double PoissonBinomialTailAtLeast(const double* probs, std::size_t n,
+                                  std::size_t threshold,
+                                  std::vector<double>* dp_scratch) {
   if (threshold == 0) return 1.0;
-  if (threshold > probs.size()) return 0.0;
+  if (threshold > n) return 0.0;
 
   // dp[s] = Pr{partial sum == s} for s < threshold; `reached` absorbs all
   // probability mass that has attained the threshold.
-  std::vector<double> dp(threshold, 0.0);
+  dp_scratch->assign(threshold, 0.0);
+  double* dp = dp_scratch->data();
   dp[0] = 1.0;
   double reached = 0.0;
   std::size_t upper = 0;  // Highest state index that can currently be live.
-  for (double p : probs) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = probs[i];
     PFCI_DCHECK(p >= 0.0 && p <= 1.0);
     // dp[threshold-1] is zero until that state becomes reachable, so the
     // absorption step is always safe.

@@ -28,6 +28,14 @@ std::vector<double> PoissonBinomialPmf(const std::vector<double>& probs);
 double PoissonBinomialTailAtLeast(const std::vector<double>& probs,
                                   std::size_t threshold);
 
+/// As above, but reusing `*dp_scratch` (resized to `threshold`) as the DP
+/// row so repeated evaluations allocate nothing once the scratch buffer
+/// has reached the run's largest threshold. Arithmetic is identical to the
+/// allocating overload (bit-identical results).
+double PoissonBinomialTailAtLeast(const double* probs, std::size_t n,
+                                  std::size_t threshold,
+                                  std::vector<double>* dp_scratch);
+
 /// Expected value of the sum (sum of p_i).
 double PoissonBinomialMean(const std::vector<double>& probs);
 

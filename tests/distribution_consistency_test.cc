@@ -39,7 +39,7 @@ TEST_P(DistributionConsistency, SupportPmfMatchesWorldEnumeration) {
 
   for (const Itemset& x :
        {Itemset{0}, Itemset{1, 2}, Itemset{0, 3}, Itemset{0, 1, 2, 3}}) {
-    const TidList tids = index.TidsOf(x);
+    const TidSet tids = index.TidsOf(x);
     const std::vector<double> pmf =
         PoissonBinomialPmf(index.ProbsOf(tids));
 
@@ -62,7 +62,7 @@ TEST_P(DistributionConsistency, ExpectedSupportThreeWays) {
   const UncertainDatabase db = RandomDb(rng, 9, 4, 0.55);
   const VerticalIndex index(db);
   const Itemset x{0, 1};
-  const TidList tids = index.TidsOf(x);
+  const TidSet tids = index.TidsOf(x);
 
   // 1. Direct sum of probabilities.
   const double direct = db.ExpectedSupport(x);

@@ -38,7 +38,7 @@ TEST(ExtensionEvents, PaperExampleEventOfAbc) {
   const VerticalIndex index(db);
   const FrequentProbability freq(index, 2);
   const Itemset abc{0, 1, 2};
-  const TidList tids = index.TidsOf(abc);
+  const TidSet tids = index.TidsOf(abc);
   const ExtensionEventSet events(index, freq, abc, tids);
   // Only item d (=3) can extend abc.
   ASSERT_EQ(events.size(), 1u);
@@ -54,7 +54,7 @@ TEST(ExtensionEvents, SameCountExtensionDetected) {
   const FrequentProbability freq(index, 2);
   // {a,b}: item c occurs in every transaction containing ab.
   const Itemset ab{0, 1};
-  const TidList tids = index.TidsOf(ab);
+  const TidSet tids = index.TidsOf(ab);
   const ExtensionEventSet events(index, freq, ab, tids);
   EXPECT_TRUE(events.HasSameCountExtension());
 }
@@ -67,7 +67,7 @@ TEST(ExtensionEvents, CertainTransactionKillsEvent) {
   const VerticalIndex index(db);
   const FrequentProbability freq(index, 1);
   const Itemset a{0};
-  const TidList tids = index.TidsOf(a);
+  const TidSet tids = index.TidsOf(a);
   const ExtensionEventSet events(index, freq, a, tids);
   EXPECT_EQ(events.size(), 0u);  // The b-event is impossible.
 }
@@ -78,7 +78,7 @@ TEST(ExtensionEvents, CountBelowMinSupSkipsEvent) {
   const FrequentProbability freq(index, 3);
   // {abc} with min_sup=3: the d-extension has count 2 < 3, impossible.
   const Itemset abc{0, 1, 2};
-  const TidList tids = index.TidsOf(abc);
+  const TidSet tids = index.TidsOf(abc);
   const ExtensionEventSet events(index, freq, abc, tids);
   EXPECT_EQ(events.size(), 0u);
 }
@@ -100,7 +100,7 @@ TEST(ExtensionEvents, IntersectionMatchesBruteForce) {
     const VerticalIndex index(db);
     const FrequentProbability freq(index, min_sup);
     const Itemset x{0};
-    const TidList tids = index.TidsOf(x);
+    const TidSet tids = index.TidsOf(x);
     if (tids.empty()) continue;
     const ExtensionEventSet events(index, freq, x, tids);
 

@@ -36,14 +36,14 @@ TEST(FcpExact, PaperExampleValues) {
   const FrequentProbability freq(index, 2);
   {
     const Itemset abc{0, 1, 2};
-    const TidList tids = index.TidsOf(abc);
+    const TidSet tids = index.TidsOf(abc);
     const ExtensionEventSet events(index, freq, abc, tids);
     EXPECT_NEAR(ExactFrequentNonClosedProbability(events), 0.0972, 1e-12);
     EXPECT_NEAR(ExactFcpByInclusionExclusion(0.9726, events), 0.8754, 1e-12);
   }
   {
     const Itemset abcd{0, 1, 2, 3};
-    const TidList tids = index.TidsOf(abcd);
+    const TidSet tids = index.TidsOf(abcd);
     const ExtensionEventSet events(index, freq, abcd, tids);
     EXPECT_EQ(events.size(), 0u);  // Maximal: no extensions.
     EXPECT_DOUBLE_EQ(ExactFrequentNonClosedProbability(events), 0.0);
@@ -55,7 +55,7 @@ TEST(FcpBounds, NoEventsCollapseToPrF) {
   const VerticalIndex index(db);
   const FrequentProbability freq(index, 2);
   const Itemset abcd{0, 1, 2, 3};
-  const TidList tids = index.TidsOf(abcd);
+  const TidSet tids = index.TidsOf(abcd);
   const ExtensionEventSet events(index, freq, abcd, tids);
   const FcpBounds bounds = ComputeFcpBounds(0.81, events);
   EXPECT_DOUBLE_EQ(bounds.lower, 0.81);
@@ -73,7 +73,7 @@ TEST_P(FcpCrossCheck, BoundsBracketExactWhichMatchesBruteForce) {
 
   for (Item a = 0; a < 5; ++a) {
     const Itemset x{a};
-    const TidList tids = index.TidsOf(x);
+    const TidSet tids = index.TidsOf(x);
     if (tids.size() < min_sup) continue;
     const double pr_f = freq.PrF(tids);
     const ExtensionEventSet events(index, freq, x, tids);
@@ -97,7 +97,7 @@ TEST(FcpSampler, NoEventsReturnsPrF) {
   const VerticalIndex index(db);
   const FrequentProbability freq(index, 2);
   const Itemset abcd{0, 1, 2, 3};
-  const TidList tids = index.TidsOf(abcd);
+  const TidSet tids = index.TidsOf(abcd);
   const ExtensionEventSet events(index, freq, abcd, tids);
   Rng rng(1);
   const ApproxFcpResult result = ApproxFcp(0.81, events, 0.1, 0.1, rng);
@@ -110,7 +110,7 @@ TEST(FcpSampler, ConvergesToExactOnPaperExample) {
   const VerticalIndex index(db);
   const FrequentProbability freq(index, 2);
   const Itemset abc{0, 1, 2};
-  const TidList tids = index.TidsOf(abc);
+  const TidSet tids = index.TidsOf(abc);
   const ExtensionEventSet events(index, freq, abc, tids);
   Rng rng(42);
   // Tight epsilon/delta: estimate must be very close to 0.8754.
@@ -128,7 +128,7 @@ TEST_P(FcpCrossCheck, SamplerWithinToleranceOfExact) {
   const FrequentProbability freq(index, min_sup);
 
   const Itemset x{0};
-  const TidList tids = index.TidsOf(x);
+  const TidSet tids = index.TidsOf(x);
   if (tids.size() < min_sup) GTEST_SKIP();
   const double pr_f = freq.PrF(tids);
   const ExtensionEventSet events(index, freq, x, tids);
@@ -200,7 +200,7 @@ TEST(FcpEngine, EvaluateRespectsPfct) {
   MiningStats stats;
   // An itemset whose PrF is below pfct is rejected without any event work.
   const Itemset d{3};
-  const TidList d_tids = index.TidsOf(d);
+  const TidSet d_tids = index.TidsOf(d);
   const FcpComputation comp =
       engine.Evaluate(d, d_tids, /*pr_f=*/0.5, rng, &stats);
   EXPECT_FALSE(comp.is_pfci);

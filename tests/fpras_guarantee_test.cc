@@ -40,7 +40,7 @@ TEST(FprasGuarantee, EmpiricalCoverageMeetsConfidence) {
   const std::size_t min_sup = 3;
   const FrequentProbability freq(index, min_sup);
   const Itemset x{0};
-  const TidList tids = index.TidsOf(x);
+  const TidSet tids = index.TidsOf(x);
   const double pr_f = freq.PrF(tids);
   const ExtensionEventSet events(index, freq, x, tids);
   ASSERT_GE(events.size(), 2u);
@@ -74,7 +74,7 @@ TEST(FprasGuarantee, TighterEpsilonShrinksError) {
   const VerticalIndex index(db);
   const FrequentProbability freq(index, 3);
   const Itemset x{0};
-  const TidList tids = index.TidsOf(x);
+  const TidSet tids = index.TidsOf(x);
   const double pr_f = freq.PrF(tids);
   const ExtensionEventSet events(index, freq, x, tids);
   const double exact_fnc = ExactFrequentNonClosedProbability(events);
@@ -99,7 +99,7 @@ TEST(FprasGuarantee, SampleCountMatchesFormula) {
   const VerticalIndex index(db);
   const FrequentProbability freq(index, 3);
   const Itemset x{0};
-  const TidList tids = index.TidsOf(x);
+  const TidSet tids = index.TidsOf(x);
   const ExtensionEventSet events(index, freq, x, tids);
   Rng rng(1);
   const double epsilon = 0.25, delta = 0.15;

@@ -35,7 +35,7 @@ TEST(FrequentProbability, UpperBoundDominates) {
     const FrequentProbability freq(index, min_sup);
     for (const Itemset& x :
          {Itemset{0}, Itemset{3}, Itemset{0, 1, 2}, Itemset{0, 3}}) {
-      const TidList tids = index.TidsOf(x);
+      const TidSet tids = index.TidsOf(x);
       EXPECT_GE(freq.PrFUpperBound(tids) + 1e-12, freq.PrF(tids))
           << x.ToString() << " min_sup=" << min_sup;
     }

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/core/brute_force.h"
@@ -131,6 +132,73 @@ TEST_P(ParallelDeterminismTest, TopKIdenticalAcrossThreadCounts) {
   const MiningResult one = MineWithThreads(db, request, 1);
   ExpectIdentical(one, MineWithThreads(db, request, 2));
   ExpectIdentical(one, MineWithThreads(db, request, 8));
+}
+
+TEST_P(ParallelDeterminismTest, MpfciIdenticalAcrossTidSetModes) {
+  // The representation contract: forcing sparse-only or dense-only tid
+  // sets changes memory layout and op kernels, never the mined result —
+  // bit-identical itemsets, probabilities, and bounds at every thread
+  // count, against the adaptive single-thread baseline.
+  const UncertainDatabase db = MakeTestDb(GetParam());
+  MiningRequest request;
+  request.params.min_sup = 8;
+  request.params.pfct = 0.3;
+  request.params.seed = GetParam();
+  request.params.tidset_mode = TidSetMode::kAdaptive;
+  const MiningResult baseline = MineWithThreads(db, request, 1);
+  EXPECT_FALSE(baseline.itemsets.empty());
+  for (const TidSetMode mode :
+       {TidSetMode::kAdaptive, TidSetMode::kSparse, TidSetMode::kDense}) {
+    request.params.tidset_mode = mode;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+      SCOPED_TRACE(std::string(TidSetModeName(mode)) + " threads=" +
+                   std::to_string(threads));
+      ExpectIdentical(baseline, MineWithThreads(db, request, threads));
+    }
+  }
+}
+
+TEST_P(ParallelDeterminismTest, SampledPathIdenticalAcrossTidSetModes) {
+  // Same contract on the Karp-Luby sampled path: the sampler's RNG
+  // streams must be untouched by the representation choice.
+  const UncertainDatabase db = MakeTestDb(GetParam());
+  MiningRequest request;
+  request.params.min_sup = 8;
+  request.params.pfct = 0.3;
+  request.params.seed = GetParam();
+  request.params.force_sampling = true;
+  request.params.exact_event_limit = 0;
+  request.params.pruning.fcp_bounds = false;
+  request.params.epsilon = 0.5;
+  request.params.delta = 0.3;
+  const MiningResult baseline = MineWithThreads(db, request, 1);
+  EXPECT_FALSE(baseline.itemsets.empty());
+  for (const TidSetMode mode : {TidSetMode::kSparse, TidSetMode::kDense}) {
+    request.params.tidset_mode = mode;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      SCOPED_TRACE(std::string(TidSetModeName(mode)) + " threads=" +
+                   std::to_string(threads));
+      ExpectIdentical(baseline, MineWithThreads(db, request, threads));
+    }
+  }
+}
+
+TEST_P(ParallelDeterminismTest, NaiveIdenticalAcrossTidSetModes) {
+  const UncertainDatabase db = MakeTestDb(GetParam());
+  MiningRequest request;
+  request.algorithm = Algorithm::kNaive;
+  request.params.min_sup = 10;
+  request.params.pfct = 0.4;
+  request.params.seed = GetParam();
+  request.params.epsilon = 0.5;
+  request.params.delta = 0.3;
+  const MiningResult baseline = MineWithThreads(db, request, 1);
+  for (const TidSetMode mode : {TidSetMode::kSparse, TidSetMode::kDense}) {
+    request.params.tidset_mode = mode;
+    SCOPED_TRACE(TidSetModeName(mode));
+    ExpectIdentical(baseline, MineWithThreads(db, request, 2));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminismTest,

@@ -111,7 +111,7 @@ TEST_P(RandomizedTrial, EngineMatchesPerItemsetGroundTruth) {
     const WorldProbabilities truth =
         BruteForceItemsetProbabilities(db, x, config.min_sup);
 
-    const TidList tids = index.TidsOf(x);
+    const TidSet tids = index.TidsOf(x);
     EXPECT_NEAR(freq.PrF(tids), truth.pr_f, 1e-9) << x.ToString();
 
     const FcpComputation comp = engine.ComputeFcp(x, engine_rng);

@@ -59,9 +59,8 @@ int main(int argc, char** argv) {
   };
   std::vector<ItemProfile> profile;
   for (Item item : index.occurring_items()) {
-    const TidList& tids = index.TidsOfItem(item);
-    double esup = 0.0;
-    for (Tid tid : tids) esup += db.prob(tid);
+    const TidSet& tids = index.TidsOfItem(item);
+    const double esup = index.SumProbsOf(tids);
     profile.push_back(ItemProfile{item, tids.size(), esup});
   }
   std::sort(profile.begin(), profile.end(),
