@@ -6,7 +6,14 @@
 // runtimes is visible (e.g. the Lemma 4.4 bounds decide almost every
 // surviving node, which is why MPFCI-NoBound degrades into per-node
 // sampling).
+//
+// Also writes BENCH_ablation_pruning.json (one object per dataset ×
+// variant with the merged counters under the stats-json v2 key names) so
+// EXPERIMENTS.md tables and regression scripts can consume the counters
+// without screen-scraping.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/harness/experiment.h"
@@ -15,6 +22,15 @@
 
 namespace pfci {
 namespace {
+
+struct VariantRecord {
+  std::string dataset;
+  std::string variant;
+  std::string stats_json;  ///< MiningStats::ToJson() (schema v2).
+  std::size_t itemsets = 0;
+};
+
+std::vector<VariantRecord> g_records;
 
 void RunDataset(const char* name, const UncertainDatabase& db,
                 BenchScale scale, bool mushroom) {
@@ -43,8 +59,32 @@ void RunDataset(const char* name, const UncertainDatabase& db,
                   std::to_string(s.sampled_fcp_computations),
                   std::to_string(s.total_samples),
                   std::to_string(s.dp_runs)});
+    g_records.push_back(
+        VariantRecord{name, VariantName(variant), s.ToJson(),
+                      r.itemsets.size()});
   }
   std::printf("%s", table.Render().c_str());
+}
+
+void WriteJson(const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < g_records.size(); ++i) {
+    const VariantRecord& rec = g_records[i];
+    std::fprintf(out,
+                 "  {\"dataset\": \"%s\", \"variant\": \"%s\", "
+                 "\"itemsets\": %zu, \"stats\": %s}%s\n",
+                 rec.dataset.c_str(), rec.variant.c_str(), rec.itemsets,
+                 rec.stats_json.c_str(),
+                 i + 1 < g_records.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf("\nwrote %s (%zu records)\n", path, g_records.size());
 }
 
 }  // namespace
@@ -57,5 +97,6 @@ int main() {
                                 ScaleName(scale) + ")");
   RunDataset("Mushroom-like", MakeUncertainMushroom(scale), scale, true);
   RunDataset("T20I10D30KP40-like", MakeUncertainQuest(scale), scale, false);
+  WriteJson("BENCH_ablation_pruning.json");
   return 0;
 }

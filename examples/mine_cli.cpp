@@ -6,12 +6,14 @@
 //                [--threads=N] [--progress] [--top-k=K]
 //                [--epsilon=0.1] [--delta=0.1] [--csv=OUT.csv]
 //                [--tidset=adaptive|sparse|dense] [--stats-json]
+//                [--trace=OUT.jsonl]
 //
-// With no arguments, writes the paper's Table II database to a temp file
-// and mines it, as a self-demonstration.
+// With no positional arguments, writes the paper's Table II database to a
+// temp file and mines it, as a self-demonstration (flags still apply).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "src/core/mine.h"
@@ -21,6 +23,7 @@
 #include "src/harness/dataset_factory.h"
 #include "src/util/csv_writer.h"
 #include "src/util/string_util.h"
+#include "src/util/trace.h"
 
 namespace {
 
@@ -42,14 +45,20 @@ int main(int argc, char** argv) {
   bool show_progress = false;
   bool stats_json = false;
   std::string csv_path;
+  std::string trace_path;
 
-  if (argc < 3) {
+  // Demo mode: no positional arguments (flags alone are accepted and
+  // applied to the paper's Table II example).
+  const bool demo = argc < 2 || argv[1][0] == '-';
+  int position = 1;
+  if (demo) {
     std::printf(
         "usage: %s DATA.utd MIN_SUP [PFCT]"
         " [--algo=mpfci|bfs|naive|topk|pfi|esup]\n"
         "       [--threads=N] [--progress] [--top-k=K]"
         " [--epsilon=E] [--delta=D] [--csv=OUT.csv]\n"
-        "       [--tidset=adaptive|sparse|dense] [--stats-json]\n"
+        "       [--tidset=adaptive|sparse|dense] [--stats-json]"
+        " [--trace=OUT.jsonl]\n"
         "no input given — demonstrating on the paper's Table II.\n\n",
         argv[0]);
     path = "/tmp/pfci_demo.utd";
@@ -59,6 +68,10 @@ int main(int argc, char** argv) {
     }
     request.params.min_sup = 2;
   } else {
+    if (argc < 3) {
+      std::fprintf(stderr, "missing MIN_SUP (run with no arguments for usage)\n");
+      return 1;
+    }
     path = argv[1];
     unsigned int min_sup = 0;
     if (!ParseUint32(argv[2], &min_sup) || min_sup == 0) {
@@ -66,7 +79,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     request.params.min_sup = min_sup;
-    int position = 3;
+    position = 3;
     if (argc > position && argv[position][0] != '-') {
       double pfct = 0.0;
       if (!ParseDouble(argv[position], &pfct) || pfct < 0.0 || pfct >= 1.0) {
@@ -76,6 +89,8 @@ int main(int argc, char** argv) {
       request.params.pfct = pfct;
       ++position;
     }
+  }
+  {
     for (; position < argc; ++position) {
       std::string value;
       if (ParseFlag(argv[position], "--algo", &value)) {
@@ -124,11 +139,23 @@ int main(int argc, char** argv) {
         if (!ParseDouble(value, &request.params.delta)) return 1;
       } else if (ParseFlag(argv[position], "--csv", &value)) {
         csv_path = value;
+      } else if (ParseFlag(argv[position], "--trace", &value)) {
+        trace_path = value;
       } else {
         std::fprintf(stderr, "unknown argument '%s'\n", argv[position]);
         return 1;
       }
     }
+  }
+
+  std::unique_ptr<JsonLinesTraceSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_sink = std::make_unique<JsonLinesTraceSink>(trace_path);
+    if (!trace_sink->ok()) {
+      std::fprintf(stderr, "cannot write trace file %s\n", trace_path.c_str());
+      return 1;
+    }
+    request.trace = trace_sink.get();
   }
 
   if (show_progress) {
@@ -164,6 +191,10 @@ int main(int argc, char** argv) {
   std::printf("%s", result.ToString().c_str());
   std::printf("stats: %s\n", result.stats.ToString().c_str());
   if (stats_json) std::printf("%s\n", result.stats.ToJson().c_str());
+  if (trace_sink != nullptr) {
+    trace_sink->Flush();
+    std::printf("wrote trace %s\n", trace_path.c_str());
+  }
 
   if (!csv_path.empty()) {
     CsvWriter csv(csv_path);

@@ -64,13 +64,19 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
 
   // Level 1.
   std::vector<LevelEntry> level;
-  for (Item item : index.occurring_items()) {
-    LevelEntry entry;
-    entry.items = Itemset{item};
-    entry.tids = index.TidsOfItem(item);
-    entry.pr_f = qualify(entry.tids);
-    if (entry.pr_f > 0.0) level.push_back(std::move(entry));
+  {
+    TraceSpan span(exec.trace, "candidate_build",
+                   &result.stats.candidate_seconds);
+    for (Item item : index.occurring_items()) {
+      LevelEntry entry;
+      entry.items = Itemset{item};
+      entry.tids = index.TidsOfItem(item);
+      entry.pr_f = qualify(entry.tids);
+      if (entry.pr_f > 0.0) level.push_back(std::move(entry));
+    }
   }
+
+  TraceSpan search_span(exec.trace, "bfs", &result.stats.search_seconds);
 
   // Global position of the first entry of the current level across the
   // whole run; the per-entry RNG stream is derived from it, so it is
@@ -136,10 +142,15 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
     }
     level.swap(next_level);
   }
+  search_span.End();
 
-  result.stats.dp_runs = freq.dp_runs();
+  {
+    TraceSpan span(exec.trace, "merge", &result.stats.merge_seconds);
+    result.stats.dp_runs = freq.dp_runs();
+    result.Sort();
+  }
   result.stats.seconds = timer.ElapsedSeconds();
-  result.Sort();
+  result.stats.EmitTrace(exec.trace);
   return result;
 }
 

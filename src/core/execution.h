@@ -16,6 +16,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/util/trace.h"
+
 namespace pfci {
 
 class ThreadPool;
@@ -106,6 +108,13 @@ struct ExecutionContext {
   ThreadPool* pool = nullptr;        ///< Null: run sequentially.
   bool deterministic = true;         ///< See ExecutionPolicy.
   ProgressSink* progress = nullptr;  ///< Null: no progress reporting.
+
+  /// Telemetry sink; null (default) disables tracing at zero cost. All
+  /// events of one run are emitted from the coordinating thread after the
+  /// deterministic merge, so counter values are bit-identical across
+  /// thread counts and tid-set modes (see docs/FORMATS.md for the
+  /// schema and DESIGN.md §9 for the architecture).
+  TraceSink* trace = nullptr;
 };
 
 /// Threads a policy resolves to on this machine (>= 1).

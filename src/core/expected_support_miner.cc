@@ -17,15 +17,20 @@ double ExpectedSupportOf(const VerticalIndex& index, const TidSet& tids) {
 void Dfs(const VerticalIndex& index, double min_esup,
          const std::vector<Item>& candidates, const Itemset& x,
          const TidSet& tids, std::size_t candidate_pos,
-         std::vector<ExpectedSupportEntry>* out) {
+         std::vector<ExpectedSupportEntry>* out, MiningStats* stats) {
+  if (stats != nullptr) ++stats->nodes_visited;
   for (std::size_t c = candidate_pos + 1; c < candidates.size(); ++c) {
     const Item item = candidates[c];
     TidSet child_tids = Intersect(tids, index.TidsOfItem(item));
+    if (stats != nullptr) ++stats->intersections;
     const double esup = ExpectedSupportOf(index, child_tids);
-    if (esup < min_esup) continue;
+    if (esup < min_esup) {
+      if (stats != nullptr) ++stats->pruned_by_frequency;
+      continue;
+    }
     const Itemset child = x.WithItem(item);
     out->push_back(ExpectedSupportEntry{child, esup});
-    Dfs(index, min_esup, candidates, child, child_tids, c, out);
+    Dfs(index, min_esup, candidates, child, child_tids, c, out, stats);
   }
 }
 
@@ -213,7 +218,7 @@ std::vector<ExpectedSupportEntry> MineExpectedSupportFpGrowth(
 }
 
 std::vector<ExpectedSupportEntry> MineExpectedSupport(
-    const UncertainDatabase& db, double min_esup) {
+    const UncertainDatabase& db, double min_esup, MiningStats* stats) {
   PFCI_CHECK(min_esup > 0.0);
   const VerticalIndex index(db);
   std::vector<ExpectedSupportEntry> result;
@@ -223,6 +228,8 @@ std::vector<ExpectedSupportEntry> MineExpectedSupport(
     if (esup >= min_esup) {
       candidates.push_back(item);
       result.push_back(ExpectedSupportEntry{Itemset{item}, esup});
+    } else if (stats != nullptr) {
+      ++stats->pruned_by_frequency;
     }
   }
   const std::size_t num_singletons = result.size();
@@ -233,7 +240,7 @@ std::vector<ExpectedSupportEntry> MineExpectedSupport(
                          seed.items.LastItem()) -
         candidates.begin());
     Dfs(index, min_esup, candidates, seed.items,
-        index.TidsOfItem(seed.items.LastItem()), pos, &result);
+        index.TidsOfItem(seed.items.LastItem()), pos, &result, stats);
   }
   std::sort(result.begin(), result.end());
   return result;

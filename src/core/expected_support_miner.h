@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "src/core/mining_result.h"
 #include "src/data/itemset.h"
 #include "src/data/uncertain_database.h"
 
@@ -28,8 +29,11 @@ struct ExpectedSupportEntry {
 
 /// Mines all itemsets with expected support >= min_esup (> 0). Expected
 /// support is anti-monotone, so a DFS with threshold pruning is complete.
+/// `stats` (optional) accumulates nodes_visited, pruned_by_frequency
+/// (esup below threshold) and intersections for telemetry.
 std::vector<ExpectedSupportEntry> MineExpectedSupport(
-    const UncertainDatabase& db, double min_esup);
+    const UncertainDatabase& db, double min_esup,
+    MiningStats* stats = nullptr);
 
 /// The same answer via a UF-growth-style weighted FP-growth [15]: under
 /// tuple-level uncertainty the expected support is a weighted support

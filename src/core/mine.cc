@@ -22,24 +22,31 @@ MiningResult RunPfi(const UncertainDatabase& db, const MiningRequest& request,
                     const ExecutionContext& exec) {
   Stopwatch timer;
   MiningResult result;
-  const std::vector<PfiEntry> pfis =
-      MinePfi(db, request.params.min_sup, request.params.pfct,
-              request.params.pruning.chernoff, &result.stats,
-              TidSetPolicyFor(request.params));
-  result.itemsets.reserve(pfis.size());
-  for (const PfiEntry& pfi : pfis) {
-    PfciEntry entry;
-    entry.items = pfi.items;
-    entry.pr_f = pfi.pr_f;
-    entry.fcp = 0.0;
-    entry.fcp_upper = pfi.pr_f;
-    result.itemsets.push_back(std::move(entry));
+  {
+    TraceSpan span(exec.trace, "search", &result.stats.search_seconds);
+    const std::vector<PfiEntry> pfis =
+        MinePfi(db, request.params.min_sup, request.params.pfct,
+                request.params.pruning.chernoff, &result.stats,
+                TidSetPolicyFor(request.params));
+    result.itemsets.reserve(pfis.size());
+    for (const PfiEntry& pfi : pfis) {
+      PfciEntry entry;
+      entry.items = pfi.items;
+      entry.pr_f = pfi.pr_f;
+      entry.fcp = 0.0;
+      entry.fcp_upper = pfi.pr_f;
+      result.itemsets.push_back(std::move(entry));
+    }
   }
   if (exec.progress != nullptr) {
     exec.progress->AddItemsets(result.itemsets.size());
   }
+  {
+    TraceSpan span(exec.trace, "merge", &result.stats.merge_seconds);
+    result.Sort();
+  }
   result.stats.seconds = timer.ElapsedSeconds();
-  result.Sort();
+  result.stats.EmitTrace(exec.trace);
   return result;
 }
 
@@ -53,22 +60,29 @@ MiningResult RunExpectedSupport(const UncertainDatabase& db,
   const double min_esup = request.min_esup > 0.0
                               ? request.min_esup
                               : static_cast<double>(request.params.min_sup);
-  const std::vector<ExpectedSupportEntry> entries =
-      MineExpectedSupport(db, min_esup);
-  result.itemsets.reserve(entries.size());
-  for (const ExpectedSupportEntry& in : entries) {
-    PfciEntry entry;
-    entry.items = in.items;
-    entry.pr_f = in.expected_support;
-    entry.fcp = 0.0;
-    entry.fcp_upper = in.expected_support;
-    result.itemsets.push_back(std::move(entry));
+  {
+    TraceSpan span(exec.trace, "search", &result.stats.search_seconds);
+    const std::vector<ExpectedSupportEntry> entries =
+        MineExpectedSupport(db, min_esup, &result.stats);
+    result.itemsets.reserve(entries.size());
+    for (const ExpectedSupportEntry& in : entries) {
+      PfciEntry entry;
+      entry.items = in.items;
+      entry.pr_f = in.expected_support;
+      entry.fcp = 0.0;
+      entry.fcp_upper = in.expected_support;
+      result.itemsets.push_back(std::move(entry));
+    }
   }
   if (exec.progress != nullptr) {
     exec.progress->AddItemsets(result.itemsets.size());
   }
+  {
+    TraceSpan span(exec.trace, "merge", &result.stats.merge_seconds);
+    result.Sort();
+  }
   result.stats.seconds = timer.ElapsedSeconds();
-  result.Sort();
+  result.stats.EmitTrace(exec.trace);
   return result;
 }
 
@@ -134,7 +148,9 @@ MiningResult Mine(const UncertainDatabase& db, const MiningRequest& request) {
   exec.pool = pool;
   exec.deterministic = request.execution.deterministic;
   exec.progress = sink.get();
+  exec.trace = request.trace;
 
+  TraceRunBegin(exec.trace, AlgorithmName(request.algorithm));
   MiningResult result;
   switch (request.algorithm) {
     case Algorithm::kMpfci:
@@ -157,6 +173,9 @@ MiningResult Mine(const UncertainDatabase& db, const MiningRequest& request) {
       break;
   }
 
+  TraceRunEnd(exec.trace, AlgorithmName(request.algorithm),
+              result.itemsets.size(), result.stats.seconds);
+  if (exec.trace != nullptr) exec.trace->Flush();
   if (sink != nullptr) sink->Flush();
   return result;
 }

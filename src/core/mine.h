@@ -66,6 +66,12 @@ struct MiningRequest {
 
   /// Minimum node count between progress callbacks (>= 1).
   std::uint64_t progress_interval = 4096;
+
+  /// Optional telemetry sink (null: tracing off, zero overhead). The run
+  /// emits run_begin/run_end markers, per-phase spans, and the merged
+  /// per-rule pruning counters; counter values are bit-identical across
+  /// thread counts. Owned by the caller; must outlive the run.
+  TraceSink* trace = nullptr;
 };
 
 /// Checks `request` (including its params); empty string when valid.

@@ -46,6 +46,7 @@ std::string MiningStats::ToJson() const {
     out += name;
     out += "\":" + std::to_string(value);
   };
+  field("schema", 2);
   field("nodes_visited", nodes_visited);
   field("pruned_by_chernoff", pruned_by_chernoff);
   field("pruned_by_frequency", pruned_by_frequency);
@@ -59,8 +60,30 @@ std::string MiningStats::ToJson() const {
   field("dp_runs", dp_runs);
   field("intersections", intersections);
   out += ",\"seconds\":" + FormatDouble(seconds, 6);
+  out += ",\"candidate_seconds\":" + FormatDouble(candidate_seconds, 6);
+  out += ",\"search_seconds\":" + FormatDouble(search_seconds, 6);
+  out += ",\"merge_seconds\":" + FormatDouble(merge_seconds, 6);
   out += "}";
   return out;
+}
+
+void MiningStats::EmitTrace(TraceSink* sink) const {
+  if (sink == nullptr) return;
+  // The paper's per-rule pruning attribution, under stable wire names
+  // (pruned_by_frequency is "threshold_pruned": the exact PrF <= pfct
+  // rejection; total_samples is "samples_drawn": the FPRAS budget).
+  TraceCounter(sink, "nodes_expanded", nodes_visited);
+  TraceCounter(sink, "chernoff_pruned", pruned_by_chernoff);
+  TraceCounter(sink, "threshold_pruned", pruned_by_frequency);
+  TraceCounter(sink, "superset_pruned", pruned_by_superset);
+  TraceCounter(sink, "subset_pruned", pruned_by_subset);
+  TraceCounter(sink, "bounds_decided", decided_by_bounds);
+  TraceCounter(sink, "zero_by_count", zero_by_count);
+  TraceCounter(sink, "exact_fcp", exact_fcp_computations);
+  TraceCounter(sink, "sampled_fcp", sampled_fcp_computations);
+  TraceCounter(sink, "samples_drawn", total_samples);
+  TraceCounter(sink, "dp_runs", dp_runs);
+  TraceCounter(sink, "intersections", intersections);
 }
 
 void MiningResult::Sort() {

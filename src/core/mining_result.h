@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/data/itemset.h"
+#include "src/util/trace.h"
 
 namespace pfci {
 
@@ -56,11 +57,31 @@ struct MiningStats {
   std::uint64_t intersections = 0;
   double seconds = 0.0;
 
+  /// Wall-clock seconds per phase (stats-json schema v2). A phase that an
+  /// algorithm does not have stays 0. `candidate_seconds` covers the
+  /// first-level candidate construction (MPFCI/TopK: Lemma 4.1 filter;
+  /// Naive: the whole PFI stage), `search_seconds` the enumeration /
+  /// checking phase, and `merge_seconds` the deterministic cross-thread
+  /// merge plus the canonical sort.
+  double candidate_seconds = 0.0;
+  double search_seconds = 0.0;
+  double merge_seconds = 0.0;
+
   std::string ToString() const;
 
   /// One JSON object line with every counter plus seconds, for scripted
-  /// regression tracking (schema documented in docs/FORMATS.md).
+  /// regression tracking (schema documented in docs/FORMATS.md; the
+  /// `schema` field is 2 and the key set is append-only).
   std::string ToJson() const;
+
+  /// Emits one `counter` trace event per work counter under the canonical
+  /// telemetry names (`chernoff_pruned`, `threshold_pruned`,
+  /// `superset_pruned`, `subset_pruned`, `bounds_decided`,
+  /// `zero_by_count`, `exact_fcp`, `sampled_fcp`, `samples_drawn`,
+  /// `dp_runs`, `intersections`, `nodes_expanded`). Call after the
+  /// deterministic merge so values are thread-count independent. No-op
+  /// when `sink` is null.
+  void EmitTrace(TraceSink* sink) const;
 };
 
 /// Output of a miner: the qualifying itemsets plus run statistics.

@@ -37,8 +37,13 @@ class MpfciSearch {
 
   MiningResult Run() {
     Stopwatch timer;
-    BuildCandidates();
+    {
+      TraceSpan span(exec_.trace, "candidate_build",
+                     &result_.stats.candidate_seconds);
+      BuildCandidates();
+    }
 
+    TraceSpan search_span(exec_.trace, "dfs", &result_.stats.search_seconds);
     const std::size_t n = candidates_.size();
     std::vector<MiningResult> subtree(n);
     const auto mine_subtree = [&](std::size_t c) {
@@ -58,16 +63,22 @@ class MpfciSearch {
       for (std::size_t c = 0; c < n; ++c) mine_subtree(c);
     }
 
+    search_span.End();
+
     // Deterministic merge: candidate order, then the canonical sort.
-    for (MiningResult& part : subtree) {
-      for (PfciEntry& entry : part.itemsets) {
-        result_.itemsets.push_back(std::move(entry));
+    {
+      TraceSpan span(exec_.trace, "merge", &result_.stats.merge_seconds);
+      for (MiningResult& part : subtree) {
+        for (PfciEntry& entry : part.itemsets) {
+          result_.itemsets.push_back(std::move(entry));
+        }
+        AccumulateStats(part.stats);
       }
-      AccumulateStats(part.stats);
+      result_.stats.dp_runs = freq_.dp_runs();
+      result_.Sort();
     }
-    result_.stats.dp_runs = freq_.dp_runs();
     result_.stats.seconds = timer.ElapsedSeconds();
-    result_.Sort();
+    result_.stats.EmitTrace(exec_.trace);
     return std::move(result_);
   }
 

@@ -32,9 +32,12 @@ MiningResult MineNaive(const UncertainDatabase& db, const MiningParams& params,
 
   // Stage 1: all probabilistic frequent itemsets (PrFC <= PrF, so the
   // answer set is contained in the PFIs).
+  TraceSpan candidate_span(exec.trace, "candidate_build",
+                           &result.stats.candidate_seconds);
   const std::vector<PfiEntry> pfis =
       MinePfi(db, params.min_sup, params.pfct, /*use_chernoff=*/true,
               &result.stats, TidSetPolicyFor(params));
+  candidate_span.End();
 
   // Stage 2: check each PFI's frequent closed probability by sampling.
   // Independent per PFI, so the checks fan out over the pool; the i-th
@@ -42,6 +45,8 @@ MiningResult MineNaive(const UncertainDatabase& db, const MiningParams& params,
   // keeping the output identical for any thread count. The batch-level
   // parallelism inside ApproxFcp is left off here — one task per PFI is
   // already finer-grained than the pool.
+  TraceSpan sampling_span(exec.trace, "sampling",
+                          &result.stats.search_seconds);
   std::vector<ApproxFcpResult> checks(pfis.size());
   const auto check = [&](std::size_t i) {
     Rng rng(DeriveSeed(params.seed, i));
@@ -56,7 +61,9 @@ MiningResult MineNaive(const UncertainDatabase& db, const MiningParams& params,
   } else {
     for (std::size_t i = 0; i < pfis.size(); ++i) check(i);
   }
+  sampling_span.End();
 
+  TraceSpan merge_span(exec.trace, "merge", &result.stats.merge_seconds);
   for (std::size_t i = 0; i < pfis.size(); ++i) {
     const ApproxFcpResult& approx = checks[i];
     ++result.stats.sampled_fcp_computations;
@@ -74,8 +81,10 @@ MiningResult MineNaive(const UncertainDatabase& db, const MiningParams& params,
   }
 
   result.stats.dp_runs = freq.dp_runs();
-  result.stats.seconds = timer.ElapsedSeconds();
   result.Sort();
+  merge_span.End();
+  result.stats.seconds = timer.ElapsedSeconds();
+  result.stats.EmitTrace(exec.trace);
   return result;
 }
 

@@ -1,6 +1,7 @@
 #include "src/core/topk_miner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "src/core/fcp_engine.h"
@@ -28,38 +29,81 @@ class TopkSearch {
 
   MiningResult Run() {
     Stopwatch timer;
-    BuildCandidates();
-    for (std::size_t c = 0; c < candidates_.size(); ++c) {
-      const Item item = candidates_[c];
-      const TidSet& tids = index_.TidsOfItem(item);
-      const double pr_f = freq_.PrF(tids);
-      if (pr_f <= Threshold()) continue;
-      Dfs(Itemset{item}, tids, pr_f, c);
-    }
     MiningResult result;
-    result.stats = stats_;
+    {
+      TraceSpan span(exec_.trace, "candidate_build",
+                     &result.stats.candidate_seconds);
+      BuildCandidates();
+    }
+    {
+      TraceSpan span(exec_.trace, "dfs", &result.stats.search_seconds);
+      for (std::size_t c = 0; c < candidates_.size(); ++c) {
+        const Item item = candidates_[c];
+        const TidSet& tids = index_.TidsOfItem(item);
+        const double pr_f = freq_.PrF(tids);
+        if (pr_f <= Threshold()) continue;
+        Dfs(Itemset{item}, tids, pr_f, c);
+      }
+    }
+    TraceSpan merge_span(exec_.trace, "merge", &result.stats.merge_seconds);
+    AddStats(result.stats, stats_);
     result.stats.dp_runs = freq_.dp_runs();
-    result.stats.seconds = timer.ElapsedSeconds();
     // Descending FCP, ties resolved by itemset order for determinism.
-    std::sort(top_.begin(), top_.end(),
-              [](const PfciEntry& a, const PfciEntry& b) {
-                if (a.fcp != b.fcp) return a.fcp > b.fcp;
-                return a.items < b.items;
-              });
+    std::sort(top_.begin(), top_.end(), RanksBefore);
     result.itemsets = std::move(top_);
+    merge_span.End();
+    result.stats.seconds = timer.ElapsedSeconds();
+    result.stats.EmitTrace(exec_.trace);
     return result;
   }
 
  private:
-  /// The active pruning threshold: the k-th best FCP once k results are
-  /// held, never below the caller's floor.
+  /// The output order: descending FCP, ties broken by ascending itemset.
+  static bool RanksBefore(const PfciEntry& a, const PfciEntry& b) {
+    if (a.fcp != b.fcp) return a.fcp > b.fcp;
+    return a.items < b.items;
+  }
+
+  /// Folds the search counters into `total` (which already carries the
+  /// phase timings recorded by Run()'s spans).
+  static void AddStats(MiningStats& total, const MiningStats& part) {
+    total.nodes_visited += part.nodes_visited;
+    total.pruned_by_chernoff += part.pruned_by_chernoff;
+    total.pruned_by_frequency += part.pruned_by_frequency;
+    total.pruned_by_superset += part.pruned_by_superset;
+    total.pruned_by_subset += part.pruned_by_subset;
+    total.decided_by_bounds += part.decided_by_bounds;
+    total.zero_by_count += part.zero_by_count;
+    total.exact_fcp_computations += part.exact_fcp_computations;
+    total.sampled_fcp_computations += part.sampled_fcp_computations;
+    total.total_samples += part.total_samples;
+    total.intersections += part.intersections;
+  }
+
+  /// The active pruning threshold: the caller's floor while fewer than k
+  /// results are held (strict, per Definition 3.8). Once the heap is
+  /// full it sits one ULP *below* the k-th best FCP, so a candidate that
+  /// exactly ties the k-boundary still reaches Offer() and the itemset
+  /// tie-break there — the final top-k is then independent of the
+  /// candidate enumeration order, matching the output sort.
   double Threshold() const {
     if (top_.size() < k_) return params_.pfct;
-    return std::max(params_.pfct, worst_in_top_);
+    return std::max(params_.pfct, std::nextafter(worst_in_top_, 0.0));
+  }
+
+  /// Index of the entry the next better candidate would evict: the one
+  /// ranking last under the output order.
+  std::size_t WeakestPos() const {
+    std::size_t weakest = 0;
+    for (std::size_t i = 1; i < top_.size(); ++i) {
+      if (!RanksBefore(top_[i], top_[weakest])) weakest = i;
+    }
+    return weakest;
   }
 
   void RecomputeWorst() {
-    worst_in_top_ = 1.0;
+    if (top_.empty()) return;  // k == 0: threshold stays at its seed.
+    worst_in_top_ = top_.front().fcp;
     for (const PfciEntry& entry : top_) {
       worst_in_top_ = std::min(worst_in_top_, entry.fcp);
     }
@@ -71,13 +115,13 @@ class TopkSearch {
       if (top_.size() == k_) RecomputeWorst();
       return;
     }
-    if (entry.fcp <= worst_in_top_) return;
-    // Replace the current worst.
-    std::size_t worst_pos = 0;
-    for (std::size_t i = 1; i < top_.size(); ++i) {
-      if (top_[i].fcp < top_[worst_pos].fcp) worst_pos = i;
-    }
-    top_[worst_pos] = std::move(entry);
+    if (top_.empty()) return;  // k == 0 mines nothing.
+    // Evict the weakest entry iff the candidate outranks it under the
+    // output order — at equal FCP the lexicographically smaller itemset
+    // wins, exactly as in the final sort.
+    const std::size_t weakest = WeakestPos();
+    if (!RanksBefore(entry, top_[weakest])) return;
+    top_[weakest] = std::move(entry);
     RecomputeWorst();
   }
 
@@ -192,7 +236,9 @@ MiningResult MineTopKPfci(const UncertainDatabase& db,
                           const ExecutionContext& exec) {
   const std::string error = ValidateParams(params);
   PFCI_CHECK_MSG(error.empty(), "invalid MiningParams: " + error);
-  PFCI_CHECK(k >= 1);
+  // Same message as ValidateRequest so the k = 0 edge case fails
+  // identically through every entry point.
+  PFCI_CHECK_MSG(k >= 1, "top_k must be >= 1 for Algorithm::kTopK");
   TopkSearch search(db, params, k, exec);
   return search.Run();
 }

@@ -21,7 +21,7 @@ bool SaveUncertainDatabase(const UncertainDatabase& db,
   if (!out) return false;
   out << "# pfci uncertain transaction database: prob item item ...\n";
   for (const auto& t : db.transactions()) {
-    out << FormatDouble(t.prob, 12);
+    out << FormatDoubleRoundTrip(t.prob);
     for (Item item : t.items.items()) out << ' ' << item;
     out << '\n';
   }
@@ -48,6 +48,13 @@ bool LoadUncertainDatabase(const std::string& path, UncertainDatabase* db,
     if (!ParseDouble(tokens[0], &prob) || !(prob > 0.0 && prob <= 1.0)) {
       SetError(error, "line " + std::to_string(line_number) +
                           ": bad probability '" + tokens[0] + "'");
+      *db = UncertainDatabase();
+      return false;
+    }
+    if (tokens.size() == 1) {
+      SetError(error, "line " + std::to_string(line_number) +
+                          ": transaction has no items (probability-only "
+                          "line)");
       *db = UncertainDatabase();
       return false;
     }

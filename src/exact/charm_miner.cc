@@ -61,11 +61,17 @@ class ClosedSetStore {
   std::unordered_map<std::uint64_t, std::vector<SupportedItemset>> by_hash_;
 };
 
+/// Work counters for the optional telemetry of one mining call.
+struct ExtendWork {
+  std::uint64_t nodes = 0;
+  std::uint64_t intersections = 0;
+};
+
 /// CHARM-EXTEND: processes a sibling group, applying the four tidset
 /// properties, recursing into each node's children, then emitting the
 /// (possibly extended) node if no mined closed set subsumes it.
 void Extend(std::vector<ItNode>& group, std::size_t min_sup,
-            ClosedSetStore* store) {
+            ClosedSetStore* store, ExtendWork& work) {
   // Process in order of increasing tidset size (CHARM's heuristic, and
   // required so closures are mined before their subsumed subsets).
   std::sort(group.begin(), group.end(), [](const ItNode& a, const ItNode& b) {
@@ -75,12 +81,14 @@ void Extend(std::vector<ItNode>& group, std::size_t min_sup,
 
   for (std::size_t i = 0; i < group.size(); ++i) {
     if (group[i].erased) continue;
+    ++work.nodes;
     ItNode& xi = group[i];
     std::vector<ItNode> children;
     for (std::size_t j = i + 1; j < group.size(); ++j) {
       if (group[j].erased) continue;
       ItNode& xj = group[j];
       TidSet shared = Intersect(xi.tids, xj.tids);
+      ++work.intersections;
       if (shared.size() < min_sup) continue;
       const bool covers_xi = shared.size() == xi.tids.size();
       const bool covers_xj = shared.size() == xj.tids.size();
@@ -109,7 +117,7 @@ void Extend(std::vector<ItNode>& group, std::size_t min_sup,
             ItNode{xi.items.UnionWith(xj.items), std::move(shared)});
       }
     }
-    if (!children.empty()) Extend(children, min_sup, store);
+    if (!children.empty()) Extend(children, min_sup, store, work);
     if (!store->Subsumes(xi.items, xi.tids)) {
       store->Insert(xi.items, xi.tids);
     }
@@ -119,26 +127,32 @@ void Extend(std::vector<ItNode>& group, std::size_t min_sup,
 }  // namespace
 
 std::vector<SupportedItemset> CharmMineClosedItemsets(
-    const TransactionDatabase& db, std::size_t min_sup) {
+    const TransactionDatabase& db, std::size_t min_sup, TraceSink* trace) {
   PFCI_CHECK(min_sup >= 1);
   if (db.empty() || db.size() < min_sup) return {};
 
-  // Per-item tidsets.
-  std::vector<TidList> tids_by_item(db.MaxItemPlusOne());
-  for (std::size_t tid = 0; tid < db.size(); ++tid) {
-    for (Item item : db.transaction(tid).items()) {
-      tids_by_item[item].push_back(static_cast<Tid>(tid));
-    }
-  }
-  std::vector<ItNode> roots;
-  for (Item item = 0; item < tids_by_item.size(); ++item) {
-    if (tids_by_item[item].size() >= min_sup) {
-      roots.push_back(ItNode{Itemset{item},
-                             TidSet(std::move(tids_by_item[item]), db.size())});
-    }
-  }
   ClosedSetStore store;
-  if (!roots.empty()) Extend(roots, min_sup, &store);
+  ExtendWork work;
+  {
+    TraceSpan span(trace, "charm_extend");
+    // Per-item tidsets.
+    std::vector<TidList> tids_by_item(db.MaxItemPlusOne());
+    for (std::size_t tid = 0; tid < db.size(); ++tid) {
+      for (Item item : db.transaction(tid).items()) {
+        tids_by_item[item].push_back(static_cast<Tid>(tid));
+      }
+    }
+    std::vector<ItNode> roots;
+    for (Item item = 0; item < tids_by_item.size(); ++item) {
+      if (tids_by_item[item].size() >= min_sup) {
+        roots.push_back(ItNode{
+            Itemset{item}, TidSet(std::move(tids_by_item[item]), db.size())});
+      }
+    }
+    if (!roots.empty()) Extend(roots, min_sup, &store, work);
+  }
+  TraceCounter(trace, "nodes_expanded", work.nodes);
+  TraceCounter(trace, "intersections", work.intersections);
   return store.TakeAll();
 }
 

@@ -13,13 +13,17 @@
 #include <vector>
 
 #include "src/exact/transaction_database.h"
+#include "src/util/trace.h"
 
 namespace pfci {
 
 /// Mines all closed itemsets with support >= min_sup (min_sup >= 1),
-/// returned sorted. Result is identical to MineClosedItemsets.
+/// returned sorted. Result is identical to MineClosedItemsets. `trace`
+/// (optional) receives a `charm_extend` span plus
+/// `nodes_expanded`/`intersections` counters.
 std::vector<SupportedItemset> CharmMineClosedItemsets(
-    const TransactionDatabase& db, std::size_t min_sup);
+    const TransactionDatabase& db, std::size_t min_sup,
+    TraceSink* trace = nullptr);
 
 }  // namespace pfci
 

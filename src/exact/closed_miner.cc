@@ -1,6 +1,7 @@
 #include "src/exact/closed_miner.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "src/data/tidset.h"
 #include "src/exact/fp_growth.h"
@@ -57,6 +58,12 @@ class ExactIndex {
   std::vector<TidSet> tids_by_item_;
 };
 
+/// Work counters for the optional telemetry of one mining call.
+struct DfsWork {
+  std::uint64_t nodes = 0;
+  std::uint64_t intersections = 0;
+};
+
 /// DFS over prefix-preserving closure extensions.
 ///
 /// `closure` is the (sorted) closed itemset at this node, `tids` its
@@ -64,12 +71,15 @@ class ExactIndex {
 /// may not newly appear in a child closure outside the current closure).
 void Dfs(const ExactIndex& index, std::size_t min_sup,
          const std::vector<Item>& closure, const TidSet& tids, long core,
-         const std::function<void(const Itemset&, std::size_t)>& emit) {
+         const std::function<void(const Itemset&, std::size_t)>& emit,
+         DfsWork& work) {
+  ++work.nodes;
   if (!closure.empty()) emit(Itemset(closure), tids.size());
 
   for (Item j = static_cast<Item>(core + 1); j < index.num_items(); ++j) {
     if (std::binary_search(closure.begin(), closure.end(), j)) continue;
     const TidSet child_tids = Intersect(tids, index.TidsOfItem(j));
+    ++work.intersections;
     if (child_tids.size() < min_sup || child_tids.empty()) continue;
     std::vector<Item> child_closure = index.ClosureOf(child_tids);
     // Prefix-preservation test: the child closure must not introduce an
@@ -85,7 +95,7 @@ void Dfs(const ExactIndex& index, std::size_t min_sup,
     }
     if (duplicate) continue;
     Dfs(index, min_sup, child_closure, child_tids, static_cast<long>(j),
-        emit);
+        emit, work);
   }
 }
 
@@ -93,23 +103,33 @@ void Dfs(const ExactIndex& index, std::size_t min_sup,
 
 void MineClosedItemsetsInto(
     const TransactionDatabase& db, std::size_t min_sup,
-    const std::function<void(const Itemset&, std::size_t)>& emit) {
+    const std::function<void(const Itemset&, std::size_t)>& emit,
+    TraceSink* trace) {
   PFCI_CHECK(min_sup >= 1);
   // No itemset can have support >= min_sup beyond the database size.
   if (db.empty() || db.size() < min_sup) return;
-  const ExactIndex index(db);
-  const TidSet all_tids = TidSet::All(db.size());
-  const std::vector<Item> root_closure = index.ClosureOf(all_tids);
-  Dfs(index, min_sup, root_closure, all_tids, -1, emit);
+  DfsWork work;
+  {
+    TraceSpan span(trace, "closed_dfs");
+    const ExactIndex index(db);
+    const TidSet all_tids = TidSet::All(db.size());
+    const std::vector<Item> root_closure = index.ClosureOf(all_tids);
+    Dfs(index, min_sup, root_closure, all_tids, -1, emit, work);
+  }
+  TraceCounter(trace, "nodes_expanded", work.nodes);
+  TraceCounter(trace, "intersections", work.intersections);
 }
 
 std::vector<SupportedItemset> MineClosedItemsets(const TransactionDatabase& db,
-                                                 std::size_t min_sup) {
+                                                 std::size_t min_sup,
+                                                 TraceSink* trace) {
   std::vector<SupportedItemset> result;
-  MineClosedItemsetsInto(db, min_sup,
-                         [&](const Itemset& itemset, std::size_t support) {
-                           result.push_back(SupportedItemset{itemset, support});
-                         });
+  MineClosedItemsetsInto(
+      db, min_sup,
+      [&](const Itemset& itemset, std::size_t support) {
+        result.push_back(SupportedItemset{itemset, support});
+      },
+      trace);
   std::sort(result.begin(), result.end());
   return result;
 }

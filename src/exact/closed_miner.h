@@ -12,19 +12,24 @@
 #include <vector>
 
 #include "src/exact/transaction_database.h"
+#include "src/util/trace.h"
 
 namespace pfci {
 
 /// Calls `emit(itemset, support)` once for every non-empty closed itemset
 /// with support >= min_sup (min_sup >= 1). An itemset is closed iff no
-/// proper superset has equal support (Definition 3.2).
+/// proper superset has equal support (Definition 3.2). `trace` (optional)
+/// receives a `closed_dfs` span plus `nodes_expanded`/`intersections`
+/// counters, mirroring the probabilistic miners' telemetry.
 void MineClosedItemsetsInto(
     const TransactionDatabase& db, std::size_t min_sup,
-    const std::function<void(const Itemset&, std::size_t)>& emit);
+    const std::function<void(const Itemset&, std::size_t)>& emit,
+    TraceSink* trace = nullptr);
 
 /// Convenience wrapper collecting all frequent closed itemsets, sorted.
 std::vector<SupportedItemset> MineClosedItemsets(const TransactionDatabase& db,
-                                                 std::size_t min_sup);
+                                                 std::size_t min_sup,
+                                                 TraceSink* trace = nullptr);
 
 /// Reference oracle: filters MineFrequentItemsets output down to closed
 /// sets by pairwise superset checks. Quadratic; tests only.

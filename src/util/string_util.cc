@@ -3,6 +3,7 @@
 #include <cctype>
 #include <charconv>
 #include <cstdio>
+#include <cstring>
 
 namespace pfci {
 
@@ -63,6 +64,22 @@ bool ParseDouble(std::string_view text, double* value) {
 std::string FormatDouble(double value, int precision) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+  return buffer;
+}
+
+std::string FormatDoubleRoundTrip(double value) {
+  char buffer[64];
+  // 17 significant digits always round-trip an IEEE double; try shorter
+  // representations first and keep the first one that reparses exactly.
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    char* end = nullptr;
+    const double reparsed = std::strtod(buffer, &end);
+    if (end != buffer && *end == '\0' &&
+        std::memcmp(&reparsed, &value, sizeof(double)) == 0) {
+      break;
+    }
+  }
   return buffer;
 }
 

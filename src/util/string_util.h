@@ -28,6 +28,11 @@ bool ParseDouble(std::string_view text, double* value);
 /// Formats a double compactly (up to `precision` significant digits).
 std::string FormatDouble(double value, int precision = 6);
 
+/// Formats a double with the fewest significant digits (<= 17) that parse
+/// back to the exact same bit pattern. Use for serialization that must
+/// round-trip losslessly (e.g. SaveUncertainDatabase).
+std::string FormatDoubleRoundTrip(double value);
+
 }  // namespace pfci
 
 #endif  // PFCI_UTIL_STRING_UTIL_H_

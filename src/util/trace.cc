@@ -1,0 +1,93 @@
+#include "src/util/trace.h"
+
+#include "src/util/string_util.h"
+
+namespace pfci {
+
+const char* TraceEventKindName(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kRunBegin:
+      return "run_begin";
+    case TraceEvent::Kind::kRunEnd:
+      return "run_end";
+    case TraceEvent::Kind::kSpan:
+      return "span";
+    case TraceEvent::Kind::kCounter:
+      return "counter";
+  }
+  return "unknown";
+}
+
+std::string TraceEventToJson(const TraceEvent& event) {
+  std::string out = "{\"type\":\"";
+  out += TraceEventKindName(event.kind);
+  out += "\",\"name\":\"";
+  out += event.name;  // Names are identifiers; no escaping needed.
+  out += "\"";
+  switch (event.kind) {
+    case TraceEvent::Kind::kRunBegin:
+      break;
+    case TraceEvent::Kind::kRunEnd:
+      out += ",\"value\":" + std::to_string(event.value);
+      out += ",\"seconds\":" + FormatDouble(event.seconds, 6);
+      break;
+    case TraceEvent::Kind::kSpan:
+      out += ",\"seconds\":" + FormatDouble(event.seconds, 6);
+      break;
+    case TraceEvent::Kind::kCounter:
+      out += ",\"value\":" + std::to_string(event.value);
+      break;
+  }
+  out += "}";
+  return out;
+}
+
+JsonLinesTraceSink::JsonLinesTraceSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {}
+
+JsonLinesTraceSink::~JsonLinesTraceSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonLinesTraceSink::Emit(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;
+  const std::string line = TraceEventToJson(event);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+}
+
+void JsonLinesTraceSink::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+void TraceCounter(TraceSink* sink, const char* name, std::uint64_t value) {
+  if (sink == nullptr) return;
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kCounter;
+  event.name = name;
+  event.value = value;
+  sink->Emit(event);
+}
+
+void TraceRunBegin(TraceSink* sink, const char* algorithm) {
+  if (sink == nullptr) return;
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kRunBegin;
+  event.name = algorithm;
+  sink->Emit(event);
+}
+
+void TraceRunEnd(TraceSink* sink, const char* algorithm,
+                 std::uint64_t itemsets, double seconds) {
+  if (sink == nullptr) return;
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kRunEnd;
+  event.name = algorithm;
+  event.value = itemsets;
+  event.seconds = seconds;
+  sink->Emit(event);
+}
+
+}  // namespace pfci

@@ -1,0 +1,175 @@
+// Mining telemetry: trace sinks, span timers, and counter events.
+//
+// The paper's performance story (Sec. V) is about how much work each
+// pruning rule avoids; this layer makes that observable. A miner that is
+// handed a TraceSink emits
+//   * one `span` event per phase (candidate build, search, merge, ...)
+//     with its wall-clock duration, and
+//   * one `counter` event per work counter (chernoff_pruned,
+//     superset_pruned, samples_drawn, nodes_expanded, ...) after the
+//     deterministic cross-thread merge, so counter values are
+//     bit-identical for every thread count and tid-set mode.
+//
+// Zero overhead when off: the sink pointer lives in ExecutionContext and
+// defaults to null; the hot path never checks it (counters accumulate in
+// per-task MiningStats exactly as before), and the per-phase TraceSpan
+// reads the clock only when a sink or an output slot is attached.
+//
+// All Emit calls of one mining run happen on the coordinating thread, in
+// a deterministic order; sinks therefore need no locking to be used by a
+// single run. MemoryTraceSink and JsonLinesTraceSink lock anyway so one
+// sink can also aggregate several runs (e.g. a bench sweep).
+#ifndef PFCI_UTIL_TRACE_H_
+#define PFCI_UTIL_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/stopwatch.h"
+
+namespace pfci {
+
+/// One telemetry event (schema documented in docs/FORMATS.md).
+struct TraceEvent {
+  enum class Kind {
+    kRunBegin,  ///< A mining run started; name = algorithm.
+    kRunEnd,    ///< Run finished; value = itemsets, seconds = wall time.
+    kSpan,      ///< A phase completed; name = phase, seconds = duration.
+    kCounter,   ///< A merged work counter; name = counter, value = count.
+  };
+
+  Kind kind = Kind::kCounter;
+  std::string name;
+  std::uint64_t value = 0;
+  double seconds = 0.0;
+};
+
+/// Wire name of an event kind ("run_begin", "run_end", "span", "counter").
+const char* TraceEventKindName(TraceEvent::Kind kind);
+
+/// One compact JSON object (no trailing newline). `seconds` is omitted
+/// for counters and `value` for spans, so lines stay greppable.
+std::string TraceEventToJson(const TraceEvent& event);
+
+/// Receives telemetry events. Implementations may assume calls from one
+/// run are serialized (they come from the coordinating thread).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void Emit(const TraceEvent& event) = 0;
+
+  /// Makes previously emitted events durable (file sinks). Default no-op.
+  virtual void Flush() {}
+};
+
+/// Discards everything. Useful to measure tracing's own overhead and as
+/// an explicit "tracing off" argument where null reads poorly.
+class NullTraceSink final : public TraceSink {
+ public:
+  void Emit(const TraceEvent&) override {}
+};
+
+/// Buffers events in memory (tests, in-process consumers).
+class MemoryTraceSink final : public TraceSink {
+ public:
+  void Emit(const TraceEvent& event) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(event);
+  }
+
+  /// Snapshot of everything emitted so far.
+  std::vector<TraceEvent> TakeSnapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Appends one JSON object per event to a file (the `--trace=FILE` sink).
+class JsonLinesTraceSink final : public TraceSink {
+ public:
+  /// Opens `path` for writing (truncates). Check ok() before use.
+  explicit JsonLinesTraceSink(const std::string& path);
+  ~JsonLinesTraceSink() override;
+
+  JsonLinesTraceSink(const JsonLinesTraceSink&) = delete;
+  JsonLinesTraceSink& operator=(const JsonLinesTraceSink&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  void Emit(const TraceEvent& event) override;
+  void Flush() override;
+
+ private:
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+};
+
+/// RAII phase timer. Emits a span event to `sink` (if any) and stores the
+/// duration into `out_seconds` (if any) when ended or destroyed; with
+/// neither attached it never reads the clock.
+class TraceSpan {
+ public:
+  TraceSpan(TraceSink* sink, const char* name, double* out_seconds = nullptr)
+      : sink_(sink), name_(name), out_seconds_(out_seconds) {
+    if (armed()) stopwatch_.Reset();
+  }
+
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Stops the timer and emits/stores the duration (idempotent).
+  void End() {
+    if (ended_ || !armed()) {
+      ended_ = true;
+      return;
+    }
+    ended_ = true;
+    const double seconds = stopwatch_.ElapsedSeconds();
+    if (out_seconds_ != nullptr) *out_seconds_ = seconds;
+    if (sink_ != nullptr) {
+      TraceEvent event;
+      event.kind = TraceEvent::Kind::kSpan;
+      event.name = name_;
+      event.seconds = seconds;
+      sink_->Emit(event);
+    }
+  }
+
+ private:
+  bool armed() const { return sink_ != nullptr || out_seconds_ != nullptr; }
+
+  TraceSink* sink_;
+  const char* name_;
+  double* out_seconds_;
+  Stopwatch stopwatch_;
+  bool ended_ = false;
+};
+
+/// Emits one counter event (no-op when `sink` is null).
+void TraceCounter(TraceSink* sink, const char* name, std::uint64_t value);
+
+/// Emits a run_begin marker (no-op when `sink` is null).
+void TraceRunBegin(TraceSink* sink, const char* algorithm);
+
+/// Emits a run_end marker (no-op when `sink` is null).
+void TraceRunEnd(TraceSink* sink, const char* algorithm,
+                 std::uint64_t itemsets, double seconds);
+
+}  // namespace pfci
+
+#endif  // PFCI_UTIL_TRACE_H_

@@ -1,9 +1,13 @@
 // Robustness of the text loaders: random byte soup, truncated files, and
 // boundary values must never crash, and must either parse cleanly or fail
 // with an error while leaving the output empty.
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -70,17 +74,59 @@ TEST(IoRobustness, BoundaryProbabilities) {
   std::remove(path.c_str());
 }
 
-TEST(IoRobustness, ProbabilityOnlyLinesAreEmptyTransactions) {
-  // A line with a probability and no items is syntactically valid: an
-  // empty (but existing) transaction.
+TEST(IoRobustness, ProbabilityOnlyLinesAreRejected) {
+  // A line with a probability and no items is almost always a formatting
+  // accident (a transaction line that lost its items); reject it with a
+  // line-numbered error instead of silently adding an empty transaction.
   const std::string path = TempPath("pfci_empty_tx.utd");
   WriteFile(path, "0.5\n0.25 7\n");
   UncertainDatabase db;
   std::string error;
-  ASSERT_TRUE(LoadUncertainDatabase(path, &db, &error)) << error;
-  ASSERT_EQ(db.size(), 2u);
-  EXPECT_TRUE(db.transaction(0).items.empty());
-  EXPECT_EQ(db.transaction(1).items, (Itemset{7}));
+  EXPECT_FALSE(LoadUncertainDatabase(path, &db, &error));
+  EXPECT_TRUE(db.empty()) << "failed load must leave db empty";
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("no items"), std::string::npos) << error;
+
+  // The line number must point at the offending line, not a count of
+  // parsed transactions: comments and blank lines still advance it.
+  WriteFile(path, "# header\n0.25 7\n\n0.5\n");
+  EXPECT_FALSE(LoadUncertainDatabase(path, &db, &error));
+  EXPECT_NE(error.find("line 4"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(IoRobustness, ProbabilitiesRoundTripBitExact) {
+  // Save/Load must be lossless: reloaded probabilities must match the
+  // originals bit-for-bit, including values that need all 17 significant
+  // digits (0.1 + 0.2, nextafter neighbours, random doubles).
+  const std::string path = TempPath("pfci_prob_roundtrip.utd");
+  UncertainDatabase db;
+  db.Add(Itemset{0}, 0.1 + 0.2);
+  db.Add(Itemset{1}, std::nextafter(0.5, 1.0));
+  db.Add(Itemset{2}, std::nextafter(1.0, 0.0));
+  db.Add(Itemset{3}, 1.0);
+  db.Add(Itemset{4}, std::numeric_limits<double>::min());
+  Rng rng(20240806);
+  for (Item item = 5; item < 205; ++item) {
+    double p = rng.NextDouble();
+    if (!(p > 0.0)) p = 0.5;
+    db.Add(Itemset{item}, p);
+  }
+  ASSERT_TRUE(SaveUncertainDatabase(db, path));
+  UncertainDatabase loaded;
+  std::string error;
+  ASSERT_TRUE(LoadUncertainDatabase(path, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    std::uint64_t saved_bits = 0;
+    std::uint64_t loaded_bits = 0;
+    const double saved = db.prob(i);
+    const double reloaded = loaded.prob(i);
+    std::memcpy(&saved_bits, &saved, sizeof(saved_bits));
+    std::memcpy(&loaded_bits, &reloaded, sizeof(loaded_bits));
+    EXPECT_EQ(saved_bits, loaded_bits)
+        << "transaction " << i << ": " << saved << " != " << reloaded;
+  }
   std::remove(path.c_str());
 }
 

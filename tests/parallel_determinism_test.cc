@@ -35,6 +35,25 @@ UncertainDatabase MakeTestDb(std::uint64_t seed) {
   return AssignGaussianProbabilities(GenerateQuest(quest), assign);
 }
 
+/// The telemetry counters are part of the determinism contract: after the
+/// in-order merge they must be identical for every thread count and tid
+/// set representation. Wall-clock fields (seconds, *_seconds) are the
+/// only MiningStats members exempt.
+void ExpectIdenticalStats(const MiningStats& a, const MiningStats& b) {
+  EXPECT_EQ(a.nodes_visited, b.nodes_visited);
+  EXPECT_EQ(a.pruned_by_chernoff, b.pruned_by_chernoff);
+  EXPECT_EQ(a.pruned_by_frequency, b.pruned_by_frequency);
+  EXPECT_EQ(a.pruned_by_superset, b.pruned_by_superset);
+  EXPECT_EQ(a.pruned_by_subset, b.pruned_by_subset);
+  EXPECT_EQ(a.decided_by_bounds, b.decided_by_bounds);
+  EXPECT_EQ(a.zero_by_count, b.zero_by_count);
+  EXPECT_EQ(a.exact_fcp_computations, b.exact_fcp_computations);
+  EXPECT_EQ(a.sampled_fcp_computations, b.sampled_fcp_computations);
+  EXPECT_EQ(a.total_samples, b.total_samples);
+  EXPECT_EQ(a.dp_runs, b.dp_runs);
+  EXPECT_EQ(a.intersections, b.intersections);
+}
+
 /// Exact equality across every reported field — the contract is
 /// bit-identical, not merely close.
 void ExpectIdentical(const MiningResult& a, const MiningResult& b) {
@@ -47,6 +66,7 @@ void ExpectIdentical(const MiningResult& a, const MiningResult& b) {
     EXPECT_EQ(a.itemsets[i].fcp_upper, b.itemsets[i].fcp_upper);
     EXPECT_EQ(a.itemsets[i].method, b.itemsets[i].method);
   }
+  ExpectIdenticalStats(a.stats, b.stats);
 }
 
 MiningResult MineWithThreads(const UncertainDatabase& db,

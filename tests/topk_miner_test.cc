@@ -83,6 +83,53 @@ TEST(TopkMiner, MatchesBruteForceRankingOnRandomDbs) {
   }
 }
 
+// Two itemsets with *bit-identical* FCP straddling the k boundary:
+// PrFC({0}) = P(T1) = 0.5 and PrFC({0,1}) = P(T2) = 0.5 exactly in IEEE
+// arithmetic. The DFS emits in post-order, so {0,1} arrives at the heap
+// before the lexicographically smaller {0}; the k-boundary tie-break must
+// still pick the itemset the final sort ranks first.
+UncertainDatabase MakeTieDb() {
+  UncertainDatabase db;
+  db.Add(Itemset{0}, 0.5);
+  db.Add(Itemset{0, 1}, 0.5);
+  return db;
+}
+
+TEST(TopkMiner, ExactTieAtKBoundaryPicksLexSmallerItemset) {
+  const UncertainDatabase db = MakeTieDb();
+  const MiningResult result = MineTopKPfci(db, BaseParams(1), 1);
+  ASSERT_EQ(result.itemsets.size(), 1u);
+  EXPECT_EQ(result.itemsets[0].items, (Itemset{0}))
+      << "k-boundary tie must resolve by itemset order, not arrival order";
+  EXPECT_NEAR(result.itemsets[0].fcp, 0.5, 1e-12);
+}
+
+TEST(TopkMiner, ExactTieWithRoomForBothKeepsBothRanked) {
+  const UncertainDatabase db = MakeTieDb();
+  const MiningResult result = MineTopKPfci(db, BaseParams(1), 2);
+  ASSERT_EQ(result.itemsets.size(), 2u);
+  EXPECT_EQ(result.itemsets[0].items, (Itemset{0}));
+  EXPECT_EQ(result.itemsets[1].items, (Itemset{0, 1}));
+  EXPECT_EQ(result.itemsets[0].fcp, result.itemsets[1].fcp);
+}
+
+TEST(TopkMiner, TieBreakInvariantUnderItemRelabeling) {
+  // Mirror database: the same structure with the singleton now being the
+  // lexicographically *larger* branch ({1} vs {0,1}); the boundary entry
+  // must again be the lex-smaller itemset regardless of DFS order.
+  UncertainDatabase db;
+  db.Add(Itemset{1}, 0.5);
+  db.Add(Itemset{0, 1}, 0.5);
+  const MiningResult result = MineTopKPfci(db, BaseParams(1), 1);
+  ASSERT_EQ(result.itemsets.size(), 1u);
+  EXPECT_EQ(result.itemsets[0].items, (Itemset{0, 1}));
+}
+
+TEST(TopkMiner, KZeroIsRejected) {
+  const UncertainDatabase db = MakeTieDb();
+  EXPECT_DEATH(MineTopKPfci(db, BaseParams(1), 0), "top_k must be >= 1");
+}
+
 TEST(TopkMiner, ConsistentWithThresholdMiner) {
   const UncertainDatabase db = MakeUncertainQuest(BenchScale::kQuick);
   MiningParams params = BaseParams(AbsoluteMinSup(db.size(), 0.3));

@@ -1,0 +1,292 @@
+// Telemetry layer: the trace event stream of a mining run is part of the
+// public surface (docs/FORMATS.md). This test pins the golden event
+// sequence for an MPFCI run on the paper's example, checks counter values
+// against MiningStats, and validates the JSONL sink against the schema
+// (wall-clock fields masked, everything else exact).
+#include "src/util/trace.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/mine.h"
+#include "src/harness/dataset_factory.h"
+
+namespace pfci {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+MiningRequest PaperRequest() {
+  MiningRequest request;
+  request.params.min_sup = 2;
+  request.params.pfct = 0.8;
+  request.params.exact_event_limit = 25;
+  return request;
+}
+
+/// The golden (kind, name) sequence of one MPFCI run. Counter order is
+/// MiningStats::EmitTrace order; spans are one per phase.
+struct ExpectedEvent {
+  TraceEvent::Kind kind;
+  const char* name;
+};
+
+const ExpectedEvent kMpfciGolden[] = {
+    {TraceEvent::Kind::kRunBegin, "mpfci"},
+    {TraceEvent::Kind::kSpan, "candidate_build"},
+    {TraceEvent::Kind::kSpan, "dfs"},
+    {TraceEvent::Kind::kSpan, "merge"},
+    {TraceEvent::Kind::kCounter, "nodes_expanded"},
+    {TraceEvent::Kind::kCounter, "chernoff_pruned"},
+    {TraceEvent::Kind::kCounter, "threshold_pruned"},
+    {TraceEvent::Kind::kCounter, "superset_pruned"},
+    {TraceEvent::Kind::kCounter, "subset_pruned"},
+    {TraceEvent::Kind::kCounter, "bounds_decided"},
+    {TraceEvent::Kind::kCounter, "zero_by_count"},
+    {TraceEvent::Kind::kCounter, "exact_fcp"},
+    {TraceEvent::Kind::kCounter, "sampled_fcp"},
+    {TraceEvent::Kind::kCounter, "samples_drawn"},
+    {TraceEvent::Kind::kCounter, "dp_runs"},
+    {TraceEvent::Kind::kCounter, "intersections"},
+    {TraceEvent::Kind::kRunEnd, "mpfci"},
+};
+
+TEST(Trace, MpfciEventSequenceMatchesGolden) {
+  const UncertainDatabase db = MakePaperExampleDb();
+  MiningRequest request = PaperRequest();
+  MemoryTraceSink sink;
+  request.trace = &sink;
+  const MiningResult result = Mine(db, request);
+  ASSERT_EQ(result.itemsets.size(), 2u);
+
+  const std::vector<TraceEvent> events = sink.TakeSnapshot();
+  ASSERT_EQ(events.size(), std::size(kMpfciGolden));
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].kind, kMpfciGolden[i].kind) << "event " << i;
+    EXPECT_EQ(events[i].name, kMpfciGolden[i].name) << "event " << i;
+  }
+}
+
+TEST(Trace, CounterValuesMatchMiningStats) {
+  const UncertainDatabase db = MakePaperExampleDb();
+  MiningRequest request = PaperRequest();
+  MemoryTraceSink sink;
+  request.trace = &sink;
+  const MiningResult result = Mine(db, request);
+
+  const auto counter = [&sink](const std::string& name) -> std::uint64_t {
+    for (const TraceEvent& event : sink.TakeSnapshot()) {
+      if (event.kind == TraceEvent::Kind::kCounter && event.name == name) {
+        return event.value;
+      }
+    }
+    ADD_FAILURE() << "counter '" << name << "' not emitted";
+    return ~std::uint64_t{0};
+  };
+  const MiningStats& stats = result.stats;
+  EXPECT_EQ(counter("nodes_expanded"), stats.nodes_visited);
+  EXPECT_EQ(counter("chernoff_pruned"), stats.pruned_by_chernoff);
+  EXPECT_EQ(counter("threshold_pruned"), stats.pruned_by_frequency);
+  EXPECT_EQ(counter("superset_pruned"), stats.pruned_by_superset);
+  EXPECT_EQ(counter("subset_pruned"), stats.pruned_by_subset);
+  EXPECT_EQ(counter("bounds_decided"), stats.decided_by_bounds);
+  EXPECT_EQ(counter("zero_by_count"), stats.zero_by_count);
+  EXPECT_EQ(counter("exact_fcp"), stats.exact_fcp_computations);
+  EXPECT_EQ(counter("sampled_fcp"), stats.sampled_fcp_computations);
+  EXPECT_EQ(counter("samples_drawn"), stats.total_samples);
+  EXPECT_EQ(counter("dp_runs"), stats.dp_runs);
+  EXPECT_EQ(counter("intersections"), stats.intersections);
+
+  // The run_end marker carries the result size and total wall time.
+  const std::vector<TraceEvent> events = sink.TakeSnapshot();
+  const TraceEvent& run_end = events.back();
+  ASSERT_EQ(run_end.kind, TraceEvent::Kind::kRunEnd);
+  EXPECT_EQ(run_end.value, result.itemsets.size());
+  EXPECT_EQ(run_end.seconds, stats.seconds);
+}
+
+/// Replaces every JSON number after "seconds": with a fixed placeholder so
+/// wall-clock noise cannot fail the golden comparison.
+std::string MaskSeconds(const std::string& line) {
+  static const std::regex kSeconds("\"seconds\":[-+0-9.eE]+");
+  return std::regex_replace(line, kSeconds, "\"seconds\":<t>");
+}
+
+TEST(Trace, JsonLinesFileMatchesGolden) {
+  const UncertainDatabase db = MakePaperExampleDb();
+  const std::string path = TempPath("pfci_trace_test.jsonl");
+  MiningRequest request = PaperRequest();
+  MiningResult result;
+  {
+    JsonLinesTraceSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    request.trace = &sink;
+    result = Mine(db, request);
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(MaskSeconds(line));
+
+  const std::vector<std::string> golden = {
+      R"({"type":"run_begin","name":"mpfci"})",
+      R"({"type":"span","name":"candidate_build","seconds":<t>})",
+      R"({"type":"span","name":"dfs","seconds":<t>})",
+      R"({"type":"span","name":"merge","seconds":<t>})",
+      "{\"type\":\"counter\",\"name\":\"nodes_expanded\",\"value\":" +
+          std::to_string(result.stats.nodes_visited) + "}",
+      "{\"type\":\"counter\",\"name\":\"chernoff_pruned\",\"value\":" +
+          std::to_string(result.stats.pruned_by_chernoff) + "}",
+      "{\"type\":\"counter\",\"name\":\"threshold_pruned\",\"value\":" +
+          std::to_string(result.stats.pruned_by_frequency) + "}",
+      "{\"type\":\"counter\",\"name\":\"superset_pruned\",\"value\":" +
+          std::to_string(result.stats.pruned_by_superset) + "}",
+      "{\"type\":\"counter\",\"name\":\"subset_pruned\",\"value\":" +
+          std::to_string(result.stats.pruned_by_subset) + "}",
+      "{\"type\":\"counter\",\"name\":\"bounds_decided\",\"value\":" +
+          std::to_string(result.stats.decided_by_bounds) + "}",
+      "{\"type\":\"counter\",\"name\":\"zero_by_count\",\"value\":" +
+          std::to_string(result.stats.zero_by_count) + "}",
+      "{\"type\":\"counter\",\"name\":\"exact_fcp\",\"value\":" +
+          std::to_string(result.stats.exact_fcp_computations) + "}",
+      "{\"type\":\"counter\",\"name\":\"sampled_fcp\",\"value\":" +
+          std::to_string(result.stats.sampled_fcp_computations) + "}",
+      "{\"type\":\"counter\",\"name\":\"samples_drawn\",\"value\":" +
+          std::to_string(result.stats.total_samples) + "}",
+      "{\"type\":\"counter\",\"name\":\"dp_runs\",\"value\":" +
+          std::to_string(result.stats.dp_runs) + "}",
+      "{\"type\":\"counter\",\"name\":\"intersections\",\"value\":" +
+          std::to_string(result.stats.intersections) + "}",
+      R"({"type":"run_end","name":"mpfci","value":2,"seconds":<t>})",
+  };
+  ASSERT_EQ(lines.size(), golden.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i], golden[i]) << "line " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, TracedRunMatchesUntracedRunExactly) {
+  // Tracing must be observation only: with a sink, a NullTraceSink, or no
+  // sink at all, the mined itemsets and counters are bit-identical.
+  const UncertainDatabase db = MakePaperExampleDb();
+  MiningRequest untraced = PaperRequest();
+  const MiningResult base = Mine(db, untraced);
+
+  MemoryTraceSink memory;
+  NullTraceSink null;
+  for (TraceSink* sink : {static_cast<TraceSink*>(&memory),
+                          static_cast<TraceSink*>(&null)}) {
+    MiningRequest request = PaperRequest();
+    request.trace = sink;
+    const MiningResult traced = Mine(db, request);
+    ASSERT_EQ(traced.itemsets.size(), base.itemsets.size());
+    for (std::size_t i = 0; i < base.itemsets.size(); ++i) {
+      EXPECT_EQ(traced.itemsets[i].items, base.itemsets[i].items);
+      EXPECT_EQ(traced.itemsets[i].fcp, base.itemsets[i].fcp);
+      EXPECT_EQ(traced.itemsets[i].pr_f, base.itemsets[i].pr_f);
+    }
+    EXPECT_EQ(traced.stats.nodes_visited, base.stats.nodes_visited);
+    EXPECT_EQ(traced.stats.intersections, base.stats.intersections);
+    EXPECT_EQ(traced.stats.dp_runs, base.stats.dp_runs);
+  }
+}
+
+TEST(Trace, CountersIdenticalAcrossThreadCountsAndAlgorithms) {
+  const UncertainDatabase db = MakePaperExampleDb();
+  for (const Algorithm algorithm :
+       {Algorithm::kMpfci, Algorithm::kMpfciBfs, Algorithm::kNaive}) {
+    MemoryTraceSink base_sink;
+    MiningRequest request = PaperRequest();
+    request.algorithm = algorithm;
+    request.trace = &base_sink;
+    request.execution.num_threads = 1;
+    Mine(db, request);
+    const std::vector<TraceEvent> base = base_sink.TakeSnapshot();
+
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      MemoryTraceSink sink;
+      request.trace = &sink;
+      request.execution.num_threads = threads;
+      Mine(db, request);
+      const std::vector<TraceEvent> events = sink.TakeSnapshot();
+      ASSERT_EQ(events.size(), base.size());
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        SCOPED_TRACE(std::string(AlgorithmName(algorithm)) + " threads=" +
+                     std::to_string(threads) + " event=" +
+                     std::to_string(i));
+        EXPECT_EQ(events[i].kind, base[i].kind);
+        EXPECT_EQ(events[i].name, base[i].name);
+        if (events[i].kind == TraceEvent::Kind::kCounter) {
+          EXPECT_EQ(events[i].value, base[i].value);
+        }
+      }
+    }
+  }
+}
+
+TEST(Trace, SpanWritesDurationWithoutSink) {
+  double seconds = -1.0;
+  {
+    TraceSpan span(nullptr, "phase", &seconds);
+  }
+  EXPECT_GE(seconds, 0.0);
+}
+
+TEST(Trace, SpanEndIsIdempotent) {
+  MemoryTraceSink sink;
+  {
+    TraceSpan span(&sink, "phase");
+    span.End();
+    span.End();
+  }
+  EXPECT_EQ(sink.TakeSnapshot().size(), 1u);
+}
+
+TEST(Trace, EventToJsonShapes) {
+  TraceEvent counter;
+  counter.kind = TraceEvent::Kind::kCounter;
+  counter.name = "dp_runs";
+  counter.value = 7;
+  EXPECT_EQ(TraceEventToJson(counter),
+            R"({"type":"counter","name":"dp_runs","value":7})");
+
+  TraceEvent span;
+  span.kind = TraceEvent::Kind::kSpan;
+  span.name = "dfs";
+  span.seconds = 0.25;
+  EXPECT_EQ(TraceEventToJson(span),
+            R"({"type":"span","name":"dfs","seconds":0.25})");
+
+  TraceEvent begin;
+  begin.kind = TraceEvent::Kind::kRunBegin;
+  begin.name = "mpfci";
+  EXPECT_EQ(TraceEventToJson(begin),
+            R"({"type":"run_begin","name":"mpfci"})");
+}
+
+TEST(Trace, StatsJsonIsSchemaV2) {
+  MiningStats stats;
+  stats.nodes_visited = 3;
+  stats.candidate_seconds = 0.5;
+  const std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"schema\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"nodes_visited\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"candidate_seconds\":0.5"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"search_seconds\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"merge_seconds\":"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace pfci
