@@ -6,10 +6,16 @@
 //                [--threads=N] [--progress] [--top-k=K]
 //                [--epsilon=0.1] [--delta=0.1] [--csv=OUT.csv]
 //                [--tidset=adaptive|sparse|dense] [--stats-json]
-//                [--trace=OUT.jsonl]
+//                [--trace=OUT.jsonl] [--deadline-ms=N] [--max-nodes=N]
+//                [--max-samples=N]
 //
 // With no positional arguments, writes the paper's Table II database to a
 // temp file and mines it, as a self-demonstration (flags still apply).
+//
+// Exit codes mirror the run outcome so scripts can tell a complete run
+// from a fail-soft partial: 0 complete, 2 invalid request, 3 budget
+// exhausted, 4 deadline exceeded, 5 cancelled (1 stays the generic
+// usage/I-O error).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +28,7 @@
 #include "src/data/database_stats.h"
 #include "src/harness/dataset_factory.h"
 #include "src/util/csv_writer.h"
+#include "src/util/runtime.h"
 #include "src/util/string_util.h"
 #include "src/util/trace.h"
 
@@ -59,6 +66,7 @@ int main(int argc, char** argv) {
         " [--epsilon=E] [--delta=D] [--csv=OUT.csv]\n"
         "       [--tidset=adaptive|sparse|dense] [--stats-json]"
         " [--trace=OUT.jsonl]\n"
+        "       [--deadline-ms=N] [--max-nodes=N] [--max-samples=N]\n"
         "no input given — demonstrating on the paper's Table II.\n\n",
         argv[0]);
     path = "/tmp/pfci_demo.utd";
@@ -141,6 +149,27 @@ int main(int argc, char** argv) {
         csv_path = value;
       } else if (ParseFlag(argv[position], "--trace", &value)) {
         trace_path = value;
+      } else if (ParseFlag(argv[position], "--deadline-ms", &value)) {
+        unsigned int deadline_ms = 0;
+        if (!ParseUint32(value, &deadline_ms) || deadline_ms == 0) {
+          std::fprintf(stderr, "bad --deadline-ms '%s'\n", value.c_str());
+          return 1;
+        }
+        request.budget.deadline_seconds = deadline_ms / 1000.0;
+      } else if (ParseFlag(argv[position], "--max-nodes", &value)) {
+        unsigned int max_nodes = 0;
+        if (!ParseUint32(value, &max_nodes) || max_nodes == 0) {
+          std::fprintf(stderr, "bad --max-nodes '%s'\n", value.c_str());
+          return 1;
+        }
+        request.budget.max_nodes = max_nodes;
+      } else if (ParseFlag(argv[position], "--max-samples", &value)) {
+        unsigned int max_samples = 0;
+        if (!ParseUint32(value, &max_samples) || max_samples == 0) {
+          std::fprintf(stderr, "bad --max-samples '%s'\n", value.c_str());
+          return 1;
+        }
+        request.budget.max_samples = max_samples;
       } else {
         std::fprintf(stderr, "unknown argument '%s'\n", argv[position]);
         return 1;
@@ -186,6 +215,11 @@ int main(int argc, char** argv) {
 
   const MiningResult result = Mine(db, request);
   if (show_progress) std::fprintf(stderr, "\n");
+  if (!result.ok()) {
+    std::fprintf(stderr, "run did not complete (%s): %s\n",
+                 OutcomeName(result.outcome()),
+                 result.status_message.c_str());
+  }
   std::printf("\n%zu probabilistic frequent closed itemsets:\n",
               result.itemsets.size());
   std::printf("%s", result.ToString().c_str());
@@ -210,5 +244,19 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s (%d rows)\n", csv_path.c_str(), csv.rows_written());
   }
-  return 0;
+
+  // Distinct non-zero exit code per fail-soft outcome (documented above).
+  switch (result.outcome()) {
+    case Outcome::kComplete:
+      return 0;
+    case Outcome::kBudgetExhausted:
+      return 3;
+    case Outcome::kDeadlineExceeded:
+      return 4;
+    case Outcome::kCancelled:
+      return 5;
+    case Outcome::kInvalidRequest:
+      return 2;
+  }
+  return 1;
 }

@@ -7,7 +7,9 @@
 #include "src/core/frequent_probability.h"
 #include "src/data/vertical_index.h"
 #include "src/util/check.h"
+#include "src/util/failpoint.h"
 #include "src/util/random.h"
+#include "src/util/runtime.h"
 #include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
@@ -42,6 +44,17 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
   const FrequentProbability freq(index, params.min_sup);
   const FcpEngine engine(index, freq, params, exec);
 
+  RunController* rt = exec.runtime;
+  if (rt != nullptr && rt->active()) {
+    rt->ChargeBytes(index.MemoryBytes());
+    rt->Checkpoint();
+  }
+  // Logical budgets, consumed in global level order (entry_counter order)
+  // so the truncation point is a pure function of the request.
+  WorkUnitBudget node_ledger =
+      rt != nullptr ? rt->UnitBudget(0, 1) : WorkUnitBudget{};
+  std::uint64_t samples_remaining = node_ledger.sample_quota;
+
   // Qualifies a candidate itemset; returns PrF > pfct ? PrF : 0 and
   // updates pruning counters.
   const auto qualify = [&](const TidSet& tids) -> double {
@@ -64,7 +77,7 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
 
   // Level 1.
   std::vector<LevelEntry> level;
-  {
+  if (rt == nullptr || !rt->StopRequested()) {
     TraceSpan span(exec.trace, "candidate_build",
                    &result.stats.candidate_seconds);
     for (Item item : index.occurring_items()) {
@@ -83,25 +96,61 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
   // independent of thread count and scheduling.
   std::uint64_t entry_counter = 0;
   while (!level.empty()) {
-    result.stats.nodes_visited += level.size();
-    if (exec.progress != nullptr) exec.progress->AddNodes(level.size());
+    // Level-boundary checkpoint: a global stop discards the pending
+    // level (none of its entries were evaluated yet).
+    PFCI_FAILPOINT("bfs/level");
+    if (rt != nullptr && rt->Checkpoint()) break;
 
-    // Evaluate the whole level in parallel; commit in level order.
-    std::vector<FcpComputation> comps(level.size());
-    std::vector<MiningStats> comp_stats(level.size());
+    // Node budget, taken in level order: a refusal cuts the level's
+    // suffix — and, since the quota never regrows, the whole run.
+    std::size_t eval_count = level.size();
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      if (!node_ledger.TakeNode()) {
+        eval_count = i;
+        rt->RecordTruncation(Outcome::kBudgetExhausted);
+        break;
+      }
+    }
+    result.stats.nodes_visited += eval_count;
+    if (exec.progress != nullptr && eval_count > 0) {
+      exec.progress->AddNodes(eval_count);
+    }
+
+    // Per-entry sample quotas: each entry's RNG stream is independent
+    // (seeded by its global position), so the remaining sample budget is
+    // pre-split fair-share across the level — an entry whose evaluation
+    // is refused stays undecided without disturbing its neighbours.
+    std::vector<WorkUnitBudget> units(eval_count);
+    if (samples_remaining != kUnlimitedQuota) {
+      for (std::size_t i = 0; i < eval_count; ++i) {
+        units[i].sample_quota = UnitQuota(samples_remaining, i, eval_count);
+      }
+    }
+
+    // Evaluate the (budgeted prefix of the) level in parallel; commit in
+    // level order.
+    std::vector<FcpComputation> comps(eval_count);
+    std::vector<MiningStats> comp_stats(eval_count);
     const auto evaluate = [&](std::size_t i) {
       Rng rng(DeriveSeed(params.seed, entry_counter + i));
       comps[i] = engine.Evaluate(level[i].items, level[i].tids, level[i].pr_f,
-                                 rng, &comp_stats[i], &LocalDpWorkspace());
+                                 rng, &comp_stats[i], &LocalDpWorkspace(),
+                                 &units[i]);
     };
     if (exec.pool != nullptr && exec.pool->num_threads() > 1) {
-      exec.pool->ParallelFor(level.size(), evaluate, /*grain=*/1);
+      exec.pool->ParallelFor(eval_count, evaluate, /*grain=*/1);
     } else {
-      for (std::size_t i = 0; i < level.size(); ++i) evaluate(i);
+      for (std::size_t i = 0; i < eval_count; ++i) evaluate(i);
     }
     entry_counter += level.size();
 
-    for (std::size_t i = 0; i < level.size(); ++i) {
+    for (std::size_t i = 0; i < eval_count; ++i) {
+      if (samples_remaining != kUnlimitedQuota) {
+        samples_remaining -= units[i].samples_used;
+        if (units[i].truncated) {
+          rt->RecordTruncation(Outcome::kBudgetExhausted);
+        }
+      }
       const MiningStats& part = comp_stats[i];
       result.stats.decided_by_bounds += part.decided_by_bounds;
       result.stats.zero_by_count += part.zero_by_count;
@@ -109,7 +158,9 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
       result.stats.sampled_fcp_computations += part.sampled_fcp_computations;
       result.stats.total_samples += part.total_samples;
       result.stats.intersections += part.intersections;
+      result.stats.degraded_fcp_evals += part.degraded_fcp_evals;
       const FcpComputation& comp = comps[i];
+      if (comp.undecided) continue;
       if (!comp.is_pfci) continue;
       PfciEntry out;
       out.items = level[i].items;
@@ -121,6 +172,9 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
       result.itemsets.push_back(std::move(out));
       if (exec.progress != nullptr) exec.progress->AddItemsets();
     }
+    // An exhausted node quota never regrows: later levels would all be
+    // refused, so stop generating them.
+    if (node_ledger.truncated) break;
 
     // Generate level k+1 by prefix join (entries are sorted because the
     // construction preserves lexicographic order).
@@ -148,6 +202,10 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
     TraceSpan span(exec.trace, "merge", &result.stats.merge_seconds);
     result.stats.dp_runs = freq.dp_runs();
     result.Sort();
+  }
+  if (rt != nullptr) {
+    result.stats.outcome = rt->outcome();
+    result.stats.truncated = rt->truncated();
   }
   result.stats.seconds = timer.ElapsedSeconds();
   result.stats.EmitTrace(exec.trace);

@@ -9,6 +9,8 @@
 #include "src/exact/closed_miner.h"
 #include "src/exact/transaction_database.h"
 #include "src/util/check.h"
+#include "src/util/failpoint.h"
+#include "src/util/runtime.h"
 #include "src/util/thread_pool.h"
 
 namespace pfci {
@@ -31,6 +33,12 @@ std::uint64_t ForEachWorldRange(const UncertainDatabase& db,
   const std::uint64_t num_ranges =
       total == 0 ? 0 : (total + kWorldsPerRange - 1) / kWorldsPerRange;
   const auto run = [&](std::size_t r) {
+    // World-range checkpoint: once a global stop is requested the
+    // remaining ranges are skipped. A world sum missing ranges is NOT a
+    // verified partial (the probabilities would simply be wrong), so the
+    // callers discard everything when the run was stopped.
+    PFCI_FAILPOINT("brute/range");
+    if (exec.runtime != nullptr && exec.runtime->Checkpoint()) return;
     const std::uint64_t begin = r * kWorldsPerRange;
     const std::uint64_t end = std::min(total, begin + kWorldsPerRange);
     process(r, begin, end);
@@ -69,6 +77,9 @@ WorldProbabilities BruteForceItemsetProbabilities(
               if (frequent && closed) sums.pr_fc += prob;
             });
       });
+  if (exec.runtime != nullptr && exec.runtime->StopRequested()) {
+    return WorldProbabilities{};
+  }
   WorldProbabilities result;
   for (const WorldProbabilities& sums : partial) {
     result.pr_f += sums.pr_f;
@@ -100,6 +111,7 @@ std::vector<FcpGroundTruth> BruteForceAllFcp(const UncertainDatabase& db,
                                      });
             });
       });
+  if (exec.runtime != nullptr && exec.runtime->StopRequested()) return {};
   // Merge in range order: each itemset's probability is accumulated over
   // ranges in the same sequence regardless of which thread mined what.
   FcpMap fcp;

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/util/runtime.h"
 #include "src/util/trace.h"
 
 namespace pfci {
@@ -115,6 +116,12 @@ struct ExecutionContext {
   /// thread counts and tid-set modes (see docs/FORMATS.md for the
   /// schema and DESIGN.md §9 for the architecture).
   TraceSink* trace = nullptr;
+
+  /// Fail-soft runtime state (cancellation, deadline, budgets); null
+  /// means unlimited. Miners poll it at cooperative checkpoints and wind
+  /// down with a verified partial result when it says stop (DESIGN.md
+  /// §10).
+  RunController* runtime = nullptr;
 };
 
 /// Threads a policy resolves to on this machine (>= 1).

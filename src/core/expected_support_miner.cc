@@ -5,6 +5,8 @@
 
 #include "src/data/vertical_index.h"
 #include "src/util/check.h"
+#include "src/util/failpoint.h"
+#include "src/util/runtime.h"
 
 namespace pfci {
 
@@ -14,12 +16,24 @@ double ExpectedSupportOf(const VerticalIndex& index, const TidSet& tids) {
   return index.SumProbsOf(tids);
 }
 
+/// Whether the fail-soft run should wind down.
+bool EsupStopped(RunController* rt, const WorkUnitBudget& unit) {
+  return unit.truncated || (rt != nullptr && rt->StopRequested());
+}
+
 void Dfs(const VerticalIndex& index, double min_esup,
          const std::vector<Item>& candidates, const Itemset& x,
          const TidSet& tids, std::size_t candidate_pos,
-         std::vector<ExpectedSupportEntry>* out, MiningStats* stats) {
+         std::vector<ExpectedSupportEntry>* out, MiningStats* stats,
+         RunController* rt, WorkUnitBudget& unit) {
+  // Node-expansion checkpoint: entries emit before recursing, so cutting
+  // here leaves a verified prefix in `*out`.
+  PFCI_FAILPOINT("esup/node");
+  if (rt != nullptr && rt->Checkpoint()) return;
+  if (!unit.TakeNode()) return;
   if (stats != nullptr) ++stats->nodes_visited;
   for (std::size_t c = candidate_pos + 1; c < candidates.size(); ++c) {
+    if (EsupStopped(rt, unit)) return;
     const Item item = candidates[c];
     TidSet child_tids = Intersect(tids, index.TidsOfItem(item));
     if (stats != nullptr) ++stats->intersections;
@@ -30,7 +44,8 @@ void Dfs(const VerticalIndex& index, double min_esup,
     }
     const Itemset child = x.WithItem(item);
     out->push_back(ExpectedSupportEntry{child, esup});
-    Dfs(index, min_esup, candidates, child, child_tids, c, out, stats);
+    Dfs(index, min_esup, candidates, child, child_tids, c, out, stats, rt,
+        unit);
   }
 }
 
@@ -218,29 +233,43 @@ std::vector<ExpectedSupportEntry> MineExpectedSupportFpGrowth(
 }
 
 std::vector<ExpectedSupportEntry> MineExpectedSupport(
-    const UncertainDatabase& db, double min_esup, MiningStats* stats) {
+    const UncertainDatabase& db, double min_esup, MiningStats* stats,
+    RunController* runtime) {
   PFCI_CHECK(min_esup > 0.0);
   const VerticalIndex index(db);
+  if (runtime != nullptr && runtime->active()) {
+    runtime->ChargeBytes(index.MemoryBytes());
+    runtime->Checkpoint();
+  }
+  WorkUnitBudget unit =
+      runtime != nullptr ? runtime->UnitBudget(0, 1) : WorkUnitBudget{};
   std::vector<ExpectedSupportEntry> result;
   std::vector<Item> candidates;
-  for (Item item : index.occurring_items()) {
-    const double esup = ExpectedSupportOf(index, index.TidsOfItem(item));
-    if (esup >= min_esup) {
-      candidates.push_back(item);
-      result.push_back(ExpectedSupportEntry{Itemset{item}, esup});
-    } else if (stats != nullptr) {
-      ++stats->pruned_by_frequency;
+  if (runtime == nullptr || !runtime->StopRequested()) {
+    for (Item item : index.occurring_items()) {
+      const double esup = ExpectedSupportOf(index, index.TidsOfItem(item));
+      if (esup >= min_esup) {
+        candidates.push_back(item);
+        result.push_back(ExpectedSupportEntry{Itemset{item}, esup});
+      } else if (stats != nullptr) {
+        ++stats->pruned_by_frequency;
+      }
     }
   }
   const std::size_t num_singletons = result.size();
-  for (std::size_t s = 0; s < num_singletons; ++s) {
+  for (std::size_t s = 0;
+       s < num_singletons && !EsupStopped(runtime, unit); ++s) {
     const ExpectedSupportEntry seed = result[s];
     const std::size_t pos = static_cast<std::size_t>(
         std::lower_bound(candidates.begin(), candidates.end(),
                          seed.items.LastItem()) -
         candidates.begin());
     Dfs(index, min_esup, candidates, seed.items,
-        index.TidsOfItem(seed.items.LastItem()), pos, &result, stats);
+        index.TidsOfItem(seed.items.LastItem()), pos, &result, stats,
+        runtime, unit);
+  }
+  if (unit.truncated && runtime != nullptr) {
+    runtime->RecordTruncation(Outcome::kBudgetExhausted);
   }
   std::sort(result.begin(), result.end());
   return result;

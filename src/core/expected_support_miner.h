@@ -13,6 +13,7 @@
 #include "src/core/mining_result.h"
 #include "src/data/itemset.h"
 #include "src/data/uncertain_database.h"
+#include "src/util/runtime.h"
 
 namespace pfci {
 
@@ -30,10 +31,12 @@ struct ExpectedSupportEntry {
 /// Mines all itemsets with expected support >= min_esup (> 0). Expected
 /// support is anti-monotone, so a DFS with threshold pruning is complete.
 /// `stats` (optional) accumulates nodes_visited, pruned_by_frequency
-/// (esup below threshold) and intersections for telemetry.
+/// (esup below threshold) and intersections for telemetry. `runtime`
+/// (optional) makes the DFS fail-soft: polled at node expansion, a stop
+/// or exhausted node quota leaves a verified prefix of the answer.
 std::vector<ExpectedSupportEntry> MineExpectedSupport(
     const UncertainDatabase& db, double min_esup,
-    MiningStats* stats = nullptr);
+    MiningStats* stats = nullptr, RunController* runtime = nullptr);
 
 /// The same answer via a UF-growth-style weighted FP-growth [15]: under
 /// tuple-level uncertainty the expected support is a weighted support

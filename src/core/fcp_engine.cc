@@ -5,6 +5,7 @@
 #include "src/core/fcp_exact.h"
 #include "src/core/fcp_sampler.h"
 #include "src/prob/inclusion_exclusion.h"
+#include "src/prob/karp_luby.h"
 
 namespace pfci {
 
@@ -23,22 +24,25 @@ FcpEngine::FcpEngine(const VerticalIndex& index,
 
 FcpComputation FcpEngine::Evaluate(const Itemset& x, const TidSet& tids,
                                    double pr_f, Rng& rng, MiningStats* stats,
-                                   DpWorkspace* workspace) const {
-  return EvaluateInternal(x, tids, pr_f, params_.pfct, rng, stats, workspace);
+                                   DpWorkspace* workspace,
+                                   WorkUnitBudget* unit) const {
+  return EvaluateInternal(x, tids, pr_f, params_.pfct, rng, stats, workspace,
+                          unit);
 }
 
 FcpComputation FcpEngine::ComputeFcp(const Itemset& x, Rng& rng) const {
   const TidSet tids = index_->TidsOf(x);
   const double pr_f = freq_->PrF(tids);
   // pfct = -1 disables every threshold-based early exit.
-  return EvaluateInternal(x, tids, pr_f, -1.0, rng, nullptr, nullptr);
+  return EvaluateInternal(x, tids, pr_f, -1.0, rng, nullptr, nullptr, nullptr);
 }
 
 FcpComputation FcpEngine::EvaluateInternal(const Itemset& x,
                                            const TidSet& tids, double pr_f,
                                            double pfct, Rng& rng,
                                            MiningStats* stats,
-                                           DpWorkspace* workspace) const {
+                                           DpWorkspace* workspace,
+                                           WorkUnitBudget* unit) const {
   FcpComputation out;
   out.pr_f = pr_f;
   // PrFC <= PrF: an infrequent itemset can never qualify.
@@ -77,15 +81,40 @@ FcpComputation FcpEngine::EvaluateInternal(const Itemset& x,
     }
   }
 
-  if (!params_.force_sampling && events.size() <= params_.exact_event_limit &&
-      events.size() <= kMaxInclusionExclusionEvents) {
+  // Deadline degradation (DESIGN.md §10): once the run has burned the
+  // degrade fraction of its deadline, exact inclusion-exclusion — whose
+  // cost is exponential in the event count — gives way to the sampler so
+  // the remaining wall-clock buys more decided itemsets.
+  const bool exact_eligible =
+      !params_.force_sampling && events.size() <= params_.exact_event_limit &&
+      events.size() <= kMaxInclusionExclusionEvents;
+  const bool degraded = exact_eligible && exec_.runtime != nullptr &&
+                        exec_.runtime->ShouldDegradeFcp();
+  if (exact_eligible && !degraded) {
     out.fcp = ExactFcpByInclusionExclusion(pr_f, events);
     out.method = FcpMethod::kExact;
     if (stats != nullptr) ++stats->exact_fcp_computations;
   } else {
+    // Pre-claim the full Karp-Luby sample requirement from the logical
+    // ledger so an estimate is complete or never attempted. A refusal
+    // leaves `rng` untouched (the sampler never runs), so everything the
+    // unit emitted before this point matches an unbudgeted run
+    // bit-for-bit; the caller must then wind the unit down.
+    if (unit != nullptr && events.size() > 0 &&
+        !unit->TakeSamples(KarpLubyRequiredSamples(
+            events.size(), params_.epsilon, params_.delta))) {
+      out.undecided = true;
+      return out;
+    }
     const ApproxFcpResult approx =
         ApproxFcp(pr_f, events, params_.epsilon, params_.delta, rng,
-                  exec_.pool, exec_.deterministic);
+                  exec_.pool, exec_.deterministic, exec_.runtime);
+    if (approx.aborted) {
+      // A global stop interrupted the batches: the estimate carries no
+      // FPRAS guarantee, so the itemset stays undecided and unemitted.
+      out.undecided = true;
+      return out;
+    }
     out.fcp = approx.fcp;
     out.samples = approx.samples;
     out.method = FcpMethod::kSampled;
@@ -95,6 +124,7 @@ FcpComputation FcpEngine::EvaluateInternal(const Itemset& x,
     if (stats != nullptr) {
       ++stats->sampled_fcp_computations;
       stats->total_samples += approx.samples;
+      if (degraded) ++stats->degraded_fcp_evals;
     }
   }
   out.is_pfci = out.fcp > pfct;

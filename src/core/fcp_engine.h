@@ -19,6 +19,7 @@
 #include "src/core/mining_result.h"
 #include "src/data/vertical_index.h"
 #include "src/util/random.h"
+#include "src/util/runtime.h"
 
 namespace pfci {
 
@@ -31,6 +32,13 @@ struct FcpComputation {
   FcpMethod method = FcpMethod::kUndecided;
   bool is_pfci = false;
   std::uint64_t samples = 0;
+
+  /// True when the evaluation could not be carried to a verdict: the
+  /// sample budget refused the required draws, or a global stop aborted
+  /// the sampler mid-estimate. An undecided itemset must not be emitted,
+  /// and (to keep the per-unit RNG stream aligned with an unbudgeted run)
+  /// the calling work unit must stop evaluating further itemsets.
+  bool undecided = false;
 };
 
 /// Stateless evaluator bound to a database and mining parameters. Safe to
@@ -49,9 +57,17 @@ class FcpEngine {
   /// qualifies, with early exits against params.pfct. `stats` may be
   /// null; `workspace`, when given, supplies the PrF scratch buffers for
   /// extension-event construction (else the calling thread's workspace).
+  ///
+  /// `unit`, when given, is the caller's logical sample ledger: the full
+  /// Karp-Luby sample requirement is claimed from it before the sampler
+  /// runs, so an estimate is complete or not attempted (result.undecided).
+  /// Under deadline pressure (exec.runtime->ShouldDegradeFcp()) exact
+  /// inclusion-exclusion evaluations degrade to the ApproxFCP sampler,
+  /// counted in stats->degraded_fcp_evals.
   FcpComputation Evaluate(const Itemset& x, const TidSet& tids, double pr_f,
                           Rng& rng, MiningStats* stats,
-                          DpWorkspace* workspace = nullptr) const;
+                          DpWorkspace* workspace = nullptr,
+                          WorkUnitBudget* unit = nullptr) const;
 
   /// Computes PrFC(X) to full available precision regardless of pfct
   /// (bounds are still used to report [lower, upper]).
@@ -63,8 +79,8 @@ class FcpEngine {
  private:
   FcpComputation EvaluateInternal(const Itemset& x, const TidSet& tids,
                                   double pr_f, double pfct, Rng& rng,
-                                  MiningStats* stats,
-                                  DpWorkspace* workspace) const;
+                                  MiningStats* stats, DpWorkspace* workspace,
+                                  WorkUnitBudget* unit) const;
 
   const VerticalIndex* index_;
   const FrequentProbability* freq_;

@@ -1,6 +1,7 @@
 #include "src/core/fcp_sampler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "src/prob/conditional_sampler.h"
 #include "src/prob/karp_luby.h"
 #include "src/util/check.h"
+#include "src/util/failpoint.h"
 #include "src/util/thread_pool.h"
 
 namespace pfci {
@@ -49,7 +51,8 @@ class PositionMask {
 
 ApproxFcpResult ApproxFcp(double pr_f, const ExtensionEventSet& events,
                           double epsilon, double delta, Rng& rng,
-                          ThreadPool* pool, bool deterministic) {
+                          ThreadPool* pool, bool deterministic,
+                          RunController* runtime) {
   ApproxFcpResult result;
   const std::size_t m = events.size();
   if (m == 0) {
@@ -127,7 +130,15 @@ ApproxFcpResult ApproxFcp(double pr_f, const ExtensionEventSet& events,
                                                1, num_samples)));
 
   std::vector<KarpLubyResult> batch(num_batches);
+  std::atomic<bool> aborted{false};
   const auto run_batch = [&](std::size_t b) {
+    // Sample-batch checkpoint: a cancelled/expired run abandons its
+    // remaining batches; the whole estimate is then discarded (aborted).
+    PFCI_FAILPOINT("sampler/batch");
+    if (runtime != nullptr && runtime->Checkpoint()) {
+      aborted.store(true, std::memory_order_relaxed);
+      return;
+    }
     const std::uint64_t batch_samples =
         num_samples / num_batches + (b < num_samples % num_batches ? 1 : 0);
     Rng batch_rng(DeriveSeed(base_seed, b));
@@ -178,6 +189,7 @@ ApproxFcpResult ApproxFcp(double pr_f, const ExtensionEventSet& events,
   result.samples = samples;
   result.successes = successes;
   result.fcp = std::clamp(pr_f - estimate, 0.0, 1.0);
+  result.aborted = aborted.load(std::memory_order_relaxed);
   return result;
 }
 

@@ -16,6 +16,7 @@
 
 #include "src/core/extension_events.h"
 #include "src/util/random.h"
+#include "src/util/runtime.h"
 
 namespace pfci {
 
@@ -27,6 +28,12 @@ struct ApproxFcpResult {
   double fnc = 0.0;             ///< Estimated Pr(∪ C_i).
   std::uint64_t samples = 0;    ///< Monte-Carlo samples drawn.
   std::uint64_t successes = 0;  ///< Canonical hits.
+
+  /// True when a global stop (cancel/deadline/memory) interrupted the
+  /// sample batches: the estimate misses samples and carries no FPRAS
+  /// guarantee — callers must treat the evaluation as undecided and must
+  /// not emit it.
+  bool aborted = false;
 };
 
 /// Runs ApproxFCP. `pr_f` is the exact frequent probability of X;
@@ -41,10 +48,18 @@ struct ApproxFcpResult {
 /// `deterministic` false the batch count may adapt to the pool's thread
 /// count instead of the fixed default (reproducible only per thread
 /// count).
+///
+/// `runtime`, when set, is polled at sample-batch boundaries: a global
+/// stop abandons the remaining batches and returns with `aborted` set
+/// (fail-soft checkpoints, DESIGN.md §10). Logical sample budgets are NOT
+/// enforced here — callers pre-claim the full required sample count from
+/// their WorkUnitBudget before calling (see FcpEngine), so an estimate is
+/// either complete or skipped whole.
 ApproxFcpResult ApproxFcp(double pr_f, const ExtensionEventSet& events,
                           double epsilon, double delta, Rng& rng,
                           ThreadPool* pool = nullptr,
-                          bool deterministic = true);
+                          bool deterministic = true,
+                          RunController* runtime = nullptr);
 
 }  // namespace pfci
 

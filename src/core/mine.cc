@@ -9,13 +9,19 @@
 #include "src/core/naive_miner.h"
 #include "src/core/pfi_miner.h"
 #include "src/core/topk_miner.h"
-#include "src/util/check.h"
 #include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
 namespace pfci {
 
 namespace {
+
+/// Stamps the fail-soft outcome of a finished run into its stats.
+void StampOutcome(MiningResult* result, const RunController* runtime) {
+  if (runtime == nullptr) return;
+  result->stats.outcome = runtime->outcome();
+  result->stats.truncated = runtime->truncated();
+}
 
 /// PFI mining through the unified interface: entries carry pr_f, fcp 0.
 MiningResult RunPfi(const UncertainDatabase& db, const MiningRequest& request,
@@ -27,7 +33,7 @@ MiningResult RunPfi(const UncertainDatabase& db, const MiningRequest& request,
     const std::vector<PfiEntry> pfis =
         MinePfi(db, request.params.min_sup, request.params.pfct,
                 request.params.pruning.chernoff, &result.stats,
-                TidSetPolicyFor(request.params));
+                TidSetPolicyFor(request.params), exec.runtime);
     result.itemsets.reserve(pfis.size());
     for (const PfiEntry& pfi : pfis) {
       PfciEntry entry;
@@ -45,6 +51,7 @@ MiningResult RunPfi(const UncertainDatabase& db, const MiningRequest& request,
     TraceSpan span(exec.trace, "merge", &result.stats.merge_seconds);
     result.Sort();
   }
+  StampOutcome(&result, exec.runtime);
   result.stats.seconds = timer.ElapsedSeconds();
   result.stats.EmitTrace(exec.trace);
   return result;
@@ -63,7 +70,7 @@ MiningResult RunExpectedSupport(const UncertainDatabase& db,
   {
     TraceSpan span(exec.trace, "search", &result.stats.search_seconds);
     const std::vector<ExpectedSupportEntry> entries =
-        MineExpectedSupport(db, min_esup, &result.stats);
+        MineExpectedSupport(db, min_esup, &result.stats, exec.runtime);
     result.itemsets.reserve(entries.size());
     for (const ExpectedSupportEntry& in : entries) {
       PfciEntry entry;
@@ -81,10 +88,25 @@ MiningResult RunExpectedSupport(const UncertainDatabase& db,
     TraceSpan span(exec.trace, "merge", &result.stats.merge_seconds);
     result.Sort();
   }
+  StampOutcome(&result, exec.runtime);
   result.stats.seconds = timer.ElapsedSeconds();
   result.stats.EmitTrace(exec.trace);
   return result;
 }
+
+/// Flushes the run's sinks on every exit path (including invalid
+/// requests and stopped runs): the final progress snapshot and any
+/// buffered trace events must reach the caller no matter how Mine()
+/// returns.
+struct FlushOnExit {
+  TraceSink* trace = nullptr;
+  ProgressSink* progress = nullptr;
+
+  ~FlushOnExit() {
+    if (trace != nullptr) trace->Flush();
+    if (progress != nullptr) progress->Flush();
+  }
+};
 
 }  // namespace
 
@@ -118,12 +140,26 @@ std::string ValidateRequest(const MiningRequest& request) {
   if (request.progress && request.progress_interval < 1) {
     return "progress_interval must be >= 1";
   }
+  if (request.budget.deadline_seconds < 0.0) {
+    return "budget.deadline_seconds must be >= 0";
+  }
+  if (request.budget.degrade_fraction <= 0.0 ||
+      request.budget.degrade_fraction > 1.0) {
+    return "budget.degrade_fraction must be in (0, 1]";
+  }
   return "";
 }
 
 MiningResult Mine(const UncertainDatabase& db, const MiningRequest& request) {
   const std::string error = ValidateRequest(request);
-  PFCI_CHECK_MSG(error.empty(), "invalid MiningRequest: " + error);
+  if (!error.empty()) {
+    // API-boundary errors are reported as data, not aborts: the caller
+    // gets an empty result carrying the diagnosis.
+    MiningResult result;
+    result.stats.outcome = Outcome::kInvalidRequest;
+    result.status_message = "invalid MiningRequest: " + error;
+    return result;
+  }
 
   // Thread-count 0 means "library default": share the lazily-created
   // global pool. An explicit count gets a dedicated pool of that size so
@@ -144,11 +180,18 @@ MiningResult Mine(const UncertainDatabase& db, const MiningRequest& request) {
                                           request.progress_interval);
   }
 
+  RunController controller(request.budget, request.cancel);
+
   ExecutionContext exec;
   exec.pool = pool;
   exec.deterministic = request.execution.deterministic;
   exec.progress = sink.get();
   exec.trace = request.trace;
+  if (controller.active()) exec.runtime = &controller;
+
+  // Sinks flush on every exit path: a cancelled or deadline-stopped run
+  // still delivers its final progress snapshot and buffered trace events.
+  FlushOnExit flusher{exec.trace, sink.get()};
 
   TraceRunBegin(exec.trace, AlgorithmName(request.algorithm));
   MiningResult result;
@@ -173,10 +216,12 @@ MiningResult Mine(const UncertainDatabase& db, const MiningRequest& request) {
       break;
   }
 
+  if (!result.ok() && result.status_message.empty()) {
+    result.status_message =
+        std::string("run stopped: ") + OutcomeName(result.outcome());
+  }
   TraceRunEnd(exec.trace, AlgorithmName(request.algorithm),
               result.itemsets.size(), result.stats.seconds);
-  if (exec.trace != nullptr) exec.trace->Flush();
-  if (sink != nullptr) sink->Flush();
   return result;
 }
 

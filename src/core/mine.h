@@ -22,6 +22,7 @@
 #include "src/core/mining_params.h"
 #include "src/core/mining_result.h"
 #include "src/data/uncertain_database.h"
+#include "src/util/runtime.h"
 
 namespace pfci {
 
@@ -72,13 +73,27 @@ struct MiningRequest {
   /// per-rule pruning counters; counter values are bit-identical across
   /// thread counts. Owned by the caller; must outlive the run.
   TraceSink* trace = nullptr;
+
+  /// Resource limits for the run (default: unlimited). When a limit
+  /// trips, Mine() returns a verified partial result with the matching
+  /// non-complete Outcome instead of running forever (DESIGN.md §10).
+  RunBudget budget;
+
+  /// Optional cooperative cancellation token, polled at the miners'
+  /// checkpoints. Owned by the caller; must outlive the run.
+  const CancelToken* cancel = nullptr;
 };
 
-/// Checks `request` (including its params); empty string when valid.
+/// Checks `request` (including its params and budget); empty string when
+/// valid.
 std::string ValidateRequest(const MiningRequest& request);
 
-/// Runs the requested algorithm and returns its result. CHECK-fails with
-/// the ValidateRequest() message on invalid requests.
+/// Runs the requested algorithm and returns its result. Invalid requests
+/// do NOT abort: Mine() returns an empty result with outcome
+/// kInvalidRequest and the ValidateRequest() message in status_message
+/// (the API boundary reports errors as data; PFCI_CHECK stays for
+/// internal invariants only). The per-algorithm wrapper functions keep
+/// their historical CHECK-on-invalid behavior.
 MiningResult Mine(const UncertainDatabase& db, const MiningRequest& request);
 
 }  // namespace pfci

@@ -35,6 +35,8 @@ std::string MiningStats::ToString() const {
          " samples=" + std::to_string(total_samples) +
          " dp_runs=" + std::to_string(dp_runs) +
          " intersections=" + std::to_string(intersections) +
+         " degraded_fcp=" + std::to_string(degraded_fcp_evals) +
+         " outcome=" + OutcomeName(outcome) +
          " time=" + FormatDouble(seconds, 4) + "s";
 }
 
@@ -46,7 +48,7 @@ std::string MiningStats::ToJson() const {
     out += name;
     out += "\":" + std::to_string(value);
   };
-  field("schema", 2);
+  field("schema", 3);
   field("nodes_visited", nodes_visited);
   field("pruned_by_chernoff", pruned_by_chernoff);
   field("pruned_by_frequency", pruned_by_frequency);
@@ -59,6 +61,12 @@ std::string MiningStats::ToJson() const {
   field("total_samples", total_samples);
   field("dp_runs", dp_runs);
   field("intersections", intersections);
+  field("degraded_fcp_evals", degraded_fcp_evals);
+  out += ",\"outcome\":\"";
+  out += OutcomeName(outcome);
+  out += "\"";
+  out += ",\"truncated\":";
+  out += truncated ? "true" : "false";
   out += ",\"seconds\":" + FormatDouble(seconds, 6);
   out += ",\"candidate_seconds\":" + FormatDouble(candidate_seconds, 6);
   out += ",\"search_seconds\":" + FormatDouble(search_seconds, 6);
@@ -84,6 +92,8 @@ void MiningStats::EmitTrace(TraceSink* sink) const {
   TraceCounter(sink, "samples_drawn", total_samples);
   TraceCounter(sink, "dp_runs", dp_runs);
   TraceCounter(sink, "intersections", intersections);
+  TraceCounter(sink, "degraded_fcp_evals", degraded_fcp_evals);
+  TraceCounter(sink, "truncated", truncated ? 1 : 0);
 }
 
 void MiningResult::Sort() {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/data/itemset.h"
+#include "src/util/runtime.h"
 #include "src/util/trace.h"
 
 namespace pfci {
@@ -50,6 +51,10 @@ struct MiningStats {
   std::uint64_t sampled_fcp_computations = 0;
   std::uint64_t total_samples = 0;
   std::uint64_t dp_runs = 0;  ///< Exact Poisson-binomial DP executions.
+  /// FCP evaluations degraded from exact inclusion-exclusion to the
+  /// ApproxFCP sampler under deadline pressure (DESIGN.md §10). Always 0
+  /// without a deadline, so the determinism contract is unaffected.
+  std::uint64_t degraded_fcp_evals = 0;
   /// Tid-set intersection/difference/subset operations performed by the
   /// search layers (candidate generation, superset checks, extension-event
   /// construction). Excludes the sampler's per-sample bit tests and the
@@ -67,20 +72,30 @@ struct MiningStats {
   double search_seconds = 0.0;
   double merge_seconds = 0.0;
 
+  /// How the run ended (schema v3). Anything but kComplete means the
+  /// itemset list is a verified prefix of the full answer (every emitted
+  /// entry is fully decided and matches an unbudgeted run; see DESIGN.md
+  /// §10).
+  Outcome outcome = Outcome::kComplete;
+
+  /// Whether any entry of the full answer may be missing (set together
+  /// with a non-complete outcome).
+  bool truncated = false;
+
   std::string ToString() const;
 
   /// One JSON object line with every counter plus seconds, for scripted
   /// regression tracking (schema documented in docs/FORMATS.md; the
-  /// `schema` field is 2 and the key set is append-only).
+  /// `schema` field is 3 and the key set is append-only).
   std::string ToJson() const;
 
   /// Emits one `counter` trace event per work counter under the canonical
   /// telemetry names (`chernoff_pruned`, `threshold_pruned`,
   /// `superset_pruned`, `subset_pruned`, `bounds_decided`,
   /// `zero_by_count`, `exact_fcp`, `sampled_fcp`, `samples_drawn`,
-  /// `dp_runs`, `intersections`, `nodes_expanded`). Call after the
-  /// deterministic merge so values are thread-count independent. No-op
-  /// when `sink` is null.
+  /// `dp_runs`, `intersections`, `nodes_expanded`, `degraded_fcp_evals`,
+  /// `truncated`). Call after the deterministic merge so values are
+  /// thread-count independent. No-op when `sink` is null.
   void EmitTrace(TraceSink* sink) const;
 };
 
@@ -88,6 +103,17 @@ struct MiningStats {
 struct MiningResult {
   std::vector<PfciEntry> itemsets;
   MiningStats stats;
+
+  /// Human-readable reason when outcome() != kComplete (the validation
+  /// error for kInvalidRequest, a summary of the tripped limit otherwise).
+  std::string status_message;
+
+  /// How the run ended (mirrors stats.outcome).
+  Outcome outcome() const { return stats.outcome; }
+
+  /// Whether the run completed normally. A false return still carries a
+  /// verified partial result in `itemsets` (empty for kInvalidRequest).
+  bool ok() const { return stats.outcome == Outcome::kComplete; }
 
   /// Sorts entries lexicographically (canonical comparison order).
   void Sort();

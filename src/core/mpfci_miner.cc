@@ -8,7 +8,9 @@
 #include "src/core/frequent_probability.h"
 #include "src/data/vertical_index.h"
 #include "src/util/check.h"
+#include "src/util/failpoint.h"
 #include "src/util/random.h"
+#include "src/util/runtime.h"
 #include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
@@ -37,7 +39,15 @@ class MpfciSearch {
 
   MiningResult Run() {
     Stopwatch timer;
-    {
+    RunController* rt = exec_.runtime;
+    // The index is the run's dominant resident structure; charging it up
+    // front lets an undersized memory budget fail before any search work.
+    if (rt != nullptr && rt->active()) {
+      rt->ChargeBytes(index_.MemoryBytes());
+      rt->Checkpoint();
+    }
+
+    if (rt == nullptr || !rt->StopRequested()) {
       TraceSpan span(exec_.trace, "candidate_build",
                      &result_.stats.candidate_seconds);
       BuildCandidates();
@@ -48,12 +58,19 @@ class MpfciSearch {
     std::vector<MiningResult> subtree(n);
     const auto mine_subtree = [&](std::size_t c) {
       Rng rng(DeriveSeed(params_.seed, candidates_[c]));
+      // Fair-share logical budgets: the quota depends only on the
+      // request and the candidate count, never on scheduling.
+      WorkUnitBudget unit =
+          rt != nullptr ? rt->UnitBudget(c, n) : WorkUnitBudget{};
       // The executing thread's workspace: safe because a workspace is
       // only live within one PrF evaluation, which never suspends into
       // the helping scheduler.
-      TaskState task{&subtree[c], &rng, &LocalDpWorkspace()};
+      TaskState task{&subtree[c], &rng, &LocalDpWorkspace(), &unit};
       Dfs(task, Itemset{candidates_[c]}, index_.TidsOfItem(candidates_[c]),
           candidate_pr_f_[c], c);
+      if (unit.truncated && rt != nullptr) {
+        rt->RecordTruncation(Outcome::kBudgetExhausted);
+      }
     };
     if (exec_.pool != nullptr && exec_.pool->num_threads() > 1) {
       // Grain 1: first-level subtrees vary wildly in cost; stealing at
@@ -77,6 +94,10 @@ class MpfciSearch {
       result_.stats.dp_runs = freq_.dp_runs();
       result_.Sort();
     }
+    if (rt != nullptr) {
+      result_.stats.outcome = rt->outcome();
+      result_.stats.truncated = rt->truncated();
+    }
     result_.stats.seconds = timer.ElapsedSeconds();
     result_.stats.EmitTrace(exec_.trace);
     return std::move(result_);
@@ -88,6 +109,7 @@ class MpfciSearch {
     MiningResult* out;
     Rng* rng;
     DpWorkspace* ws;
+    WorkUnitBudget* unit;
   };
 
   /// Phase 1 of Fig. 1: the candidate set of probabilistic frequent
@@ -136,6 +158,14 @@ class MpfciSearch {
   void Dfs(TaskState& task, const Itemset& x, const TidSet& tids,
            double pr_f, std::size_t last_candidate_pos) {
     MiningStats& stats = task.out->stats;
+    // Node-expansion checkpoint (DESIGN.md §10). After any truncation the
+    // unit winds down without evaluating anything further: a later
+    // sampled evaluation would read a shifted RNG stream and no longer
+    // match the unbudgeted run.
+    PFCI_FAILPOINT("mpfci/node");
+    RunController* rt = exec_.runtime;
+    if (rt != nullptr && rt->Checkpoint()) return;
+    if (!task.unit->TakeNode()) return;
     ++stats.nodes_visited;
     if (exec_.progress != nullptr) exec_.progress->AddNodes();
 
@@ -147,6 +177,10 @@ class MpfciSearch {
     bool x_may_be_closed = true;
     for (std::size_t c = last_candidate_pos + 1; c < candidates_.size();
          ++c) {
+      if (task.unit->truncated ||
+          (rt != nullptr && rt->StopRequested())) {
+        return;
+      }
       const Item item = candidates_[c];
       const TidSet child_tids = Intersect(tids, index_.TidsOfItem(item));
       ++stats.intersections;
@@ -177,12 +211,16 @@ class MpfciSearch {
       if (params_.pruning.subset && same_count) break;
     }
 
+    if (task.unit->truncated || (rt != nullptr && rt->StopRequested())) {
+      return;
+    }
     if (!x_may_be_closed) {
       ++stats.pruned_by_subset;
       return;
     }
-    const FcpComputation comp =
-        engine_.Evaluate(x, tids, pr_f, *task.rng, &stats, task.ws);
+    const FcpComputation comp = engine_.Evaluate(x, tids, pr_f, *task.rng,
+                                                 &stats, task.ws, task.unit);
+    if (comp.undecided) return;
     if (comp.is_pfci) {
       PfciEntry entry;
       entry.items = x;
@@ -211,6 +249,7 @@ class MpfciSearch {
     total.sampled_fcp_computations += part.sampled_fcp_computations;
     total.total_samples += part.total_samples;
     total.intersections += part.intersections;
+    total.degraded_fcp_evals += part.degraded_fcp_evals;
   }
 
   MiningParams params_;

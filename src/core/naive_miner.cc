@@ -7,8 +7,11 @@
 #include "src/core/frequent_probability.h"
 #include "src/core/pfi_miner.h"
 #include "src/data/vertical_index.h"
+#include "src/prob/karp_luby.h"
 #include "src/util/check.h"
+#include "src/util/failpoint.h"
 #include "src/util/random.h"
+#include "src/util/runtime.h"
 #include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
@@ -30,13 +33,20 @@ MiningResult MineNaive(const UncertainDatabase& db, const MiningParams& params,
   const VerticalIndex index(db, TidSetPolicyFor(params));
   const FrequentProbability freq(index, params.min_sup);
 
+  RunController* rt = exec.runtime;
+  if (rt != nullptr && rt->active()) {
+    rt->ChargeBytes(index.MemoryBytes());
+    rt->Checkpoint();
+  }
+
   // Stage 1: all probabilistic frequent itemsets (PrFC <= PrF, so the
-  // answer set is contained in the PFIs).
+  // answer set is contained in the PFIs). The node budget is consumed
+  // here (the PFI enumeration is the run's search tree).
   TraceSpan candidate_span(exec.trace, "candidate_build",
                            &result.stats.candidate_seconds);
   const std::vector<PfiEntry> pfis =
       MinePfi(db, params.min_sup, params.pfct, /*use_chernoff=*/true,
-              &result.stats, TidSetPolicyFor(params));
+              &result.stats, TidSetPolicyFor(params), rt);
   candidate_span.End();
 
   // Stage 2: check each PFI's frequent closed probability by sampling.
@@ -48,12 +58,31 @@ MiningResult MineNaive(const UncertainDatabase& db, const MiningParams& params,
   TraceSpan sampling_span(exec.trace, "sampling",
                           &result.stats.search_seconds);
   std::vector<ApproxFcpResult> checks(pfis.size());
+  // Each check's RNG stream is independent, so the sample budget is
+  // pre-split fair-share across the checks: a refused check stays
+  // undecided (unemitted) without disturbing its neighbours' streams.
+  std::vector<std::uint8_t> undecided(pfis.size(), 0);
   const auto check = [&](std::size_t i) {
+    PFCI_FAILPOINT("naive/check");
+    if (rt != nullptr && rt->Checkpoint()) {
+      undecided[i] = 1;
+      return;
+    }
     Rng rng(DeriveSeed(params.seed, i));
     const ExtensionEventSet events(index, freq, pfis[i].items, pfis[i].tids,
                                    &LocalDpWorkspace(), nullptr);
+    if (rt != nullptr && events.size() > 0) {
+      WorkUnitBudget unit = rt->UnitBudget(i, pfis.size());
+      if (!unit.TakeSamples(KarpLubyRequiredSamples(
+              events.size(), params.epsilon, params.delta))) {
+        undecided[i] = 1;
+        rt->RecordTruncation(Outcome::kBudgetExhausted);
+        return;
+      }
+    }
     checks[i] = ApproxFcp(pfis[i].pr_f, events, params.epsilon, params.delta,
-                          rng, /*pool=*/nullptr, exec.deterministic);
+                          rng, /*pool=*/nullptr, exec.deterministic, rt);
+    if (checks[i].aborted) undecided[i] = 1;
     if (exec.progress != nullptr) exec.progress->AddNodes();
   };
   if (exec.pool != nullptr && exec.pool->num_threads() > 1) {
@@ -65,6 +94,7 @@ MiningResult MineNaive(const UncertainDatabase& db, const MiningParams& params,
 
   TraceSpan merge_span(exec.trace, "merge", &result.stats.merge_seconds);
   for (std::size_t i = 0; i < pfis.size(); ++i) {
+    if (undecided[i]) continue;
     const ApproxFcpResult& approx = checks[i];
     ++result.stats.sampled_fcp_computations;
     result.stats.total_samples += approx.samples;
@@ -83,6 +113,10 @@ MiningResult MineNaive(const UncertainDatabase& db, const MiningParams& params,
   result.stats.dp_runs = freq.dp_runs();
   result.Sort();
   merge_span.End();
+  if (rt != nullptr) {
+    result.stats.outcome = rt->outcome();
+    result.stats.truncated = rt->truncated();
+  }
   result.stats.seconds = timer.ElapsedSeconds();
   result.stats.EmitTrace(exec.trace);
   return result;

@@ -5,6 +5,8 @@
 #include "src/core/frequent_probability.h"
 #include "src/data/vertical_index.h"
 #include "src/util/check.h"
+#include "src/util/failpoint.h"
+#include "src/util/runtime.h"
 
 namespace pfci {
 
@@ -14,35 +16,52 @@ class PfiSearch {
  public:
   PfiSearch(const UncertainDatabase& db, std::size_t min_sup, double pft,
             bool use_chernoff, FrequencyMode mode, MiningStats* stats,
-            const TidSetPolicy& policy)
+            const TidSetPolicy& policy, RunController* runtime)
       : pft_(pft),
         use_chernoff_(use_chernoff),
         mode_(mode),
         stats_(stats),
+        rt_(runtime),
         index_(db, policy),
         freq_(index_, min_sup) {}
 
   std::vector<PfiEntry> Run() {
-    for (Item item : index_.occurring_items()) {
-      TidSet tids = index_.TidsOfItem(item);
-      const double pr_f = QualifyingPrF(tids);
-      if (pr_f > pft_) {
-        candidates_.push_back(item);
-        Emit(Itemset{item}, std::move(tids), pr_f);
+    if (rt_ != nullptr && rt_->active()) {
+      rt_->ChargeBytes(index_.MemoryBytes());
+      rt_->Checkpoint();
+    }
+    // Sequential miner: one logical work unit owns the whole budget.
+    unit_ = rt_ != nullptr ? rt_->UnitBudget(0, 1) : WorkUnitBudget{};
+
+    if (rt_ == nullptr || !rt_->StopRequested()) {
+      for (Item item : index_.occurring_items()) {
+        TidSet tids = index_.TidsOfItem(item);
+        const double pr_f = QualifyingPrF(tids);
+        if (pr_f > pft_) {
+          candidates_.push_back(item);
+          Emit(Itemset{item}, std::move(tids), pr_f);
+        }
       }
     }
     // The singleton pass above seeded `result_`; extend depth-first.
     const std::size_t num_singletons = result_.size();
-    for (std::size_t s = 0; s < num_singletons; ++s) {
+    for (std::size_t s = 0; s < num_singletons && !Stopped(); ++s) {
       // Copy: Dfs appends to result_ and may reallocate.
       const PfiEntry seed = result_[s];
       Dfs(seed.items, seed.tids, IndexOfCandidate(seed.items.LastItem()));
+    }
+    if (unit_.truncated && rt_ != nullptr) {
+      rt_->RecordTruncation(Outcome::kBudgetExhausted);
     }
     std::sort(result_.begin(), result_.end());
     return std::move(result_);
   }
 
  private:
+  /// Whether the run should wind down (budget cut or global stop).
+  bool Stopped() const {
+    return unit_.truncated || (rt_ != nullptr && rt_->StopRequested());
+  }
   std::size_t IndexOfCandidate(Item item) const {
     return static_cast<std::size_t>(
         std::lower_bound(candidates_.begin(), candidates_.end(), item) -
@@ -82,8 +101,14 @@ class PfiSearch {
 
   void Dfs(const Itemset& x, const TidSet& tids,
            std::size_t candidate_pos) {
+    // Node-expansion checkpoint: PFIs emit before recursing, so cutting
+    // here leaves a verified prefix in `result_`.
+    PFCI_FAILPOINT("pfi/node");
+    if (rt_ != nullptr && rt_->Checkpoint()) return;
+    if (!unit_.TakeNode()) return;
     if (stats_ != nullptr) ++stats_->nodes_visited;
     for (std::size_t c = candidate_pos + 1; c < candidates_.size(); ++c) {
+      if (Stopped()) return;
       const Item item = candidates_[c];
       TidSet child_tids = Intersect(tids, index_.TidsOfItem(item));
       if (stats_ != nullptr) ++stats_->intersections;
@@ -99,6 +124,8 @@ class PfiSearch {
   bool use_chernoff_;
   FrequencyMode mode_;
   MiningStats* stats_;
+  RunController* rt_;
+  WorkUnitBudget unit_;
   VerticalIndex index_;
   FrequentProbability freq_;
   std::vector<Item> candidates_;
@@ -110,10 +137,11 @@ class PfiSearch {
 std::vector<PfiEntry> MinePfi(const UncertainDatabase& db,
                               std::size_t min_sup, double pft,
                               bool use_chernoff, MiningStats* stats,
-                              const TidSetPolicy& policy) {
+                              const TidSetPolicy& policy,
+                              RunController* runtime) {
   PFCI_CHECK(min_sup >= 1);
   PfiSearch search(db, min_sup, pft, use_chernoff, FrequencyMode::kExactDp,
-                   stats, policy);
+                   stats, policy, runtime);
   return search.Run();
 }
 
@@ -121,12 +149,13 @@ std::vector<PfiEntry> MinePfiApproximate(const UncertainDatabase& db,
                                          std::size_t min_sup, double pft,
                                          FrequencyMode mode,
                                          MiningStats* stats,
-                                         const TidSetPolicy& policy) {
+                                         const TidSetPolicy& policy,
+                                         RunController* runtime) {
   PFCI_CHECK(min_sup >= 1);
   // The Chernoff bound stays valid (it bounds the true tail, and every
   // approximation is consistent with it on the scales where it prunes).
   PfiSearch search(db, min_sup, pft, /*use_chernoff=*/true, mode, stats,
-                   policy);
+                   policy, runtime);
   return search.Run();
 }
 

@@ -14,6 +14,7 @@
 #include "src/data/tidset.h"
 #include "src/data/uncertain_database.h"
 #include "src/prob/tail_approximations.h"
+#include "src/util/runtime.h"
 
 namespace pfci {
 
@@ -31,12 +32,16 @@ struct PfiEntry {
 
 /// Mines all itemsets with PrF(X) > pft at support threshold min_sup.
 /// `stats` (optional) accumulates pruning counters; `policy` selects the
-/// tid-set representation (never affects results).
+/// tid-set representation (never affects results). `runtime` (optional)
+/// makes the enumeration fail-soft: the DFS polls it at node expansion
+/// and winds down with a verified prefix of the answer when a limit
+/// trips (the caller reads the outcome off the controller).
 std::vector<PfiEntry> MinePfi(const UncertainDatabase& db,
                               std::size_t min_sup, double pft,
                               bool use_chernoff = true,
                               MiningStats* stats = nullptr,
-                              const TidSetPolicy& policy = TidSetPolicy{});
+                              const TidSetPolicy& policy = TidSetPolicy{},
+                              RunController* runtime = nullptr);
 
 /// Approximate PFI mining in the spirit of [3]: the exact frequent-
 /// probability DP is replaced by a distributional approximation of the
@@ -48,7 +53,8 @@ std::vector<PfiEntry> MinePfiApproximate(const UncertainDatabase& db,
                                          FrequencyMode mode,
                                          MiningStats* stats = nullptr,
                                          const TidSetPolicy& policy =
-                                             TidSetPolicy{});
+                                             TidSetPolicy{},
+                                         RunController* runtime = nullptr);
 
 }  // namespace pfci
 

@@ -8,6 +8,8 @@
 #include "src/core/frequent_probability.h"
 #include "src/data/vertical_index.h"
 #include "src/util/check.h"
+#include "src/util/failpoint.h"
+#include "src/util/runtime.h"
 #include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
@@ -30,20 +32,33 @@ class TopkSearch {
   MiningResult Run() {
     Stopwatch timer;
     MiningResult result;
-    {
+    RunController* rt = exec_.runtime;
+    if (rt != nullptr && rt->active()) {
+      rt->ChargeBytes(index_.MemoryBytes());
+      rt->Checkpoint();
+    }
+    // The whole search shares one RNG (rng_), so the run is a single
+    // logical work unit: after any truncation nothing further may be
+    // evaluated, or later estimates would read a shifted stream.
+    unit_ = rt != nullptr ? rt->UnitBudget(0, 1) : WorkUnitBudget{};
+
+    if (rt == nullptr || !rt->StopRequested()) {
       TraceSpan span(exec_.trace, "candidate_build",
                      &result.stats.candidate_seconds);
       BuildCandidates();
     }
     {
       TraceSpan span(exec_.trace, "dfs", &result.stats.search_seconds);
-      for (std::size_t c = 0; c < candidates_.size(); ++c) {
+      for (std::size_t c = 0; c < candidates_.size() && !Stopped(); ++c) {
         const Item item = candidates_[c];
         const TidSet& tids = index_.TidsOfItem(item);
         const double pr_f = freq_.PrF(tids);
         if (pr_f <= Threshold()) continue;
         Dfs(Itemset{item}, tids, pr_f, c);
       }
+    }
+    if (unit_.truncated && rt != nullptr) {
+      rt->RecordTruncation(Outcome::kBudgetExhausted);
     }
     TraceSpan merge_span(exec_.trace, "merge", &result.stats.merge_seconds);
     AddStats(result.stats, stats_);
@@ -52,12 +67,21 @@ class TopkSearch {
     std::sort(top_.begin(), top_.end(), RanksBefore);
     result.itemsets = std::move(top_);
     merge_span.End();
+    if (rt != nullptr) {
+      result.stats.outcome = rt->outcome();
+      result.stats.truncated = rt->truncated();
+    }
     result.stats.seconds = timer.ElapsedSeconds();
     result.stats.EmitTrace(exec_.trace);
     return result;
   }
 
  private:
+  /// Whether the run should wind down (budget cut or global stop).
+  bool Stopped() const {
+    return unit_.truncated ||
+           (exec_.runtime != nullptr && exec_.runtime->StopRequested());
+  }
   /// The output order: descending FCP, ties broken by ascending itemset.
   static bool RanksBefore(const PfciEntry& a, const PfciEntry& b) {
     if (a.fcp != b.fcp) return a.fcp > b.fcp;
@@ -78,6 +102,7 @@ class TopkSearch {
     total.sampled_fcp_computations += part.sampled_fcp_computations;
     total.total_samples += part.total_samples;
     total.intersections += part.intersections;
+    total.degraded_fcp_evals += part.degraded_fcp_evals;
   }
 
   /// The active pruning threshold: the caller's floor while fewer than k
@@ -155,6 +180,10 @@ class TopkSearch {
 
   void Dfs(const Itemset& x, const TidSet& tids, double pr_f,
            std::size_t last_candidate_pos) {
+    // Node-expansion checkpoint (DESIGN.md §10).
+    PFCI_FAILPOINT("topk/node");
+    if (exec_.runtime != nullptr && exec_.runtime->Checkpoint()) return;
+    if (!unit_.TakeNode()) return;
     ++stats_.nodes_visited;
     if (exec_.progress != nullptr) exec_.progress->AddNodes();
     if (params_.pruning.superset && SupersetPruned(x, tids)) {
@@ -165,6 +194,7 @@ class TopkSearch {
     bool x_may_be_closed = true;
     for (std::size_t c = last_candidate_pos + 1; c < candidates_.size();
          ++c) {
+      if (Stopped()) return;
       const Item item = candidates_[c];
       const TidSet child_tids = Intersect(tids, index_.TidsOfItem(item));
       ++stats_.intersections;
@@ -188,6 +218,7 @@ class TopkSearch {
       if (params_.pruning.subset && same_count) break;
     }
 
+    if (Stopped()) return;
     if (!x_may_be_closed) {
       ++stats_.pruned_by_subset;
       return;
@@ -196,7 +227,9 @@ class TopkSearch {
     MiningParams node_params = params_;
     node_params.pfct = Threshold();
     const FcpEngine engine(index_, freq_, node_params, exec_);
-    const FcpComputation comp = engine.Evaluate(x, tids, pr_f, rng_, &stats_);
+    const FcpComputation comp =
+        engine.Evaluate(x, tids, pr_f, rng_, &stats_, nullptr, &unit_);
+    if (comp.undecided) return;
     if (comp.is_pfci) {
       PfciEntry entry;
       entry.items = x;
@@ -216,6 +249,7 @@ class TopkSearch {
   VerticalIndex index_;
   FrequentProbability freq_;
   Rng rng_;
+  WorkUnitBudget unit_;
   std::vector<Item> candidates_;
   std::vector<PfciEntry> top_;
   double worst_in_top_ = 1.0;

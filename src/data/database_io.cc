@@ -1,5 +1,6 @@
 #include "src/data/database_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -11,6 +12,20 @@ namespace {
 
 void SetError(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
+}
+
+/// Returns true and reports the offending item when a transaction line
+/// lists the same item twice. The Itemset constructor would silently
+/// dedupe, but a duplicate almost always means a corrupted or
+/// mis-generated file, so the loaders reject it with a line number
+/// instead of papering over it.
+bool FindDuplicateItem(const std::vector<Item>& items, Item* duplicate) {
+  std::vector<Item> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  const auto it = std::adjacent_find(sorted.begin(), sorted.end());
+  if (it == sorted.end()) return false;
+  *duplicate = *it;
+  return true;
 }
 
 }  // namespace
@@ -70,6 +85,14 @@ bool LoadUncertainDatabase(const std::string& path, UncertainDatabase* db,
       }
       items.push_back(item);
     }
+    Item duplicate = 0;
+    if (FindDuplicateItem(items, &duplicate)) {
+      SetError(error, "line " + std::to_string(line_number) +
+                          ": duplicate item '" + std::to_string(duplicate) +
+                          "' in transaction");
+      *db = UncertainDatabase();
+      return false;
+    }
     db->Add(Itemset(std::move(items)), prob);
   }
   return true;
@@ -114,6 +137,14 @@ bool LoadExactTransactions(const std::string& path,
         return false;
       }
       items.push_back(item);
+    }
+    Item duplicate = 0;
+    if (FindDuplicateItem(items, &duplicate)) {
+      SetError(error, "line " + std::to_string(line_number) +
+                          ": duplicate item '" + std::to_string(duplicate) +
+                          "' in transaction");
+      transactions->clear();
+      return false;
     }
     transactions->push_back(Itemset(std::move(items)));
   }

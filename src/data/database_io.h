@@ -22,7 +22,10 @@ bool SaveUncertainDatabase(const UncertainDatabase& db,
 
 /// Reads a `.utd` file. Returns false on I/O failure or malformed content;
 /// on failure `*db` is left empty and `*error` (if non-null) describes the
-/// first problem.
+/// first problem with its line number. Rejected content: probabilities
+/// that are not finite numbers in (0, 1] (NaN, inf, 0, negative, > 1),
+/// probability-only lines, non-numeric items, and duplicate items within
+/// one transaction line.
 bool LoadUncertainDatabase(const std::string& path, UncertainDatabase* db,
                            std::string* error = nullptr);
 
@@ -30,7 +33,8 @@ bool LoadUncertainDatabase(const std::string& path, UncertainDatabase* db,
 bool SaveExactTransactions(const std::vector<Itemset>& transactions,
                            const std::string& path);
 
-/// Reads a `.dat` file of exact transactions.
+/// Reads a `.dat` file of exact transactions. Rejects non-numeric items
+/// and duplicate items within one line, with line-numbered errors.
 bool LoadExactTransactions(const std::string& path,
                            std::vector<Itemset>* transactions,
                            std::string* error = nullptr);

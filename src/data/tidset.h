@@ -101,6 +101,13 @@ class TidSet {
   /// Materializes the members as a sorted tid list.
   TidList ToTidList() const;
 
+  /// Heap bytes held by this set's representation (the resource the
+  /// RunBudget memory limit accounts; see src/util/runtime.h).
+  std::size_t MemoryBytes() const {
+    return sparse_.capacity() * sizeof(Tid) +
+           words_.capacity() * sizeof(std::uint64_t);
+  }
+
   friend TidSet Intersect(const TidSet& a, const TidSet& b);
   friend std::size_t IntersectSize(const TidSet& a, const TidSet& b);
   friend TidSet Difference(const TidSet& a, const TidSet& b);

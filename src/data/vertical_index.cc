@@ -64,6 +64,14 @@ std::vector<double> VerticalIndex::ProbsOf(const TidList& tids) const {
   return probs;
 }
 
+std::size_t VerticalIndex::MemoryBytes() const {
+  std::size_t bytes = probs_.capacity() * sizeof(double) +
+                      occurring_items_.capacity() * sizeof(Item) +
+                      all_tids_.MemoryBytes();
+  for (const TidSet& tids : tids_by_item_) bytes += tids.MemoryBytes();
+  return bytes;
+}
+
 double VerticalIndex::SumProbsOf(const TidSet& tids) const {
   double sum = 0.0;
   tids.ForEach([&](Tid tid) { sum += probs_[tid]; });

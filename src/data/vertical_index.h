@@ -52,6 +52,11 @@ class VerticalIndex {
   /// tid order (bit-identical to summing ProbsOf(tids) left to right).
   double SumProbsOf(const TidSet& tids) const;
 
+  /// Heap bytes resident in the index (per-item tid-sets, the
+  /// probability column, the all-tids set). Miners charge this into the
+  /// RunController's memory budget right after construction.
+  std::size_t MemoryBytes() const;
+
   const TidSetPolicy& policy() const { return policy_; }
   const UncertainDatabase& db() const { return *db_; }
 

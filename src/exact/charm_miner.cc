@@ -5,6 +5,8 @@
 
 #include "src/data/tidset.h"
 #include "src/util/check.h"
+#include "src/util/failpoint.h"
+#include "src/util/runtime.h"
 
 namespace pfci {
 
@@ -71,7 +73,8 @@ struct ExtendWork {
 /// properties, recursing into each node's children, then emitting the
 /// (possibly extended) node if no mined closed set subsumes it.
 void Extend(std::vector<ItNode>& group, std::size_t min_sup,
-            ClosedSetStore* store, ExtendWork& work) {
+            ClosedSetStore* store, ExtendWork& work, RunController* rt,
+            WorkUnitBudget& unit) {
   // Process in order of increasing tidset size (CHARM's heuristic, and
   // required so closures are mined before their subsumed subsets).
   std::sort(group.begin(), group.end(), [](const ItNode& a, const ItNode& b) {
@@ -80,7 +83,14 @@ void Extend(std::vector<ItNode>& group, std::size_t min_sup,
   });
 
   for (std::size_t i = 0; i < group.size(); ++i) {
+    // Once truncated/stopped, no further insertion may happen: a set
+    // inserted later could miss the earlier-branch subsumer that proves
+    // it non-closed, so the store stays a verified prefix only if the
+    // cut is sticky.
+    PFCI_FAILPOINT("charm/node");
+    if (rt != nullptr && rt->Checkpoint()) return;
     if (group[i].erased) continue;
+    if (!unit.TakeNode()) return;
     ++work.nodes;
     ItNode& xi = group[i];
     std::vector<ItNode> children;
@@ -117,7 +127,8 @@ void Extend(std::vector<ItNode>& group, std::size_t min_sup,
             ItNode{xi.items.UnionWith(xj.items), std::move(shared)});
       }
     }
-    if (!children.empty()) Extend(children, min_sup, store, work);
+    if (!children.empty()) Extend(children, min_sup, store, work, rt, unit);
+    if (unit.truncated || (rt != nullptr && rt->StopRequested())) return;
     if (!store->Subsumes(xi.items, xi.tids)) {
       store->Insert(xi.items, xi.tids);
     }
@@ -127,12 +138,15 @@ void Extend(std::vector<ItNode>& group, std::size_t min_sup,
 }  // namespace
 
 std::vector<SupportedItemset> CharmMineClosedItemsets(
-    const TransactionDatabase& db, std::size_t min_sup, TraceSink* trace) {
+    const TransactionDatabase& db, std::size_t min_sup, TraceSink* trace,
+    RunController* runtime) {
   PFCI_CHECK(min_sup >= 1);
   if (db.empty() || db.size() < min_sup) return {};
 
   ClosedSetStore store;
   ExtendWork work;
+  WorkUnitBudget unit =
+      runtime != nullptr ? runtime->UnitBudget(0, 1) : WorkUnitBudget{};
   {
     TraceSpan span(trace, "charm_extend");
     // Per-item tidsets.
@@ -149,7 +163,10 @@ std::vector<SupportedItemset> CharmMineClosedItemsets(
             Itemset{item}, TidSet(std::move(tids_by_item[item]), db.size())});
       }
     }
-    if (!roots.empty()) Extend(roots, min_sup, &store, work);
+    if (!roots.empty()) Extend(roots, min_sup, &store, work, runtime, unit);
+  }
+  if (unit.truncated && runtime != nullptr) {
+    runtime->RecordTruncation(Outcome::kBudgetExhausted);
   }
   TraceCounter(trace, "nodes_expanded", work.nodes);
   TraceCounter(trace, "intersections", work.intersections);

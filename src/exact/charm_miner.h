@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/exact/transaction_database.h"
+#include "src/util/runtime.h"
 #include "src/util/trace.h"
 
 namespace pfci {
@@ -20,10 +21,13 @@ namespace pfci {
 /// Mines all closed itemsets with support >= min_sup (min_sup >= 1),
 /// returned sorted. Result is identical to MineClosedItemsets. `trace`
 /// (optional) receives a `charm_extend` span plus
-/// `nodes_expanded`/`intersections` counters.
+/// `nodes_expanded`/`intersections` counters. `runtime` (optional) makes
+/// the search fail-soft: after a stop or an exhausted node quota no
+/// further closed set is inserted, so every returned set is genuinely
+/// closed (its subsumption prerequisites were fully processed).
 std::vector<SupportedItemset> CharmMineClosedItemsets(
     const TransactionDatabase& db, std::size_t min_sup,
-    TraceSink* trace = nullptr);
+    TraceSink* trace = nullptr, RunController* runtime = nullptr);
 
 }  // namespace pfci
 

@@ -6,6 +6,8 @@
 #include "src/data/tidset.h"
 #include "src/exact/fp_growth.h"
 #include "src/util/check.h"
+#include "src/util/failpoint.h"
+#include "src/util/runtime.h"
 
 namespace pfci {
 
@@ -72,11 +74,17 @@ struct DfsWork {
 void Dfs(const ExactIndex& index, std::size_t min_sup,
          const std::vector<Item>& closure, const TidSet& tids, long core,
          const std::function<void(const Itemset&, std::size_t)>& emit,
-         DfsWork& work) {
+         DfsWork& work, RunController* rt, WorkUnitBudget& unit) {
+  // Node-expansion checkpoint: each emitted closed set is final the
+  // moment it emits, so cutting here leaves a verified prefix.
+  PFCI_FAILPOINT("closed/node");
+  if (rt != nullptr && rt->Checkpoint()) return;
+  if (!unit.TakeNode()) return;
   ++work.nodes;
   if (!closure.empty()) emit(Itemset(closure), tids.size());
 
   for (Item j = static_cast<Item>(core + 1); j < index.num_items(); ++j) {
+    if (unit.truncated || (rt != nullptr && rt->StopRequested())) return;
     if (std::binary_search(closure.begin(), closure.end(), j)) continue;
     const TidSet child_tids = Intersect(tids, index.TidsOfItem(j));
     ++work.intersections;
@@ -95,7 +103,7 @@ void Dfs(const ExactIndex& index, std::size_t min_sup,
     }
     if (duplicate) continue;
     Dfs(index, min_sup, child_closure, child_tids, static_cast<long>(j),
-        emit, work);
+        emit, work, rt, unit);
   }
 }
 
@@ -104,17 +112,26 @@ void Dfs(const ExactIndex& index, std::size_t min_sup,
 void MineClosedItemsetsInto(
     const TransactionDatabase& db, std::size_t min_sup,
     const std::function<void(const Itemset&, std::size_t)>& emit,
-    TraceSink* trace) {
+    TraceSink* trace, RunController* runtime) {
   PFCI_CHECK(min_sup >= 1);
   // No itemset can have support >= min_sup beyond the database size.
   if (db.empty() || db.size() < min_sup) return;
   DfsWork work;
+  WorkUnitBudget unit =
+      runtime != nullptr ? runtime->UnitBudget(0, 1) : WorkUnitBudget{};
   {
     TraceSpan span(trace, "closed_dfs");
     const ExactIndex index(db);
-    const TidSet all_tids = TidSet::All(db.size());
-    const std::vector<Item> root_closure = index.ClosureOf(all_tids);
-    Dfs(index, min_sup, root_closure, all_tids, -1, emit, work);
+    if (runtime != nullptr && runtime->active()) runtime->Checkpoint();
+    if (runtime == nullptr || !runtime->StopRequested()) {
+      const TidSet all_tids = TidSet::All(db.size());
+      const std::vector<Item> root_closure = index.ClosureOf(all_tids);
+      Dfs(index, min_sup, root_closure, all_tids, -1, emit, work, runtime,
+          unit);
+    }
+  }
+  if (unit.truncated && runtime != nullptr) {
+    runtime->RecordTruncation(Outcome::kBudgetExhausted);
   }
   TraceCounter(trace, "nodes_expanded", work.nodes);
   TraceCounter(trace, "intersections", work.intersections);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/exact/transaction_database.h"
+#include "src/util/runtime.h"
 #include "src/util/trace.h"
 
 namespace pfci {
@@ -20,11 +21,14 @@ namespace pfci {
 /// with support >= min_sup (min_sup >= 1). An itemset is closed iff no
 /// proper superset has equal support (Definition 3.2). `trace` (optional)
 /// receives a `closed_dfs` span plus `nodes_expanded`/`intersections`
-/// counters, mirroring the probabilistic miners' telemetry.
+/// counters, mirroring the probabilistic miners' telemetry. `runtime`
+/// (optional) makes the DFS fail-soft: a stop or exhausted node quota
+/// ends the enumeration after a prefix of the (still individually
+/// correct) closed sets was emitted.
 void MineClosedItemsetsInto(
     const TransactionDatabase& db, std::size_t min_sup,
     const std::function<void(const Itemset&, std::size_t)>& emit,
-    TraceSink* trace = nullptr);
+    TraceSink* trace = nullptr, RunController* runtime = nullptr);
 
 /// Convenience wrapper collecting all frequent closed itemsets, sorted.
 std::vector<SupportedItemset> MineClosedItemsets(const TransactionDatabase& db,

@@ -34,6 +34,10 @@
 //                AprioriMine.
 //  * Data:       GenerateQuest, GenerateMushroomLike,
 //                AssignGaussianProbabilities, Load/SaveUncertainDatabase.
+//  * Fail-soft:  CancelToken + MiningRequest::budget (RunBudget) bound a
+//                run by deadline, node/sample count, or resident bytes;
+//                MiningResult::outcome() reports how the run ended and a
+//                non-complete run still returns a verified partial.
 #ifndef PFCI_PFCI_H_
 #define PFCI_PFCI_H_
 
@@ -70,5 +74,7 @@
 #include "src/exact/closed_miner.h"
 #include "src/exact/fp_growth.h"
 #include "src/exact/transaction_database.h"
+#include "src/util/failpoint.h"
+#include "src/util/runtime.h"
 
 #endif  // PFCI_PFCI_H_

@@ -1,0 +1,88 @@
+#include "src/util/failpoint.h"
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace pfci::failpoint {
+
+namespace {
+
+struct Site {
+  std::function<void()> action;
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, Site> sites;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // Leaked: outlives all users.
+  return *registry;
+}
+
+/// Fast-path gate: number of currently armed sites. Hit() returns after a
+/// single relaxed load while this is zero.
+std::atomic<int> g_armed{0};
+
+}  // namespace
+
+bool CompiledIn() {
+#if PFCI_FAILPOINTS_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+void Arm(const char* name, std::function<void()> action) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto [it, inserted] = registry.sites.try_emplace(name);
+  it->second.action = std::move(action);
+  it->second.hits = 0;
+  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disarm(const char* name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (registry.sites.erase(name) > 0) {
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  g_armed.fetch_sub(static_cast<int>(registry.sites.size()),
+                    std::memory_order_relaxed);
+  registry.sites.clear();
+}
+
+std::uint64_t HitCount(const char* name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto it = registry.sites.find(name);
+  return it == registry.sites.end() ? 0 : it->second.hits;
+}
+
+void Hit(const char* name) {
+  if (g_armed.load(std::memory_order_relaxed) == 0) return;
+  std::function<void()> action;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    const auto it = registry.sites.find(name);
+    if (it == registry.sites.end()) return;
+    ++it->second.hits;
+    action = it->second.action;  // Copy: run outside the lock.
+  }
+  if (action) action();
+}
+
+}  // namespace pfci::failpoint

@@ -1,0 +1,62 @@
+// Deterministic fault-injection harness: named PFCI_FAILPOINT(...) sites
+// compiled into the miners' early-exit checkpoints.
+//
+// Tests arm a site with a callback (typically: trigger a CancelToken,
+// force a deadline, or charge a huge allocation into the RunController)
+// and then assert that the run winds down through the intended fail-soft
+// path. Unarmed sites cost one relaxed atomic load; with
+// PFCI_FAILPOINTS=off at configure time the macro compiles to nothing
+// (release builds carry no hooks at all).
+//
+// The registry is process-global and thread-safe: sites are hit from
+// worker threads, armed/disarmed from the test thread. A callback may
+// fire concurrently from several threads; keep callbacks idempotent
+// (CancelToken::RequestCancel is).
+#ifndef PFCI_UTIL_FAILPOINT_H_
+#define PFCI_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <functional>
+
+#if PFCI_FAILPOINTS_ENABLED
+
+/// Marks a named early-exit site; runs the armed action (if any).
+#define PFCI_FAILPOINT(name) ::pfci::failpoint::Hit(name)
+
+#else
+
+#define PFCI_FAILPOINT(name) \
+  do {                       \
+  } while (0)
+
+#endif
+
+namespace pfci::failpoint {
+
+/// Whether failpoint hooks were compiled in (tests skip themselves
+/// gracefully in a release configuration).
+bool CompiledIn();
+
+/// Arms `name`: every subsequent hit runs `action` (may be empty — a pure
+/// counting probe) and increments the hit count. Re-arming replaces the
+/// action and resets the count.
+void Arm(const char* name, std::function<void()> action);
+
+/// Counting probe: Arm with no action.
+inline void Arm(const char* name) { Arm(name, nullptr); }
+
+/// Disarms `name` (no-op when not armed).
+void Disarm(const char* name);
+
+/// Disarms every site (test teardown).
+void DisarmAll();
+
+/// Hits observed at `name` since it was (re-)armed; 0 when never armed.
+std::uint64_t HitCount(const char* name);
+
+/// Internal: called by PFCI_FAILPOINT. Near-free when nothing is armed.
+void Hit(const char* name);
+
+}  // namespace pfci::failpoint
+
+#endif  // PFCI_UTIL_FAILPOINT_H_

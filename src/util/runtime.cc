@@ -1,0 +1,31 @@
+#include "src/util/runtime.h"
+
+namespace pfci {
+
+const char* OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kComplete:
+      return "complete";
+    case Outcome::kBudgetExhausted:
+      return "budget_exhausted";
+    case Outcome::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Outcome::kCancelled:
+      return "cancelled";
+    case Outcome::kInvalidRequest:
+      return "invalid_request";
+  }
+  return "unknown";
+}
+
+std::uint64_t UnitQuota(std::uint64_t total, std::size_t unit,
+                        std::size_t num_units) {
+  if (total == 0) return kUnlimitedQuota;
+  if (num_units == 0) return total;
+  const std::uint64_t units = static_cast<std::uint64_t>(num_units);
+  return total / units + (static_cast<std::uint64_t>(unit) < total % units
+                              ? std::uint64_t{1}
+                              : std::uint64_t{0});
+}
+
+}  // namespace pfci

@@ -1,0 +1,283 @@
+// Fail-soft mining runtime: cancellation, deadlines, and resource budgets.
+//
+// Computing PrFC is #P-hard (Theorems 3.1/3.2), so a served deployment
+// must survive requests whose exact inclusion-exclusion or
+// world-enumeration paths blow up. Instead of running forever (or
+// aborting), every miner carries a RunController and polls it at
+// cooperative checkpoints — node expansion, sample-batch, and world-range
+// boundaries — and returns a *verified partial* result when a limit
+// trips: only fully-decided entries are emitted, and the stop reason is
+// reported as an Outcome in the MiningResult.
+//
+// Determinism contract (extends DESIGN.md §7/§8 to partial results): in
+// deterministic mode the logical budgets (max_nodes, max_samples) are
+// enforced per unit of parallel work with a fair-share quota that is a
+// pure function of the request, so an interrupted run is bit-identical
+// across thread counts and tid-set modes. Wall-clock deadlines,
+// cancellation, and the memory budget are inherently scheduling-dependent
+// and carry no such guarantee — but the per-entry values of whatever was
+// emitted still match an unbudgeted run, because truncation only ever
+// cuts a suffix of each unit's deterministic work stream.
+#ifndef PFCI_UTIL_RUNTIME_H_
+#define PFCI_UTIL_RUNTIME_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "src/util/stopwatch.h"
+
+namespace pfci {
+
+/// How a mining run ended. Every value except kComplete means the result
+/// holds a (possibly empty) verified prefix of the full answer.
+enum class Outcome : std::uint8_t {
+  kComplete = 0,          ///< Ran to completion; the result is the full answer.
+  kBudgetExhausted = 1,   ///< A logical budget (nodes/samples/bytes) tripped.
+  kDeadlineExceeded = 2,  ///< The wall-clock deadline passed.
+  kCancelled = 3,         ///< The caller's CancelToken was triggered.
+  kInvalidRequest = 4,    ///< Request validation failed; nothing ran.
+};
+
+/// Wire/display name ("complete", "budget_exhausted", "deadline_exceeded",
+/// "cancelled", "invalid_request").
+const char* OutcomeName(Outcome outcome);
+
+/// Cooperative cancellation flag. The caller keeps the token (e.g. wired
+/// to a signal handler or an RPC disconnect) and may trigger it from any
+/// thread; miners poll it at checkpoints. A token can back several
+/// sequential runs; it never resets itself.
+class CancelToken {
+ public:
+  void RequestCancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Resource limits of one mining run. Zero (the default) disables the
+/// corresponding limit.
+struct RunBudget {
+  /// Wall-clock limit in seconds, measured from Mine() entry. Best-effort:
+  /// checked at checkpoints, so long atomic steps can overshoot.
+  double deadline_seconds = 0.0;
+
+  /// Maximum search-tree nodes. Deterministic: in deterministic mode the
+  /// budget is split fair-share across the run's parallel work units
+  /// (e.g. MPFCI first-level subtrees), making the truncation point a
+  /// pure function of the request.
+  std::uint64_t max_nodes = 0;
+
+  /// Maximum ApproxFCP Monte-Carlo samples, fair-share split like
+  /// max_nodes. An evaluation whose required sample count exceeds the
+  /// unit's remaining quota is skipped whole (never run with fewer
+  /// samples), so emitted estimates always carry the full FPRAS
+  /// guarantee.
+  std::uint64_t max_samples = 0;
+
+  /// Maximum resident bytes of the run's tid-set structures (the
+  /// VerticalIndex plus per-level / per-candidate materializations), as
+  /// reported by the TidSet allocator accounting. Best-effort, like the
+  /// deadline.
+  std::uint64_t max_resident_bytes = 0;
+
+  /// Degradation point: once elapsed time exceeds this fraction of
+  /// deadline_seconds, MPFCI-family miners switch remaining FCP
+  /// evaluations from exact inclusion-exclusion to the ApproxFCP sampler
+  /// (cheaper, still FPRAS-guaranteed) before giving up entirely.
+  double degrade_fraction = 0.5;
+
+  /// True when no limit is set (the controller then never polls a clock).
+  bool Unlimited() const {
+    return deadline_seconds <= 0.0 && max_nodes == 0 && max_samples == 0 &&
+           max_resident_bytes == 0;
+  }
+};
+
+/// Sentinel for "no quota" in per-unit budget arithmetic.
+inline constexpr std::uint64_t kUnlimitedQuota =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Fair-share split of a logical budget across `num_units` parallel work
+/// units: unit `unit` may spend UnitQuota(total, unit, num_units) of it.
+/// Returns kUnlimitedQuota when `total` is 0 (no budget). The shares
+/// depend only on (total, unit, num_units) — never on thread count or
+/// scheduling — which is what makes budget truncation deterministic.
+std::uint64_t UnitQuota(std::uint64_t total, std::size_t unit,
+                        std::size_t num_units);
+
+/// Deterministic per-work-unit ledger of the logical budgets. Each
+/// parallel unit (an MPFCI first-level subtree, one BFS/Naive evaluation,
+/// the single unit of a sequential miner) owns one; its quotas come from
+/// UnitQuota, so consumption is a pure function of the request. Not
+/// thread-safe — one unit runs on one thread at a time.
+struct WorkUnitBudget {
+  std::uint64_t node_quota = kUnlimitedQuota;
+  std::uint64_t sample_quota = kUnlimitedQuota;
+  std::uint64_t nodes_used = 0;
+  std::uint64_t samples_used = 0;
+
+  /// True once any Take* was refused: the unit's remaining work is cut.
+  bool truncated = false;
+
+  /// Claims one search node; false (and truncated) when the quota is out.
+  bool TakeNode() {
+    if (nodes_used >= node_quota) {
+      truncated = true;
+      return false;
+    }
+    ++nodes_used;
+    return true;
+  }
+
+  /// Claims `n` Monte-Carlo samples atomically-or-not-at-all: an FCP
+  /// evaluation that cannot afford its full FPRAS sample count is skipped
+  /// whole, never run shorter (emitted estimates always carry the full
+  /// guarantee).
+  bool TakeSamples(std::uint64_t n) {
+    if (n > sample_quota - samples_used) {
+      truncated = true;
+      return false;
+    }
+    samples_used += n;
+    return true;
+  }
+};
+
+/// Shared per-run stop/outcome state polled by every miner. One instance
+/// lives for the duration of one Mine() call (ExecutionContext::runtime);
+/// a default-constructed controller is unlimited and never stops.
+///
+/// Thread-safe: checkpoints may run concurrently from worker threads.
+class RunController {
+ public:
+  /// Unlimited, never stops (the wrappers' default).
+  RunController() = default;
+
+  /// Starts the run clock immediately.
+  RunController(const RunBudget& budget, const CancelToken* cancel)
+      : budget_(budget), cancel_(cancel) {}
+
+  const RunBudget& budget() const { return budget_; }
+
+  /// Whether any limit or token is attached (miners may skip budget
+  /// arithmetic entirely when false).
+  bool active() const { return cancel_ != nullptr || !budget_.Unlimited(); }
+
+  /// Fair-share ledger for unit `unit` of `num_units` parallel work units
+  /// (see UnitQuota). Sequential miners use UnitBudget(0, 1).
+  WorkUnitBudget UnitBudget(std::size_t unit, std::size_t num_units) const {
+    WorkUnitBudget ledger;
+    ledger.node_quota = UnitQuota(budget_.max_nodes, unit, num_units);
+    ledger.sample_quota = UnitQuota(budget_.max_samples, unit, num_units);
+    return ledger;
+  }
+
+  /// Fast query: has a global stop (cancel/deadline/memory) been
+  /// requested? Budget truncation of one work unit does NOT set this —
+  /// other units continue to their own quotas.
+  bool StopRequested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  /// Cooperative checkpoint: polls the cancel token and the deadline and
+  /// returns whether the caller should stop. Cheap when inactive.
+  bool Checkpoint() {
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      RecordStop(Outcome::kCancelled);
+    } else if (budget_.deadline_seconds > 0.0 &&
+               clock_.ElapsedSeconds() >= budget_.deadline_seconds) {
+      RecordStop(Outcome::kDeadlineExceeded);
+    }
+    return StopRequested();
+  }
+
+  /// Records a global stop: every unit should wind down at its next
+  /// checkpoint. The stickiest outcome wins (cancel > deadline > budget),
+  /// so the reported reason is stable under races.
+  void RecordStop(Outcome outcome) {
+    RecordOutcome(outcome);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Records that one work unit exhausted its fair-share quota and was
+  /// truncated. Does not stop other units (that would reintroduce
+  /// scheduling dependence).
+  void RecordTruncation(Outcome outcome) { RecordOutcome(outcome); }
+
+  /// Whether any entry of the full answer may be missing.
+  bool truncated() const {
+    return outcome_.load(std::memory_order_relaxed) !=
+           static_cast<std::uint8_t>(Outcome::kComplete);
+  }
+
+  Outcome outcome() const {
+    return static_cast<Outcome>(outcome_.load(std::memory_order_relaxed));
+  }
+
+  /// Deadline pressure: true once elapsed time exceeds degrade_fraction *
+  /// deadline_seconds (false without a deadline). Latches on first trigger
+  /// so the degradation decision never flips back.
+  bool ShouldDegradeFcp() {
+    if (degrade_.load(std::memory_order_relaxed)) return true;
+    if (budget_.deadline_seconds <= 0.0) return false;
+    if (clock_.ElapsedSeconds() >=
+        budget_.degrade_fraction * budget_.deadline_seconds) {
+      degrade_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Accounts `bytes` of newly resident tid-set storage; trips a global
+  /// kBudgetExhausted stop when the high-water mark passes the memory
+  /// budget. Pair with ReleaseBytes for structures that are freed
+  /// mid-run.
+  void ChargeBytes(std::uint64_t bytes) {
+    const std::uint64_t now =
+        resident_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (budget_.max_resident_bytes != 0 &&
+        now > budget_.max_resident_bytes) {
+      RecordStop(Outcome::kBudgetExhausted);
+    }
+  }
+
+  void ReleaseBytes(std::uint64_t bytes) {
+    resident_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  std::uint64_t resident_bytes() const {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Keeps the highest-priority stop reason (enum order doubles as
+  /// priority: cancelled > deadline > budget > complete).
+  void RecordOutcome(Outcome outcome) {
+    std::uint8_t current = outcome_.load(std::memory_order_relaxed);
+    const std::uint8_t wanted = static_cast<std::uint8_t>(outcome);
+    while (current < wanted &&
+           !outcome_.compare_exchange_weak(current, wanted,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+
+  RunBudget budget_;
+  const CancelToken* cancel_ = nullptr;
+  Stopwatch clock_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> degrade_{false};
+  std::atomic<std::uint8_t> outcome_{
+      static_cast<std::uint8_t>(Outcome::kComplete)};
+  std::atomic<std::uint64_t> resident_bytes_{0};
+};
+
+}  // namespace pfci
+
+#endif  // PFCI_UTIL_RUNTIME_H_

@@ -87,18 +87,49 @@ TEST(ApiContract, ValidateRequestCoversRequestFields) {
   request.min_esup = 0.0;
   request.params.min_sup = 0;
   EXPECT_NE(ValidateRequest(request).find("min_sup"), std::string::npos);
+  request.params.min_sup = 2;
+  request.budget.deadline_seconds = -1.0;
+  EXPECT_NE(ValidateRequest(request).find("deadline_seconds"),
+            std::string::npos);
+  request.budget.deadline_seconds = 0.0;
+  request.budget.degrade_fraction = 0.0;
+  EXPECT_NE(ValidateRequest(request).find("degrade_fraction"),
+            std::string::npos);
 }
 
-TEST(ApiContractDeathTest, MineRejectsInvalidRequests) {
+TEST(ApiContract, MineReportsInvalidRequestsWithoutAborting) {
+  // The Mine() API boundary reports bad requests as data: an empty
+  // result with kInvalidRequest and the validation message, instead of
+  // the wrappers' CHECK-abort.
   UncertainDatabase db;
   db.Add(Itemset{0}, 0.5);
   MiningRequest request;
   request.params.pfct = 1.5;
-  EXPECT_DEATH(Mine(db, request), "CHECK");
+  const MiningResult bad_pfct = Mine(db, request);
+  EXPECT_FALSE(bad_pfct.ok());
+  EXPECT_EQ(bad_pfct.outcome(), Outcome::kInvalidRequest);
+  EXPECT_TRUE(bad_pfct.itemsets.empty());
+  EXPECT_NE(bad_pfct.status_message.find("pfct"), std::string::npos)
+      << bad_pfct.status_message;
+
   request.params.pfct = 0.8;
   request.algorithm = Algorithm::kTopK;
   request.top_k = 0;
-  EXPECT_DEATH(Mine(db, request), "CHECK");
+  const MiningResult bad_top_k = Mine(db, request);
+  EXPECT_EQ(bad_top_k.outcome(), Outcome::kInvalidRequest);
+  EXPECT_TRUE(bad_top_k.itemsets.empty());
+  EXPECT_NE(bad_top_k.status_message.find("top_k"), std::string::npos)
+      << bad_top_k.status_message;
+}
+
+TEST(ApiContractDeathTest, WrappersKeepCheckOnInvalidParams) {
+  // The historical free-function wrappers retain their CHECK-on-invalid
+  // contract even though Mine() now reports errors as data.
+  UncertainDatabase db;
+  db.Add(Itemset{0}, 0.5);
+  MiningParams params;
+  params.pfct = 1.5;
+  EXPECT_DEATH(MineMpfci(db, params), "CHECK");
 }
 
 TEST(ApiContract, AlgorithmNamesAreStable) {

@@ -74,6 +74,48 @@ TEST(IoRobustness, BoundaryProbabilities) {
   std::remove(path.c_str());
 }
 
+TEST(IoRobustness, NonFiniteProbabilitiesAreRejected) {
+  // NaN and infinities are parseable as doubles but meaningless as
+  // probabilities; the loader must refuse them with the offending line.
+  const std::string path = TempPath("pfci_nonfinite.utd");
+  for (const char* bad : {"nan 1\n", "NaN 1 2\n", "inf 1\n", "-inf 1\n",
+                          "infinity 1\n", "1e309 1\n"}) {
+    WriteFile(path, std::string("0.5 9\n") + bad);
+    UncertainDatabase db;
+    std::string error;
+    EXPECT_FALSE(LoadUncertainDatabase(path, &db, &error)) << bad;
+    EXPECT_TRUE(db.empty()) << "failed load must leave db empty";
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    EXPECT_NE(error.find("probability"), std::string::npos) << error;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoRobustness, DuplicateItemsWithinLineAreRejected) {
+  // The Itemset constructor silently dedupes, so without an explicit
+  // check a corrupted file would load "successfully" with the wrong
+  // transaction lengths. Both loaders must reject with the line number
+  // and the duplicated item.
+  const std::string path = TempPath("pfci_dup.utd");
+  WriteFile(path, "0.5 1 2\n0.25 7 3 7\n");
+  UncertainDatabase db;
+  std::string error;
+  EXPECT_FALSE(LoadUncertainDatabase(path, &db, &error));
+  EXPECT_TRUE(db.empty()) << "failed load must leave db empty";
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("duplicate item '7'"), std::string::npos) << error;
+
+  const std::string dat_path = TempPath("pfci_dup.dat");
+  WriteFile(dat_path, "1 2 3\n4 4\n");
+  std::vector<Itemset> transactions;
+  EXPECT_FALSE(LoadExactTransactions(dat_path, &transactions, &error));
+  EXPECT_TRUE(transactions.empty());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("duplicate item '4'"), std::string::npos) << error;
+  std::remove(path.c_str());
+  std::remove(dat_path.c_str());
+}
+
 TEST(IoRobustness, ProbabilityOnlyLinesAreRejected) {
   // A line with a probability and no items is almost always a formatting
   // accident (a transaction line that lost its items); reject it with a

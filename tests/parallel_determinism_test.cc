@@ -52,6 +52,9 @@ void ExpectIdenticalStats(const MiningStats& a, const MiningStats& b) {
   EXPECT_EQ(a.total_samples, b.total_samples);
   EXPECT_EQ(a.dp_runs, b.dp_runs);
   EXPECT_EQ(a.intersections, b.intersections);
+  EXPECT_EQ(a.degraded_fcp_evals, b.degraded_fcp_evals);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.truncated, b.truncated);
 }
 
 /// Exact equality across every reported field — the contract is
@@ -219,6 +222,53 @@ TEST_P(ParallelDeterminismTest, NaiveIdenticalAcrossTidSetModes) {
     SCOPED_TRACE(TidSetModeName(mode));
     ExpectIdentical(baseline, MineWithThreads(db, request, 2));
   }
+}
+
+TEST_P(ParallelDeterminismTest, NodeBudgetTruncationIdenticalEverywhere) {
+  // The determinism contract extends to interrupted runs: a logical node
+  // budget cuts the search at a point that is a pure function of the
+  // request, so the partial result — entries, sampled fcp values, and
+  // counters — is bit-identical across thread counts and tid-set modes.
+  const UncertainDatabase db = MakeTestDb(GetParam());
+  MiningRequest request;
+  request.params.min_sup = 8;
+  request.params.pfct = 0.3;
+  request.params.seed = GetParam();
+  const MiningResult full = MineWithThreads(db, request, 1);
+  ASSERT_GT(full.stats.nodes_visited, 4u);
+
+  request.budget.max_nodes = full.stats.nodes_visited / 2;
+  const MiningResult baseline = MineWithThreads(db, request, 1);
+  EXPECT_EQ(baseline.outcome(), Outcome::kBudgetExhausted);
+  for (const TidSetMode mode :
+       {TidSetMode::kAdaptive, TidSetMode::kSparse, TidSetMode::kDense}) {
+    request.params.tidset_mode = mode;
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      SCOPED_TRACE(std::string(TidSetModeName(mode)) + " threads=" +
+                   std::to_string(threads));
+      ExpectIdentical(baseline, MineWithThreads(db, request, threads));
+    }
+  }
+}
+
+TEST_P(ParallelDeterminismTest, PreCancelledRunIdenticalAcrossThreadCounts) {
+  // Cancellation is scheduling-dependent in general, but a token that is
+  // already triggered at Mine() entry stops every unit at its first
+  // checkpoint — the one cancellation point with a determinism guarantee.
+  const UncertainDatabase db = MakeTestDb(GetParam());
+  CancelToken token;
+  token.RequestCancel();
+  MiningRequest request;
+  request.params.min_sup = 8;
+  request.params.pfct = 0.3;
+  request.params.seed = GetParam();
+  request.cancel = &token;
+  const MiningResult baseline = MineWithThreads(db, request, 1);
+  EXPECT_EQ(baseline.outcome(), Outcome::kCancelled);
+  EXPECT_TRUE(baseline.itemsets.empty());
+  ExpectIdentical(baseline, MineWithThreads(db, request, 2));
+  ExpectIdentical(baseline, MineWithThreads(db, request, 4));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminismTest,

@@ -56,6 +56,8 @@ const ExpectedEvent kMpfciGolden[] = {
     {TraceEvent::Kind::kCounter, "samples_drawn"},
     {TraceEvent::Kind::kCounter, "dp_runs"},
     {TraceEvent::Kind::kCounter, "intersections"},
+    {TraceEvent::Kind::kCounter, "degraded_fcp_evals"},
+    {TraceEvent::Kind::kCounter, "truncated"},
     {TraceEvent::Kind::kRunEnd, "mpfci"},
 };
 
@@ -104,6 +106,8 @@ TEST(Trace, CounterValuesMatchMiningStats) {
   EXPECT_EQ(counter("samples_drawn"), stats.total_samples);
   EXPECT_EQ(counter("dp_runs"), stats.dp_runs);
   EXPECT_EQ(counter("intersections"), stats.intersections);
+  EXPECT_EQ(counter("degraded_fcp_evals"), stats.degraded_fcp_evals);
+  EXPECT_EQ(counter("truncated"), stats.truncated ? 1u : 0u);
 
   // The run_end marker carries the result size and total wall time.
   const std::vector<TraceEvent> events = sink.TakeSnapshot();
@@ -167,6 +171,9 @@ TEST(Trace, JsonLinesFileMatchesGolden) {
           std::to_string(result.stats.dp_runs) + "}",
       "{\"type\":\"counter\",\"name\":\"intersections\",\"value\":" +
           std::to_string(result.stats.intersections) + "}",
+      "{\"type\":\"counter\",\"name\":\"degraded_fcp_evals\",\"value\":" +
+          std::to_string(result.stats.degraded_fcp_evals) + "}",
+      R"({"type":"counter","name":"truncated","value":0})",
       R"({"type":"run_end","name":"mpfci","value":2,"seconds":<t>})",
   };
   ASSERT_EQ(lines.size(), golden.size());
@@ -275,17 +282,31 @@ TEST(Trace, EventToJsonShapes) {
             R"({"type":"run_begin","name":"mpfci"})");
 }
 
-TEST(Trace, StatsJsonIsSchemaV2) {
+TEST(Trace, StatsJsonIsSchemaV3) {
   MiningStats stats;
   stats.nodes_visited = 3;
   stats.candidate_seconds = 0.5;
   const std::string json = stats.ToJson();
-  EXPECT_NE(json.find("\"schema\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema\":3"), std::string::npos) << json;
   EXPECT_NE(json.find("\"nodes_visited\":3"), std::string::npos) << json;
   EXPECT_NE(json.find("\"candidate_seconds\":0.5"), std::string::npos)
       << json;
   EXPECT_NE(json.find("\"search_seconds\":"), std::string::npos) << json;
   EXPECT_NE(json.find("\"merge_seconds\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"degraded_fcp_evals\":0"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"outcome\":\"complete\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"truncated\":false"), std::string::npos) << json;
+
+  stats.outcome = Outcome::kDeadlineExceeded;
+  stats.truncated = true;
+  const std::string stopped = stats.ToJson();
+  EXPECT_NE(stopped.find("\"outcome\":\"deadline_exceeded\""),
+            std::string::npos)
+      << stopped;
+  EXPECT_NE(stopped.find("\"truncated\":true"), std::string::npos)
+      << stopped;
 }
 
 }  // namespace
