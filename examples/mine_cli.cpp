@@ -2,7 +2,8 @@
 // a `.utd` file (one transaction per line: `prob item item ...`).
 //
 //   $ ./mine_cli DATA.utd MIN_SUP [PFCT=0.8]
-//                [--algo=mpfci|bfs|naive|topk|pfi|esup]
+//                [--algo=NAME]   (any AlgorithmName; see --algo=help)
+//                [--sweep=min_sup:A,B,C]   (MiningSession threshold sweep)
 //                [--threads=N] [--progress] [--top-k=K]
 //                [--epsilon=0.1] [--delta=0.1] [--csv=OUT.csv]
 //                [--tidset=adaptive|sparse|dense] [--stats-json]
@@ -21,9 +22,11 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/mine.h"
 #include "src/core/mining_result.h"
+#include "src/serve/mining_session.h"
 #include "src/data/database_io.h"
 #include "src/data/database_stats.h"
 #include "src/harness/dataset_factory.h"
@@ -39,6 +42,53 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
   if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
   *value = arg + len + 1;
   return true;
+}
+
+/// "mpfci|bfs|naive|..." — every algorithm name, straight off the
+/// library's own table, so CLI help can never drift from the enum.
+std::string AlgorithmChoices() {
+  std::string choices;
+  for (pfci::Algorithm algorithm : pfci::AllAlgorithms()) {
+    if (!choices.empty()) choices += '|';
+    choices += pfci::AlgorithmName(algorithm);
+  }
+  return choices;
+}
+
+/// Parses "--sweep=min_sup:A,B,C" into a list of thresholds.
+bool ParseSweep(const std::string& value, std::vector<std::size_t>* out) {
+  const std::string prefix = "min_sup:";
+  if (value.compare(0, prefix.size(), prefix) != 0) return false;
+  std::size_t start = prefix.size();
+  while (start < value.size()) {
+    std::size_t end = value.find(',', start);
+    if (end == std::string::npos) end = value.size();
+    unsigned int threshold = 0;
+    if (!pfci::ParseUint32(value.substr(start, end - start), &threshold) ||
+        threshold == 0) {
+      return false;
+    }
+    out->push_back(threshold);
+    start = end + 1;
+  }
+  return !out->empty();
+}
+
+/// Distinct non-zero exit code per fail-soft outcome (documented above).
+int ExitCodeFor(pfci::Outcome outcome) {
+  switch (outcome) {
+    case pfci::Outcome::kComplete:
+      return 0;
+    case pfci::Outcome::kBudgetExhausted:
+      return 3;
+    case pfci::Outcome::kDeadlineExceeded:
+      return 4;
+    case pfci::Outcome::kCancelled:
+      return 5;
+    case pfci::Outcome::kInvalidRequest:
+      return 2;
+  }
+  return 1;
 }
 
 }  // namespace
@@ -61,14 +111,15 @@ int main(int argc, char** argv) {
   if (demo) {
     std::printf(
         "usage: %s DATA.utd MIN_SUP [PFCT]"
-        " [--algo=mpfci|bfs|naive|topk|pfi|esup]\n"
-        "       [--threads=N] [--progress] [--top-k=K]"
-        " [--epsilon=E] [--delta=D] [--csv=OUT.csv]\n"
+        " [--algo=%s]\n"
+        "       [--sweep=min_sup:A,B,C] [--threads=N] [--progress]"
+        " [--top-k=K]\n"
+        "       [--epsilon=E] [--delta=D] [--csv=OUT.csv]\n"
         "       [--tidset=adaptive|sparse|dense] [--stats-json]"
         " [--trace=OUT.jsonl]\n"
         "       [--deadline-ms=N] [--max-nodes=N] [--max-samples=N]\n"
         "no input given — demonstrating on the paper's Table II.\n\n",
-        argv[0]);
+        argv[0], AlgorithmChoices().c_str());
     path = "/tmp/pfci_demo.utd";
     if (!SaveUncertainDatabase(MakePaperExampleDb(), path)) {
       std::fprintf(stderr, "cannot write demo file %s\n", path.c_str());
@@ -102,20 +153,18 @@ int main(int argc, char** argv) {
     for (; position < argc; ++position) {
       std::string value;
       if (ParseFlag(argv[position], "--algo", &value)) {
-        if (value == "mpfci") {
-          request.algorithm = Algorithm::kMpfci;
-        } else if (value == "bfs") {
-          request.algorithm = Algorithm::kMpfciBfs;
-        } else if (value == "naive") {
-          request.algorithm = Algorithm::kNaive;
-        } else if (value == "topk") {
-          request.algorithm = Algorithm::kTopK;
-        } else if (value == "pfi") {
-          request.algorithm = Algorithm::kPfi;
-        } else if (value == "esup") {
-          request.algorithm = Algorithm::kExpectedSupport;
-        } else {
-          std::fprintf(stderr, "unknown --algo '%s'\n", value.c_str());
+        // One lookup table serves parsing, help, and display: the flag
+        // round-trips through AlgorithmName().
+        if (!ParseAlgorithm(value, &request.algorithm)) {
+          std::fprintf(stderr, "unknown --algo '%s' (choices: %s)\n",
+                       value.c_str(), AlgorithmChoices().c_str());
+          return 1;
+        }
+      } else if (ParseFlag(argv[position], "--sweep", &value)) {
+        if (!ParseSweep(value, &request.sweep_min_sup)) {
+          std::fprintf(stderr,
+                       "bad --sweep '%s' (expected min_sup:A,B,C)\n",
+                       value.c_str());
           return 1;
         }
       } else if (ParseFlag(argv[position], "--threads", &value)) {
@@ -177,6 +226,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  // top_k stays 0 (meaning "unused") unless the topk algorithm runs; a
+  // topk run without an explicit --top-k gets the historical default.
+  if (request.algorithm == Algorithm::kTopK && request.top_k == 0) {
+    request.top_k = 10;
+  }
+
   std::unique_ptr<JsonLinesTraceSink> trace_sink;
   if (!trace_path.empty()) {
     trace_sink = std::make_unique<JsonLinesTraceSink>(trace_path);
@@ -213,6 +268,30 @@ int main(int argc, char** argv) {
               AlgorithmName(request.algorithm), request.params.min_sup,
               request.params.pfct, threads_label.c_str());
 
+  if (!request.sweep_min_sup.empty()) {
+    // Threshold sweep: one warm MiningSession serves every min_sup, so
+    // the index and DP tail tables are paid for once.
+    MiningSession session = MiningSession::Open(db);
+    const std::vector<MiningResult> sweep = session.MineSweep(request);
+    int exit_code = 0;
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const MiningResult& result = sweep[i];
+      if (i < request.sweep_min_sup.size()) {
+        std::printf("\nmin_sup=%zu: %zu itemsets\n",
+                    request.sweep_min_sup[i], result.itemsets.size());
+      }
+      if (!result.ok()) {
+        std::fprintf(stderr, "run did not complete (%s): %s\n",
+                     OutcomeName(result.outcome()),
+                     result.status_message.c_str());
+        if (exit_code == 0) exit_code = ExitCodeFor(result.outcome());
+      }
+      std::printf("stats: %s\n", result.stats.ToString().c_str());
+      if (stats_json) std::printf("%s\n", result.stats.ToJson().c_str());
+    }
+    return exit_code;
+  }
+
   const MiningResult result = Mine(db, request);
   if (show_progress) std::fprintf(stderr, "\n");
   if (!result.ok()) {
@@ -245,18 +324,5 @@ int main(int argc, char** argv) {
     std::printf("wrote %s (%d rows)\n", csv_path.c_str(), csv.rows_written());
   }
 
-  // Distinct non-zero exit code per fail-soft outcome (documented above).
-  switch (result.outcome()) {
-    case Outcome::kComplete:
-      return 0;
-    case Outcome::kBudgetExhausted:
-      return 3;
-    case Outcome::kDeadlineExceeded:
-      return 4;
-    case Outcome::kCancelled:
-      return 5;
-    case Outcome::kInvalidRequest:
-      return 2;
-  }
-  return 1;
+  return ExitCodeFor(result.outcome());
 }

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/core/eval_cache.h"
 #include "src/core/fcp_engine.h"
 #include "src/core/frequent_probability.h"
+#include "src/core/index_handle.h"
 #include "src/data/vertical_index.h"
 #include "src/util/check.h"
 #include "src/util/failpoint.h"
@@ -40,15 +42,16 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
   PFCI_CHECK_MSG(error.empty(), "invalid MiningParams: " + error);
   Stopwatch timer;
   MiningResult result;
-  const VerticalIndex index(db, TidSetPolicyFor(params));
-  const FrequentProbability freq(index, params.min_sup);
+  const IndexHandle index_handle(db, TidSetPolicyFor(params), exec);
+  const VerticalIndex& index = index_handle.get();
+  const FrequentProbability freq(index, params.min_sup, exec.eval_cache,
+                                 exec.table_floor);
   const FcpEngine engine(index, freq, params, exec);
 
   RunController* rt = exec.runtime;
-  if (rt != nullptr && rt->active()) {
-    rt->ChargeBytes(index.MemoryBytes());
-    rt->Checkpoint();
-  }
+  // Index bytes were charged by the handle; fail an undersized memory
+  // budget before any search work.
+  if (rt != nullptr && rt->active()) rt->Checkpoint();
   // Logical budgets, consumed in global level order (entry_counter order)
   // so the truncation point is a pure function of the request.
   WorkUnitBudget node_ledger =
@@ -56,20 +59,37 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
   std::uint64_t samples_remaining = node_ledger.sample_quota;
 
   // Qualifies a candidate itemset; returns PrF > pfct ? PrF : 0 and
-  // updates pruning counters.
-  const auto qualify = [&](const TidSet& tids) -> double {
+  // updates pruning counters. Singletons pass their item so session
+  // warm-start proofs can reject them up front (and rejections found the
+  // hard way get recorded); joined itemsets pass null.
+  ItemWarmStart* const warm = exec.warm_start;
+  const auto qualify = [&](const TidSet& tids, const Item* warm_item)
+      -> double {
     if (tids.size() < params.min_sup) {
       ++result.stats.pruned_by_frequency;
       return 0.0;
     }
-    if (params.pruning.chernoff &&
-        freq.PrFUpperBound(tids) <= params.pfct) {
-      ++result.stats.pruned_by_chernoff;
+    if (warm != nullptr && warm_item != nullptr &&
+        warm->BoundFor(*warm_item, params.min_sup) <= params.pfct) {
+      ++result.stats.pruned_by_frequency;
       return 0.0;
+    }
+    if (params.pruning.chernoff) {
+      const double upper = freq.PrFUpperBound(tids);
+      if (upper <= params.pfct) {
+        ++result.stats.pruned_by_chernoff;
+        if (warm != nullptr && warm_item != nullptr) {
+          warm->RecordBound(*warm_item, params.min_sup, upper);
+        }
+        return 0.0;
+      }
     }
     const double pr_f = freq.PrF(tids);
     if (pr_f <= params.pfct) {
       ++result.stats.pruned_by_frequency;
+      if (warm != nullptr && warm_item != nullptr) {
+        warm->RecordBound(*warm_item, params.min_sup, pr_f);
+      }
       return 0.0;
     }
     return pr_f;
@@ -84,7 +104,7 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
       LevelEntry entry;
       entry.items = Itemset{item};
       entry.tids = index.TidsOfItem(item);
-      entry.pr_f = qualify(entry.tids);
+      entry.pr_f = qualify(entry.tids, &item);
       if (entry.pr_f > 0.0) level.push_back(std::move(entry));
     }
   }
@@ -190,7 +210,7 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
         child.items = level[a].items.WithItem(ib.back());
         child.tids = Intersect(level[a].tids, level[b].tids);
         ++result.stats.intersections;
-        child.pr_f = qualify(child.tids);
+        child.pr_f = qualify(child.tids, nullptr);
         if (child.pr_f > 0.0) next_level.push_back(std::move(child));
       }
     }
@@ -201,6 +221,9 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
   {
     TraceSpan span(exec.trace, "merge", &result.stats.merge_seconds);
     result.stats.dp_runs = freq.dp_runs();
+    result.stats.cache_hits = freq.cache_hits();
+    result.stats.cache_misses = freq.cache_misses();
+    result.stats.dp_reused = freq.dp_reused();
     result.Sort();
   }
   if (rt != nullptr) {

@@ -127,6 +127,8 @@ std::vector<FcpGroundTruth> BruteForceAllFcp(const UncertainDatabase& db,
   return result;
 }
 
+namespace internal {
+
 std::vector<FcpGroundTruth> BruteForceMinePfci(const UncertainDatabase& db,
                                                std::size_t min_sup,
                                                double pfct,
@@ -138,5 +140,7 @@ std::vector<FcpGroundTruth> BruteForceMinePfci(const UncertainDatabase& db,
   }
   return result;
 }
+
+}  // namespace internal
 
 }  // namespace pfci

@@ -54,10 +54,21 @@ std::vector<FcpGroundTruth> BruteForceAllFcp(
     const UncertainDatabase& db, std::size_t min_sup,
     const ExecutionContext& exec = ExecutionContext{});
 
+namespace internal {
 /// Exact probabilistic frequent closed itemsets: PrFC(X) > pfct.
+/// Reached through Mine() with Algorithm::kBruteForce (which also
+/// enforces the kMaxEnumerableTransactions guard as request validation).
 std::vector<FcpGroundTruth> BruteForceMinePfci(
     const UncertainDatabase& db, std::size_t min_sup, double pfct,
     const ExecutionContext& exec = ExecutionContext{});
+}  // namespace internal
+
+[[deprecated("use Mine() with Algorithm::kBruteForce")]]
+inline std::vector<FcpGroundTruth> BruteForceMinePfci(
+    const UncertainDatabase& db, std::size_t min_sup, double pfct,
+    const ExecutionContext& exec = ExecutionContext{}) {
+  return internal::BruteForceMinePfci(db, min_sup, pfct, exec);
+}
 
 }  // namespace pfci
 

@@ -1,0 +1,170 @@
+#include "src/core/eval_cache.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace pfci {
+
+namespace {
+
+/// Fixed per-entry overhead charged on top of the payload vectors: the
+/// LRU node, the map slot, and the Entry struct itself. An estimate —
+/// the budget bounds the order of magnitude, not malloc's exact ledger.
+constexpr std::size_t kEntryOverheadBytes = 128;
+
+/// Whether the stored tids equal the probe's contents. Walks the TidSet
+/// in ascending order against the stored list without materializing.
+bool SameTids(const TidSet& tids, const TidList& stored) {
+  if (tids.size() != stored.size()) return false;
+  std::size_t i = 0;
+  bool equal = true;
+  tids.ForEach([&](Tid tid) {
+    if (equal && stored[i++] != tid) equal = false;
+  });
+  return equal;
+}
+
+}  // namespace
+
+std::uint64_t TidSetFingerprint(const TidSet& tids) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis.
+  tids.ForEach([&h](Tid tid) {
+    h ^= static_cast<std::uint64_t>(tid) + 1;  // +1 keeps tid 0 mixing.
+    h *= 1099511628211ull;
+  });
+  // Finalize so the low bits (shard selector) depend on every tid.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+std::size_t EvalCache::Entry::Bytes() const {
+  return kEntryOverheadBytes + tids.capacity() * sizeof(Tid) +
+         table.capacity() * sizeof(double);
+}
+
+EvalCache::EvalCache(const Options& options) : options_(options) {
+  PFCI_CHECK(options.max_bytes >= 1);
+  PFCI_CHECK(options.shards >= 1);
+  shards_ = std::vector<Shard>(options.shards);
+}
+
+EvalCache::Lookup EvalCache::Probe(const TidSet& tids,
+                                   std::size_t threshold) const {
+  const std::uint64_t fp = TidSetFingerprint(tids);
+  Shard& shard = ShardFor(fp);
+  Lookup lookup;
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(fp);
+  if (it == shard.map.end()) return lookup;
+  const Entry& entry = it->second->second;
+  // A fingerprint collision is treated as a miss: correctness never
+  // depends on the hash.
+  if (!SameTids(tids, entry.tids)) return lookup;
+  lookup.found = true;
+  lookup.mu = entry.mu;
+  if (entry.table_threshold >= threshold) {
+    lookup.has_table = true;
+    lookup.tail = entry.table[threshold];
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // Touch.
+  return lookup;
+}
+
+void EvalCache::Insert(const TidSet& tids, double mu,
+                       std::size_t table_threshold,
+                       std::vector<double> table) {
+  PFCI_DCHECK(table.size() == table_threshold + 1);
+  const std::uint64_t fp = TidSetFingerprint(tids);
+  Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(fp);
+  if (it != shard.map.end()) {
+    Entry& entry = it->second->second;
+    if (SameTids(tids, entry.tids)) {
+      // Upgrade in place only when the new table answers more thresholds.
+      if (table_threshold > entry.table_threshold) {
+        bytes_.fetch_sub(entry.Bytes(), std::memory_order_relaxed);
+        entry.table_threshold = table_threshold;
+        entry.table = std::move(table);
+        bytes_.fetch_add(entry.Bytes(), std::memory_order_relaxed);
+      }
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      EvictLocked(shard);
+      return;
+    }
+    // Fingerprint collision with different contents: drop the old entry
+    // (the slot can only hold one) — rare, and only a perf event.
+    bytes_.fetch_sub(entry.Bytes(), std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+  Entry entry;
+  entry.tids = tids.ToTidList();
+  entry.mu = mu;
+  entry.table_threshold = table_threshold;
+  entry.table = std::move(table);
+  bytes_.fetch_add(entry.Bytes(), std::memory_order_relaxed);
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  shard.lru.emplace_front(fp, std::move(entry));
+  shard.map[fp] = shard.lru.begin();
+  EvictLocked(shard);
+}
+
+void EvalCache::EvictLocked(Shard& shard) {
+  // Global budget, shard-local eviction: each shard sheds its own LRU
+  // tail while the aggregate is over budget. Never evicts the entry just
+  // touched (front), so an oversized single entry still serves hits.
+  while (bytes_.load(std::memory_order_relaxed) > options_.max_bytes &&
+         shard.lru.size() > 1) {
+    const auto victim = std::prev(shard.lru.end());
+    bytes_.fetch_sub(victim->second.Bytes(), std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    shard.map.erase(victim->first);
+    shard.lru.erase(victim);
+  }
+}
+
+void ItemWarmStart::RecordBound(Item item, std::size_t min_sup,
+                                double bound) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Proof>& proofs = proofs_[item];
+  // Dominated if an existing proof applies at least as widely (smaller or
+  // equal min_sup) with an at-least-as-tight bound.
+  for (const Proof& proof : proofs) {
+    if (proof.min_sup <= min_sup && proof.bound <= bound) return;
+  }
+  // The new proof may dominate existing ones in turn.
+  proofs.erase(std::remove_if(proofs.begin(), proofs.end(),
+                              [&](const Proof& proof) {
+                                return min_sup <= proof.min_sup &&
+                                       bound <= proof.bound;
+                              }),
+               proofs.end());
+  proofs.push_back(Proof{min_sup, bound});
+}
+
+double ItemWarmStart::BoundFor(Item item, std::size_t min_sup) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = proofs_.find(item);
+  if (it == proofs_.end()) return std::numeric_limits<double>::infinity();
+  double best = std::numeric_limits<double>::infinity();
+  for (const Proof& proof : it->second) {
+    // Anti-monotonicity: a proof at min_sup s bounds every s' >= s.
+    if (proof.min_sup <= min_sup) best = std::min(best, proof.bound);
+  }
+  return best;
+}
+
+std::size_t ItemWarmStart::items_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return proofs_.size();
+}
+
+}  // namespace pfci

@@ -1,0 +1,178 @@
+// Cross-request evaluation caches for the serving layer (DESIGN.md §11).
+//
+// A MiningSession answers many requests over one fixed database, and the
+// dominant cost of every request is re-deriving the same per-tidset
+// quantities: mu = sum of existence probabilities (expected support) and
+// the truncated Poisson-binomial tail PrF (Definition 3.4). Both are pure
+// functions of the tidset contents, so they are safe to memoize across
+// requests — unlike sampled FCP values, which stay seed-derived per run
+// and are never cached.
+//
+// EvalCache stores, per canonical tidset, the cached mu plus a tail TABLE
+// computed by PoissonBinomialTailTable at the largest threshold seen so
+// far: table[t] is bit-identical to a direct DP run at threshold t, so
+// one stored DP answers every min_sup <= table_threshold without
+// re-running the DP (monotonicity-aware reuse). Entries are keyed by a
+// 64-bit fingerprint of the tid contents and verified by exact tid
+// comparison — a fingerprint collision degrades to a miss, never to a
+// wrong answer. The cache is sharded (one mutex + LRU list per shard) and
+// bounded by a byte budget with least-recently-used eviction.
+//
+// ItemWarmStart keeps per-item infrequency proofs for threshold sweeps:
+// a verified statement "PrF({item}; min_sup) <= bound" answers any later
+// request with min_sup' >= min_sup by the paper's anti-monotonicity
+// (Lemma: PrF is non-increasing in min_sup), letting candidate builders
+// reject the item without touching the index. Proofs are true statements
+// about the database, so warm-start pruning never changes which
+// candidates survive — results stay bit-identical; only per-run work
+// counters (dp_runs, cache probes) shrink.
+#ifndef PFCI_CORE_EVAL_CACHE_H_
+#define PFCI_CORE_EVAL_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/data/item.h"
+#include "src/data/tidlist.h"
+#include "src/data/tidset.h"
+
+namespace pfci {
+
+/// Sharded, byte-bounded cache of per-tidset evaluation results shared by
+/// every run of one MiningSession. Thread-safe; all methods may be called
+/// concurrently from worker threads of one or several runs.
+class EvalCache {
+ public:
+  struct Options {
+    /// Byte budget across all shards; least-recently-used entries are
+    /// evicted when an insert pushes past it. Must be >= 1.
+    std::size_t max_bytes = std::size_t{64} << 20;
+
+    /// Lock shards (>= 1). More shards, less contention.
+    std::size_t shards = 8;
+  };
+
+  /// Result of one cache probe. All fields are copies: they stay valid
+  /// after the entry is evicted.
+  struct Lookup {
+    bool found = false;      ///< An entry with exactly these tids exists.
+    bool has_table = false;  ///< Its tail table covers the threshold.
+    double mu = 0.0;         ///< Cached expected support (when found).
+    double tail = 0.0;       ///< PrF at `threshold` (when has_table).
+  };
+
+  explicit EvalCache(const Options& options);
+
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  /// Looks up `tids`. On found, `mu` is always usable; `has_table`/`tail`
+  /// are set when the stored table reaches `threshold` (table[threshold]
+  /// is bit-identical to a direct DP run there).
+  Lookup Probe(const TidSet& tids, std::size_t threshold) const;
+
+  /// Stores (or upgrades) the entry for `tids`. `table` must be the
+  /// PoissonBinomialTailTable output of size table_threshold + 1; pass
+  /// table_threshold 0 (table {1.0}) to cache mu alone. An existing entry
+  /// with a larger table is kept as-is (it answers strictly more).
+  void Insert(const TidSet& tids, double mu, std::size_t table_threshold,
+              std::vector<double> table);
+
+  /// Current resident bytes across all shards (tids + tables + entry
+  /// overhead; the value MiningStats reports as cache_bytes).
+  std::uint64_t bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t max_bytes() const { return options_.max_bytes; }
+
+  /// Lifetime counters (across every run served by this cache).
+  std::uint64_t entries() const {
+    return entries_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    TidList tids;               ///< Exact key (collision guard).
+    double mu = 0.0;            ///< Sum of probs, ascending tid order.
+    std::size_t table_threshold = 0;
+    std::vector<double> table;  ///< table[t] = PrF at threshold t.
+
+    std::size_t Bytes() const;
+  };
+
+  /// LRU list (front = most recent) plus fingerprint -> node map.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<std::pair<std::uint64_t, Entry>> lru;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::pair<std::uint64_t, Entry>>::iterator>
+        map;
+  };
+
+  Shard& ShardFor(std::uint64_t fingerprint) const {
+    return shards_[static_cast<std::size_t>(fingerprint % shards_.size())];
+  }
+
+  /// Evicts this shard's least-recent entries while the global byte count
+  /// exceeds the budget. Caller holds the shard mutex.
+  void EvictLocked(Shard& shard);
+
+  Options options_;
+  mutable std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> entries_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+/// Content fingerprint of a tidset (FNV-1a over the ascending tids).
+/// Representation-independent: sparse and dense sets with equal contents
+/// hash equal.
+std::uint64_t TidSetFingerprint(const TidSet& tids);
+
+/// Per-item infrequency proofs for warm-starting threshold sweeps. Each
+/// proof (min_sup, bound) asserts PrF({item}; min_sup) <= bound; by
+/// anti-monotonicity it also bounds PrF at every min_sup' >= min_sup.
+/// Only a Pareto frontier (ascending min_sup, descending bound) is kept.
+/// Thread-safe.
+class ItemWarmStart {
+ public:
+  ItemWarmStart() = default;
+  ItemWarmStart(const ItemWarmStart&) = delete;
+  ItemWarmStart& operator=(const ItemWarmStart&) = delete;
+
+  /// Records the verified statement PrF({item}; min_sup) <= bound (e.g.
+  /// the exact PrF computed when a candidate builder rejected the item,
+  /// or its Chernoff upper bound).
+  void RecordBound(Item item, std::size_t min_sup, double bound);
+
+  /// Tightest provable upper bound on PrF({item}; min_sup) from the
+  /// recorded proofs, or +infinity when nothing applies. Callers prune
+  /// with their own comparison (`<= pfct` for MPFCI-family candidate
+  /// tests, `< pft` for PFI's strict threshold).
+  double BoundFor(Item item, std::size_t min_sup) const;
+
+  /// Number of items with at least one recorded proof.
+  std::size_t items_recorded() const;
+
+ private:
+  struct Proof {
+    std::size_t min_sup;
+    double bound;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Item, std::vector<Proof>> proofs_;
+};
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_EVAL_CACHE_H_

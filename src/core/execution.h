@@ -22,6 +22,9 @@
 namespace pfci {
 
 class ThreadPool;
+class VerticalIndex;
+class EvalCache;
+class ItemWarmStart;
 
 /// How a mining request is executed.
 struct ExecutionPolicy {
@@ -122,6 +125,30 @@ struct ExecutionContext {
   /// down with a verified partial result when it says stop (DESIGN.md
   /// §10).
   RunController* runtime = nullptr;
+
+  /// Session-provided VerticalIndex over the run's database (DESIGN.md
+  /// §11); null means "build your own". Miners borrow it when its
+  /// database and tid-set mode match the request, skipping the per-run
+  /// index build.
+  const VerticalIndex* shared_index = nullptr;
+
+  /// Cross-request PrF/esup evaluation cache; null (default) disables
+  /// caching. Cached values are exact — results are bit-identical with
+  /// the cache on or off; only work counters (dp_runs, cache_hits, ...)
+  /// differ.
+  EvalCache* eval_cache = nullptr;
+
+  /// Cross-request per-item infrequency proofs; null disables
+  /// warm-starting. Like the cache, affects work done, never results.
+  ItemWarmStart* warm_start = nullptr;
+
+  /// Minimum threshold up to which freshly computed DP tail tables are
+  /// extended before being cached (0: just the run's min_sup). A sweep
+  /// sets this to its largest threshold so the first (lowest-threshold)
+  /// run prefills tables that answer every later threshold without
+  /// re-running the DP. Truncation-invariance keeps table[t] bit-identical
+  /// to a direct DP at t, so this affects work done, never results.
+  std::size_t table_floor = 0;
 };
 
 /// Threads a policy resolves to on this machine (>= 1).

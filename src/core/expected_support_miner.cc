@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "src/core/eval_cache.h"
+#include "src/core/index_handle.h"
 #include "src/data/vertical_index.h"
 #include "src/util/check.h"
 #include "src/util/failpoint.h"
@@ -12,16 +14,44 @@ namespace pfci {
 
 namespace {
 
-double ExpectedSupportOf(const VerticalIndex& index, const TidSet& tids) {
-  return index.SumProbsOf(tids);
-}
+/// Expected-support evaluation with optional cross-request mu caching:
+/// the cached mu is the same ascending-tid-order sum SumProbsOf computes,
+/// so cache on/off returns bit-identical values (and one entry serves
+/// both esup requests and PrF short circuits).
+class EsupEvaluator {
+ public:
+  EsupEvaluator(const VerticalIndex& index, EvalCache* cache)
+      : index_(index), cache_(cache) {}
+
+  double Esup(const TidSet& tids) {
+    if (cache_ == nullptr) return index_.SumProbsOf(tids);
+    const EvalCache::Lookup hit = cache_->Probe(tids, 0);
+    if (hit.found) {
+      ++hits_;
+      return hit.mu;
+    }
+    ++misses_;
+    const double mu = index_.SumProbsOf(tids);
+    cache_->Insert(tids, mu, 0, {1.0});
+    return mu;
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  const VerticalIndex& index_;
+  EvalCache* cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
 
 /// Whether the fail-soft run should wind down.
 bool EsupStopped(RunController* rt, const WorkUnitBudget& unit) {
   return unit.truncated || (rt != nullptr && rt->StopRequested());
 }
 
-void Dfs(const VerticalIndex& index, double min_esup,
+void Dfs(const VerticalIndex& index, EsupEvaluator& ev, double min_esup,
          const std::vector<Item>& candidates, const Itemset& x,
          const TidSet& tids, std::size_t candidate_pos,
          std::vector<ExpectedSupportEntry>* out, MiningStats* stats,
@@ -37,15 +67,15 @@ void Dfs(const VerticalIndex& index, double min_esup,
     const Item item = candidates[c];
     TidSet child_tids = Intersect(tids, index.TidsOfItem(item));
     if (stats != nullptr) ++stats->intersections;
-    const double esup = ExpectedSupportOf(index, child_tids);
+    const double esup = ev.Esup(child_tids);
     if (esup < min_esup) {
       if (stats != nullptr) ++stats->pruned_by_frequency;
       continue;
     }
     const Itemset child = x.WithItem(item);
     out->push_back(ExpectedSupportEntry{child, esup});
-    Dfs(index, min_esup, candidates, child, child_tids, c, out, stats, rt,
-        unit);
+    Dfs(index, ev, min_esup, candidates, child, child_tids, c, out, stats,
+        rt, unit);
   }
 }
 
@@ -186,6 +216,8 @@ void WeightedGrow(const std::vector<WeightedRow>& rows, double min_esup,
 
 }  // namespace
 
+namespace internal {
+
 std::vector<ExpectedSupportEntry> MineExpectedSupportFpGrowth(
     const UncertainDatabase& db, double min_esup) {
   PFCI_CHECK(min_esup > 0.0);
@@ -232,22 +264,28 @@ std::vector<ExpectedSupportEntry> MineExpectedSupportFpGrowth(
   return result;
 }
 
+}  // namespace internal
+
 std::vector<ExpectedSupportEntry> MineExpectedSupport(
     const UncertainDatabase& db, double min_esup, MiningStats* stats,
-    RunController* runtime) {
+    RunController* runtime, const TidSetPolicy& policy,
+    const ExecutionContext* session) {
   PFCI_CHECK(min_esup > 0.0);
-  const VerticalIndex index(db);
-  if (runtime != nullptr && runtime->active()) {
-    runtime->ChargeBytes(index.MemoryBytes());
-    runtime->Checkpoint();
-  }
+  ExecutionContext exec = session != nullptr ? *session : ExecutionContext{};
+  exec.runtime = runtime;
+  const IndexHandle index_handle(db, policy, exec);
+  const VerticalIndex& index = index_handle.get();
+  EsupEvaluator ev(index, exec.eval_cache);
+  // Index bytes were charged by the handle; fail an undersized memory
+  // budget before any search work.
+  if (runtime != nullptr && runtime->active()) runtime->Checkpoint();
   WorkUnitBudget unit =
       runtime != nullptr ? runtime->UnitBudget(0, 1) : WorkUnitBudget{};
   std::vector<ExpectedSupportEntry> result;
   std::vector<Item> candidates;
   if (runtime == nullptr || !runtime->StopRequested()) {
     for (Item item : index.occurring_items()) {
-      const double esup = ExpectedSupportOf(index, index.TidsOfItem(item));
+      const double esup = ev.Esup(index.TidsOfItem(item));
       if (esup >= min_esup) {
         candidates.push_back(item);
         result.push_back(ExpectedSupportEntry{Itemset{item}, esup});
@@ -264,12 +302,16 @@ std::vector<ExpectedSupportEntry> MineExpectedSupport(
         std::lower_bound(candidates.begin(), candidates.end(),
                          seed.items.LastItem()) -
         candidates.begin());
-    Dfs(index, min_esup, candidates, seed.items,
+    Dfs(index, ev, min_esup, candidates, seed.items,
         index.TidsOfItem(seed.items.LastItem()), pos, &result, stats,
         runtime, unit);
   }
   if (unit.truncated && runtime != nullptr) {
     runtime->RecordTruncation(Outcome::kBudgetExhausted);
+  }
+  if (stats != nullptr) {
+    stats->cache_hits += ev.hits();
+    stats->cache_misses += ev.misses();
   }
   std::sort(result.begin(), result.end());
   return result;

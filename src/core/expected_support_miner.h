@@ -10,8 +10,10 @@
 
 #include <vector>
 
+#include "src/core/execution.h"
 #include "src/core/mining_result.h"
 #include "src/data/itemset.h"
+#include "src/data/tidset.h"
 #include "src/data/uncertain_database.h"
 #include "src/util/runtime.h"
 
@@ -34,18 +36,32 @@ struct ExpectedSupportEntry {
 /// (esup below threshold) and intersections for telemetry. `runtime`
 /// (optional) makes the DFS fail-soft: polled at node expansion, a stop
 /// or exhausted node quota leaves a verified prefix of the answer.
+/// `policy` picks the tid-set representation; `session` (optional)
+/// carries a MiningSession's shared index and evaluation cache, whose mu
+/// entries answer expected supports exactly (DESIGN.md §11).
 std::vector<ExpectedSupportEntry> MineExpectedSupport(
     const UncertainDatabase& db, double min_esup,
-    MiningStats* stats = nullptr, RunController* runtime = nullptr);
+    MiningStats* stats = nullptr, RunController* runtime = nullptr,
+    const TidSetPolicy& policy = TidSetPolicy{},
+    const ExecutionContext* session = nullptr);
 
+namespace internal {
 /// The same answer via a UF-growth-style weighted FP-growth [15]: under
 /// tuple-level uncertainty the expected support is a weighted support
 /// (each transaction weighs its existence probability), so FP-growth
 /// generalizes by carrying real-valued counts. Cross-validates the DFS
 /// miner and serves as the pattern-growth baseline of the expected-
-/// support model.
+/// support model. Reached through Mine() with
+/// Algorithm::kExpectedSupportFpGrowth.
 std::vector<ExpectedSupportEntry> MineExpectedSupportFpGrowth(
     const UncertainDatabase& db, double min_esup);
+}  // namespace internal
+
+[[deprecated("use Mine() with Algorithm::kExpectedSupportFpGrowth")]]
+inline std::vector<ExpectedSupportEntry> MineExpectedSupportFpGrowth(
+    const UncertainDatabase& db, double min_esup) {
+  return internal::MineExpectedSupportFpGrowth(db, min_esup);
+}
 
 }  // namespace pfci
 

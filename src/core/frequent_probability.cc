@@ -1,5 +1,10 @@
 #include "src/core/frequent_probability.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/core/eval_cache.h"
 #include "src/prob/poisson_binomial.h"
 #include "src/prob/tail_bounds.h"
 #include "src/util/check.h"
@@ -16,8 +21,13 @@ constexpr double kNegligible = 1e-15;
 }  // namespace
 
 FrequentProbability::FrequentProbability(const VerticalIndex& index,
-                                         std::size_t min_sup)
-    : index_(&index), min_sup_(min_sup) {
+                                         std::size_t min_sup,
+                                         EvalCache* cache,
+                                         std::size_t table_floor)
+    : index_(&index),
+      min_sup_(min_sup),
+      cache_(cache),
+      table_floor_(table_floor) {
   PFCI_CHECK(min_sup >= 1);
 }
 
@@ -43,8 +53,85 @@ double FrequentProbability::PrFFromProbs(
 double FrequentProbability::PrF(const TidSet& tids,
                                 DpWorkspace& workspace) const {
   if (tids.size() < min_sup_) return 0.0;
+  if (cache_ != nullptr) return CachedPrF(tids, workspace);
   index_->GatherProbs(tids, &workspace.probs);
   return PrFFromProbs(workspace.probs, &workspace.dp);
+}
+
+double FrequentProbability::CachedPrF(const TidSet& tids,
+                                      DpWorkspace& workspace) const {
+  const double s = static_cast<double>(min_sup_);
+  const EvalCache::Lookup lookup = cache_->Probe(tids, min_sup_);
+  if (lookup.found) {
+    // Replay the short circuits off the cached mu first: the tail table
+    // holds raw DP values, but an uncached run that short-circuits never
+    // reaches the DP, and bit-identity means matching that path too. The
+    // cached mu is the ascending-tid-order sum, the same value
+    // PoissonBinomialMean produces from the gathered probabilities.
+    if (BestUpperTailBound(lookup.mu, tids.size(), s) < kNegligible) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return 0.0;
+    }
+    if (ChernoffLowerTail(lookup.mu, s - 1.0) < kNegligible) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return 1.0;
+    }
+    if (lookup.has_table) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      dp_reused_.fetch_add(1, std::memory_order_relaxed);
+      return lookup.tail;
+    }
+  }
+  // Miss, or a stored table truncated below this min_sup: gather and
+  // compute the full tail table so this and every smaller threshold are
+  // answered from the cache next time.
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  index_->GatherProbs(tids, &workspace.probs);
+  const std::vector<double>& probs = workspace.probs;
+  const double mu =
+      lookup.found ? lookup.mu : PoissonBinomialMean(probs);
+  if (!lookup.found) {
+    if (BestUpperTailBound(mu, probs.size(), s) < kNegligible) {
+      // PrF ~ 0 here and even smaller at every higher threshold, where
+      // the mu replay short-circuits again: no table needed.
+      cache_->Insert(tids, mu, 0, {1.0});
+      return 0.0;
+    }
+    if (ChernoffLowerTail(mu, s - 1.0) < kNegligible) {
+      // PrF ~ 1 here, but a HIGHER threshold may not short-circuit; with
+      // a floor set (sweep), prefill the table it will need — unless the
+      // short circuit still fires at the floor itself, in which case it
+      // fires at every threshold up to it (the lower-tail mass only
+      // grows with the threshold) and the table would never be read.
+      // The return value stays the short-circuit 1.0 either way.
+      const std::size_t floor = std::min(table_floor_, probs.size());
+      if (floor > min_sup_ &&
+          ChernoffLowerTail(mu, static_cast<double>(floor) - 1.0) >=
+              kNegligible) {
+        dp_runs_.fetch_add(1, std::memory_order_relaxed);
+        std::vector<double> table;
+        PoissonBinomialTailTable(probs.data(), probs.size(), floor,
+                                 &workspace.dp, &table);
+        cache_->Insert(tids, mu, floor, std::move(table));
+      } else {
+        cache_->Insert(tids, mu, 0, {1.0});
+      }
+      return 1.0;
+    }
+  }
+  dp_runs_.fetch_add(1, std::memory_order_relaxed);
+  // Extend the table to the floor (clamped to |tids|: any probe above
+  // that size is rejected by the tids.size() check before reaching the
+  // cache). table[t] is bit-identical to a direct DP at t for every
+  // t <= threshold, so the floor changes work done, never values.
+  const std::size_t threshold =
+      std::max(min_sup_, std::min(table_floor_, probs.size()));
+  std::vector<double> table;
+  PoissonBinomialTailTable(probs.data(), probs.size(), threshold,
+                           &workspace.dp, &table);
+  const double result = table[min_sup_];
+  cache_->Insert(tids, mu, threshold, std::move(table));
+  return result;
 }
 
 double FrequentProbability::PrF(const TidSet& tids) const {

@@ -22,10 +22,23 @@
 
 namespace pfci {
 
+class EvalCache;
+
 /// Evaluates frequent probabilities against a fixed database and min_sup.
+///
+/// With a non-null EvalCache (session runs), PrF(tids) first consults the
+/// cache: a stored tail table answers this min_sup bit-identically to a
+/// direct DP (see PoissonBinomialTailTable), and the cached mu replays
+/// the Chernoff short circuits exactly, so caching never changes a
+/// returned value — only the dp_runs / cache_* work counters.
 class FrequentProbability {
  public:
-  FrequentProbability(const VerticalIndex& index, std::size_t min_sup);
+  /// `table_floor` (only meaningful with a cache): freshly computed tail
+  /// tables are extended to at least this threshold before caching, so a
+  /// sweep's lowest-threshold run prefills answers for the higher ones.
+  FrequentProbability(const VerticalIndex& index, std::size_t min_sup,
+                      EvalCache* cache = nullptr,
+                      std::size_t table_floor = 0);
 
   /// Exact PrF over the transactions in `tids` (modulo the 1e-15 short
   /// circuits described above). Uses the calling thread's workspace.
@@ -53,12 +66,41 @@ class FrequentProbability {
   std::uint64_t dp_runs() const {
     return dp_runs_.load(std::memory_order_relaxed);
   }
-  void ResetCounters() { dp_runs_.store(0, std::memory_order_relaxed); }
+  void ResetCounters() {
+    dp_runs_.store(0, std::memory_order_relaxed);
+    cache_hits_.store(0, std::memory_order_relaxed);
+    cache_misses_.store(0, std::memory_order_relaxed);
+    dp_reused_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Per-evaluator cache accounting (all zero without a cache).
+  /// cache_hits: probes answered from a stored entry without running a
+  /// DP; dp_reused: the subset of hits served from a stored tail table
+  /// (the rest were short-circuit replays off the cached mu);
+  /// cache_misses: probes that had to gather probabilities and compute.
+  /// Unlike dp_runs' total, these can vary with scheduling when worker
+  /// threads race on the same first evaluation — values stay exact.
+  std::uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dp_reused() const {
+    return dp_reused_.load(std::memory_order_relaxed);
+  }
 
  private:
+  double CachedPrF(const TidSet& tids, DpWorkspace& workspace) const;
+
   const VerticalIndex* index_;
   std::size_t min_sup_;
+  EvalCache* cache_ = nullptr;
+  std::size_t table_floor_ = 0;
   mutable std::atomic<std::uint64_t> dp_runs_{0};
+  mutable std::atomic<std::uint64_t> cache_hits_{0};
+  mutable std::atomic<std::uint64_t> cache_misses_{0};
+  mutable std::atomic<std::uint64_t> dp_reused_{0};
 };
 
 }  // namespace pfci

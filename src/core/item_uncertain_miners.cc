@@ -99,6 +99,8 @@ void PfiDfs(const OccurrenceIndex& index, const std::vector<Item>& universe,
 
 }  // namespace
 
+namespace internal {
+
 std::vector<ExpectedSupportEntry> MineExpectedSupportItemLevel(
     const ItemUncertainDatabase& db, double min_esup) {
   PFCI_CHECK(min_esup > 0.0);
@@ -120,5 +122,7 @@ std::vector<ItemPfiEntry> MinePfiItemLevel(const ItemUncertainDatabase& db,
   std::sort(result.begin(), result.end());
   return result;
 }
+
+}  // namespace internal
 
 }  // namespace pfci

@@ -27,15 +27,32 @@ struct ItemPfiEntry {
   }
 };
 
+namespace internal {
 /// Mines all itemsets with expected support >= min_esup (> 0) under
-/// item-level uncertainty (U-Apriori's measure [9]).
+/// item-level uncertainty (U-Apriori's measure [9]). Reached through the
+/// item-level Mine() overload with Algorithm::kItemExpectedSupport.
 std::vector<ExpectedSupportEntry> MineExpectedSupportItemLevel(
     const ItemUncertainDatabase& db, double min_esup);
 
 /// Mines all itemsets with Pr{support >= min_sup} > pft under item-level
 /// uncertainty (the probabilistic frequent model applied to [9]'s data).
+/// Reached through the item-level Mine() overload with
+/// Algorithm::kItemPfi.
 std::vector<ItemPfiEntry> MinePfiItemLevel(const ItemUncertainDatabase& db,
                                            std::size_t min_sup, double pft);
+}  // namespace internal
+
+[[deprecated("use Mine() with Algorithm::kItemExpectedSupport")]]
+inline std::vector<ExpectedSupportEntry> MineExpectedSupportItemLevel(
+    const ItemUncertainDatabase& db, double min_esup) {
+  return internal::MineExpectedSupportItemLevel(db, min_esup);
+}
+
+[[deprecated("use Mine() with Algorithm::kItemPfi")]]
+inline std::vector<ItemPfiEntry> MinePfiItemLevel(
+    const ItemUncertainDatabase& db, std::size_t min_sup, double pft) {
+  return internal::MinePfiItemLevel(db, min_sup, pft);
+}
 
 }  // namespace pfci
 

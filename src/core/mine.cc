@@ -1,20 +1,72 @@
 #include "src/core/mine.h"
 
+#include <cstddef>
 #include <memory>
 #include <utility>
 
 #include "src/core/bfs_miner.h"
+#include "src/core/brute_force.h"
 #include "src/core/expected_support_miner.h"
+#include "src/core/item_uncertain_miners.h"
 #include "src/core/mpfci_miner.h"
 #include "src/core/naive_miner.h"
 #include "src/core/pfi_miner.h"
 #include "src/core/topk_miner.h"
+#include "src/data/item_uncertain_database.h"
+#include "src/data/world_enumerator.h"
 #include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
 namespace pfci {
 
 namespace {
+
+/// The single name table behind AlgorithmName / ParseAlgorithm /
+/// AllAlgorithms — adding an algorithm means adding one row here.
+struct AlgorithmNameRow {
+  Algorithm algorithm;
+  const char* name;
+};
+
+constexpr AlgorithmNameRow kAlgorithmNames[] = {
+    {Algorithm::kMpfci, "mpfci"},
+    {Algorithm::kMpfciBfs, "bfs"},
+    {Algorithm::kNaive, "naive"},
+    {Algorithm::kTopK, "topk"},
+    {Algorithm::kPfi, "pfi"},
+    {Algorithm::kExpectedSupport, "esup"},
+    {Algorithm::kExpectedSupportFpGrowth, "esup-fp"},
+    {Algorithm::kBruteForce, "brute"},
+    {Algorithm::kItemExpectedSupport, "item-esup"},
+    {Algorithm::kItemPfi, "item-pfi"},
+};
+
+bool UsesMinEsup(Algorithm algorithm) {
+  return algorithm == Algorithm::kExpectedSupport ||
+         algorithm == Algorithm::kExpectedSupportFpGrowth ||
+         algorithm == Algorithm::kItemExpectedSupport;
+}
+
+bool IsItemLevel(Algorithm algorithm) {
+  return algorithm == Algorithm::kItemExpectedSupport ||
+         algorithm == Algorithm::kItemPfi;
+}
+
+/// min_esup <= 0 defaults to params.min_sup (the natural "same threshold,
+/// other measure" reading).
+double EffectiveMinEsup(const MiningRequest& request) {
+  return request.min_esup > 0.0
+             ? request.min_esup
+             : static_cast<double>(request.params.min_sup);
+}
+
+/// An empty result carrying an API-boundary diagnosis as data.
+MiningResult InvalidRequestResult(const std::string& why) {
+  MiningResult result;
+  result.stats.outcome = Outcome::kInvalidRequest;
+  result.status_message = "invalid MiningRequest: " + why;
+  return result;
+}
 
 /// Stamps the fail-soft outcome of a finished run into its stats.
 void StampOutcome(MiningResult* result, const RunController* runtime) {
@@ -33,7 +85,7 @@ MiningResult RunPfi(const UncertainDatabase& db, const MiningRequest& request,
     const std::vector<PfiEntry> pfis =
         MinePfi(db, request.params.min_sup, request.params.pfct,
                 request.params.pruning.chernoff, &result.stats,
-                TidSetPolicyFor(request.params), exec.runtime);
+                TidSetPolicyFor(request.params), exec.runtime, &exec);
     result.itemsets.reserve(pfis.size());
     for (const PfiEntry& pfi : pfis) {
       PfciEntry entry;
@@ -58,19 +110,23 @@ MiningResult RunPfi(const UncertainDatabase& db, const MiningRequest& request,
 }
 
 /// Expected-support mining through the unified interface: the expected
-/// support is reported in the pr_f field, fcp is 0.
+/// support is reported in the pr_f field, fcp is 0. `fp_growth` selects
+/// the weighted FP-growth baseline (same answer, no fail-soft hooks).
 MiningResult RunExpectedSupport(const UncertainDatabase& db,
                                 const MiningRequest& request,
-                                const ExecutionContext& exec) {
+                                const ExecutionContext& exec,
+                                bool fp_growth) {
   Stopwatch timer;
   MiningResult result;
-  const double min_esup = request.min_esup > 0.0
-                              ? request.min_esup
-                              : static_cast<double>(request.params.min_sup);
+  const double min_esup = EffectiveMinEsup(request);
   {
     TraceSpan span(exec.trace, "search", &result.stats.search_seconds);
     const std::vector<ExpectedSupportEntry> entries =
-        MineExpectedSupport(db, min_esup, &result.stats, exec.runtime);
+        fp_growth ? internal::MineExpectedSupportFpGrowth(db, min_esup)
+                  : MineExpectedSupport(db, min_esup, &result.stats,
+                                        exec.runtime,
+                                        TidSetPolicyFor(request.params),
+                                        &exec);
     result.itemsets.reserve(entries.size());
     for (const ExpectedSupportEntry& in : entries) {
       PfciEntry entry;
@@ -78,6 +134,41 @@ MiningResult RunExpectedSupport(const UncertainDatabase& db,
       entry.pr_f = in.expected_support;
       entry.fcp = 0.0;
       entry.fcp_upper = in.expected_support;
+      result.itemsets.push_back(std::move(entry));
+    }
+  }
+  if (exec.progress != nullptr) {
+    exec.progress->AddItemsets(result.itemsets.size());
+  }
+  {
+    TraceSpan span(exec.trace, "merge", &result.stats.merge_seconds);
+    result.Sort();
+  }
+  StampOutcome(&result, exec.runtime);
+  result.stats.seconds = timer.ElapsedSeconds();
+  result.stats.EmitTrace(exec.trace);
+  return result;
+}
+
+/// Possible-world oracle through the unified interface: exact PrFC in
+/// the fcp field. The caller already rejected oversized databases.
+MiningResult RunBruteForce(const UncertainDatabase& db,
+                           const MiningRequest& request,
+                           const ExecutionContext& exec) {
+  Stopwatch timer;
+  MiningResult result;
+  {
+    TraceSpan span(exec.trace, "search", &result.stats.search_seconds);
+    const std::vector<FcpGroundTruth> truths = internal::BruteForceMinePfci(
+        db, request.params.min_sup, request.params.pfct, exec);
+    result.itemsets.reserve(truths.size());
+    for (const FcpGroundTruth& truth : truths) {
+      PfciEntry entry;
+      entry.items = truth.items;
+      entry.fcp = truth.fcp;
+      entry.fcp_lower = truth.fcp;
+      entry.fcp_upper = truth.fcp;
+      entry.method = FcpMethod::kExact;
       result.itemsets.push_back(std::move(entry));
     }
   }
@@ -108,57 +199,33 @@ struct FlushOnExit {
   }
 };
 
-}  // namespace
-
-const char* AlgorithmName(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kMpfci:
-      return "mpfci";
-    case Algorithm::kMpfciBfs:
-      return "bfs";
-    case Algorithm::kNaive:
-      return "naive";
-    case Algorithm::kTopK:
-      return "topk";
-    case Algorithm::kPfi:
-      return "pfi";
-    case Algorithm::kExpectedSupport:
-      return "esup";
-  }
-  return "unknown";
-}
-
-std::string ValidateRequest(const MiningRequest& request) {
-  const std::string params_error = ValidateParams(request.params);
-  if (!params_error.empty()) return params_error;
-  if (request.algorithm == Algorithm::kTopK && request.top_k < 1) {
-    return "top_k must be >= 1 for Algorithm::kTopK";
-  }
-  if (request.min_esup < 0.0) {
-    return "min_esup must be >= 0";
-  }
-  if (request.progress && request.progress_interval < 1) {
-    return "progress_interval must be >= 1";
-  }
-  if (request.budget.deadline_seconds < 0.0) {
-    return "budget.deadline_seconds must be >= 0";
-  }
-  if (request.budget.degrade_fraction <= 0.0 ||
-      request.budget.degrade_fraction > 1.0) {
-    return "budget.degrade_fraction must be in (0, 1]";
-  }
-  return "";
-}
-
-MiningResult Mine(const UncertainDatabase& db, const MiningRequest& request) {
+MiningResult MineImpl(const UncertainDatabase& db,
+                      const MiningRequest& request,
+                      const SessionBindings* bindings) {
   const std::string error = ValidateRequest(request);
   if (!error.empty()) {
     // API-boundary errors are reported as data, not aborts: the caller
     // gets an empty result carrying the diagnosis.
-    MiningResult result;
-    result.stats.outcome = Outcome::kInvalidRequest;
-    result.status_message = "invalid MiningRequest: " + error;
-    return result;
+    return InvalidRequestResult(error);
+  }
+  if (IsItemLevel(request.algorithm)) {
+    return InvalidRequestResult(
+        std::string("algorithm ") + AlgorithmName(request.algorithm) +
+        " mines an ItemUncertainDatabase; use the item-level Mine() "
+        "overload");
+  }
+  if (!request.sweep_min_sup.empty()) {
+    return InvalidRequestResult(
+        "sweep_min_sup is served by MiningSession::MineSweep; single-shot "
+        "Mine() requires it empty");
+  }
+  if (request.algorithm == Algorithm::kBruteForce &&
+      db.size() > kMaxEnumerableTransactions) {
+    return InvalidRequestResult(
+        "algorithm brute enumerates all 2^n possible worlds and requires "
+        "db.size() <= " +
+        std::to_string(kMaxEnumerableTransactions) + " (got " +
+        std::to_string(db.size()) + ")");
   }
 
   // Thread-count 0 means "library default": share the lazily-created
@@ -188,6 +255,12 @@ MiningResult Mine(const UncertainDatabase& db, const MiningRequest& request) {
   exec.progress = sink.get();
   exec.trace = request.trace;
   if (controller.active()) exec.runtime = &controller;
+  if (bindings != nullptr) {
+    exec.shared_index = bindings->index;
+    exec.eval_cache = bindings->eval_cache;
+    exec.warm_start = bindings->warm_start;
+    exec.table_floor = bindings->table_floor;
+  }
 
   // Sinks flush on every exit path: a cancelled or deadline-stopped run
   // still delivers its final progress snapshot and buffered trace events.
@@ -212,8 +285,17 @@ MiningResult Mine(const UncertainDatabase& db, const MiningRequest& request) {
       result = RunPfi(db, request, exec);
       break;
     case Algorithm::kExpectedSupport:
-      result = RunExpectedSupport(db, request, exec);
+      result = RunExpectedSupport(db, request, exec, /*fp_growth=*/false);
       break;
+    case Algorithm::kExpectedSupportFpGrowth:
+      result = RunExpectedSupport(db, request, exec, /*fp_growth=*/true);
+      break;
+    case Algorithm::kBruteForce:
+      result = RunBruteForce(db, request, exec);
+      break;
+    case Algorithm::kItemExpectedSupport:
+    case Algorithm::kItemPfi:
+      break;  // Rejected above.
   }
 
   if (!result.ok() && result.status_message.empty()) {
@@ -221,6 +303,141 @@ MiningResult Mine(const UncertainDatabase& db, const MiningRequest& request) {
         std::string("run stopped: ") + OutcomeName(result.outcome());
   }
   TraceRunEnd(exec.trace, AlgorithmName(request.algorithm),
+              result.itemsets.size(), result.stats.seconds);
+  return result;
+}
+
+}  // namespace
+
+const char* AlgorithmName(Algorithm algorithm) {
+  for (const AlgorithmNameRow& row : kAlgorithmNames) {
+    if (row.algorithm == algorithm) return row.name;
+  }
+  return "unknown";
+}
+
+bool ParseAlgorithm(const std::string& name, Algorithm* algorithm) {
+  for (const AlgorithmNameRow& row : kAlgorithmNames) {
+    if (name == row.name) {
+      *algorithm = row.algorithm;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<Algorithm>& AllAlgorithms() {
+  static const std::vector<Algorithm> kAll = [] {
+    std::vector<Algorithm> all;
+    for (const AlgorithmNameRow& row : kAlgorithmNames) {
+      all.push_back(row.algorithm);
+    }
+    return all;
+  }();
+  return kAll;
+}
+
+std::string ValidateRequest(const MiningRequest& request) {
+  const std::string params_error = ValidateParams(request.params);
+  if (!params_error.empty()) return params_error;
+  if (request.algorithm == Algorithm::kTopK) {
+    if (request.top_k < 1) {
+      return "top_k must be >= 1 for Algorithm::kTopK";
+    }
+  } else if (request.top_k != 0) {
+    return std::string("top_k only applies to Algorithm::kTopK; it must "
+                       "stay 0 for algorithm ") +
+           AlgorithmName(request.algorithm);
+  }
+  if (request.min_esup < 0.0) {
+    return "min_esup must be >= 0";
+  }
+  if (request.min_esup > 0.0 && !UsesMinEsup(request.algorithm)) {
+    return std::string("min_esup only applies to the expected-support "
+                       "algorithms (esup, esup-fp, item-esup); it must "
+                       "stay 0 for algorithm ") +
+           AlgorithmName(request.algorithm);
+  }
+  for (std::size_t i = 0; i < request.sweep_min_sup.size(); ++i) {
+    if (request.sweep_min_sup[i] < 1) {
+      return "sweep_min_sup values must be >= 1";
+    }
+    if (i > 0 && request.sweep_min_sup[i] <= request.sweep_min_sup[i - 1]) {
+      return "sweep_min_sup must be strictly increasing";
+    }
+  }
+  if (request.progress && request.progress_interval < 1) {
+    return "progress_interval must be >= 1";
+  }
+  if (request.budget.deadline_seconds < 0.0) {
+    return "budget.deadline_seconds must be >= 0";
+  }
+  if (request.budget.degrade_fraction <= 0.0 ||
+      request.budget.degrade_fraction > 1.0) {
+    return "budget.degrade_fraction must be in (0, 1]";
+  }
+  return "";
+}
+
+MiningResult Mine(const UncertainDatabase& db, const MiningRequest& request) {
+  return MineImpl(db, request, /*bindings=*/nullptr);
+}
+
+MiningResult MineWithBindings(const UncertainDatabase& db,
+                              const MiningRequest& request,
+                              const SessionBindings& bindings) {
+  return MineImpl(db, request, &bindings);
+}
+
+MiningResult Mine(const ItemUncertainDatabase& db,
+                  const MiningRequest& request) {
+  const std::string error = ValidateRequest(request);
+  if (!error.empty()) return InvalidRequestResult(error);
+  if (!IsItemLevel(request.algorithm)) {
+    return InvalidRequestResult(
+        std::string("algorithm ") + AlgorithmName(request.algorithm) +
+        " mines a tuple-level UncertainDatabase; the item-level Mine() "
+        "overload serves item-esup and item-pfi");
+  }
+  if (!request.sweep_min_sup.empty()) {
+    return InvalidRequestResult(
+        "sweep_min_sup is served by MiningSession::MineSweep; single-shot "
+        "Mine() requires it empty");
+  }
+
+  FlushOnExit flusher{request.trace, nullptr};
+  TraceRunBegin(request.trace, AlgorithmName(request.algorithm));
+  Stopwatch timer;
+  MiningResult result;
+  if (request.algorithm == Algorithm::kItemExpectedSupport) {
+    const std::vector<ExpectedSupportEntry> entries =
+        internal::MineExpectedSupportItemLevel(db, EffectiveMinEsup(request));
+    result.itemsets.reserve(entries.size());
+    for (const ExpectedSupportEntry& in : entries) {
+      PfciEntry entry;
+      entry.items = in.items;
+      entry.pr_f = in.expected_support;
+      entry.fcp = 0.0;
+      entry.fcp_upper = in.expected_support;
+      result.itemsets.push_back(std::move(entry));
+    }
+  } else {
+    const std::vector<ItemPfiEntry> entries = internal::MinePfiItemLevel(
+        db, request.params.min_sup, request.params.pfct);
+    result.itemsets.reserve(entries.size());
+    for (const ItemPfiEntry& in : entries) {
+      PfciEntry entry;
+      entry.items = in.items;
+      entry.pr_f = in.pr_f;
+      entry.fcp = 0.0;
+      entry.fcp_upper = in.pr_f;
+      result.itemsets.push_back(std::move(entry));
+    }
+  }
+  result.Sort();
+  result.stats.seconds = timer.ElapsedSeconds();
+  result.stats.EmitTrace(request.trace);
+  TraceRunEnd(request.trace, AlgorithmName(request.algorithm),
               result.itemsets.size(), result.stats.seconds);
   return result;
 }

@@ -5,18 +5,49 @@
 // algorithm to run, the execution policy (thread count, determinism), and
 // an optional progress observer. The free functions (MineMpfci,
 // MineMpfciBfs, MineNaive, MineTopKPfci, ...) remain as thin wrappers
-// over the same implementations, so existing call sites keep compiling.
+// over the same implementations, so existing call sites keep compiling;
+// the stragglers that predated the unified API
+// (MineExpectedSupportFpGrowth, BruteForceMinePfci, and the item-level
+// miners) are reachable as algorithms here and their free functions are
+// deprecated.
 //
 // Determinism contract: with execution.deterministic == true (default),
 // Mine() produces bit-identical MiningResult.itemsets — including sampled
 // fcp values — for every num_threads, because all RNG streams are derived
 // from params.seed per unit of work and reductions run in a fixed order.
+//
+// Request schema (cross-field rules enforced by ValidateRequest):
+//
+//   field              applies to                 rule
+//   -----              ----------                 ----
+//   params             all                        ValidateParams(params)
+//   algorithm          all                        any Algorithm value
+//   execution          all                        num_threads >= 0
+//   top_k              kTopK only                 >= 1 for kTopK; must be
+//                                                 0 for everything else
+//   min_esup           kExpectedSupport,          >= 0; 0 defaults to
+//                      kExpectedSupportFpGrowth,  params.min_sup; must be
+//                      kItemExpectedSupport       0 for other algorithms
+//   sweep_min_sup      MiningSession::MineSweep   strictly increasing,
+//                                                 values >= 1; must be
+//                                                 empty for single-shot
+//                                                 Mine()
+//   progress*          all                        interval >= 1
+//   budget             all                        see RunBudget
+//   cancel / trace     all                        optional, caller-owned
+//
+// Database kind: Algorithm::kItemExpectedSupport and kItemPfi mine an
+// ItemUncertainDatabase and are served by the item-level Mine() overload;
+// every other algorithm mines a tuple-level UncertainDatabase. Requests
+// routed to the wrong overload come back as kInvalidRequest data, never
+// aborts.
 #ifndef PFCI_CORE_MINE_H_
 #define PFCI_CORE_MINE_H_
 
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/core/execution.h"
 #include "src/core/mining_params.h"
@@ -25,6 +56,8 @@
 #include "src/util/runtime.h"
 
 namespace pfci {
+
+class ItemUncertainDatabase;
 
 /// The mining algorithms reachable through Mine().
 enum class Algorithm {
@@ -37,10 +70,32 @@ enum class Algorithm {
   kExpectedSupport,  ///< Expected-support frequent itemsets (uses
                      ///< min_esup): the expected support is reported in
                      ///< the pr_f field, fcp is 0.
+  kExpectedSupportFpGrowth,  ///< Same answer as kExpectedSupport via the
+                             ///< weighted FP-growth baseline (uses
+                             ///< min_esup).
+  kBruteForce,       ///< Possible-world enumeration oracle: exact PrFC in
+                     ///< the fcp field. Only for databases with at most
+                     ///< kMaxEnumerableTransactions transactions; larger
+                     ///< inputs come back as kInvalidRequest.
+  kItemExpectedSupport,  ///< Expected support under item-level
+                         ///< uncertainty (item-level overload only).
+  kItemPfi,              ///< Probabilistic frequent itemsets under
+                         ///< item-level uncertainty (item-level overload
+                         ///< only).
 };
 
-/// Display name ("mpfci", "bfs", "naive", "topk", "pfi", "esup").
+/// Display name ("mpfci", "bfs", "naive", "topk", "pfi", "esup",
+/// "esup-fp", "brute", "item-esup", "item-pfi"). Round-trips through
+/// ParseAlgorithm.
 const char* AlgorithmName(Algorithm algorithm);
+
+/// Inverse of AlgorithmName: exact (case-sensitive) display-name lookup.
+/// Returns false (leaving `algorithm` untouched) for unknown names.
+bool ParseAlgorithm(const std::string& name, Algorithm* algorithm);
+
+/// Every Algorithm value, in declaration order — the one list that CLI
+/// help text and exhaustive tests iterate.
+const std::vector<Algorithm>& AllAlgorithms();
 
 /// Everything Mine() needs for one run.
 struct MiningRequest {
@@ -53,12 +108,19 @@ struct MiningRequest {
   /// Thread count and reproducibility guarantees.
   ExecutionPolicy execution;
 
-  /// Result count for Algorithm::kTopK (ignored otherwise).
-  std::size_t top_k = 10;
+  /// Result count for Algorithm::kTopK; must stay 0 for every other
+  /// algorithm (ValidateRequest rejects stray values instead of silently
+  /// ignoring them).
+  std::size_t top_k = 0;
 
-  /// Threshold for Algorithm::kExpectedSupport; values <= 0 default to
-  /// params.min_sup (ignored by the other algorithms).
+  /// Threshold for the expected-support algorithms; values <= 0 default
+  /// to params.min_sup. Must stay 0 for the other algorithms.
   double min_esup = 0.0;
+
+  /// min_sup thresholds for MiningSession::MineSweep (strictly
+  /// increasing). Single-shot Mine() requires this empty; a sweep needs
+  /// the session's caches to be worth anything.
+  std::vector<std::size_t> sweep_min_sup;
 
   /// Optional observer for long runs; invoked at most once per
   /// `progress_interval` search nodes (from any thread, never
@@ -84,8 +146,9 @@ struct MiningRequest {
   const CancelToken* cancel = nullptr;
 };
 
-/// Checks `request` (including its params and budget); empty string when
-/// valid.
+/// Checks `request` (including its params, budget, and the cross-field
+/// rules in the schema table above); empty string when valid. Error
+/// messages name the offending field.
 std::string ValidateRequest(const MiningRequest& request);
 
 /// Runs the requested algorithm and returns its result. Invalid requests
@@ -95,6 +158,39 @@ std::string ValidateRequest(const MiningRequest& request);
 /// internal invariants only). The per-algorithm wrapper functions keep
 /// their historical CHECK-on-invalid behavior.
 MiningResult Mine(const UncertainDatabase& db, const MiningRequest& request);
+
+/// Item-level uncertainty entry point: serves kItemExpectedSupport and
+/// kItemPfi; any other algorithm comes back as kInvalidRequest (those
+/// mine tuple-level databases).
+MiningResult Mine(const ItemUncertainDatabase& db,
+                  const MiningRequest& request);
+
+/// Session-owned state a MiningSession injects into a run (DESIGN.md
+/// §11). All pointers are optional and caller-owned; they must outlive
+/// the call. Injected state never changes results — only the work done
+/// to produce them (see ExecutionContext).
+struct SessionBindings {
+  /// Prebuilt index over the request's database; borrowed when its
+  /// tid-set mode matches the request, else the run builds its own.
+  const VerticalIndex* index = nullptr;
+
+  /// Cross-request PrF/esup evaluation cache.
+  EvalCache* eval_cache = nullptr;
+
+  /// Cross-request per-item infrequency proofs.
+  ItemWarmStart* warm_start = nullptr;
+
+  /// Extend freshly cached DP tail tables to at least this threshold
+  /// (0: just the run's min_sup). See ExecutionContext::table_floor.
+  std::size_t table_floor = 0;
+};
+
+/// Mine() with session state attached. This is the primitive
+/// MiningSession::Mine is built on; standalone callers can use it to
+/// share caches across hand-rolled request loops.
+MiningResult MineWithBindings(const UncertainDatabase& db,
+                              const MiningRequest& request,
+                              const SessionBindings& bindings);
 
 }  // namespace pfci
 

@@ -36,6 +36,9 @@ std::string MiningStats::ToString() const {
          " dp_runs=" + std::to_string(dp_runs) +
          " intersections=" + std::to_string(intersections) +
          " degraded_fcp=" + std::to_string(degraded_fcp_evals) +
+         " cache_hits=" + std::to_string(cache_hits) +
+         " cache_misses=" + std::to_string(cache_misses) +
+         " dp_reused=" + std::to_string(dp_reused) +
          " outcome=" + OutcomeName(outcome) +
          " time=" + FormatDouble(seconds, 4) + "s";
 }
@@ -48,7 +51,7 @@ std::string MiningStats::ToJson() const {
     out += name;
     out += "\":" + std::to_string(value);
   };
-  field("schema", 3);
+  field("schema", 4);
   field("nodes_visited", nodes_visited);
   field("pruned_by_chernoff", pruned_by_chernoff);
   field("pruned_by_frequency", pruned_by_frequency);
@@ -62,6 +65,10 @@ std::string MiningStats::ToJson() const {
   field("dp_runs", dp_runs);
   field("intersections", intersections);
   field("degraded_fcp_evals", degraded_fcp_evals);
+  field("cache_hits", cache_hits);
+  field("cache_misses", cache_misses);
+  field("dp_reused", dp_reused);
+  field("cache_bytes", cache_bytes);
   out += ",\"outcome\":\"";
   out += OutcomeName(outcome);
   out += "\"";

@@ -60,6 +60,20 @@ struct MiningStats {
   /// construction). Excludes the sampler's per-sample bit tests and the
   /// exact inclusion-exclusion inner loops.
   std::uint64_t intersections = 0;
+
+  /// Session evaluation-cache accounting (stats-json schema v4; DESIGN.md
+  /// §11). All zero outside a MiningSession. cache_hits/cache_misses
+  /// count PrF/esup probes served from / absent from the cross-request
+  /// cache; dp_reused is the subset of hits answered from a stored
+  /// Poisson-binomial tail table (a DP the run did not have to execute);
+  /// cache_bytes is the cache's resident size after the run. Cached
+  /// values are exact, so these counters never affect results; unlike
+  /// the other counters, hit/miss totals may vary with scheduling when
+  /// threads race on the same first evaluation.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t dp_reused = 0;
+  std::uint64_t cache_bytes = 0;
   double seconds = 0.0;
 
   /// Wall-clock seconds per phase (stats-json schema v2). A phase that an
@@ -86,7 +100,7 @@ struct MiningStats {
 
   /// One JSON object line with every counter plus seconds, for scripted
   /// regression tracking (schema documented in docs/FORMATS.md; the
-  /// `schema` field is 3 and the key set is append-only).
+  /// `schema` field is 4 and the key set is append-only).
   std::string ToJson() const;
 
   /// Emits one `counter` trace event per work counter under the canonical

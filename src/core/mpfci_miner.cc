@@ -4,8 +4,10 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/eval_cache.h"
 #include "src/core/fcp_engine.h"
 #include "src/core/frequent_probability.h"
+#include "src/core/index_handle.h"
 #include "src/data/vertical_index.h"
 #include "src/util/check.h"
 #include "src/util/failpoint.h"
@@ -33,19 +35,17 @@ class MpfciSearch {
               const ExecutionContext& exec)
       : params_(params),
         exec_(exec),
-        index_(db, TidSetPolicyFor(params)),
-        freq_(index_, params.min_sup),
-        engine_(index_, freq_, params, exec) {}
+        index_(db, TidSetPolicyFor(params), exec),
+        freq_(index_.get(), params.min_sup, exec.eval_cache, exec.table_floor),
+        engine_(index_.get(), freq_, params, exec) {}
 
   MiningResult Run() {
     Stopwatch timer;
     RunController* rt = exec_.runtime;
-    // The index is the run's dominant resident structure; charging it up
-    // front lets an undersized memory budget fail before any search work.
-    if (rt != nullptr && rt->active()) {
-      rt->ChargeBytes(index_.MemoryBytes());
-      rt->Checkpoint();
-    }
+    // The index (built or session-borrowed) was charged into the memory
+    // budget by the handle; checkpoint so an undersized budget fails
+    // before any search work.
+    if (rt != nullptr && rt->active()) rt->Checkpoint();
 
     if (rt == nullptr || !rt->StopRequested()) {
       TraceSpan span(exec_.trace, "candidate_build",
@@ -66,7 +66,7 @@ class MpfciSearch {
       // only live within one PrF evaluation, which never suspends into
       // the helping scheduler.
       TaskState task{&subtree[c], &rng, &LocalDpWorkspace(), &unit};
-      Dfs(task, Itemset{candidates_[c]}, index_.TidsOfItem(candidates_[c]),
+      Dfs(task, Itemset{candidates_[c]}, index_->TidsOfItem(candidates_[c]),
           candidate_pr_f_[c], c);
       if (unit.truncated && rt != nullptr) {
         rt->RecordTruncation(Outcome::kBudgetExhausted);
@@ -92,6 +92,9 @@ class MpfciSearch {
         AccumulateStats(part.stats);
       }
       result_.stats.dp_runs = freq_.dp_runs();
+      result_.stats.cache_hits = freq_.cache_hits();
+      result_.stats.cache_misses = freq_.cache_misses();
+      result_.stats.dp_reused = freq_.dp_reused();
       result_.Sort();
     }
     if (rt != nullptr) {
@@ -113,22 +116,39 @@ class MpfciSearch {
   };
 
   /// Phase 1 of Fig. 1: the candidate set of probabilistic frequent
-  /// single items (Lemma 4.1 + exact check).
+  /// single items (Lemma 4.1 + exact check). With a session warm start,
+  /// proofs recorded by earlier runs reject items up front (sound by
+  /// anti-monotonicity: the cold run would reject them too, so the
+  /// candidate set — and with it every downstream RNG stream — is
+  /// unchanged); rejections found the hard way are recorded for later
+  /// runs.
   void BuildCandidates() {
-    for (Item item : index_.occurring_items()) {
-      const TidSet& tids = index_.TidsOfItem(item);
+    ItemWarmStart* warm = exec_.warm_start;
+    for (Item item : index_->occurring_items()) {
+      const TidSet& tids = index_->TidsOfItem(item);
       if (tids.size() < params_.min_sup) {
         ++result_.stats.pruned_by_frequency;
         continue;
       }
-      if (params_.pruning.chernoff &&
-          freq_.PrFUpperBound(tids) <= params_.pfct) {
-        ++result_.stats.pruned_by_chernoff;
+      if (warm != nullptr &&
+          warm->BoundFor(item, params_.min_sup) <= params_.pfct) {
+        ++result_.stats.pruned_by_frequency;
         continue;
+      }
+      if (params_.pruning.chernoff) {
+        const double upper = freq_.PrFUpperBound(tids);
+        if (upper <= params_.pfct) {
+          ++result_.stats.pruned_by_chernoff;
+          if (warm != nullptr) {
+            warm->RecordBound(item, params_.min_sup, upper);
+          }
+          continue;
+        }
       }
       const double pr_f = freq_.PrF(tids);
       if (pr_f <= params_.pfct) {
         ++result_.stats.pruned_by_frequency;
+        if (warm != nullptr) warm->RecordBound(item, params_.min_sup, pr_f);
         continue;
       }
       candidates_.push_back(item);
@@ -142,10 +162,10 @@ class MpfciSearch {
   bool SupersetPruned(const Itemset& x, const TidSet& tids,
                       MiningStats& stats) const {
     const Item last = x.LastItem();
-    for (Item item : index_.occurring_items()) {
+    for (Item item : index_->occurring_items()) {
       if (item >= last) break;
       if (x.Contains(item)) continue;
-      const TidSet& item_tids = index_.TidsOfItem(item);
+      const TidSet& item_tids = index_->TidsOfItem(item);
       if (item_tids.size() < tids.size()) continue;
       ++stats.intersections;
       if (IsSubsetOf(tids, item_tids)) return true;
@@ -182,7 +202,7 @@ class MpfciSearch {
         return;
       }
       const Item item = candidates_[c];
-      const TidSet child_tids = Intersect(tids, index_.TidsOfItem(item));
+      const TidSet child_tids = Intersect(tids, index_->TidsOfItem(item));
       ++stats.intersections;
       const bool same_count = child_tids.size() == tids.size();
       if (params_.pruning.subset && same_count) {
@@ -254,7 +274,7 @@ class MpfciSearch {
 
   MiningParams params_;
   ExecutionContext exec_;
-  VerticalIndex index_;
+  IndexHandle index_;
   FrequentProbability freq_;
   FcpEngine engine_;
   std::vector<Item> candidates_;

@@ -5,6 +5,7 @@
 #include "src/core/extension_events.h"
 #include "src/core/fcp_sampler.h"
 #include "src/core/frequent_probability.h"
+#include "src/core/index_handle.h"
 #include "src/core/pfi_miner.h"
 #include "src/data/vertical_index.h"
 #include "src/prob/karp_luby.h"
@@ -30,14 +31,15 @@ MiningResult MineNaive(const UncertainDatabase& db, const MiningParams& params,
   PFCI_CHECK_MSG(error.empty(), "invalid MiningParams: " + error);
   Stopwatch timer;
   MiningResult result;
-  const VerticalIndex index(db, TidSetPolicyFor(params));
-  const FrequentProbability freq(index, params.min_sup);
+  const IndexHandle index_handle(db, TidSetPolicyFor(params), exec);
+  const VerticalIndex& index = index_handle.get();
+  const FrequentProbability freq(index, params.min_sup, exec.eval_cache,
+                                 exec.table_floor);
 
   RunController* rt = exec.runtime;
-  if (rt != nullptr && rt->active()) {
-    rt->ChargeBytes(index.MemoryBytes());
-    rt->Checkpoint();
-  }
+  // Index bytes were charged by the handle; fail an undersized memory
+  // budget before any search work.
+  if (rt != nullptr && rt->active()) rt->Checkpoint();
 
   // Stage 1: all probabilistic frequent itemsets (PrFC <= PrF, so the
   // answer set is contained in the PFIs). The node budget is consumed
@@ -46,7 +48,7 @@ MiningResult MineNaive(const UncertainDatabase& db, const MiningParams& params,
                            &result.stats.candidate_seconds);
   const std::vector<PfiEntry> pfis =
       MinePfi(db, params.min_sup, params.pfct, /*use_chernoff=*/true,
-              &result.stats, TidSetPolicyFor(params), rt);
+              &result.stats, TidSetPolicyFor(params), rt, &exec);
   candidate_span.End();
 
   // Stage 2: check each PFI's frequent closed probability by sampling.
@@ -110,7 +112,12 @@ MiningResult MineNaive(const UncertainDatabase& db, const MiningParams& params,
     }
   }
 
-  result.stats.dp_runs = freq.dp_runs();
+  // Add (not assign): stage 1's PfiSearch already accumulated its own
+  // DP and cache counts into the shared stats.
+  result.stats.dp_runs += freq.dp_runs();
+  result.stats.cache_hits += freq.cache_hits();
+  result.stats.cache_misses += freq.cache_misses();
+  result.stats.dp_reused += freq.dp_reused();
   result.Sort();
   merge_span.End();
   if (rt != nullptr) {

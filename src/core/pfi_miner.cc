@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "src/core/eval_cache.h"
 #include "src/core/frequent_probability.h"
+#include "src/core/index_handle.h"
 #include "src/data/vertical_index.h"
 #include "src/util/check.h"
 #include "src/util/failpoint.h"
@@ -16,27 +18,29 @@ class PfiSearch {
  public:
   PfiSearch(const UncertainDatabase& db, std::size_t min_sup, double pft,
             bool use_chernoff, FrequencyMode mode, MiningStats* stats,
-            const TidSetPolicy& policy, RunController* runtime)
+            const TidSetPolicy& policy, RunController* runtime,
+            const ExecutionContext* session)
       : pft_(pft),
         use_chernoff_(use_chernoff),
         mode_(mode),
         stats_(stats),
         rt_(runtime),
-        index_(db, policy),
-        freq_(index_, min_sup) {}
+        exec_(MakeContext(session, runtime)),
+        warm_(mode == FrequencyMode::kExactDp ? exec_.warm_start : nullptr),
+        index_(db, policy, exec_),
+        freq_(index_.get(), min_sup, exec_.eval_cache, exec_.table_floor) {}
 
   std::vector<PfiEntry> Run() {
-    if (rt_ != nullptr && rt_->active()) {
-      rt_->ChargeBytes(index_.MemoryBytes());
-      rt_->Checkpoint();
-    }
+    // Index bytes were charged by the handle; fail an undersized memory
+    // budget before any search work.
+    if (rt_ != nullptr && rt_->active()) rt_->Checkpoint();
     // Sequential miner: one logical work unit owns the whole budget.
     unit_ = rt_ != nullptr ? rt_->UnitBudget(0, 1) : WorkUnitBudget{};
 
     if (rt_ == nullptr || !rt_->StopRequested()) {
-      for (Item item : index_.occurring_items()) {
-        TidSet tids = index_.TidsOfItem(item);
-        const double pr_f = QualifyingPrF(tids);
+      for (Item item : index_->occurring_items()) {
+        TidSet tids = index_->TidsOfItem(item);
+        const double pr_f = QualifyingPrF(tids, &item);
         if (pr_f > pft_) {
           candidates_.push_back(item);
           Emit(Itemset{item}, std::move(tids), pr_f);
@@ -53,6 +57,12 @@ class PfiSearch {
     if (unit_.truncated && rt_ != nullptr) {
       rt_->RecordTruncation(Outcome::kBudgetExhausted);
     }
+    if (stats_ != nullptr) {
+      stats_->dp_runs += freq_.dp_runs();
+      stats_->cache_hits += freq_.cache_hits();
+      stats_->cache_misses += freq_.cache_misses();
+      stats_->dp_reused += freq_.dp_reused();
+    }
     std::sort(result_.begin(), result_.end());
     return std::move(result_);
   }
@@ -68,26 +78,54 @@ class PfiSearch {
         candidates_.begin());
   }
 
+  /// The context the index handle and cache read session hooks from; the
+  /// runtime is overridden so the handle charges the same controller the
+  /// search polls.
+  static ExecutionContext MakeContext(const ExecutionContext* session,
+                                      RunController* runtime) {
+    ExecutionContext exec = session != nullptr ? *session : ExecutionContext{};
+    exec.runtime = runtime;
+    return exec;
+  }
+
   /// PrF if the itemset qualifies, otherwise a value <= pft (with pruning
-  /// counters updated).
-  double QualifyingPrF(const TidSet& tids) {
+  /// counters updated). Singletons pass their item so warm-start proofs
+  /// apply (sound only against the exact DP, hence the kExactDp guard on
+  /// `warm_`); rejections found the hard way are recorded.
+  double QualifyingPrF(const TidSet& tids, const Item* warm_item = nullptr) {
     if (tids.size() < freq_.min_sup()) {
       if (stats_ != nullptr) ++stats_->pruned_by_frequency;
       return 0.0;
     }
-    if (use_chernoff_ && freq_.PrFUpperBound(tids) <= pft_) {
-      if (stats_ != nullptr) ++stats_->pruned_by_chernoff;
+    if (warm_ != nullptr && warm_item != nullptr &&
+        warm_->BoundFor(*warm_item, freq_.min_sup()) <= pft_) {
+      if (stats_ != nullptr) ++stats_->pruned_by_frequency;
       return 0.0;
+    }
+    if (use_chernoff_) {
+      const double upper = freq_.PrFUpperBound(tids);
+      if (upper <= pft_) {
+        if (stats_ != nullptr) ++stats_->pruned_by_chernoff;
+        if (warm_ != nullptr && warm_item != nullptr) {
+          warm_->RecordBound(*warm_item, freq_.min_sup(), upper);
+        }
+        return 0.0;
+      }
     }
     double pr_f;
     if (mode_ == FrequencyMode::kExactDp) {
       pr_f = freq_.PrF(tids);
     } else {
       DpWorkspace& ws = LocalDpWorkspace();
-      index_.GatherProbs(tids, &ws.probs);
+      index_->GatherProbs(tids, &ws.probs);
       pr_f = TailAtLeastWithMode(ws.probs, freq_.min_sup(), mode_);
     }
-    if (pr_f <= pft_ && stats_ != nullptr) ++stats_->pruned_by_frequency;
+    if (pr_f <= pft_) {
+      if (stats_ != nullptr) ++stats_->pruned_by_frequency;
+      if (warm_ != nullptr && warm_item != nullptr) {
+        warm_->RecordBound(*warm_item, freq_.min_sup(), pr_f);
+      }
+    }
     return pr_f;
   }
 
@@ -110,7 +148,7 @@ class PfiSearch {
     for (std::size_t c = candidate_pos + 1; c < candidates_.size(); ++c) {
       if (Stopped()) return;
       const Item item = candidates_[c];
-      TidSet child_tids = Intersect(tids, index_.TidsOfItem(item));
+      TidSet child_tids = Intersect(tids, index_->TidsOfItem(item));
       if (stats_ != nullptr) ++stats_->intersections;
       const double pr_f = QualifyingPrF(child_tids);
       if (pr_f <= pft_) continue;
@@ -125,8 +163,10 @@ class PfiSearch {
   FrequencyMode mode_;
   MiningStats* stats_;
   RunController* rt_;
+  ExecutionContext exec_;
+  ItemWarmStart* warm_;
   WorkUnitBudget unit_;
-  VerticalIndex index_;
+  IndexHandle index_;
   FrequentProbability freq_;
   std::vector<Item> candidates_;
   std::vector<PfiEntry> result_;
@@ -138,10 +178,11 @@ std::vector<PfiEntry> MinePfi(const UncertainDatabase& db,
                               std::size_t min_sup, double pft,
                               bool use_chernoff, MiningStats* stats,
                               const TidSetPolicy& policy,
-                              RunController* runtime) {
+                              RunController* runtime,
+                              const ExecutionContext* session) {
   PFCI_CHECK(min_sup >= 1);
   PfiSearch search(db, min_sup, pft, use_chernoff, FrequencyMode::kExactDp,
-                   stats, policy, runtime);
+                   stats, policy, runtime, session);
   return search.Run();
 }
 
@@ -155,7 +196,7 @@ std::vector<PfiEntry> MinePfiApproximate(const UncertainDatabase& db,
   // The Chernoff bound stays valid (it bounds the true tail, and every
   // approximation is consistent with it on the scales where it prunes).
   PfiSearch search(db, min_sup, pft, /*use_chernoff=*/true, mode, stats,
-                   policy, runtime);
+                   policy, runtime, /*session=*/nullptr);
   return search.Run();
 }
 

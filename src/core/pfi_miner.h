@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "src/core/execution.h"
 #include "src/core/mining_result.h"
 #include "src/data/tidset.h"
 #include "src/data/uncertain_database.h"
@@ -35,13 +36,16 @@ struct PfiEntry {
 /// tid-set representation (never affects results). `runtime` (optional)
 /// makes the enumeration fail-soft: the DFS polls it at node expansion
 /// and winds down with a verified prefix of the answer when a limit
-/// trips (the caller reads the outcome off the controller).
+/// trips (the caller reads the outcome off the controller). `session`
+/// (optional) carries a MiningSession's shared index, evaluation cache,
+/// and warm-start proofs (DESIGN.md §11); null mines standalone.
 std::vector<PfiEntry> MinePfi(const UncertainDatabase& db,
                               std::size_t min_sup, double pft,
                               bool use_chernoff = true,
                               MiningStats* stats = nullptr,
                               const TidSetPolicy& policy = TidSetPolicy{},
-                              RunController* runtime = nullptr);
+                              RunController* runtime = nullptr,
+                              const ExecutionContext* session = nullptr);
 
 /// Approximate PFI mining in the spirit of [3]: the exact frequent-
 /// probability DP is replaced by a distributional approximation of the

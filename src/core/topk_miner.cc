@@ -4,8 +4,10 @@
 #include <cmath>
 #include <vector>
 
+#include "src/core/eval_cache.h"
 #include "src/core/fcp_engine.h"
 #include "src/core/frequent_probability.h"
+#include "src/core/index_handle.h"
 #include "src/data/vertical_index.h"
 #include "src/util/check.h"
 #include "src/util/failpoint.h"
@@ -25,18 +27,17 @@ class TopkSearch {
       : params_(params),
         exec_(exec),
         k_(k),
-        index_(db, TidSetPolicyFor(params)),
-        freq_(index_, params.min_sup),
+        index_(db, TidSetPolicyFor(params), exec),
+        freq_(index_.get(), params.min_sup, exec.eval_cache, exec.table_floor),
         rng_(params.seed) {}
 
   MiningResult Run() {
     Stopwatch timer;
     MiningResult result;
     RunController* rt = exec_.runtime;
-    if (rt != nullptr && rt->active()) {
-      rt->ChargeBytes(index_.MemoryBytes());
-      rt->Checkpoint();
-    }
+    // Index bytes were charged by the handle; fail an undersized memory
+    // budget before any search work.
+    if (rt != nullptr && rt->active()) rt->Checkpoint();
     // The whole search shares one RNG (rng_), so the run is a single
     // logical work unit: after any truncation nothing further may be
     // evaluated, or later estimates would read a shifted stream.
@@ -51,7 +52,7 @@ class TopkSearch {
       TraceSpan span(exec_.trace, "dfs", &result.stats.search_seconds);
       for (std::size_t c = 0; c < candidates_.size() && !Stopped(); ++c) {
         const Item item = candidates_[c];
-        const TidSet& tids = index_.TidsOfItem(item);
+        const TidSet& tids = index_->TidsOfItem(item);
         const double pr_f = freq_.PrF(tids);
         if (pr_f <= Threshold()) continue;
         Dfs(Itemset{item}, tids, pr_f, c);
@@ -63,6 +64,9 @@ class TopkSearch {
     TraceSpan merge_span(exec_.trace, "merge", &result.stats.merge_seconds);
     AddStats(result.stats, stats_);
     result.stats.dp_runs = freq_.dp_runs();
+    result.stats.cache_hits = freq_.cache_hits();
+    result.stats.cache_misses = freq_.cache_misses();
+    result.stats.dp_reused = freq_.dp_reused();
     // Descending FCP, ties resolved by itemset order for determinism.
     std::sort(top_.begin(), top_.end(), RanksBefore);
     result.itemsets = std::move(top_);
@@ -151,8 +155,8 @@ class TopkSearch {
   }
 
   void BuildCandidates() {
-    for (Item item : index_.occurring_items()) {
-      const TidSet& tids = index_.TidsOfItem(item);
+    for (Item item : index_->occurring_items()) {
+      const TidSet& tids = index_->TidsOfItem(item);
       if (tids.size() < params_.min_sup) continue;
       // The floor threshold is the only sound candidate filter here (the
       // dynamic threshold starts at the floor and only rises).
@@ -167,10 +171,10 @@ class TopkSearch {
 
   bool SupersetPruned(const Itemset& x, const TidSet& tids) {
     const Item last = x.LastItem();
-    for (Item item : index_.occurring_items()) {
+    for (Item item : index_->occurring_items()) {
       if (item >= last) break;
       if (x.Contains(item)) continue;
-      const TidSet& item_tids = index_.TidsOfItem(item);
+      const TidSet& item_tids = index_->TidsOfItem(item);
       if (item_tids.size() < tids.size()) continue;
       ++stats_.intersections;
       if (IsSubsetOf(tids, item_tids)) return true;
@@ -196,7 +200,7 @@ class TopkSearch {
          ++c) {
       if (Stopped()) return;
       const Item item = candidates_[c];
-      const TidSet child_tids = Intersect(tids, index_.TidsOfItem(item));
+      const TidSet child_tids = Intersect(tids, index_->TidsOfItem(item));
       ++stats_.intersections;
       const bool same_count = child_tids.size() == tids.size();
       if (params_.pruning.subset && same_count) x_may_be_closed = false;
@@ -226,7 +230,7 @@ class TopkSearch {
     // Evaluate against the *current* threshold.
     MiningParams node_params = params_;
     node_params.pfct = Threshold();
-    const FcpEngine engine(index_, freq_, node_params, exec_);
+    const FcpEngine engine(index_.get(), freq_, node_params, exec_);
     const FcpComputation comp =
         engine.Evaluate(x, tids, pr_f, rng_, &stats_, nullptr, &unit_);
     if (comp.undecided) return;
@@ -246,7 +250,7 @@ class TopkSearch {
   MiningParams params_;
   ExecutionContext exec_;
   std::size_t k_;
-  VerticalIndex index_;
+  IndexHandle index_;
   FrequentProbability freq_;
   Rng rng_;
   WorkUnitBudget unit_;

@@ -26,6 +26,9 @@
 //                MineMpfciBfs, MineNaive, MineTopKPfci, MinePfi /
 //                MinePfiApproximate, MineExpectedSupport, MinePsupClosed
 //                remain as thin wrappers.
+//  * Serving:    MiningSession (repeated requests over one database:
+//                shared index, cross-request evaluation caches, threshold
+//                sweeps via MineSweep; DESIGN.md §11).
 //  * Per-itemset probabilities: FcpEngine, FrequentProbability,
 //                ExactClosedProbability / ApproxClosedProbability.
 //  * Oracles:    BruteForceItemsetProbabilities, BruteForceMinePfci
@@ -44,6 +47,7 @@
 #include "src/core/bfs_miner.h"
 #include "src/core/brute_force.h"
 #include "src/core/closed_probability.h"
+#include "src/core/eval_cache.h"
 #include "src/core/expected_support_miner.h"
 #include "src/core/fcp_engine.h"
 #include "src/core/item_uncertain_miners.h"
@@ -74,6 +78,7 @@
 #include "src/exact/closed_miner.h"
 #include "src/exact/fp_growth.h"
 #include "src/exact/transaction_database.h"
+#include "src/serve/mining_session.h"
 #include "src/util/failpoint.h"
 #include "src/util/runtime.h"
 

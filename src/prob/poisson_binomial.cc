@@ -57,6 +57,48 @@ double PoissonBinomialTailAtLeast(const double* probs, std::size_t n,
   return reached;
 }
 
+void PoissonBinomialTailTable(const double* probs, std::size_t n,
+                              std::size_t threshold,
+                              std::vector<double>* dp_scratch,
+                              std::vector<double>* table) {
+  table->assign(threshold + 1, 0.0);
+  (*table)[0] = 1.0;  // threshold 0 is certain, as in the direct form.
+  if (threshold == 0) return;
+  // Thresholds above n keep their exact-zero initialization (the direct
+  // form returns 0.0 before touching the DP), so the shared DP row only
+  // needs states 0..cap-1.
+  const std::size_t cap = std::min(threshold, n);
+  if (cap == 0) return;
+  dp_scratch->assign(cap, 0.0);
+  double* dp = dp_scratch->data();
+  double* tail = table->data();
+  dp[0] = 1.0;
+  std::size_t upper = 0;  // Highest state index that can currently be live.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = probs[i];
+    PFCI_DCHECK(p >= 0.0 && p <= 1.0);
+    // One absorption per threshold, before the state update — the same
+    // point in the item loop where a direct run at threshold t executes
+    // `reached += dp[t - 1] * p` (including its additions of exact zeros
+    // while state t-1 is still unreachable).
+    for (std::size_t t = 1; t <= cap; ++t) tail[t] += dp[t - 1] * p;
+    const std::size_t top = std::min(upper + 1, cap - 1);
+    for (std::size_t s = top; s > 0; --s) {
+      dp[s] = dp[s] * (1.0 - p) + dp[s - 1] * p;
+    }
+    dp[0] *= (1.0 - p);
+    upper = top;
+  }
+}
+
+std::vector<double> PoissonBinomialTailTable(const std::vector<double>& probs,
+                                             std::size_t threshold) {
+  std::vector<double> dp;
+  std::vector<double> table;
+  PoissonBinomialTailTable(probs.data(), probs.size(), threshold, &dp, &table);
+  return table;
+}
+
 double PoissonBinomialMean(const std::vector<double>& probs) {
   double mean = 0.0;
   for (double p : probs) mean += p;

@@ -36,6 +36,32 @@ double PoissonBinomialTailAtLeast(const double* probs, std::size_t n,
                                   std::size_t threshold,
                                   std::vector<double>* dp_scratch);
 
+/// Pr{ sum(Bernoulli(p_i)) >= t } for EVERY t in 0..threshold, in one DP
+/// pass. `*table` is resized to threshold + 1 with table[t] the tail
+/// probability at threshold t (table[0] == 1 exactly, table[t] == 0 for
+/// t > n).
+///
+/// Bit-exactness contract (relied on by the evaluation cache): each
+/// table[t] is bit-identical to a direct PoissonBinomialTailAtLeast(probs,
+/// n, t, ...) call. The truncated DP's state s depends only on states
+/// <= s, so its trajectory is the same under every truncation above s;
+/// maintaining one absorbed-mass accumulator per threshold — updated with
+/// `table[t] += dp[t-1] * p` before each item's in-place state update,
+/// exactly where the direct run adds to `reached` — replays each direct
+/// run's floating-point addition sequence verbatim.
+///
+/// Cost is O(n * threshold) time and O(threshold) space — the same order
+/// as the single largest direct evaluation, so precomputing the whole
+/// table costs at most ~2x one direct run at `threshold`.
+void PoissonBinomialTailTable(const double* probs, std::size_t n,
+                              std::size_t threshold,
+                              std::vector<double>* dp_scratch,
+                              std::vector<double>* table);
+
+/// Allocating convenience form of PoissonBinomialTailTable.
+std::vector<double> PoissonBinomialTailTable(const std::vector<double>& probs,
+                                             std::size_t threshold);
+
 /// Expected value of the sum (sum of p_i).
 double PoissonBinomialMean(const std::vector<double>& probs);
 

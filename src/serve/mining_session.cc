@@ -1,0 +1,116 @@
+#include "src/serve/mining_session.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace pfci {
+
+std::string ValidateSessionOptions(const SessionOptions& options) {
+  if (options.cache_bytes > 0 && options.cache_shards < 1) {
+    return "cache_shards must be >= 1 when the cache is enabled";
+  }
+  return "";
+}
+
+MiningSession MiningSession::Open(const UncertainDatabase& db,
+                                  SessionOptions options) {
+  const std::string error = ValidateSessionOptions(options);
+  PFCI_CHECK_MSG(error.empty(), "invalid SessionOptions: " + error);
+  auto state = std::make_unique<State>();
+  state->db = &db;
+  state->options = options;
+  if (options.cache_bytes > 0) {
+    EvalCache::Options cache_options;
+    cache_options.max_bytes = options.cache_bytes;
+    cache_options.shards = options.cache_shards;
+    state->cache = std::make_unique<EvalCache>(cache_options);
+  }
+  if (options.warm_start) {
+    state->warm = std::make_unique<ItemWarmStart>();
+  }
+  // Prepare the default-mode index up front: the session's first request
+  // pays index cost at Open, not at serve time.
+  state->indexes.emplace(TidSetMode::kAdaptive,
+                         std::make_unique<VerticalIndex>(db, TidSetPolicy{}));
+  return MiningSession(std::move(state));
+}
+
+const VerticalIndex& MiningSession::IndexFor(const MiningParams& params) {
+  const TidSetPolicy policy = TidSetPolicyFor(params);
+  std::lock_guard<std::mutex> lock(state_->index_mutex);
+  auto it = state_->indexes.find(policy.mode);
+  if (it == state_->indexes.end()) {
+    it = state_->indexes
+             .emplace(policy.mode,
+                      std::make_unique<VerticalIndex>(*state_->db, policy))
+             .first;
+  }
+  return *it->second;
+}
+
+MiningResult MiningSession::Mine(const MiningRequest& request) {
+  return MineStep(request, /*table_floor=*/0);
+}
+
+MiningResult MiningSession::MineStep(const MiningRequest& request,
+                                     std::size_t table_floor) {
+  SessionBindings bindings;
+  bindings.index = &IndexFor(request.params);
+  bindings.eval_cache = state_->cache.get();
+  bindings.warm_start = state_->warm.get();
+  bindings.table_floor = table_floor;
+  MiningResult result = MineWithBindings(*state_->db, request, bindings);
+  result.stats.cache_bytes = cache_bytes();
+  return result;
+}
+
+std::vector<MiningResult> MiningSession::MineSweep(
+    const MiningRequest& request) {
+  std::vector<MiningResult> results;
+  const std::string error = ValidateRequest(request);
+  if (!error.empty() || request.sweep_min_sup.empty()) {
+    MiningResult invalid;
+    invalid.stats.outcome = Outcome::kInvalidRequest;
+    invalid.status_message =
+        "invalid MiningRequest: " +
+        (error.empty() ? std::string("MineSweep requires a non-empty "
+                                     "sweep_min_sup")
+                       : error);
+    results.push_back(std::move(invalid));
+    return results;
+  }
+  // Lowest threshold first, with tail tables extended to the sweep's
+  // largest threshold: the first run explores a superset of every later
+  // run's candidates (anti-monotonicity), so its extended tables answer
+  // all higher thresholds from the cache without re-running the DP.
+  const std::size_t floor = request.sweep_min_sup.back();
+  results.reserve(request.sweep_min_sup.size());
+  for (const std::size_t min_sup : request.sweep_min_sup) {
+    MiningRequest step = request;
+    step.sweep_min_sup.clear();
+    step.params.min_sup = min_sup;
+    results.push_back(MineStep(step, floor));
+  }
+  return results;
+}
+
+std::uint64_t MiningSession::cache_bytes() const {
+  return state_->cache != nullptr ? state_->cache->bytes() : 0;
+}
+
+std::uint64_t MiningSession::cache_entries() const {
+  return state_->cache != nullptr ? state_->cache->entries() : 0;
+}
+
+std::uint64_t MiningSession::cache_evictions() const {
+  return state_->cache != nullptr ? state_->cache->evictions() : 0;
+}
+
+std::size_t MiningSession::warm_items_recorded() const {
+  return state_->warm != nullptr ? state_->warm->items_recorded() : 0;
+}
+
+}  // namespace pfci

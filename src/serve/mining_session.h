@@ -1,0 +1,134 @@
+// MiningSession: an amortized serving layer over one uncertain database
+// (DESIGN.md §11).
+//
+// Mine() is a single-shot API: every call builds a VerticalIndex, runs,
+// and throws all derived state away. A MiningSession amortizes that work
+// across requests against the SAME database — the dominant serving
+// pattern (threshold sweeps, parameter exploration, dashboards):
+//
+//   * the tid-set index layer is built once per tid-set mode and shared
+//     by every request (borrowed through ExecutionContext::shared_index);
+//   * per-tidset evaluation results (expected support mu, Poisson-
+//     binomial tail tables) persist in a bounded EvalCache; a tail table
+//     computed at one min_sup answers every smaller min_sup without
+//     re-running the DP (monotonicity-aware reuse);
+//   * per-item infrequency proofs persist in an ItemWarmStart, letting
+//     later runs at equal-or-higher min_sup reject items up front
+//     (anti-monotonicity).
+//
+// Determinism: session state never changes results. Cached values are
+// bit-identical to what a cold run computes (see FrequentProbability and
+// PoissonBinomialTailTable), warm-start proofs only skip work whose
+// outcome they already verified, and sampled FCP values are seed-derived
+// per run and never cached. A session run differs from a cold run only in
+// the work counters (dp_runs, cache_hits, cache_misses, dp_reused,
+// cache_bytes).
+//
+// Thread safety: one session may serve concurrent Mine() calls; the
+// caches are internally synchronized and the index map is mutex-guarded.
+// The database must outlive the session and stay unmodified.
+#ifndef PFCI_SERVE_MINING_SESSION_H_
+#define PFCI_SERVE_MINING_SESSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/eval_cache.h"
+#include "src/core/mine.h"
+#include "src/data/tidset.h"
+#include "src/data/uncertain_database.h"
+#include "src/data/vertical_index.h"
+
+namespace pfci {
+
+/// Knobs fixed at session open.
+struct SessionOptions {
+  /// Byte budget of the evaluation cache (LRU-evicted). 0 disables the
+  /// cache entirely (runs still share the prepared index).
+  std::size_t cache_bytes = std::size_t{64} << 20;
+
+  /// Lock shards of the evaluation cache (>= 1 when the cache is on).
+  std::size_t cache_shards = 8;
+
+  /// Keep per-item infrequency proofs across requests.
+  bool warm_start = true;
+};
+
+/// Checks `options`; empty string when valid.
+std::string ValidateSessionOptions(const SessionOptions& options);
+
+class MiningSession {
+ public:
+  /// Opens a session over `db` (kept by reference; must outlive the
+  /// session) and prepares the default tid-set index layer up front.
+  /// CHECK-fails on invalid options — validate first when they come from
+  /// user input.
+  static MiningSession Open(const UncertainDatabase& db,
+                            SessionOptions options = SessionOptions{});
+
+  MiningSession(MiningSession&&) = default;
+  MiningSession& operator=(MiningSession&&) = default;
+
+  /// Serves one request with the session's shared index and caches.
+  /// Identical results to Mine(db, request) — see the determinism note
+  /// above — with stats.cache_* reporting the session's cache work.
+  MiningResult Mine(const MiningRequest& request);
+
+  /// Serves request.sweep_min_sup (strictly increasing min_sup values) as
+  /// one request per threshold; results come back in sweep order.
+  /// Internally the sweep runs lowest threshold first with DP tail tables
+  /// extended to the sweep's largest threshold (SessionBindings::
+  /// table_floor): the first run explores a superset of every later run's
+  /// candidates, so the higher thresholds are answered from the cache
+  /// without re-running the DP. On an invalid request the vector holds a
+  /// single kInvalidRequest result carrying the diagnosis.
+  std::vector<MiningResult> MineSweep(const MiningRequest& request);
+
+  const UncertainDatabase& db() const { return *state_->db; }
+  const SessionOptions& options() const { return state_->options; }
+
+  /// Session cache observability (zero with the cache disabled).
+  std::uint64_t cache_bytes() const;
+  std::uint64_t cache_entries() const;
+  std::uint64_t cache_evictions() const;
+
+  /// Items with a recorded warm-start proof (0 with warm_start off).
+  std::size_t warm_items_recorded() const;
+
+ private:
+  /// All session state sits behind one pointer so the session is movable
+  /// while runs hold stable addresses into it.
+  struct State {
+    const UncertainDatabase* db = nullptr;
+    SessionOptions options;
+    std::unique_ptr<EvalCache> cache;      ///< Null when cache_bytes == 0.
+    std::unique_ptr<ItemWarmStart> warm;   ///< Null when warm_start off.
+
+    /// One prepared index per tid-set mode, built on first use.
+    std::mutex index_mutex;
+    std::map<TidSetMode, std::unique_ptr<VerticalIndex>> indexes;
+  };
+
+  explicit MiningSession(std::unique_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  /// The session index for this request's tid-set policy (built under the
+  /// mutex on first use; stable address afterwards).
+  const VerticalIndex& IndexFor(const MiningParams& params);
+
+  /// One request with session bindings attached; `table_floor` extends
+  /// freshly cached DP tables for sweep prefilling (0 outside sweeps).
+  MiningResult MineStep(const MiningRequest& request,
+                        std::size_t table_floor);
+
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace pfci
+
+#endif  // PFCI_SERVE_MINING_SESSION_H_

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "src/core/bfs_miner.h"
+#include "src/core/brute_force.h"
 #include "src/core/expected_support_miner.h"
 #include "src/core/mine.h"
 #include "src/core/mpfci_miner.h"
@@ -13,12 +14,15 @@
 #include "src/core/pfi_miner.h"
 #include "src/core/stream_miner.h"
 #include "src/core/topk_miner.h"
+#include "src/data/item_uncertain_database.h"
 #include "src/data/uncertain_database.h"
 #include "src/data/world_enumerator.h"
 #include "src/prob/karp_luby.h"
 
 namespace pfci {
 namespace {
+
+UncertainDatabase MakeSmallDb();
 
 using ApiContractDeathTest = ::testing::Test;
 
@@ -139,6 +143,121 @@ TEST(ApiContract, AlgorithmNamesAreStable) {
   EXPECT_STREQ(AlgorithmName(Algorithm::kTopK), "topk");
   EXPECT_STREQ(AlgorithmName(Algorithm::kPfi), "pfi");
   EXPECT_STREQ(AlgorithmName(Algorithm::kExpectedSupport), "esup");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kExpectedSupportFpGrowth),
+               "esup-fp");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kBruteForce), "brute");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kItemExpectedSupport), "item-esup");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kItemPfi), "item-pfi");
+}
+
+TEST(ApiContract, ParseAlgorithmRoundTripsEveryName) {
+  for (const Algorithm algorithm : AllAlgorithms()) {
+    Algorithm parsed;
+    ASSERT_TRUE(ParseAlgorithm(AlgorithmName(algorithm), &parsed))
+        << AlgorithmName(algorithm);
+    EXPECT_EQ(parsed, algorithm);
+  }
+  Algorithm unused;
+  EXPECT_FALSE(ParseAlgorithm("mpfcix", &unused));
+  EXPECT_FALSE(ParseAlgorithm("", &unused));
+  EXPECT_FALSE(ParseAlgorithm("MPFCI", &unused));  // Case-sensitive.
+}
+
+TEST(ApiContract, CrossFieldValidationNamesTheOffendingField) {
+  // top_k only applies to the top-k algorithm.
+  MiningRequest request;
+  request.top_k = 5;
+  EXPECT_NE(ValidateRequest(request).find("top_k"), std::string::npos);
+
+  // min_esup > 0 only applies to expected-support algorithms.
+  request = MiningRequest{};
+  request.min_esup = 2.0;
+  EXPECT_NE(ValidateRequest(request).find("min_esup"), std::string::npos);
+  request.algorithm = Algorithm::kExpectedSupport;
+  EXPECT_EQ(ValidateRequest(request), "");
+
+  // Sweep thresholds must be >= 1 and strictly increasing.
+  request = MiningRequest{};
+  request.sweep_min_sup = {2, 2};
+  EXPECT_NE(ValidateRequest(request).find("sweep_min_sup"),
+            std::string::npos);
+  request.sweep_min_sup = {0, 1};
+  EXPECT_NE(ValidateRequest(request).find("sweep_min_sup"),
+            std::string::npos);
+  request.sweep_min_sup = {2, 5, 9};
+  EXPECT_EQ(ValidateRequest(request), "");
+}
+
+TEST(ApiContract, SingleShotMineRejectsSweepRequests) {
+  const UncertainDatabase db = MakeSmallDb();
+  MiningRequest request;
+  request.params.min_sup = 2;
+  request.sweep_min_sup = {2, 3};
+  const MiningResult result = Mine(db, request);
+  EXPECT_EQ(result.outcome(), Outcome::kInvalidRequest);
+  EXPECT_NE(result.status_message.find("MineSweep"), std::string::npos)
+      << result.status_message;
+}
+
+TEST(ApiContract, BruteForceGuardsDatabaseSizeAsData) {
+  UncertainDatabase db;
+  for (int i = 0; i < 25; ++i) db.Add(Itemset{0, 1}, 0.5);
+  MiningRequest request;
+  request.algorithm = Algorithm::kBruteForce;
+  request.params.min_sup = 2;
+  const MiningResult result = Mine(db, request);
+  EXPECT_EQ(result.outcome(), Outcome::kInvalidRequest);
+  EXPECT_NE(result.status_message.find("brute"), std::string::npos)
+      << result.status_message;
+}
+
+TEST(ApiContract, OverloadsRejectMismatchedAlgorithmLevels) {
+  // Item-level algorithms are served only by the item-level overload.
+  const UncertainDatabase tuple_db = MakeSmallDb();
+  MiningRequest request;
+  request.params.min_sup = 1;
+  request.algorithm = Algorithm::kItemPfi;
+  EXPECT_EQ(Mine(tuple_db, request).outcome(), Outcome::kInvalidRequest);
+
+  ItemUncertainDatabase item_db;
+  item_db.Add({{0, 0.9}, {1, 0.8}});
+  item_db.Add({{0, 0.7}, {1, 0.6}});
+  request.algorithm = Algorithm::kMpfci;
+  EXPECT_EQ(Mine(item_db, request).outcome(), Outcome::kInvalidRequest);
+  request.algorithm = Algorithm::kItemPfi;
+  request.params.pfct = 0.1;
+  EXPECT_EQ(Mine(item_db, request).outcome(), Outcome::kComplete);
+}
+
+TEST(ApiContract, DeprecatedWrappersStillMatchMine) {
+  const UncertainDatabase db = MakeSmallDb();
+  MiningRequest request;
+  request.params.min_sup = 2;
+  request.params.pfct = 0.1;
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  request.algorithm = Algorithm::kBruteForce;
+  const MiningResult brute = Mine(db, request);
+  const std::vector<FcpGroundTruth> truth =
+      BruteForceMinePfci(db, request.params.min_sup, request.params.pfct);
+  ASSERT_EQ(brute.itemsets.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(brute.itemsets[i].items, truth[i].items);
+    EXPECT_EQ(brute.itemsets[i].fcp, truth[i].fcp);
+  }
+
+  request.algorithm = Algorithm::kExpectedSupportFpGrowth;
+  request.min_esup = 1.5;
+  const MiningResult fp = Mine(db, request);
+  const std::vector<ExpectedSupportEntry> entries =
+      MineExpectedSupportFpGrowth(db, request.min_esup);
+  ASSERT_EQ(fp.itemsets.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(fp.itemsets[i].items, entries[i].items);
+    EXPECT_EQ(fp.itemsets[i].pr_f, entries[i].expected_support);
+  }
+#pragma GCC diagnostic pop
 }
 
 /// A fixed 6-transaction database exercising all miners cheaply.

@@ -1,8 +1,10 @@
 // Cross-validation of the UF-growth-style weighted FP-growth against the
-// DFS expected-support miner, plus weighted-count semantics checks.
+// DFS expected-support miner (both reached through the unified Mine()
+// dispatch), plus weighted-count semantics checks.
 #include <gtest/gtest.h>
 
 #include "src/core/expected_support_miner.h"
+#include "src/core/mine.h"
 #include "src/harness/dataset_factory.h"
 #include "src/util/random.h"
 
@@ -23,29 +25,42 @@ UncertainDatabase RandomDb(Rng& rng, std::size_t n, std::size_t items,
   return db;
 }
 
-void ExpectSameAnswer(const std::vector<ExpectedSupportEntry>& a,
-                      const std::vector<ExpectedSupportEntry>& b) {
-  ASSERT_EQ(a.size(), b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a[i].items, b[i].items);
-    EXPECT_NEAR(a[i].expected_support, b[i].expected_support, 1e-9);
+/// Expected-support mining through Mine(): entries carry the expected
+/// support in pr_f.
+MiningResult MineEsup(const UncertainDatabase& db, double min_esup,
+                      Algorithm algorithm) {
+  MiningRequest request;
+  request.algorithm = algorithm;
+  request.min_esup = min_esup;
+  MiningResult result = Mine(db, request);
+  EXPECT_TRUE(result.ok()) << result.status_message;
+  return result;
+}
+
+void ExpectSameAnswer(const MiningResult& a, const MiningResult& b) {
+  ASSERT_EQ(a.itemsets.size(), b.itemsets.size());
+  for (std::size_t i = 0; i < a.itemsets.size(); ++i) {
+    EXPECT_EQ(a.itemsets[i].items, b.itemsets[i].items);
+    EXPECT_NEAR(a.itemsets[i].pr_f, b.itemsets[i].pr_f, 1e-9);
   }
 }
 
 TEST(ExpectedSupportFpGrowth, PaperExample) {
   const UncertainDatabase db = MakePaperExampleDb();
   for (double min_esup : {0.5, 1.7, 2.5, 3.0}) {
-    ExpectSameAnswer(MineExpectedSupportFpGrowth(db, min_esup),
-                     MineExpectedSupport(db, min_esup));
+    ExpectSameAnswer(
+        MineEsup(db, min_esup, Algorithm::kExpectedSupportFpGrowth),
+        MineEsup(db, min_esup, Algorithm::kExpectedSupport));
   }
 }
 
 TEST(ExpectedSupportFpGrowth, WeightedCountsAreExpectedSupports) {
   const UncertainDatabase db = MakeTable4Db();
-  const auto mined = MineExpectedSupportFpGrowth(db, 0.3);
-  for (const auto& entry : mined) {
-    EXPECT_NEAR(entry.expected_support, db.ExpectedSupport(entry.items),
-                1e-9)
+  const MiningResult mined =
+      MineEsup(db, 0.3, Algorithm::kExpectedSupportFpGrowth);
+  EXPECT_FALSE(mined.itemsets.empty());
+  for (const PfciEntry& entry : mined.itemsets) {
+    EXPECT_NEAR(entry.pr_f, db.ExpectedSupport(entry.items), 1e-9)
         << entry.items.ToString(true);
   }
 }
@@ -60,8 +75,9 @@ TEST_P(EsupMinersAgree, RandomDatabases) {
   for (double min_esup : {0.4, 1.0, 2.0}) {
     SCOPED_TRACE("seed=" + std::to_string(GetParam()) +
                  " min_esup=" + std::to_string(min_esup));
-    ExpectSameAnswer(MineExpectedSupportFpGrowth(db, min_esup),
-                     MineExpectedSupport(db, min_esup));
+    ExpectSameAnswer(
+        MineEsup(db, min_esup, Algorithm::kExpectedSupportFpGrowth),
+        MineEsup(db, min_esup, Algorithm::kExpectedSupport));
   }
 }
 
@@ -71,8 +87,9 @@ INSTANTIATE_TEST_SUITE_P(RandomDatabases, EsupMinersAgree,
 TEST(ExpectedSupportFpGrowth, QuickDatasetScale) {
   const UncertainDatabase db = MakeUncertainQuest(BenchScale::kQuick);
   const double min_esup = 0.2 * static_cast<double>(db.size());
-  ExpectSameAnswer(MineExpectedSupportFpGrowth(db, min_esup),
-                   MineExpectedSupport(db, min_esup));
+  ExpectSameAnswer(
+      MineEsup(db, min_esup, Algorithm::kExpectedSupportFpGrowth),
+      MineEsup(db, min_esup, Algorithm::kExpectedSupport));
 }
 
 }  // namespace

@@ -72,8 +72,8 @@ MiningRequest PaperRequest(Algorithm algorithm) {
   request.algorithm = algorithm;
   request.params.min_sup = 2;
   request.params.pfct = 0.1;
-  request.min_esup = 1.0;
-  request.top_k = 5;
+  if (algorithm == Algorithm::kExpectedSupport) request.min_esup = 1.0;
+  if (algorithm == Algorithm::kTopK) request.top_k = 5;
   return request;
 }
 

@@ -7,11 +7,28 @@
 #include <gtest/gtest.h>
 
 #include "src/core/item_uncertain_miners.h"
+#include "src/core/mine.h"
 #include "src/prob/poisson_binomial.h"
 #include "src/util/random.h"
 
 namespace pfci {
 namespace {
+
+/// Item-level mining through the unified Mine() overload. The expected
+/// support (item-esup) or frequent probability (item-pfi) is carried in
+/// the pr_f field.
+MiningResult MineItemLevel(const ItemUncertainDatabase& db,
+                           Algorithm algorithm, double min_esup,
+                           std::size_t min_sup, double pft) {
+  MiningRequest request;
+  request.algorithm = algorithm;
+  request.min_esup = min_esup;
+  request.params.min_sup = min_sup;
+  request.params.pfct = pft;
+  MiningResult result = Mine(db, request);
+  EXPECT_TRUE(result.ok()) << result.status_message;
+  return result;
+}
 
 /// Enumerates every world of an item-uncertain database (each item
 /// occurrence flips its own coin) and calls visit(world transactions,
@@ -97,15 +114,15 @@ TEST(ItemUncertainDatabase, SupportIsPoissonBinomialOverContainment) {
 
 TEST(ItemUncertainMiners, ExpectedSupportMinerComplete) {
   const ItemUncertainDatabase db = SmallDb();
-  const auto mined = MineExpectedSupportItemLevel(db, 0.5);
-  for (const auto& entry : mined) {
-    EXPECT_NEAR(entry.expected_support, db.ExpectedSupport(entry.items),
-                1e-12);
-    EXPECT_GE(entry.expected_support, 0.5);
+  const MiningResult mined = MineItemLevel(
+      db, Algorithm::kItemExpectedSupport, 0.5, /*min_sup=*/1, /*pft=*/0.8);
+  for (const auto& entry : mined.itemsets) {
+    EXPECT_NEAR(entry.pr_f, db.ExpectedSupport(entry.items), 1e-12);
+    EXPECT_GE(entry.pr_f, 0.5);
   }
   // Completeness: check every subset of the universe by hand.
   const auto contains = [&mined](const Itemset& x) {
-    for (const auto& entry : mined) {
+    for (const auto& entry : mined.itemsets) {
       if (entry.items == x) return true;
     }
     return false;
@@ -124,7 +141,8 @@ TEST(ItemUncertainMiners, PfiMinerMatchesWorldEnumeration) {
   const ItemUncertainDatabase db = SmallDb();
   const std::size_t min_sup = 2;
   for (double pft : {0.1, 0.3, 0.6}) {
-    const auto mined = MinePfiItemLevel(db, min_sup, pft);
+    const MiningResult mined = MineItemLevel(
+        db, Algorithm::kItemPfi, /*min_esup=*/0.0, min_sup, pft);
     for (std::uint32_t mask = 1; mask < 8; ++mask) {
       std::vector<Item> items;
       for (Item i = 0; i < 3; ++i) {
@@ -140,8 +158,8 @@ TEST(ItemUncertainMiners, PfiMinerMatchesWorldEnumeration) {
         }
         if (support >= min_sup) pr_f += prob;
       });
-      const ItemPfiEntry* found = nullptr;
-      for (const auto& entry : mined) {
+      const PfciEntry* found = nullptr;
+      for (const auto& entry : mined.itemsets) {
         if (entry.items == x) found = &entry;
       }
       if (pr_f > pft) {
@@ -172,10 +190,11 @@ TEST(ItemUncertainMiners, RandomizedAgainstEnumeration) {
       db.Add(std::move(occurrences));
     }
     const double min_esup = 0.5 + rng.NextDouble();
-    const auto mined = MineExpectedSupportItemLevel(db, min_esup);
-    for (const auto& entry : mined) {
-      EXPECT_NEAR(entry.expected_support, db.ExpectedSupport(entry.items),
-                  1e-9);
+    const MiningResult mined = MineItemLevel(
+        db, Algorithm::kItemExpectedSupport, min_esup, /*min_sup=*/1,
+        /*pft=*/0.8);
+    for (const auto& entry : mined.itemsets) {
+      EXPECT_NEAR(entry.pr_f, db.ExpectedSupport(entry.items), 1e-9);
     }
   }
 }

@@ -102,7 +102,7 @@ TEST(PaperExample, ResultStableAcrossPfct) {
     }
     // The result must be exactly the brute-force answer.
     const std::vector<FcpGroundTruth> truth_set =
-        BruteForceMinePfci(db, 2, pfct);
+        internal::BruteForceMinePfci(db, 2, pfct);
     ASSERT_EQ(result.itemsets.size(), truth_set.size()) << "pfct=" << pfct;
     for (std::size_t i = 0; i < truth_set.size(); ++i) {
       EXPECT_EQ(result.itemsets[i].items, truth_set[i].items);

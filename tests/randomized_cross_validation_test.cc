@@ -59,7 +59,7 @@ TEST_P(RandomizedTrial, AllVariantsMatchBruteForce) {
       RandomDb(rng, config.n, config.num_items, config.density);
 
   const std::vector<FcpGroundTruth> truth =
-      BruteForceMinePfci(db, config.min_sup, config.pfct);
+      internal::BruteForceMinePfci(db, config.min_sup, config.pfct);
 
   MiningParams params;
   params.min_sup = config.min_sup;
@@ -140,7 +140,7 @@ TEST_P(RandomizedTrial, PfiMinerMatchesBruteForcePrF) {
   }
   // And the PFCI set (brute force) is contained in the PFI set.
   const std::vector<FcpGroundTruth> pfcis =
-      BruteForceMinePfci(db, config.min_sup, config.pfct);
+      internal::BruteForceMinePfci(db, config.min_sup, config.pfct);
   for (const FcpGroundTruth& pfci : pfcis) {
     bool found = false;
     for (const PfiEntry& entry : pfis) {

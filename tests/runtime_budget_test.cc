@@ -144,8 +144,8 @@ TEST(RuntimeBudget, BudgetsApplyToEveryAlgorithm) {
     SCOPED_TRACE(AlgorithmName(algorithm));
     MiningRequest request = BaseRequest(1);
     request.algorithm = algorithm;
-    request.top_k = 5;
-    request.min_esup = 8.0;
+    if (algorithm == Algorithm::kTopK) request.top_k = 5;
+    if (algorithm == Algorithm::kExpectedSupport) request.min_esup = 8.0;
     const MiningResult full = Mine(db, request);
     ASSERT_EQ(full.outcome(), Outcome::kComplete);
 

@@ -1,0 +1,313 @@
+// MiningSession serving-layer tests: cache hit/miss accounting, LRU
+// eviction under a byte budget, monotonicity-aware DP reuse across a
+// threshold sweep, and the central determinism contract — session runs
+// (cache on) are bit-identical to standalone runs (cache off) for every
+// algorithm, thread count, and tid-set mode (DESIGN.md §11).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/eval_cache.h"
+#include "src/core/mine.h"
+#include "src/datagen/probability_assigner.h"
+#include "src/datagen/quest_generator.h"
+#include "src/harness/dataset_factory.h"
+#include "src/serve/mining_session.h"
+
+namespace pfci {
+namespace {
+
+/// Big enough that PrF evaluations dominate and subtrees parallelize.
+UncertainDatabase MakeQuestDb(std::uint64_t seed) {
+  QuestParams quest;
+  quest.num_transactions = 60;
+  quest.avg_transaction_length = 6.0;
+  quest.avg_pattern_length = 3.0;
+  quest.num_items = 16;
+  quest.num_patterns = 8;
+  quest.seed = seed;
+  GaussianAssignerParams assign;
+  assign.mean = 0.75;
+  assign.spread = 0.15;
+  assign.seed = seed + 1;
+  return AssignGaussianProbabilities(GenerateQuest(quest), assign);
+}
+
+/// Bit-identical itemsets: items, probabilities, bounds, and method.
+void ExpectIdenticalResults(const MiningResult& a, const MiningResult& b) {
+  ASSERT_EQ(a.itemsets.size(), b.itemsets.size());
+  for (std::size_t i = 0; i < a.itemsets.size(); ++i) {
+    const PfciEntry& x = a.itemsets[i];
+    const PfciEntry& y = b.itemsets[i];
+    EXPECT_EQ(x.items, y.items);
+    EXPECT_EQ(x.fcp, y.fcp) << x.items.ToString();
+    EXPECT_EQ(x.pr_f, y.pr_f) << x.items.ToString();
+    EXPECT_EQ(x.fcp_lower, y.fcp_lower) << x.items.ToString();
+    EXPECT_EQ(x.fcp_upper, y.fcp_upper) << x.items.ToString();
+    EXPECT_EQ(x.method, y.method) << x.items.ToString();
+  }
+}
+
+MiningRequest BaseRequest(Algorithm algorithm, std::size_t min_sup) {
+  MiningRequest request;
+  request.algorithm = algorithm;
+  request.params.min_sup = min_sup;
+  request.params.pfct = 0.3;
+  if (algorithm == Algorithm::kTopK) request.top_k = 5;
+  if (algorithm == Algorithm::kExpectedSupport ||
+      algorithm == Algorithm::kExpectedSupportFpGrowth) {
+    request.min_esup = static_cast<double>(min_sup);
+  }
+  return request;
+}
+
+TEST(MiningSession, SecondIdenticalRequestIsAllCacheHits) {
+  const UncertainDatabase db = MakeQuestDb(7);
+  MiningSession session = MiningSession::Open(db);
+  const MiningRequest request = BaseRequest(Algorithm::kMpfci, 6);
+
+  const MiningResult cold = Mine(db, request);
+  const MiningResult first = session.Mine(request);
+  const MiningResult second = session.Mine(request);
+
+  ExpectIdenticalResults(cold, first);
+  ExpectIdenticalResults(cold, second);
+
+  // First run populates the cache; repeated tidsets within the run
+  // already hit it, so DP work can only shrink relative to cold.
+  EXPECT_GT(first.stats.cache_misses, 0u);
+  EXPECT_LE(first.stats.dp_runs, cold.stats.dp_runs);
+  EXPECT_GT(first.stats.cache_bytes, 0u);
+
+  // Second run is served from the cache: zero DP executions.
+  EXPECT_GT(second.stats.cache_hits, 0u);
+  EXPECT_EQ(second.stats.dp_runs, 0u);
+  EXPECT_GT(second.stats.dp_reused, 0u);
+  EXPECT_GT(session.cache_entries(), 0u);
+}
+
+TEST(MiningSession, SweepReusesDpTablesAcrossThresholds) {
+  const UncertainDatabase db = MakeQuestDb(11);
+  MiningSession session = MiningSession::Open(db);
+
+  MiningRequest request = BaseRequest(Algorithm::kMpfci, 1);
+  request.sweep_min_sup = {4, 5, 6, 7, 8};
+  const std::vector<MiningResult> sweep = session.MineSweep(request);
+  ASSERT_EQ(sweep.size(), request.sweep_min_sup.size());
+
+  std::uint64_t dp_reused = 0;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    // Each sweep step matches a cold standalone run at that threshold.
+    MiningRequest step = request;
+    step.sweep_min_sup.clear();
+    step.params.min_sup = request.sweep_min_sup[i];
+    ExpectIdenticalResults(Mine(db, step), sweep[i]);
+    dp_reused += sweep[i].stats.dp_reused;
+  }
+  // The sweep runs lowest-threshold-first with tables extended to the
+  // sweep maximum, so the higher thresholds were answered from stored
+  // tables without re-running the DP.
+  EXPECT_GT(dp_reused, 0u);
+}
+
+TEST(MiningSession, EvictionKeepsResultsExactUnderTinyByteBudget) {
+  const UncertainDatabase db = MakeQuestDb(13);
+  SessionOptions options;
+  options.cache_bytes = 4096;  // Far below the run's working set.
+  options.cache_shards = 1;    // One LRU list: the bound is tight.
+  MiningSession session = MiningSession::Open(db, options);
+
+  const MiningRequest request = BaseRequest(Algorithm::kMpfci, 5);
+  const MiningResult cold = Mine(db, request);
+  const MiningResult warm1 = session.Mine(request);
+  const MiningResult warm2 = session.Mine(request);
+
+  ExpectIdenticalResults(cold, warm1);
+  ExpectIdenticalResults(cold, warm2);
+  EXPECT_GT(session.cache_evictions(), 0u);
+  // The budget may be exceeded only by the single retained entry.
+  EXPECT_LE(session.cache_bytes(), 8192u);
+}
+
+TEST(MiningSession, WarmStartRecordsInfrequencyProofs) {
+  const UncertainDatabase db = MakeQuestDb(17);
+  MiningSession session = MiningSession::Open(db);
+
+  // Proofs are recorded for singletons whose tid count clears min_sup
+  // but whose PrF does not — pick a threshold between the typical
+  // expected support (~16 here) and the typical tid count (~22).
+  const MiningRequest high = BaseRequest(Algorithm::kMpfci, 20);
+  ExpectIdenticalResults(Mine(db, high), session.Mine(high));
+  EXPECT_GT(session.warm_items_recorded(), 0u);
+
+  // A later run at min_sup' >= min_sup may consume the proofs; results
+  // stay bit-identical to a cold run (anti-monotonicity).
+  const MiningRequest higher = BaseRequest(Algorithm::kMpfci, 21);
+  ExpectIdenticalResults(Mine(db, higher), session.Mine(higher));
+}
+
+TEST(MiningSession, OptionsValidation) {
+  SessionOptions bad;
+  bad.cache_shards = 0;
+  EXPECT_NE(ValidateSessionOptions(bad).find("cache_shards"),
+            std::string::npos);
+  bad.cache_bytes = 0;  // Cache off: shard count is irrelevant.
+  EXPECT_EQ(ValidateSessionOptions(bad), "");
+  EXPECT_EQ(ValidateSessionOptions(SessionOptions{}), "");
+}
+
+TEST(MiningSession, CacheDisabledSessionStillServes) {
+  const UncertainDatabase db = MakeQuestDb(19);
+  SessionOptions options;
+  options.cache_bytes = 0;
+  options.warm_start = false;
+  MiningSession session = MiningSession::Open(db, options);
+  const MiningRequest request = BaseRequest(Algorithm::kMpfci, 6);
+  const MiningResult warm = session.Mine(request);
+  ExpectIdenticalResults(Mine(db, request), warm);
+  EXPECT_EQ(warm.stats.cache_hits, 0u);
+  EXPECT_EQ(warm.stats.cache_misses, 0u);
+  EXPECT_EQ(session.cache_bytes(), 0u);
+  EXPECT_EQ(session.warm_items_recorded(), 0u);
+}
+
+TEST(MiningSession, SweepValidation) {
+  const UncertainDatabase db = MakeQuestDb(23);
+  MiningSession session = MiningSession::Open(db);
+
+  // Empty sweep list.
+  MiningRequest request = BaseRequest(Algorithm::kMpfci, 2);
+  std::vector<MiningResult> results = session.MineSweep(request);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].outcome(), Outcome::kInvalidRequest);
+
+  // Not strictly increasing.
+  request.sweep_min_sup = {4, 4};
+  results = session.MineSweep(request);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].outcome(), Outcome::kInvalidRequest);
+  EXPECT_NE(results[0].status_message.find("sweep_min_sup"),
+            std::string::npos);
+
+  // Single-shot Mine() refuses sweep requests (session or standalone).
+  request.sweep_min_sup = {4, 5};
+  EXPECT_EQ(session.Mine(request).outcome(), Outcome::kInvalidRequest);
+  EXPECT_EQ(Mine(db, request).outcome(), Outcome::kInvalidRequest);
+}
+
+/// The acceptance matrix: session (cache on) vs standalone (cache off)
+/// for every tuple-level algorithm x thread count x tid-set mode. Two
+/// session runs per cell so both the populate and the serve path are
+/// compared. The paper's Table II database keeps the full sweep cheap; a
+/// Quest database covers mpfci at depth below.
+TEST(MiningSession, CacheOnBitIdenticalToCacheOffEverywhere) {
+  const UncertainDatabase db = MakePaperExampleDb();
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kMpfci,           Algorithm::kMpfciBfs,
+      Algorithm::kNaive,           Algorithm::kTopK,
+      Algorithm::kPfi,             Algorithm::kExpectedSupport,
+      Algorithm::kExpectedSupportFpGrowth,
+      Algorithm::kBruteForce,
+  };
+  for (const Algorithm algorithm : algorithms) {
+    MiningSession session = MiningSession::Open(db);
+    for (const TidSetMode mode :
+         {TidSetMode::kAdaptive, TidSetMode::kSparse, TidSetMode::kDense}) {
+      for (const std::size_t threads : {1u, 2u, 4u}) {
+        SCOPED_TRACE(std::string(AlgorithmName(algorithm)) +
+                     " mode=" + std::to_string(static_cast<int>(mode)) +
+                     " threads=" + std::to_string(threads));
+        MiningRequest request = BaseRequest(algorithm, 2);
+        request.params.tidset_mode = mode;
+        request.execution.num_threads = threads;
+        const MiningResult cold = Mine(db, request);
+        ASSERT_EQ(cold.outcome(), Outcome::kComplete)
+            << cold.status_message;
+        ExpectIdenticalResults(cold, session.Mine(request));
+        ExpectIdenticalResults(cold, session.Mine(request));
+      }
+    }
+  }
+}
+
+TEST(MiningSession, CacheOnBitIdenticalAtDepth) {
+  const UncertainDatabase db = MakeQuestDb(29);
+  for (const Algorithm algorithm : {Algorithm::kMpfci, Algorithm::kNaive}) {
+    MiningSession session = MiningSession::Open(db);
+    for (const std::size_t threads : {1u, 4u}) {
+      SCOPED_TRACE(std::string(AlgorithmName(algorithm)) +
+                   " threads=" + std::to_string(threads));
+      MiningRequest request = BaseRequest(algorithm, 6);
+      request.execution.num_threads = threads;
+      const MiningResult cold = Mine(db, request);
+      ExpectIdenticalResults(cold, session.Mine(request));
+      ExpectIdenticalResults(cold, session.Mine(request));
+    }
+  }
+}
+
+/// EvalCache unit behaviour (exercised directly, without a miner).
+TEST(EvalCache, ProbeInsertAndMonotoneTableReuse) {
+  EvalCache::Options options;
+  EvalCache cache(options);
+  const TidSet tids(TidList{1, 3, 5}, 10);
+
+  EXPECT_FALSE(cache.Probe(tids, 3).found);
+  cache.Insert(tids, 1.5, 3, {1.0, 0.9, 0.6, 0.2});
+  const EvalCache::Lookup at3 = cache.Probe(tids, 3);
+  ASSERT_TRUE(at3.found);
+  ASSERT_TRUE(at3.has_table);
+  EXPECT_EQ(at3.mu, 1.5);
+  EXPECT_EQ(at3.tail, 0.2);
+  // A stored table answers every smaller threshold...
+  const EvalCache::Lookup at1 = cache.Probe(tids, 1);
+  ASSERT_TRUE(at1.has_table);
+  EXPECT_EQ(at1.tail, 0.9);
+  // ...but not larger ones (mu still usable).
+  const EvalCache::Lookup at5 = cache.Probe(tids, 5);
+  EXPECT_TRUE(at5.found);
+  EXPECT_FALSE(at5.has_table);
+  EXPECT_EQ(at5.mu, 1.5);
+
+  // Upgrading to a larger table keeps serving; a smaller one is ignored.
+  cache.Insert(tids, 1.5, 5, {1.0, 0.9, 0.6, 0.2, 0.1, 0.05});
+  EXPECT_TRUE(cache.Probe(tids, 5).has_table);
+  cache.Insert(tids, 1.5, 2, {1.0, 0.9, 0.6});
+  EXPECT_TRUE(cache.Probe(tids, 5).has_table);
+}
+
+TEST(EvalCache, FingerprintIsRepresentationIndependent) {
+  const TidList contents = {2, 4, 6, 9};
+  TidSetPolicy sparse;
+  sparse.mode = TidSetMode::kSparse;
+  TidSetPolicy dense;
+  dense.mode = TidSetMode::kDense;
+  const TidSet a(contents, 12, sparse);
+  const TidSet b(contents, 12, dense);
+  EXPECT_EQ(TidSetFingerprint(a), TidSetFingerprint(b));
+
+  // One cache serves both representations of the same contents.
+  EvalCache cache(EvalCache::Options{});
+  cache.Insert(a, 2.5, 0, {1.0});
+  EXPECT_TRUE(cache.Probe(b, 1).found);
+}
+
+TEST(ItemWarmStart, ProofsApplyByAntiMonotonicity) {
+  ItemWarmStart warm;
+  EXPECT_GT(warm.BoundFor(3, 5), 1.0);  // +inf: nothing recorded.
+  warm.RecordBound(3, 5, 0.4);
+  // Applies at the recorded threshold and above, never below.
+  EXPECT_EQ(warm.BoundFor(3, 5), 0.4);
+  EXPECT_EQ(warm.BoundFor(3, 9), 0.4);
+  EXPECT_GT(warm.BoundFor(3, 4), 1.0);
+  // A tighter later proof wins where it applies.
+  warm.RecordBound(3, 7, 0.1);
+  EXPECT_EQ(warm.BoundFor(3, 7), 0.1);
+  EXPECT_EQ(warm.BoundFor(3, 5), 0.4);
+  EXPECT_EQ(warm.items_recorded(), 1u);
+}
+
+}  // namespace
+}  // namespace pfci

@@ -282,13 +282,18 @@ TEST(Trace, EventToJsonShapes) {
             R"({"type":"run_begin","name":"mpfci"})");
 }
 
-TEST(Trace, StatsJsonIsSchemaV3) {
+TEST(Trace, StatsJsonIsSchemaV4) {
   MiningStats stats;
   stats.nodes_visited = 3;
   stats.candidate_seconds = 0.5;
   const std::string json = stats.ToJson();
-  EXPECT_NE(json.find("\"schema\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema\":4"), std::string::npos) << json;
   EXPECT_NE(json.find("\"nodes_visited\":3"), std::string::npos) << json;
+  // Schema v4: session-cache counters (all zero outside a session).
+  EXPECT_NE(json.find("\"cache_hits\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_misses\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dp_reused\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_bytes\":0"), std::string::npos) << json;
   EXPECT_NE(json.find("\"candidate_seconds\":0.5"), std::string::npos)
       << json;
   EXPECT_NE(json.find("\"search_seconds\":"), std::string::npos) << json;

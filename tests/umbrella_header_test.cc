@@ -26,7 +26,12 @@ TEST(UmbrellaHeader, EndToEndSmoke) {
   EXPECT_FALSE(MineExpectedSupport(db, 1.0).empty());
   EXPECT_FALSE(MinePsupClosed(db, 2, 0.8).empty());
   EXPECT_NEAR(ExactClosedProbability(db, Itemset{0, 1, 2, 3}), 0.99, 1e-12);
-  EXPECT_EQ(BruteForceMinePfci(db, 2, 0.8).size(), 2u);
+
+  // The unified API reaches the same miners, including the oracle.
+  MiningRequest brute;
+  brute.params = params;
+  brute.algorithm = Algorithm::kBruteForce;
+  EXPECT_EQ(Mine(db, brute).itemsets.size(), 2u);
 
   const TransactionDatabase exact = TransactionDatabase::FromUncertain(db);
   EXPECT_EQ(MineClosedItemsets(exact, 2).size(),
