@@ -155,6 +155,11 @@ int main(int argc, char** argv) {
       if (ParseFlag(argv[position], "--algo", &value)) {
         // One lookup table serves parsing, help, and display: the flag
         // round-trips through AlgorithmName().
+        if (value == "help") {
+          std::printf("available algorithms: %s\n",
+                      AlgorithmChoices().c_str());
+          return 0;
+        }
         if (!ParseAlgorithm(value, &request.algorithm)) {
           std::fprintf(stderr, "unknown --algo '%s' (choices: %s)\n",
                        value.c_str(), AlgorithmChoices().c_str());

@@ -1,32 +1,11 @@
 #include "src/core/bfs_miner.h"
 
-#include <algorithm>
-#include <vector>
-
-#include "src/core/eval_cache.h"
-#include "src/core/fcp_engine.h"
-#include "src/core/frequent_probability.h"
-#include "src/core/index_handle.h"
-#include "src/data/vertical_index.h"
+#include "src/core/search/frontier_policies.h"
+#include "src/core/search/search_driver.h"
 #include "src/util/check.h"
-#include "src/util/failpoint.h"
-#include "src/util/random.h"
-#include "src/util/runtime.h"
-#include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
 namespace pfci {
-
-namespace {
-
-/// One level entry: a probabilistic frequent itemset with its tid-list.
-struct LevelEntry {
-  Itemset items;
-  TidSet tids;
-  double pr_f = 0.0;
-};
-
-}  // namespace
 
 MiningResult MineMpfciBfs(const UncertainDatabase& db,
                           const MiningParams& params) {
@@ -40,199 +19,8 @@ MiningResult MineMpfciBfs(const UncertainDatabase& db,
                           const ExecutionContext& exec) {
   const std::string error = ValidateParams(params);
   PFCI_CHECK_MSG(error.empty(), "invalid MiningParams: " + error);
-  Stopwatch timer;
-  MiningResult result;
-  const IndexHandle index_handle(db, TidSetPolicyFor(params), exec);
-  const VerticalIndex& index = index_handle.get();
-  const FrequentProbability freq(index, params.min_sup, exec.eval_cache,
-                                 exec.table_floor);
-  const FcpEngine engine(index, freq, params, exec);
-
-  RunController* rt = exec.runtime;
-  // Index bytes were charged by the handle; fail an undersized memory
-  // budget before any search work.
-  if (rt != nullptr && rt->active()) rt->Checkpoint();
-  // Logical budgets, consumed in global level order (entry_counter order)
-  // so the truncation point is a pure function of the request.
-  WorkUnitBudget node_ledger =
-      rt != nullptr ? rt->UnitBudget(0, 1) : WorkUnitBudget{};
-  std::uint64_t samples_remaining = node_ledger.sample_quota;
-
-  // Qualifies a candidate itemset; returns PrF > pfct ? PrF : 0 and
-  // updates pruning counters. Singletons pass their item so session
-  // warm-start proofs can reject them up front (and rejections found the
-  // hard way get recorded); joined itemsets pass null.
-  ItemWarmStart* const warm = exec.warm_start;
-  const auto qualify = [&](const TidSet& tids, const Item* warm_item)
-      -> double {
-    if (tids.size() < params.min_sup) {
-      ++result.stats.pruned_by_frequency;
-      return 0.0;
-    }
-    if (warm != nullptr && warm_item != nullptr &&
-        warm->BoundFor(*warm_item, params.min_sup) <= params.pfct) {
-      ++result.stats.pruned_by_frequency;
-      return 0.0;
-    }
-    if (params.pruning.chernoff) {
-      const double upper = freq.PrFUpperBound(tids);
-      if (upper <= params.pfct) {
-        ++result.stats.pruned_by_chernoff;
-        if (warm != nullptr && warm_item != nullptr) {
-          warm->RecordBound(*warm_item, params.min_sup, upper);
-        }
-        return 0.0;
-      }
-    }
-    const double pr_f = freq.PrF(tids);
-    if (pr_f <= params.pfct) {
-      ++result.stats.pruned_by_frequency;
-      if (warm != nullptr && warm_item != nullptr) {
-        warm->RecordBound(*warm_item, params.min_sup, pr_f);
-      }
-      return 0.0;
-    }
-    return pr_f;
-  };
-
-  // Level 1.
-  std::vector<LevelEntry> level;
-  if (rt == nullptr || !rt->StopRequested()) {
-    TraceSpan span(exec.trace, "candidate_build",
-                   &result.stats.candidate_seconds);
-    for (Item item : index.occurring_items()) {
-      LevelEntry entry;
-      entry.items = Itemset{item};
-      entry.tids = index.TidsOfItem(item);
-      entry.pr_f = qualify(entry.tids, &item);
-      if (entry.pr_f > 0.0) level.push_back(std::move(entry));
-    }
-  }
-
-  TraceSpan search_span(exec.trace, "bfs", &result.stats.search_seconds);
-
-  // Global position of the first entry of the current level across the
-  // whole run; the per-entry RNG stream is derived from it, so it is
-  // independent of thread count and scheduling.
-  std::uint64_t entry_counter = 0;
-  while (!level.empty()) {
-    // Level-boundary checkpoint: a global stop discards the pending
-    // level (none of its entries were evaluated yet).
-    PFCI_FAILPOINT("bfs/level");
-    if (rt != nullptr && rt->Checkpoint()) break;
-
-    // Node budget, taken in level order: a refusal cuts the level's
-    // suffix — and, since the quota never regrows, the whole run.
-    std::size_t eval_count = level.size();
-    for (std::size_t i = 0; i < level.size(); ++i) {
-      if (!node_ledger.TakeNode()) {
-        eval_count = i;
-        rt->RecordTruncation(Outcome::kBudgetExhausted);
-        break;
-      }
-    }
-    result.stats.nodes_visited += eval_count;
-    if (exec.progress != nullptr && eval_count > 0) {
-      exec.progress->AddNodes(eval_count);
-    }
-
-    // Per-entry sample quotas: each entry's RNG stream is independent
-    // (seeded by its global position), so the remaining sample budget is
-    // pre-split fair-share across the level — an entry whose evaluation
-    // is refused stays undecided without disturbing its neighbours.
-    std::vector<WorkUnitBudget> units(eval_count);
-    if (samples_remaining != kUnlimitedQuota) {
-      for (std::size_t i = 0; i < eval_count; ++i) {
-        units[i].sample_quota = UnitQuota(samples_remaining, i, eval_count);
-      }
-    }
-
-    // Evaluate the (budgeted prefix of the) level in parallel; commit in
-    // level order.
-    std::vector<FcpComputation> comps(eval_count);
-    std::vector<MiningStats> comp_stats(eval_count);
-    const auto evaluate = [&](std::size_t i) {
-      Rng rng(DeriveSeed(params.seed, entry_counter + i));
-      comps[i] = engine.Evaluate(level[i].items, level[i].tids, level[i].pr_f,
-                                 rng, &comp_stats[i], &LocalDpWorkspace(),
-                                 &units[i]);
-    };
-    if (exec.pool != nullptr && exec.pool->num_threads() > 1) {
-      exec.pool->ParallelFor(eval_count, evaluate, /*grain=*/1);
-    } else {
-      for (std::size_t i = 0; i < eval_count; ++i) evaluate(i);
-    }
-    entry_counter += level.size();
-
-    for (std::size_t i = 0; i < eval_count; ++i) {
-      if (samples_remaining != kUnlimitedQuota) {
-        samples_remaining -= units[i].samples_used;
-        if (units[i].truncated) {
-          rt->RecordTruncation(Outcome::kBudgetExhausted);
-        }
-      }
-      const MiningStats& part = comp_stats[i];
-      result.stats.decided_by_bounds += part.decided_by_bounds;
-      result.stats.zero_by_count += part.zero_by_count;
-      result.stats.exact_fcp_computations += part.exact_fcp_computations;
-      result.stats.sampled_fcp_computations += part.sampled_fcp_computations;
-      result.stats.total_samples += part.total_samples;
-      result.stats.intersections += part.intersections;
-      result.stats.degraded_fcp_evals += part.degraded_fcp_evals;
-      const FcpComputation& comp = comps[i];
-      if (comp.undecided) continue;
-      if (!comp.is_pfci) continue;
-      PfciEntry out;
-      out.items = level[i].items;
-      out.fcp = comp.fcp;
-      out.pr_f = comp.pr_f;
-      out.fcp_lower = comp.bounds_computed ? comp.bounds.lower : 0.0;
-      out.fcp_upper = comp.bounds_computed ? comp.bounds.upper : comp.pr_f;
-      out.method = comp.method;
-      result.itemsets.push_back(std::move(out));
-      if (exec.progress != nullptr) exec.progress->AddItemsets();
-    }
-    // An exhausted node quota never regrows: later levels would all be
-    // refused, so stop generating them.
-    if (node_ledger.truncated) break;
-
-    // Generate level k+1 by prefix join (entries are sorted because the
-    // construction preserves lexicographic order).
-    std::vector<LevelEntry> next_level;
-    for (std::size_t a = 0; a < level.size(); ++a) {
-      const auto& ia = level[a].items.items();
-      for (std::size_t b = a + 1; b < level.size(); ++b) {
-        const auto& ib = level[b].items.items();
-        if (!std::equal(ia.begin(), ia.end() - 1, ib.begin(), ib.end() - 1)) {
-          break;  // Joinable partners are contiguous.
-        }
-        LevelEntry child;
-        child.items = level[a].items.WithItem(ib.back());
-        child.tids = Intersect(level[a].tids, level[b].tids);
-        ++result.stats.intersections;
-        child.pr_f = qualify(child.tids, nullptr);
-        if (child.pr_f > 0.0) next_level.push_back(std::move(child));
-      }
-    }
-    level.swap(next_level);
-  }
-  search_span.End();
-
-  {
-    TraceSpan span(exec.trace, "merge", &result.stats.merge_seconds);
-    result.stats.dp_runs = freq.dp_runs();
-    result.stats.cache_hits = freq.cache_hits();
-    result.stats.cache_misses = freq.cache_misses();
-    result.stats.dp_reused = freq.dp_reused();
-    result.Sort();
-  }
-  if (rt != nullptr) {
-    result.stats.outcome = rt->outcome();
-    result.stats.truncated = rt->truncated();
-  }
-  result.stats.seconds = timer.ElapsedSeconds();
-  result.stats.EmitTrace(exec.trace);
-  return result;
+  LevelSyncBfsFrontier frontier;
+  return RunSearch(db, params, exec, frontier);
 }
 
 }  // namespace pfci

@@ -30,6 +30,15 @@ FcpComputation FcpEngine::Evaluate(const Itemset& x, const TidSet& tids,
                           unit);
 }
 
+FcpComputation FcpEngine::EvaluateAt(double threshold, const Itemset& x,
+                                     const TidSet& tids, double pr_f, Rng& rng,
+                                     MiningStats* stats,
+                                     DpWorkspace* workspace,
+                                     WorkUnitBudget* unit) const {
+  return EvaluateInternal(x, tids, pr_f, threshold, rng, stats, workspace,
+                          unit);
+}
+
 FcpComputation FcpEngine::ComputeFcp(const Itemset& x, Rng& rng) const {
   const TidSet tids = index_->TidsOf(x);
   const double pr_f = freq_->PrF(tids);

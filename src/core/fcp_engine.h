@@ -69,6 +69,16 @@ class FcpEngine {
                           DpWorkspace* workspace = nullptr,
                           WorkUnitBudget* unit = nullptr) const;
 
+  /// As Evaluate, but with the decision threshold supplied per call
+  /// instead of read from params.pfct. This is what a rising top-k floor
+  /// needs: the same pipeline, early-exiting against the k-th best FCP in
+  /// hand rather than the request's static threshold.
+  FcpComputation EvaluateAt(double threshold, const Itemset& x,
+                            const TidSet& tids, double pr_f, Rng& rng,
+                            MiningStats* stats,
+                            DpWorkspace* workspace = nullptr,
+                            WorkUnitBudget* unit = nullptr) const;
+
   /// Computes PrFC(X) to full available precision regardless of pfct
   /// (bounds are still used to report [lower, upper]).
   FcpComputation ComputeFcp(const Itemset& x, Rng& rng) const;

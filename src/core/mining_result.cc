@@ -22,6 +22,31 @@ const char* FcpMethodName(FcpMethod method) {
   return "unknown";
 }
 
+// Counter-count guard for MergeCounters: 17 std::uint64_t counters + 4
+// doubles + (Outcome + bool, padded to one word). Adding a field changes
+// the size and fails this assert — update MergeCounters (and ToString /
+// ToJson / EmitTrace) before adjusting the constant, so a new counter can
+// never silently skip the merge.
+static_assert(sizeof(MiningStats) ==
+                  17 * sizeof(std::uint64_t) + 4 * sizeof(double) + 8,
+              "MiningStats layout changed: audit MergeCounters, ToString, "
+              "ToJson, and EmitTrace, then update this size guard");
+
+void MiningStats::MergeCounters(const MiningStats& part) {
+  nodes_visited += part.nodes_visited;
+  pruned_by_chernoff += part.pruned_by_chernoff;
+  pruned_by_frequency += part.pruned_by_frequency;
+  pruned_by_superset += part.pruned_by_superset;
+  pruned_by_subset += part.pruned_by_subset;
+  decided_by_bounds += part.decided_by_bounds;
+  zero_by_count += part.zero_by_count;
+  exact_fcp_computations += part.exact_fcp_computations;
+  sampled_fcp_computations += part.sampled_fcp_computations;
+  total_samples += part.total_samples;
+  intersections += part.intersections;
+  degraded_fcp_evals += part.degraded_fcp_evals;
+}
+
 std::string MiningStats::ToString() const {
   return "nodes=" + std::to_string(nodes_visited) +
          " ch_pruned=" + std::to_string(pruned_by_chernoff) +

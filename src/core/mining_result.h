@@ -96,6 +96,17 @@ struct MiningStats {
   /// with a non-complete outcome).
   bool truncated = false;
 
+  /// Adds `part`'s per-work counters (nodes_visited through
+  /// intersections above) into this object. This is the single merge
+  /// point for per-task / per-evaluation counter partials: dp_runs and
+  /// the cache_* counters are excluded (they live on the shared
+  /// FrequentProbability evaluator and are folded in once by the
+  /// coordinating thread), as are the wall-clock and outcome fields. A
+  /// size guard in mining_result.cc makes the merge exhaustive by
+  /// construction: growing MiningStats without updating MergeCounters
+  /// fails the build.
+  void MergeCounters(const MiningStats& part);
+
   std::string ToString() const;
 
   /// One JSON object line with every counter plus seconds, for scripted

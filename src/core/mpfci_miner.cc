@@ -1,288 +1,11 @@
 #include "src/core/mpfci_miner.h"
 
-#include <cstddef>
-#include <utility>
-#include <vector>
-
-#include "src/core/eval_cache.h"
-#include "src/core/fcp_engine.h"
-#include "src/core/frequent_probability.h"
-#include "src/core/index_handle.h"
-#include "src/data/vertical_index.h"
+#include "src/core/search/frontier_policies.h"
+#include "src/core/search/search_driver.h"
 #include "src/util/check.h"
-#include "src/util/failpoint.h"
-#include "src/util/random.h"
-#include "src/util/runtime.h"
-#include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
 namespace pfci {
-
-namespace {
-
-/// Shared read-only search state plus the per-subtree DFS.
-///
-/// Parallel structure: BuildCandidates runs once (sequentially), then each
-/// first-level candidate's subtree is an independent task — the DFS below
-/// candidate c only ever touches candidates after position c, the index,
-/// and per-task state, so tasks never synchronize. Each task's Rng is
-/// seeded by DeriveSeed(params.seed, root item), making every subtree's
-/// sampling stream a pure function of the seed: the merged, re-sorted
-/// output is bit-identical for any thread count.
-class MpfciSearch {
- public:
-  MpfciSearch(const UncertainDatabase& db, const MiningParams& params,
-              const ExecutionContext& exec)
-      : params_(params),
-        exec_(exec),
-        index_(db, TidSetPolicyFor(params), exec),
-        freq_(index_.get(), params.min_sup, exec.eval_cache, exec.table_floor),
-        engine_(index_.get(), freq_, params, exec) {}
-
-  MiningResult Run() {
-    Stopwatch timer;
-    RunController* rt = exec_.runtime;
-    // The index (built or session-borrowed) was charged into the memory
-    // budget by the handle; checkpoint so an undersized budget fails
-    // before any search work.
-    if (rt != nullptr && rt->active()) rt->Checkpoint();
-
-    if (rt == nullptr || !rt->StopRequested()) {
-      TraceSpan span(exec_.trace, "candidate_build",
-                     &result_.stats.candidate_seconds);
-      BuildCandidates();
-    }
-
-    TraceSpan search_span(exec_.trace, "dfs", &result_.stats.search_seconds);
-    const std::size_t n = candidates_.size();
-    std::vector<MiningResult> subtree(n);
-    const auto mine_subtree = [&](std::size_t c) {
-      Rng rng(DeriveSeed(params_.seed, candidates_[c]));
-      // Fair-share logical budgets: the quota depends only on the
-      // request and the candidate count, never on scheduling.
-      WorkUnitBudget unit =
-          rt != nullptr ? rt->UnitBudget(c, n) : WorkUnitBudget{};
-      // The executing thread's workspace: safe because a workspace is
-      // only live within one PrF evaluation, which never suspends into
-      // the helping scheduler.
-      TaskState task{&subtree[c], &rng, &LocalDpWorkspace(), &unit};
-      Dfs(task, Itemset{candidates_[c]}, index_->TidsOfItem(candidates_[c]),
-          candidate_pr_f_[c], c);
-      if (unit.truncated && rt != nullptr) {
-        rt->RecordTruncation(Outcome::kBudgetExhausted);
-      }
-    };
-    if (exec_.pool != nullptr && exec_.pool->num_threads() > 1) {
-      // Grain 1: first-level subtrees vary wildly in cost; stealing at
-      // single-subtree granularity is what balances them.
-      exec_.pool->ParallelFor(n, mine_subtree, /*grain=*/1);
-    } else {
-      for (std::size_t c = 0; c < n; ++c) mine_subtree(c);
-    }
-
-    search_span.End();
-
-    // Deterministic merge: candidate order, then the canonical sort.
-    {
-      TraceSpan span(exec_.trace, "merge", &result_.stats.merge_seconds);
-      for (MiningResult& part : subtree) {
-        for (PfciEntry& entry : part.itemsets) {
-          result_.itemsets.push_back(std::move(entry));
-        }
-        AccumulateStats(part.stats);
-      }
-      result_.stats.dp_runs = freq_.dp_runs();
-      result_.stats.cache_hits = freq_.cache_hits();
-      result_.stats.cache_misses = freq_.cache_misses();
-      result_.stats.dp_reused = freq_.dp_reused();
-      result_.Sort();
-    }
-    if (rt != nullptr) {
-      result_.stats.outcome = rt->outcome();
-      result_.stats.truncated = rt->truncated();
-    }
-    result_.stats.seconds = timer.ElapsedSeconds();
-    result_.stats.EmitTrace(exec_.trace);
-    return std::move(result_);
-  }
-
- private:
-  /// Mutable state owned by one subtree task.
-  struct TaskState {
-    MiningResult* out;
-    Rng* rng;
-    DpWorkspace* ws;
-    WorkUnitBudget* unit;
-  };
-
-  /// Phase 1 of Fig. 1: the candidate set of probabilistic frequent
-  /// single items (Lemma 4.1 + exact check). With a session warm start,
-  /// proofs recorded by earlier runs reject items up front (sound by
-  /// anti-monotonicity: the cold run would reject them too, so the
-  /// candidate set — and with it every downstream RNG stream — is
-  /// unchanged); rejections found the hard way are recorded for later
-  /// runs.
-  void BuildCandidates() {
-    ItemWarmStart* warm = exec_.warm_start;
-    for (Item item : index_->occurring_items()) {
-      const TidSet& tids = index_->TidsOfItem(item);
-      if (tids.size() < params_.min_sup) {
-        ++result_.stats.pruned_by_frequency;
-        continue;
-      }
-      if (warm != nullptr &&
-          warm->BoundFor(item, params_.min_sup) <= params_.pfct) {
-        ++result_.stats.pruned_by_frequency;
-        continue;
-      }
-      if (params_.pruning.chernoff) {
-        const double upper = freq_.PrFUpperBound(tids);
-        if (upper <= params_.pfct) {
-          ++result_.stats.pruned_by_chernoff;
-          if (warm != nullptr) {
-            warm->RecordBound(item, params_.min_sup, upper);
-          }
-          continue;
-        }
-      }
-      const double pr_f = freq_.PrF(tids);
-      if (pr_f <= params_.pfct) {
-        ++result_.stats.pruned_by_frequency;
-        if (warm != nullptr) warm->RecordBound(item, params_.min_sup, pr_f);
-        continue;
-      }
-      candidates_.push_back(item);
-      candidate_pr_f_.push_back(pr_f);
-    }
-  }
-
-  /// Lemma 4.2: some item e < last(X), e not in X, has
-  /// count(X+e) == count(X) -> X and its whole prefix subtree have
-  /// frequent closed probability 0.
-  bool SupersetPruned(const Itemset& x, const TidSet& tids,
-                      MiningStats& stats) const {
-    const Item last = x.LastItem();
-    for (Item item : index_->occurring_items()) {
-      if (item >= last) break;
-      if (x.Contains(item)) continue;
-      const TidSet& item_tids = index_->TidsOfItem(item);
-      if (item_tids.size() < tids.size()) continue;
-      ++stats.intersections;
-      if (IsSubsetOf(tids, item_tids)) return true;
-    }
-    return false;
-  }
-
-  /// One node of the set-enumeration tree. `x` extends only with
-  /// candidate items after position `last_candidate_pos`.
-  void Dfs(TaskState& task, const Itemset& x, const TidSet& tids,
-           double pr_f, std::size_t last_candidate_pos) {
-    MiningStats& stats = task.out->stats;
-    // Node-expansion checkpoint (DESIGN.md §10). After any truncation the
-    // unit winds down without evaluating anything further: a later
-    // sampled evaluation would read a shifted RNG stream and no longer
-    // match the unbudgeted run.
-    PFCI_FAILPOINT("mpfci/node");
-    RunController* rt = exec_.runtime;
-    if (rt != nullptr && rt->Checkpoint()) return;
-    if (!task.unit->TakeNode()) return;
-    ++stats.nodes_visited;
-    if (exec_.progress != nullptr) exec_.progress->AddNodes();
-
-    if (params_.pruning.superset && SupersetPruned(x, tids, stats)) {
-      ++stats.pruned_by_superset;
-      return;
-    }
-
-    bool x_may_be_closed = true;
-    for (std::size_t c = last_candidate_pos + 1; c < candidates_.size();
-         ++c) {
-      if (task.unit->truncated ||
-          (rt != nullptr && rt->StopRequested())) {
-        return;
-      }
-      const Item item = candidates_[c];
-      const TidSet child_tids = Intersect(tids, index_->TidsOfItem(item));
-      ++stats.intersections;
-      const bool same_count = child_tids.size() == tids.size();
-      if (params_.pruning.subset && same_count) {
-        // Lemma 4.3: X always co-occurs with X+item, so X is never
-        // closed; and any sibling X+e_k (e_k > item) always co-occurs
-        // with X+e_k+item, so the remaining branches are dead too.
-        x_may_be_closed = false;
-      }
-
-      bool child_qualifies = child_tids.size() >= params_.min_sup;
-      if (!child_qualifies) {
-        ++stats.pruned_by_frequency;
-      } else if (params_.pruning.chernoff &&
-                 freq_.PrFUpperBound(child_tids) <= params_.pfct) {
-        ++stats.pruned_by_chernoff;
-        child_qualifies = false;
-      }
-      if (child_qualifies) {
-        const double child_pr_f = freq_.PrF(child_tids, *task.ws);
-        if (child_pr_f <= params_.pfct) {
-          ++stats.pruned_by_frequency;
-        } else {
-          Dfs(task, x.WithItem(item), child_tids, child_pr_f, c);
-        }
-      }
-      if (params_.pruning.subset && same_count) break;
-    }
-
-    if (task.unit->truncated || (rt != nullptr && rt->StopRequested())) {
-      return;
-    }
-    if (!x_may_be_closed) {
-      ++stats.pruned_by_subset;
-      return;
-    }
-    const FcpComputation comp = engine_.Evaluate(x, tids, pr_f, *task.rng,
-                                                 &stats, task.ws, task.unit);
-    if (comp.undecided) return;
-    if (comp.is_pfci) {
-      PfciEntry entry;
-      entry.items = x;
-      entry.fcp = comp.fcp;
-      entry.pr_f = comp.pr_f;
-      entry.fcp_lower = comp.bounds_computed ? comp.bounds.lower : 0.0;
-      entry.fcp_upper = comp.bounds_computed ? comp.bounds.upper : comp.pr_f;
-      entry.method = comp.method;
-      task.out->itemsets.push_back(std::move(entry));
-      if (exec_.progress != nullptr) exec_.progress->AddItemsets();
-    }
-  }
-
-  /// Adds a subtree's counters into the run totals (dp_runs and seconds
-  /// are owned by Run()).
-  void AccumulateStats(const MiningStats& part) {
-    MiningStats& total = result_.stats;
-    total.nodes_visited += part.nodes_visited;
-    total.pruned_by_chernoff += part.pruned_by_chernoff;
-    total.pruned_by_frequency += part.pruned_by_frequency;
-    total.pruned_by_superset += part.pruned_by_superset;
-    total.pruned_by_subset += part.pruned_by_subset;
-    total.decided_by_bounds += part.decided_by_bounds;
-    total.zero_by_count += part.zero_by_count;
-    total.exact_fcp_computations += part.exact_fcp_computations;
-    total.sampled_fcp_computations += part.sampled_fcp_computations;
-    total.total_samples += part.total_samples;
-    total.intersections += part.intersections;
-    total.degraded_fcp_evals += part.degraded_fcp_evals;
-  }
-
-  MiningParams params_;
-  ExecutionContext exec_;
-  IndexHandle index_;
-  FrequentProbability freq_;
-  FcpEngine engine_;
-  std::vector<Item> candidates_;
-  std::vector<double> candidate_pr_f_;
-  MiningResult result_;
-};
-
-}  // namespace
 
 MiningResult MineMpfci(const UncertainDatabase& db,
                        const MiningParams& params) {
@@ -295,8 +18,8 @@ MiningResult MineMpfci(const UncertainDatabase& db, const MiningParams& params,
                        const ExecutionContext& exec) {
   const std::string error = ValidateParams(params);
   PFCI_CHECK_MSG(error.empty(), "invalid MiningParams: " + error);
-  MpfciSearch search(db, params, exec);
-  return search.Run();
+  WorkStealingDfsFrontier frontier;
+  return RunSearch(db, params, exec, frontier);
 }
 
 }  // namespace pfci

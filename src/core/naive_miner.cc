@@ -1,19 +1,8 @@
 #include "src/core/naive_miner.h"
 
-#include <vector>
-
-#include "src/core/extension_events.h"
-#include "src/core/fcp_sampler.h"
-#include "src/core/frequent_probability.h"
-#include "src/core/index_handle.h"
-#include "src/core/pfi_miner.h"
-#include "src/data/vertical_index.h"
-#include "src/prob/karp_luby.h"
+#include "src/core/search/frontier_policies.h"
+#include "src/core/search/search_driver.h"
 #include "src/util/check.h"
-#include "src/util/failpoint.h"
-#include "src/util/random.h"
-#include "src/util/runtime.h"
-#include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
 namespace pfci {
@@ -29,104 +18,8 @@ MiningResult MineNaive(const UncertainDatabase& db, const MiningParams& params,
                        const ExecutionContext& exec) {
   const std::string error = ValidateParams(params);
   PFCI_CHECK_MSG(error.empty(), "invalid MiningParams: " + error);
-  Stopwatch timer;
-  MiningResult result;
-  const IndexHandle index_handle(db, TidSetPolicyFor(params), exec);
-  const VerticalIndex& index = index_handle.get();
-  const FrequentProbability freq(index, params.min_sup, exec.eval_cache,
-                                 exec.table_floor);
-
-  RunController* rt = exec.runtime;
-  // Index bytes were charged by the handle; fail an undersized memory
-  // budget before any search work.
-  if (rt != nullptr && rt->active()) rt->Checkpoint();
-
-  // Stage 1: all probabilistic frequent itemsets (PrFC <= PrF, so the
-  // answer set is contained in the PFIs). The node budget is consumed
-  // here (the PFI enumeration is the run's search tree).
-  TraceSpan candidate_span(exec.trace, "candidate_build",
-                           &result.stats.candidate_seconds);
-  const std::vector<PfiEntry> pfis =
-      MinePfi(db, params.min_sup, params.pfct, /*use_chernoff=*/true,
-              &result.stats, TidSetPolicyFor(params), rt, &exec);
-  candidate_span.End();
-
-  // Stage 2: check each PFI's frequent closed probability by sampling.
-  // Independent per PFI, so the checks fan out over the pool; the i-th
-  // check's RNG derives from (seed, i), and results merge in PFI order,
-  // keeping the output identical for any thread count. The batch-level
-  // parallelism inside ApproxFcp is left off here — one task per PFI is
-  // already finer-grained than the pool.
-  TraceSpan sampling_span(exec.trace, "sampling",
-                          &result.stats.search_seconds);
-  std::vector<ApproxFcpResult> checks(pfis.size());
-  // Each check's RNG stream is independent, so the sample budget is
-  // pre-split fair-share across the checks: a refused check stays
-  // undecided (unemitted) without disturbing its neighbours' streams.
-  std::vector<std::uint8_t> undecided(pfis.size(), 0);
-  const auto check = [&](std::size_t i) {
-    PFCI_FAILPOINT("naive/check");
-    if (rt != nullptr && rt->Checkpoint()) {
-      undecided[i] = 1;
-      return;
-    }
-    Rng rng(DeriveSeed(params.seed, i));
-    const ExtensionEventSet events(index, freq, pfis[i].items, pfis[i].tids,
-                                   &LocalDpWorkspace(), nullptr);
-    if (rt != nullptr && events.size() > 0) {
-      WorkUnitBudget unit = rt->UnitBudget(i, pfis.size());
-      if (!unit.TakeSamples(KarpLubyRequiredSamples(
-              events.size(), params.epsilon, params.delta))) {
-        undecided[i] = 1;
-        rt->RecordTruncation(Outcome::kBudgetExhausted);
-        return;
-      }
-    }
-    checks[i] = ApproxFcp(pfis[i].pr_f, events, params.epsilon, params.delta,
-                          rng, /*pool=*/nullptr, exec.deterministic, rt);
-    if (checks[i].aborted) undecided[i] = 1;
-    if (exec.progress != nullptr) exec.progress->AddNodes();
-  };
-  if (exec.pool != nullptr && exec.pool->num_threads() > 1) {
-    exec.pool->ParallelFor(pfis.size(), check, /*grain=*/1);
-  } else {
-    for (std::size_t i = 0; i < pfis.size(); ++i) check(i);
-  }
-  sampling_span.End();
-
-  TraceSpan merge_span(exec.trace, "merge", &result.stats.merge_seconds);
-  for (std::size_t i = 0; i < pfis.size(); ++i) {
-    if (undecided[i]) continue;
-    const ApproxFcpResult& approx = checks[i];
-    ++result.stats.sampled_fcp_computations;
-    result.stats.total_samples += approx.samples;
-    if (approx.fcp > params.pfct) {
-      PfciEntry entry;
-      entry.items = pfis[i].items;
-      entry.fcp = approx.fcp;
-      entry.pr_f = pfis[i].pr_f;
-      entry.fcp_upper = pfis[i].pr_f;
-      entry.method = FcpMethod::kSampled;
-      result.itemsets.push_back(std::move(entry));
-      if (exec.progress != nullptr) exec.progress->AddItemsets();
-    }
-  }
-
-  // Add (not assign): stage 1's PfiSearch already accumulated its own
-  // DP and cache counts into the shared stats.
-  result.stats.dp_runs += freq.dp_runs();
-  result.stats.cache_hits += freq.cache_hits();
-  result.stats.cache_misses += freq.cache_misses();
-  result.stats.dp_reused += freq.dp_reused();
-  result.Sort();
-  merge_span.End();
-  if (rt != nullptr) {
-    result.stats.outcome = rt->outcome();
-    result.stats.truncated = rt->truncated();
-  }
-  result.stats.seconds = timer.ElapsedSeconds();
-  result.stats.EmitTrace(exec.trace);
-  return result;
+  FlatCheckFrontier frontier;
+  return RunSearch(db, params, exec, frontier);
 }
 
 }  // namespace pfci

@@ -1,178 +1,8 @@
 #include "src/core/pfi_miner.h"
 
-#include <algorithm>
-
-#include "src/core/eval_cache.h"
-#include "src/core/frequent_probability.h"
-#include "src/core/index_handle.h"
-#include "src/data/vertical_index.h"
 #include "src/util/check.h"
-#include "src/util/failpoint.h"
-#include "src/util/runtime.h"
 
 namespace pfci {
-
-namespace {
-
-class PfiSearch {
- public:
-  PfiSearch(const UncertainDatabase& db, std::size_t min_sup, double pft,
-            bool use_chernoff, FrequencyMode mode, MiningStats* stats,
-            const TidSetPolicy& policy, RunController* runtime,
-            const ExecutionContext* session)
-      : pft_(pft),
-        use_chernoff_(use_chernoff),
-        mode_(mode),
-        stats_(stats),
-        rt_(runtime),
-        exec_(MakeContext(session, runtime)),
-        warm_(mode == FrequencyMode::kExactDp ? exec_.warm_start : nullptr),
-        index_(db, policy, exec_),
-        freq_(index_.get(), min_sup, exec_.eval_cache, exec_.table_floor) {}
-
-  std::vector<PfiEntry> Run() {
-    // Index bytes were charged by the handle; fail an undersized memory
-    // budget before any search work.
-    if (rt_ != nullptr && rt_->active()) rt_->Checkpoint();
-    // Sequential miner: one logical work unit owns the whole budget.
-    unit_ = rt_ != nullptr ? rt_->UnitBudget(0, 1) : WorkUnitBudget{};
-
-    if (rt_ == nullptr || !rt_->StopRequested()) {
-      for (Item item : index_->occurring_items()) {
-        TidSet tids = index_->TidsOfItem(item);
-        const double pr_f = QualifyingPrF(tids, &item);
-        if (pr_f > pft_) {
-          candidates_.push_back(item);
-          Emit(Itemset{item}, std::move(tids), pr_f);
-        }
-      }
-    }
-    // The singleton pass above seeded `result_`; extend depth-first.
-    const std::size_t num_singletons = result_.size();
-    for (std::size_t s = 0; s < num_singletons && !Stopped(); ++s) {
-      // Copy: Dfs appends to result_ and may reallocate.
-      const PfiEntry seed = result_[s];
-      Dfs(seed.items, seed.tids, IndexOfCandidate(seed.items.LastItem()));
-    }
-    if (unit_.truncated && rt_ != nullptr) {
-      rt_->RecordTruncation(Outcome::kBudgetExhausted);
-    }
-    if (stats_ != nullptr) {
-      stats_->dp_runs += freq_.dp_runs();
-      stats_->cache_hits += freq_.cache_hits();
-      stats_->cache_misses += freq_.cache_misses();
-      stats_->dp_reused += freq_.dp_reused();
-    }
-    std::sort(result_.begin(), result_.end());
-    return std::move(result_);
-  }
-
- private:
-  /// Whether the run should wind down (budget cut or global stop).
-  bool Stopped() const {
-    return unit_.truncated || (rt_ != nullptr && rt_->StopRequested());
-  }
-  std::size_t IndexOfCandidate(Item item) const {
-    return static_cast<std::size_t>(
-        std::lower_bound(candidates_.begin(), candidates_.end(), item) -
-        candidates_.begin());
-  }
-
-  /// The context the index handle and cache read session hooks from; the
-  /// runtime is overridden so the handle charges the same controller the
-  /// search polls.
-  static ExecutionContext MakeContext(const ExecutionContext* session,
-                                      RunController* runtime) {
-    ExecutionContext exec = session != nullptr ? *session : ExecutionContext{};
-    exec.runtime = runtime;
-    return exec;
-  }
-
-  /// PrF if the itemset qualifies, otherwise a value <= pft (with pruning
-  /// counters updated). Singletons pass their item so warm-start proofs
-  /// apply (sound only against the exact DP, hence the kExactDp guard on
-  /// `warm_`); rejections found the hard way are recorded.
-  double QualifyingPrF(const TidSet& tids, const Item* warm_item = nullptr) {
-    if (tids.size() < freq_.min_sup()) {
-      if (stats_ != nullptr) ++stats_->pruned_by_frequency;
-      return 0.0;
-    }
-    if (warm_ != nullptr && warm_item != nullptr &&
-        warm_->BoundFor(*warm_item, freq_.min_sup()) <= pft_) {
-      if (stats_ != nullptr) ++stats_->pruned_by_frequency;
-      return 0.0;
-    }
-    if (use_chernoff_) {
-      const double upper = freq_.PrFUpperBound(tids);
-      if (upper <= pft_) {
-        if (stats_ != nullptr) ++stats_->pruned_by_chernoff;
-        if (warm_ != nullptr && warm_item != nullptr) {
-          warm_->RecordBound(*warm_item, freq_.min_sup(), upper);
-        }
-        return 0.0;
-      }
-    }
-    double pr_f;
-    if (mode_ == FrequencyMode::kExactDp) {
-      pr_f = freq_.PrF(tids);
-    } else {
-      DpWorkspace& ws = LocalDpWorkspace();
-      index_->GatherProbs(tids, &ws.probs);
-      pr_f = TailAtLeastWithMode(ws.probs, freq_.min_sup(), mode_);
-    }
-    if (pr_f <= pft_) {
-      if (stats_ != nullptr) ++stats_->pruned_by_frequency;
-      if (warm_ != nullptr && warm_item != nullptr) {
-        warm_->RecordBound(*warm_item, freq_.min_sup(), pr_f);
-      }
-    }
-    return pr_f;
-  }
-
-  void Emit(Itemset items, TidSet tids, double pr_f) {
-    PfiEntry entry;
-    entry.items = std::move(items);
-    entry.pr_f = pr_f;
-    entry.tids = std::move(tids);
-    result_.push_back(std::move(entry));
-  }
-
-  void Dfs(const Itemset& x, const TidSet& tids,
-           std::size_t candidate_pos) {
-    // Node-expansion checkpoint: PFIs emit before recursing, so cutting
-    // here leaves a verified prefix in `result_`.
-    PFCI_FAILPOINT("pfi/node");
-    if (rt_ != nullptr && rt_->Checkpoint()) return;
-    if (!unit_.TakeNode()) return;
-    if (stats_ != nullptr) ++stats_->nodes_visited;
-    for (std::size_t c = candidate_pos + 1; c < candidates_.size(); ++c) {
-      if (Stopped()) return;
-      const Item item = candidates_[c];
-      TidSet child_tids = Intersect(tids, index_->TidsOfItem(item));
-      if (stats_ != nullptr) ++stats_->intersections;
-      const double pr_f = QualifyingPrF(child_tids);
-      if (pr_f <= pft_) continue;
-      const Itemset child = x.WithItem(item);
-      Emit(child, child_tids, pr_f);
-      Dfs(child, child_tids, c);
-    }
-  }
-
-  double pft_;
-  bool use_chernoff_;
-  FrequencyMode mode_;
-  MiningStats* stats_;
-  RunController* rt_;
-  ExecutionContext exec_;
-  ItemWarmStart* warm_;
-  WorkUnitBudget unit_;
-  IndexHandle index_;
-  FrequentProbability freq_;
-  std::vector<Item> candidates_;
-  std::vector<PfiEntry> result_;
-};
-
-}  // namespace
 
 std::vector<PfiEntry> MinePfi(const UncertainDatabase& db,
                               std::size_t min_sup, double pft,
@@ -181,9 +11,9 @@ std::vector<PfiEntry> MinePfi(const UncertainDatabase& db,
                               RunController* runtime,
                               const ExecutionContext* session) {
   PFCI_CHECK(min_sup >= 1);
-  PfiSearch search(db, min_sup, pft, use_chernoff, FrequencyMode::kExactDp,
-                   stats, policy, runtime, session);
-  return search.Run();
+  return EnumeratePfis(db, min_sup, pft, use_chernoff,
+                       FrequencyMode::kExactDp, stats, policy, runtime,
+                       session);
 }
 
 std::vector<PfiEntry> MinePfiApproximate(const UncertainDatabase& db,
@@ -195,9 +25,8 @@ std::vector<PfiEntry> MinePfiApproximate(const UncertainDatabase& db,
   PFCI_CHECK(min_sup >= 1);
   // The Chernoff bound stays valid (it bounds the true tail, and every
   // approximation is consistent with it on the scales where it prunes).
-  PfiSearch search(db, min_sup, pft, /*use_chernoff=*/true, mode, stats,
-                   policy, runtime, /*session=*/nullptr);
-  return search.Run();
+  return EnumeratePfis(db, min_sup, pft, /*use_chernoff=*/true, mode, stats,
+                       policy, runtime, /*session=*/nullptr);
 }
 
 }  // namespace pfci

@@ -12,24 +12,13 @@
 
 #include "src/core/execution.h"
 #include "src/core/mining_result.h"
+#include "src/core/search/pfi_enumeration.h"  // PfiEntry, the enumeration.
 #include "src/data/tidset.h"
 #include "src/data/uncertain_database.h"
 #include "src/prob/tail_approximations.h"
 #include "src/util/runtime.h"
 
 namespace pfci {
-
-/// One probabilistic frequent itemset with its frequent probability and
-/// tid-list (kept so downstream checkers need not recompute it).
-struct PfiEntry {
-  Itemset items;
-  double pr_f = 0.0;
-  TidSet tids;
-
-  friend bool operator<(const PfiEntry& a, const PfiEntry& b) {
-    return a.items < b.items;
-  }
-};
 
 /// Mines all itemsets with PrF(X) > pft at support threshold min_sup.
 /// `stats` (optional) accumulates pruning counters; `policy` selects the

@@ -1,0 +1,32 @@
+#include "src/core/search/closure_operator.h"
+
+#include <utility>
+
+namespace pfci {
+
+PfciEntry MakePfciEntry(const Itemset& x, const FcpComputation& comp) {
+  PfciEntry entry;
+  entry.items = x;
+  entry.fcp = comp.fcp;
+  entry.pr_f = comp.pr_f;
+  entry.fcp_lower = comp.bounds_computed ? comp.bounds.lower : 0.0;
+  entry.fcp_upper = comp.bounds_computed ? comp.bounds.upper : comp.pr_f;
+  entry.method = comp.method;
+  return entry;
+}
+
+bool ClosureOperator::SupersetPruned(const Itemset& x, const TidSet& tids,
+                                     MiningStats& stats) const {
+  const Item last = x.LastItem();
+  for (Item item : index_->occurring_items()) {
+    if (item >= last) break;
+    if (x.Contains(item)) continue;
+    const TidSet& item_tids = index_->TidsOfItem(item);
+    if (item_tids.size() < tids.size()) continue;
+    ++stats.intersections;
+    if (IsSubsetOf(tids, item_tids)) return true;
+  }
+  return false;
+}
+
+}  // namespace pfci

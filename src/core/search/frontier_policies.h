@@ -1,0 +1,123 @@
+// The four frontier policies of the unified search kernel (DESIGN.md
+// §12): how each miner walks the set-enumeration space, with every
+// qualification, closure, and certification decision delegated to the
+// CandidateOracle / ClosureOperator layers.
+#ifndef PFCI_CORE_SEARCH_FRONTIER_POLICIES_H_
+#define PFCI_CORE_SEARCH_FRONTIER_POLICIES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/fcp_sampler.h"
+#include "src/core/search/pfi_enumeration.h"
+#include "src/core/search/search_driver.h"
+
+namespace pfci {
+
+/// MPFCI (Fig. 1): depth-first set-enumeration, parallelized by handing
+/// each first-level candidate's subtree to the work-stealing pool as one
+/// task. Each subtree's RNG is seeded by DeriveSeed(seed, root item) and
+/// partials merge in candidate order, so the output is bit-identical for
+/// any thread count.
+class WorkStealingDfsFrontier : public FrontierPolicy {
+ public:
+  const char* phase_name() const override { return "dfs"; }
+  void BuildCandidates(const SearchContext& ctx,
+                       MiningResult& result) override;
+  void Search(const SearchContext& ctx, MiningResult& result) override;
+  void Merge(const SearchContext& ctx, MiningResult& result) override;
+
+ private:
+  std::vector<Item> candidates_;
+  std::vector<double> candidate_pr_f_;
+  std::vector<MiningResult> subtree_;
+};
+
+/// Apriori-shaped MPFCI: level-synchronous generation by prefix join,
+/// with each level's certifications fanned out over the pool and
+/// committed in level order. Per-entry RNG streams derive from the
+/// entry's global position across the run.
+class LevelSyncBfsFrontier : public FrontierPolicy {
+ public:
+  const char* phase_name() const override { return "bfs"; }
+  void BuildCandidates(const SearchContext& ctx,
+                       MiningResult& result) override;
+  void Search(const SearchContext& ctx, MiningResult& result) override;
+  void Merge(const SearchContext& ctx, MiningResult& result) override;
+
+ private:
+  /// One level entry: a probabilistic frequent itemset with its tid-list.
+  struct LevelEntry {
+    Itemset items;
+    TidSet tids;
+    double pr_f = 0.0;
+  };
+
+  std::vector<LevelEntry> level_;
+};
+
+/// Top-k mining: the same closed-itemset DFS, but pruning against a
+/// rising threshold — the k-th best FCP in hand — instead of a static
+/// pfct. Sequential by construction (one shared RNG/threshold), ordered
+/// by descending FCP with itemset tie-breaks.
+class TopKFrontier : public FrontierPolicy {
+ public:
+  explicit TopKFrontier(std::size_t k) : k_(k) {}
+
+  const char* phase_name() const override { return "dfs"; }
+  void BuildCandidates(const SearchContext& ctx,
+                       MiningResult& result) override;
+  void Search(const SearchContext& ctx, MiningResult& result) override;
+  void Merge(const SearchContext& ctx, MiningResult& result) override;
+
+ private:
+  /// The output order: descending FCP, ties broken by ascending itemset.
+  static bool RanksBefore(const PfciEntry& a, const PfciEntry& b);
+
+  /// The active pruning threshold: the caller's floor while fewer than k
+  /// results are held (strict, per Definition 3.8). Once the pool is
+  /// full it sits one ULP *below* the k-th best FCP, so a candidate that
+  /// exactly ties the k-boundary still reaches Offer() and the itemset
+  /// tie-break there — the final top-k is then independent of the
+  /// candidate enumeration order, matching the output sort.
+  double Threshold(double floor) const;
+
+  /// Index of the entry the next better candidate would evict: the one
+  /// ranking last under the output order.
+  std::size_t WeakestPos() const;
+  void RecomputeWorst();
+  void Offer(PfciEntry entry);
+
+  std::size_t k_;
+  std::vector<Item> candidates_;
+  std::vector<PfciEntry> top_;
+  double worst_in_top_ = 1.0;
+};
+
+/// The Naive checker (Fig. 5): enumerate every probabilistic frequent
+/// itemset (PrFC <= PrF, so the answer set is contained in the PFIs),
+/// then check each one's frequent closed probability by sampling — no
+/// tree, no closure pruning. The checks fan out over the pool with
+/// per-check RNG streams derived from (seed, check index) and commit in
+/// PFI order.
+class FlatCheckFrontier : public FrontierPolicy {
+ public:
+  const char* phase_name() const override { return "sampling"; }
+  /// The PFI stage owns its own fail-soft winding-down (and its nested
+  /// index build's memory-budget charges), so it runs even after a
+  /// global stop — exactly like the pre-kernel miner.
+  bool candidates_when_stopped() const override { return true; }
+  void BuildCandidates(const SearchContext& ctx,
+                       MiningResult& result) override;
+  void Search(const SearchContext& ctx, MiningResult& result) override;
+  void Merge(const SearchContext& ctx, MiningResult& result) override;
+
+ private:
+  std::vector<PfiEntry> pfis_;
+  std::vector<ApproxFcpResult> checks_;
+  std::vector<std::uint8_t> undecided_;
+};
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_SEARCH_FRONTIER_POLICIES_H_

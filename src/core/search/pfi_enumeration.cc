@@ -1,0 +1,151 @@
+#include "src/core/search/pfi_enumeration.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/core/frequent_probability.h"
+#include "src/core/index_handle.h"
+#include "src/core/search/candidate_oracle.h"
+#include "src/data/vertical_index.h"
+#include "src/util/failpoint.h"
+
+namespace pfci {
+
+namespace {
+
+class PfiEnumeration {
+ public:
+  PfiEnumeration(const UncertainDatabase& db, std::size_t min_sup, double pft,
+                 bool use_chernoff, FrequencyMode mode, MiningStats* stats,
+                 const TidSetPolicy& policy, RunController* runtime,
+                 const ExecutionContext* session)
+      : pft_(pft),
+        stats_(stats),
+        rt_(runtime),
+        exec_(MakeContext(session, runtime)),
+        index_(db, policy, exec_),
+        freq_(index_.get(), min_sup, exec_.eval_cache, exec_.table_floor),
+        oracle_(index_.get(), freq_, use_chernoff, mode,
+                // Warm-start proofs are exact-PrF statements: sound to
+                // prune with only when the run itself evaluates exactly.
+                mode == FrequencyMode::kExactDp ? exec_.warm_start
+                                                : nullptr) {}
+
+  std::vector<PfiEntry> Run() {
+    // Index bytes were charged by the handle; fail an undersized memory
+    // budget before any search work.
+    CheckpointAtRunStart(rt_);
+    // Sequential enumeration: one logical work unit owns the whole
+    // budget.
+    unit_ = rt_ != nullptr ? rt_->UnitBudget(0, 1) : WorkUnitBudget{};
+
+    if (!StopRequested(rt_)) {
+      for (Item item : index_->occurring_items()) {
+        TidSet tids = index_->TidsOfItem(item);
+        QualifyRequest req;
+        req.threshold = pft_;
+        req.warm_item = &item;
+        const double pr_f = oracle_.Qualify(tids, req, stats_);
+        if (pr_f > pft_) {
+          candidates_.push_back(item);
+          Emit(Itemset{item}, std::move(tids), pr_f);
+        }
+      }
+    }
+    // The singleton pass above seeded `result_`; extend depth-first.
+    const std::size_t num_singletons = result_.size();
+    for (std::size_t s = 0; s < num_singletons && !Stopped(); ++s) {
+      // Copy: Dfs appends to result_ and may reallocate.
+      const PfiEntry seed = result_[s];
+      Dfs(seed.items, seed.tids, IndexOfCandidate(seed.items.LastItem()));
+    }
+    if (unit_.truncated && rt_ != nullptr) {
+      rt_->RecordTruncation(Outcome::kBudgetExhausted);
+    }
+    if (stats_ != nullptr) {
+      stats_->dp_runs += freq_.dp_runs();
+      stats_->cache_hits += freq_.cache_hits();
+      stats_->cache_misses += freq_.cache_misses();
+      stats_->dp_reused += freq_.dp_reused();
+    }
+    std::sort(result_.begin(), result_.end());
+    return std::move(result_);
+  }
+
+ private:
+  /// Whether the run should wind down (budget cut or global stop).
+  bool Stopped() const { return unit_.truncated || StopRequested(rt_); }
+
+  std::size_t IndexOfCandidate(Item item) const {
+    return static_cast<std::size_t>(
+        std::lower_bound(candidates_.begin(), candidates_.end(), item) -
+        candidates_.begin());
+  }
+
+  /// The context the index handle and cache read session hooks from; the
+  /// runtime is overridden so the handle charges the same controller the
+  /// search polls.
+  static ExecutionContext MakeContext(const ExecutionContext* session,
+                                      RunController* runtime) {
+    ExecutionContext exec = session != nullptr ? *session : ExecutionContext{};
+    exec.runtime = runtime;
+    return exec;
+  }
+
+  void Emit(Itemset items, TidSet tids, double pr_f) {
+    PfiEntry entry;
+    entry.items = std::move(items);
+    entry.pr_f = pr_f;
+    entry.tids = std::move(tids);
+    result_.push_back(std::move(entry));
+  }
+
+  void Dfs(const Itemset& x, const TidSet& tids, std::size_t candidate_pos) {
+    // Node-expansion checkpoint: PFIs emit before recursing, so cutting
+    // here leaves a verified prefix in `result_`.
+    PFCI_FAILPOINT("pfi/node");
+    if (CheckpointNow(rt_)) return;
+    if (!unit_.TakeNode()) return;
+    if (stats_ != nullptr) ++stats_->nodes_visited;
+    for (std::size_t c = candidate_pos + 1; c < candidates_.size(); ++c) {
+      if (Stopped()) return;
+      const Item item = candidates_[c];
+      TidSet child_tids = Intersect(tids, index_->TidsOfItem(item));
+      if (stats_ != nullptr) ++stats_->intersections;
+      QualifyRequest req;
+      req.threshold = pft_;
+      const double pr_f = oracle_.Qualify(child_tids, req, stats_);
+      if (pr_f <= pft_) continue;
+      const Itemset child = x.WithItem(item);
+      Emit(child, child_tids, pr_f);
+      Dfs(child, child_tids, c);
+    }
+  }
+
+  double pft_;
+  MiningStats* stats_;
+  RunController* rt_;
+  ExecutionContext exec_;
+  IndexHandle index_;
+  FrequentProbability freq_;
+  CandidateOracle oracle_;
+  WorkUnitBudget unit_;
+  std::vector<Item> candidates_;
+  std::vector<PfiEntry> result_;
+};
+
+}  // namespace
+
+std::vector<PfiEntry> EnumeratePfis(const UncertainDatabase& db,
+                                    std::size_t min_sup, double pft,
+                                    bool use_chernoff, FrequencyMode mode,
+                                    MiningStats* stats,
+                                    const TidSetPolicy& policy,
+                                    RunController* runtime,
+                                    const ExecutionContext* session) {
+  PfiEnumeration search(db, min_sup, pft, use_chernoff, mode, stats, policy,
+                        runtime, session);
+  return search.Run();
+}
+
+}  // namespace pfci

@@ -1,0 +1,57 @@
+// Probabilistic frequent itemset enumeration — the kernel's flat
+// (non-closed) search primitive.
+//
+// Enumerates all itemsets with PrF(X) > pft (Definition 3.5) by a
+// sequential depth-first walk with CandidateOracle qualification at every
+// node. PrF is anti-monotone, so the enumeration is complete. This is the
+// engine behind the PFI baseline miner and the candidate stage of the
+// Naive checker (Fig. 5); it lives in the kernel so frontier policies can
+// call it without depending on any miner entry point.
+#ifndef PFCI_CORE_SEARCH_PFI_ENUMERATION_H_
+#define PFCI_CORE_SEARCH_PFI_ENUMERATION_H_
+
+#include <vector>
+
+#include "src/core/execution.h"
+#include "src/core/mining_result.h"
+#include "src/data/tidset.h"
+#include "src/data/uncertain_database.h"
+#include "src/prob/tail_approximations.h"
+#include "src/util/runtime.h"
+
+namespace pfci {
+
+/// One probabilistic frequent itemset with its frequent probability and
+/// tid-list (kept so downstream checkers need not recompute it).
+struct PfiEntry {
+  Itemset items;
+  double pr_f = 0.0;
+  TidSet tids;
+
+  friend bool operator<(const PfiEntry& a, const PfiEntry& b) {
+    return a.items < b.items;
+  }
+};
+
+/// Enumerates all itemsets with PrF(X) > pft at the support threshold
+/// `min_sup` (>= 1), sorted canonically. `mode` selects the frequency
+/// evaluation (kExactDp, or a distributional tail approximation);
+/// `use_chernoff` gates the Lemma 4.1 stage. `stats` (optional)
+/// accumulates pruning counters; `policy` selects the tid-set
+/// representation (never affects results). `runtime` (optional) makes the
+/// enumeration fail-soft: the DFS polls it at node expansion and winds
+/// down with a verified prefix when a limit trips. `session` (optional)
+/// carries a MiningSession's shared index, evaluation cache, and
+/// warm-start proofs (DESIGN.md §11); warm-start proofs only apply under
+/// kExactDp, the one mode they are sound against.
+std::vector<PfiEntry> EnumeratePfis(const UncertainDatabase& db,
+                                    std::size_t min_sup, double pft,
+                                    bool use_chernoff, FrequencyMode mode,
+                                    MiningStats* stats,
+                                    const TidSetPolicy& policy,
+                                    RunController* runtime,
+                                    const ExecutionContext* session);
+
+}  // namespace pfci
+
+#endif  // PFCI_CORE_SEARCH_PFI_ENUMERATION_H_

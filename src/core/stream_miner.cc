@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "src/core/mpfci_miner.h"
+#include "src/core/mine.h"
 #include "src/util/check.h"
 
 namespace pfci {
@@ -29,9 +29,16 @@ UncertainDatabase StreamingPfciMiner::WindowSnapshot() const {
 }
 
 MiningResult StreamingPfciMiner::MineWindow() {
-  MiningParams params = params_;
-  params.seed = params_.seed + 0x9e3779b9ULL * (++mine_calls_);
-  return MineMpfci(WindowSnapshot(), params);
+  return MineWindow(MiningRequest{});
+}
+
+MiningResult StreamingPfciMiner::MineWindow(const MiningRequest& request) {
+  // Each call advances the seed so repeated mines of identical windows
+  // stay deterministic but draw independent sampling streams.
+  MiningRequest window_request = request;
+  window_request.params = params_;
+  window_request.params.seed = params_.seed + 0x9e3779b9ULL * (++mine_calls_);
+  return Mine(WindowSnapshot(), window_request);
 }
 
 }  // namespace pfci

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "src/core/mine.h"
 #include "src/core/mining_params.h"
 #include "src/core/mining_result.h"
 #include "src/data/uncertain_database.h"
@@ -42,7 +43,17 @@ class StreamingPfciMiner {
   /// Mines the probabilistic frequent closed itemsets of the current
   /// window. Each call advances the internal mining seed so repeated
   /// calls on identical windows remain deterministic but independent.
+  /// Routed through the unified Mine() entry point (and so through the
+  /// search kernel); invalid mining parameters come back as a
+  /// kInvalidRequest result rather than aborting.
   MiningResult MineWindow();
+
+  /// As above with a request template: budget, cancel token, trace sink,
+  /// execution policy, and algorithm choice are honored, making windowed
+  /// mining fail-soft like any other Mine() call. The template's params
+  /// are replaced by the stream's own (with the per-call seed advance);
+  /// sweep_min_sup must stay empty.
+  MiningResult MineWindow(const MiningRequest& request);
 
  private:
   MiningParams params_;

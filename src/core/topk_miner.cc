@@ -1,266 +1,11 @@
 #include "src/core/topk_miner.h"
 
-#include <algorithm>
-#include <cmath>
-#include <vector>
-
-#include "src/core/eval_cache.h"
-#include "src/core/fcp_engine.h"
-#include "src/core/frequent_probability.h"
-#include "src/core/index_handle.h"
-#include "src/data/vertical_index.h"
+#include "src/core/search/frontier_policies.h"
+#include "src/core/search/search_driver.h"
 #include "src/util/check.h"
-#include "src/util/failpoint.h"
-#include "src/util/runtime.h"
-#include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
 namespace pfci {
-
-namespace {
-
-/// DFS search with a rising pruning threshold (the k-th best FCP in hand).
-class TopkSearch {
- public:
-  TopkSearch(const UncertainDatabase& db, const MiningParams& params,
-             std::size_t k, const ExecutionContext& exec)
-      : params_(params),
-        exec_(exec),
-        k_(k),
-        index_(db, TidSetPolicyFor(params), exec),
-        freq_(index_.get(), params.min_sup, exec.eval_cache, exec.table_floor),
-        rng_(params.seed) {}
-
-  MiningResult Run() {
-    Stopwatch timer;
-    MiningResult result;
-    RunController* rt = exec_.runtime;
-    // Index bytes were charged by the handle; fail an undersized memory
-    // budget before any search work.
-    if (rt != nullptr && rt->active()) rt->Checkpoint();
-    // The whole search shares one RNG (rng_), so the run is a single
-    // logical work unit: after any truncation nothing further may be
-    // evaluated, or later estimates would read a shifted stream.
-    unit_ = rt != nullptr ? rt->UnitBudget(0, 1) : WorkUnitBudget{};
-
-    if (rt == nullptr || !rt->StopRequested()) {
-      TraceSpan span(exec_.trace, "candidate_build",
-                     &result.stats.candidate_seconds);
-      BuildCandidates();
-    }
-    {
-      TraceSpan span(exec_.trace, "dfs", &result.stats.search_seconds);
-      for (std::size_t c = 0; c < candidates_.size() && !Stopped(); ++c) {
-        const Item item = candidates_[c];
-        const TidSet& tids = index_->TidsOfItem(item);
-        const double pr_f = freq_.PrF(tids);
-        if (pr_f <= Threshold()) continue;
-        Dfs(Itemset{item}, tids, pr_f, c);
-      }
-    }
-    if (unit_.truncated && rt != nullptr) {
-      rt->RecordTruncation(Outcome::kBudgetExhausted);
-    }
-    TraceSpan merge_span(exec_.trace, "merge", &result.stats.merge_seconds);
-    AddStats(result.stats, stats_);
-    result.stats.dp_runs = freq_.dp_runs();
-    result.stats.cache_hits = freq_.cache_hits();
-    result.stats.cache_misses = freq_.cache_misses();
-    result.stats.dp_reused = freq_.dp_reused();
-    // Descending FCP, ties resolved by itemset order for determinism.
-    std::sort(top_.begin(), top_.end(), RanksBefore);
-    result.itemsets = std::move(top_);
-    merge_span.End();
-    if (rt != nullptr) {
-      result.stats.outcome = rt->outcome();
-      result.stats.truncated = rt->truncated();
-    }
-    result.stats.seconds = timer.ElapsedSeconds();
-    result.stats.EmitTrace(exec_.trace);
-    return result;
-  }
-
- private:
-  /// Whether the run should wind down (budget cut or global stop).
-  bool Stopped() const {
-    return unit_.truncated ||
-           (exec_.runtime != nullptr && exec_.runtime->StopRequested());
-  }
-  /// The output order: descending FCP, ties broken by ascending itemset.
-  static bool RanksBefore(const PfciEntry& a, const PfciEntry& b) {
-    if (a.fcp != b.fcp) return a.fcp > b.fcp;
-    return a.items < b.items;
-  }
-
-  /// Folds the search counters into `total` (which already carries the
-  /// phase timings recorded by Run()'s spans).
-  static void AddStats(MiningStats& total, const MiningStats& part) {
-    total.nodes_visited += part.nodes_visited;
-    total.pruned_by_chernoff += part.pruned_by_chernoff;
-    total.pruned_by_frequency += part.pruned_by_frequency;
-    total.pruned_by_superset += part.pruned_by_superset;
-    total.pruned_by_subset += part.pruned_by_subset;
-    total.decided_by_bounds += part.decided_by_bounds;
-    total.zero_by_count += part.zero_by_count;
-    total.exact_fcp_computations += part.exact_fcp_computations;
-    total.sampled_fcp_computations += part.sampled_fcp_computations;
-    total.total_samples += part.total_samples;
-    total.intersections += part.intersections;
-    total.degraded_fcp_evals += part.degraded_fcp_evals;
-  }
-
-  /// The active pruning threshold: the caller's floor while fewer than k
-  /// results are held (strict, per Definition 3.8). Once the heap is
-  /// full it sits one ULP *below* the k-th best FCP, so a candidate that
-  /// exactly ties the k-boundary still reaches Offer() and the itemset
-  /// tie-break there — the final top-k is then independent of the
-  /// candidate enumeration order, matching the output sort.
-  double Threshold() const {
-    if (top_.size() < k_) return params_.pfct;
-    return std::max(params_.pfct, std::nextafter(worst_in_top_, 0.0));
-  }
-
-  /// Index of the entry the next better candidate would evict: the one
-  /// ranking last under the output order.
-  std::size_t WeakestPos() const {
-    std::size_t weakest = 0;
-    for (std::size_t i = 1; i < top_.size(); ++i) {
-      if (!RanksBefore(top_[i], top_[weakest])) weakest = i;
-    }
-    return weakest;
-  }
-
-  void RecomputeWorst() {
-    if (top_.empty()) return;  // k == 0: threshold stays at its seed.
-    worst_in_top_ = top_.front().fcp;
-    for (const PfciEntry& entry : top_) {
-      worst_in_top_ = std::min(worst_in_top_, entry.fcp);
-    }
-  }
-
-  void Offer(PfciEntry entry) {
-    if (top_.size() < k_) {
-      top_.push_back(std::move(entry));
-      if (top_.size() == k_) RecomputeWorst();
-      return;
-    }
-    if (top_.empty()) return;  // k == 0 mines nothing.
-    // Evict the weakest entry iff the candidate outranks it under the
-    // output order — at equal FCP the lexicographically smaller itemset
-    // wins, exactly as in the final sort.
-    const std::size_t weakest = WeakestPos();
-    if (!RanksBefore(entry, top_[weakest])) return;
-    top_[weakest] = std::move(entry);
-    RecomputeWorst();
-  }
-
-  void BuildCandidates() {
-    for (Item item : index_->occurring_items()) {
-      const TidSet& tids = index_->TidsOfItem(item);
-      if (tids.size() < params_.min_sup) continue;
-      // The floor threshold is the only sound candidate filter here (the
-      // dynamic threshold starts at the floor and only rises).
-      if (params_.pruning.chernoff &&
-          freq_.PrFUpperBound(tids) <= params_.pfct) {
-        ++stats_.pruned_by_chernoff;
-        continue;
-      }
-      candidates_.push_back(item);
-    }
-  }
-
-  bool SupersetPruned(const Itemset& x, const TidSet& tids) {
-    const Item last = x.LastItem();
-    for (Item item : index_->occurring_items()) {
-      if (item >= last) break;
-      if (x.Contains(item)) continue;
-      const TidSet& item_tids = index_->TidsOfItem(item);
-      if (item_tids.size() < tids.size()) continue;
-      ++stats_.intersections;
-      if (IsSubsetOf(tids, item_tids)) return true;
-    }
-    return false;
-  }
-
-  void Dfs(const Itemset& x, const TidSet& tids, double pr_f,
-           std::size_t last_candidate_pos) {
-    // Node-expansion checkpoint (DESIGN.md §10).
-    PFCI_FAILPOINT("topk/node");
-    if (exec_.runtime != nullptr && exec_.runtime->Checkpoint()) return;
-    if (!unit_.TakeNode()) return;
-    ++stats_.nodes_visited;
-    if (exec_.progress != nullptr) exec_.progress->AddNodes();
-    if (params_.pruning.superset && SupersetPruned(x, tids)) {
-      ++stats_.pruned_by_superset;
-      return;
-    }
-
-    bool x_may_be_closed = true;
-    for (std::size_t c = last_candidate_pos + 1; c < candidates_.size();
-         ++c) {
-      if (Stopped()) return;
-      const Item item = candidates_[c];
-      const TidSet child_tids = Intersect(tids, index_->TidsOfItem(item));
-      ++stats_.intersections;
-      const bool same_count = child_tids.size() == tids.size();
-      if (params_.pruning.subset && same_count) x_may_be_closed = false;
-
-      bool child_qualifies = child_tids.size() >= params_.min_sup;
-      if (child_qualifies && params_.pruning.chernoff &&
-          freq_.PrFUpperBound(child_tids) <= Threshold()) {
-        ++stats_.pruned_by_chernoff;
-        child_qualifies = false;
-      }
-      if (child_qualifies) {
-        const double child_pr_f = freq_.PrF(child_tids);
-        if (child_pr_f <= Threshold()) {
-          ++stats_.pruned_by_frequency;
-        } else {
-          Dfs(x.WithItem(item), child_tids, child_pr_f, c);
-        }
-      }
-      if (params_.pruning.subset && same_count) break;
-    }
-
-    if (Stopped()) return;
-    if (!x_may_be_closed) {
-      ++stats_.pruned_by_subset;
-      return;
-    }
-    // Evaluate against the *current* threshold.
-    MiningParams node_params = params_;
-    node_params.pfct = Threshold();
-    const FcpEngine engine(index_.get(), freq_, node_params, exec_);
-    const FcpComputation comp =
-        engine.Evaluate(x, tids, pr_f, rng_, &stats_, nullptr, &unit_);
-    if (comp.undecided) return;
-    if (comp.is_pfci) {
-      PfciEntry entry;
-      entry.items = x;
-      entry.fcp = comp.fcp;
-      entry.pr_f = comp.pr_f;
-      entry.fcp_lower = comp.bounds_computed ? comp.bounds.lower : 0.0;
-      entry.fcp_upper = comp.bounds_computed ? comp.bounds.upper : comp.pr_f;
-      entry.method = comp.method;
-      if (exec_.progress != nullptr) exec_.progress->AddItemsets();
-      Offer(std::move(entry));
-    }
-  }
-
-  MiningParams params_;
-  ExecutionContext exec_;
-  std::size_t k_;
-  IndexHandle index_;
-  FrequentProbability freq_;
-  Rng rng_;
-  WorkUnitBudget unit_;
-  std::vector<Item> candidates_;
-  std::vector<PfciEntry> top_;
-  double worst_in_top_ = 1.0;
-  MiningStats stats_;
-};
-
-}  // namespace
 
 MiningResult MineTopKPfci(const UncertainDatabase& db,
                           const MiningParams& params, std::size_t k) {
@@ -277,8 +22,8 @@ MiningResult MineTopKPfci(const UncertainDatabase& db,
   // Same message as ValidateRequest so the k = 0 edge case fails
   // identically through every entry point.
   PFCI_CHECK_MSG(k >= 1, "top_k must be >= 1 for Algorithm::kTopK");
-  TopkSearch search(db, params, k, exec);
-  return search.Run();
+  TopKFrontier frontier(k);
+  return RunSearch(db, params, exec, frontier);
 }
 
 }  // namespace pfci

@@ -278,6 +278,27 @@ class RunController {
   std::atomic<std::uint64_t> resident_bytes_{0};
 };
 
+/// Null-tolerant checkpoint helpers: miners carry an optional controller
+/// (ExecutionContext::runtime may be null = unlimited), so every
+/// cooperative poll site needs the same two-step dance. One spelling for
+/// all of them.
+
+/// Whether a global stop (cancel/deadline/memory) has been requested.
+inline bool StopRequested(const RunController* rt) {
+  return rt != nullptr && rt->StopRequested();
+}
+
+/// Polls the controller (deadline, cancellation); true means wind down.
+inline bool CheckpointNow(RunController* rt) {
+  return rt != nullptr && rt->Checkpoint();
+}
+
+/// Run-entry checkpoint: charges already made (e.g. the index build) can
+/// trip an undersized memory budget before any search work starts.
+inline void CheckpointAtRunStart(RunController* rt) {
+  if (rt != nullptr && rt->active()) rt->Checkpoint();
+}
+
 }  // namespace pfci
 
 #endif  // PFCI_UTIL_RUNTIME_H_
