@@ -16,7 +16,8 @@
 // Exit codes mirror the run outcome so scripts can tell a complete run
 // from a fail-soft partial: 0 complete, 2 invalid request, 3 budget
 // exhausted, 4 deadline exceeded, 5 cancelled (1 stays the generic
-// usage/I-O error).
+// usage/I-O error). Invalid requests caught before the run — e.g. a
+// --sweep list with duplicate or non-ascending thresholds — also exit 2.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,23 +56,50 @@ std::string AlgorithmChoices() {
   return choices;
 }
 
-/// Parses "--sweep=min_sup:A,B,C" into a list of thresholds.
-bool ParseSweep(const std::string& value, std::vector<std::size_t>* out) {
+/// Parses "--sweep=min_sup:A,B,C" into a list of thresholds. Returns 0
+/// on success, 1 on a syntax error (generic usage error), 2 when the
+/// thresholds are duplicated or non-ascending — the sweep contract is
+/// strictly increasing, and the error names the offending position so
+/// a long list is debuggable. The caller exits with the returned code
+/// (2 is the documented invalid-request exit).
+int ParseSweep(const std::string& value, std::vector<std::size_t>* out) {
   const std::string prefix = "min_sup:";
-  if (value.compare(0, prefix.size(), prefix) != 0) return false;
+  if (value.compare(0, prefix.size(), prefix) != 0) {
+    std::fprintf(stderr, "bad --sweep '%s' (expected min_sup:A,B,C)\n",
+                 value.c_str());
+    return 1;
+  }
   std::size_t start = prefix.size();
   while (start < value.size()) {
     std::size_t end = value.find(',', start);
     if (end == std::string::npos) end = value.size();
+    const std::string token = value.substr(start, end - start);
     unsigned int threshold = 0;
-    if (!pfci::ParseUint32(value.substr(start, end - start), &threshold) ||
-        threshold == 0) {
-      return false;
+    if (!pfci::ParseUint32(token, &threshold) || threshold == 0) {
+      std::fprintf(stderr,
+                   "bad --sweep threshold '%s' at position %zu (expected a "
+                   "positive integer)\n",
+                   token.c_str(), out->size() + 1);
+      return 1;
+    }
+    if (!out->empty() && threshold <= out->back()) {
+      std::fprintf(stderr,
+                   "bad --sweep: threshold %u at position %zu %s previous "
+                   "value %zu (thresholds must be strictly ascending)\n",
+                   threshold, out->size() + 1,
+                   threshold == out->back() ? "duplicates" : "is below",
+                   out->back());
+      return 2;
     }
     out->push_back(threshold);
     start = end + 1;
   }
-  return !out->empty();
+  if (out->empty()) {
+    std::fprintf(stderr, "bad --sweep '%s' (no thresholds given)\n",
+                 value.c_str());
+    return 1;
+  }
+  return 0;
 }
 
 /// Distinct non-zero exit code per fail-soft outcome (documented above).
@@ -166,12 +194,8 @@ int main(int argc, char** argv) {
           return 1;
         }
       } else if (ParseFlag(argv[position], "--sweep", &value)) {
-        if (!ParseSweep(value, &request.sweep_min_sup)) {
-          std::fprintf(stderr,
-                       "bad --sweep '%s' (expected min_sup:A,B,C)\n",
-                       value.c_str());
-          return 1;
-        }
+        const int sweep_error = ParseSweep(value, &request.sweep_min_sup);
+        if (sweep_error != 0) return sweep_error;
       } else if (ParseFlag(argv[position], "--threads", &value)) {
         unsigned int threads = 0;
         if (!ParseUint32(value, &threads)) {

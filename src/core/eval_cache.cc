@@ -48,9 +48,12 @@ std::size_t EvalCache::Entry::Bytes() const {
 }
 
 EvalCache::EvalCache(const Options& options) : options_(options) {
-  PFCI_CHECK(options.max_bytes >= 1);
-  PFCI_CHECK(options.shards >= 1);
-  shards_ = std::vector<Shard>(options.shards);
+  // Degenerate budgets are clamped, not aborted on: a cache is an
+  // optimization, so "shards = 0" means "one shard" and "max_bytes = 0"
+  // means "a budget no entry fits in" (every insert is rejected below).
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.max_bytes == 0) options_.max_bytes = 1;
+  shards_ = std::vector<Shard>(options_.shards);
 }
 
 EvalCache::Lookup EvalCache::Probe(const TidSet& tids,
@@ -86,29 +89,50 @@ void EvalCache::Insert(const TidSet& tids, double mu,
   if (it != shard.map.end()) {
     Entry& entry = it->second->second;
     if (SameTids(tids, entry.tids)) {
-      // Upgrade in place only when the new table answers more thresholds.
+      // Upgrade in place only when the new table answers more thresholds
+      // AND the upgraded entry still fits the budget on its own; an
+      // over-budget upgrade is rejected and the smaller entry kept (it
+      // keeps answering what it already answered).
       if (table_threshold > entry.table_threshold) {
-        bytes_.fetch_sub(entry.Bytes(), std::memory_order_relaxed);
-        entry.table_threshold = table_threshold;
-        entry.table = std::move(table);
-        bytes_.fetch_add(entry.Bytes(), std::memory_order_relaxed);
+        const std::size_t upgraded_bytes =
+            kEntryOverheadBytes + entry.tids.capacity() * sizeof(Tid) +
+            table.capacity() * sizeof(double);
+        if (upgraded_bytes > options_.max_bytes) {
+          rejections_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          bytes_.fetch_sub(entry.Bytes(), std::memory_order_relaxed);
+          entry.table_threshold = table_threshold;
+          entry.table = std::move(table);
+          bytes_.fetch_add(entry.Bytes(), std::memory_order_relaxed);
+        }
       }
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       EvictLocked(shard);
       return;
     }
-    // Fingerprint collision with different contents: drop the old entry
-    // (the slot can only hold one) — rare, and only a perf event.
-    bytes_.fetch_sub(entry.Bytes(), std::memory_order_relaxed);
-    entries_.fetch_sub(1, std::memory_order_relaxed);
-    shard.lru.erase(it->second);
-    shard.map.erase(it);
   }
   Entry entry;
   entry.tids = tids.ToTidList();
   entry.mu = mu;
   entry.table_threshold = table_threshold;
   entry.table = std::move(table);
+  // An entry that alone exceeds the whole budget can never become
+  // resident; admitting it would evict the entire shard and still leave
+  // the cache over budget (the historical evict-everything-then-stay-
+  // over-budget inconsistency). Reject it as a stats event instead,
+  // before any existing entry is disturbed.
+  if (entry.Bytes() > options_.max_bytes) {
+    rejections_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (it != shard.map.end()) {
+    // Fingerprint collision with different contents: drop the old entry
+    // (the slot can only hold one) — rare, and only a perf event.
+    bytes_.fetch_sub(it->second->second.Bytes(), std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
   bytes_.fetch_add(entry.Bytes(), std::memory_order_relaxed);
   entries_.fetch_add(1, std::memory_order_relaxed);
   shard.lru.emplace_front(fp, std::move(entry));
@@ -119,7 +143,8 @@ void EvalCache::Insert(const TidSet& tids, double mu,
 void EvalCache::EvictLocked(Shard& shard) {
   // Global budget, shard-local eviction: each shard sheds its own LRU
   // tail while the aggregate is over budget. Never evicts the entry just
-  // touched (front), so an oversized single entry still serves hits.
+  // touched (front): it is the one the caller is actively using, and
+  // over-budget pressure from other shards should not starve this one.
   while (bytes_.load(std::memory_order_relaxed) > options_.max_bytes &&
          shard.lru.size() > 1) {
     const auto victim = std::prev(shard.lru.end());

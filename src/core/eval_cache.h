@@ -50,10 +50,12 @@ class EvalCache {
  public:
   struct Options {
     /// Byte budget across all shards; least-recently-used entries are
-    /// evicted when an insert pushes past it. Must be >= 1.
+    /// evicted when an insert pushes past it. 0 is clamped to 1 (a
+    /// budget nothing fits in: every insert is rejected, the cache
+    /// degrades to all-miss).
     std::size_t max_bytes = std::size_t{64} << 20;
 
-    /// Lock shards (>= 1). More shards, less contention.
+    /// Lock shards. More shards, less contention; 0 is clamped to 1.
     std::size_t shards = 8;
   };
 
@@ -79,7 +81,10 @@ class EvalCache {
   /// Stores (or upgrades) the entry for `tids`. `table` must be the
   /// PoissonBinomialTailTable output of size table_threshold + 1; pass
   /// table_threshold 0 (table {1.0}) to cache mu alone. An existing entry
-  /// with a larger table is kept as-is (it answers strictly more).
+  /// with a larger table is kept as-is (it answers strictly more). An
+  /// entry (or upgrade) that would alone exceed max_bytes is rejected —
+  /// counted in rejections(), existing entries untouched — so the cache
+  /// never admits something it would have to evict everything for.
   void Insert(const TidSet& tids, double mu, std::size_t table_threshold,
               std::vector<double> table);
 
@@ -97,6 +102,10 @@ class EvalCache {
   }
   std::uint64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Inserts refused because the entry alone would exceed max_bytes.
+  std::uint64_t rejections() const {
+    return rejections_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -131,6 +140,7 @@ class EvalCache {
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> entries_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> rejections_{0};
 };
 
 /// Content fingerprint of a tidset (FNV-1a over the ascending tids).

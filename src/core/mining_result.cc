@@ -99,10 +99,13 @@ std::string MiningStats::ToJson() const {
   out += "\"";
   out += ",\"truncated\":";
   out += truncated ? "true" : "false";
-  out += ",\"seconds\":" + FormatDouble(seconds, 6);
-  out += ",\"candidate_seconds\":" + FormatDouble(candidate_seconds, 6);
-  out += ",\"search_seconds\":" + FormatDouble(search_seconds, 6);
-  out += ",\"merge_seconds\":" + FormatDouble(merge_seconds, 6);
+  // Round-trip formatting keeps the JSON byte-stable across platforms:
+  // the shortest digit string that reparses to the exact double, rather
+  // than a fixed precision that can round differently at the boundary.
+  out += ",\"seconds\":" + FormatDoubleRoundTrip(seconds);
+  out += ",\"candidate_seconds\":" + FormatDoubleRoundTrip(candidate_seconds);
+  out += ",\"search_seconds\":" + FormatDoubleRoundTrip(search_seconds);
+  out += ",\"merge_seconds\":" + FormatDoubleRoundTrip(merge_seconds);
   out += "}";
   return out;
 }

@@ -9,14 +9,17 @@ namespace pfci {
 
 StreamingPfciMiner::StreamingPfciMiner(MiningParams params,
                                        std::size_t window_size)
-    : params_(params), window_size_(window_size) {
-  PFCI_CHECK(window_size >= 1);
-  PFCI_CHECK(params.min_sup >= 1);
-  PFCI_CHECK(params.min_sup <= window_size);
-}
+    : params_(params), window_size_(window_size) {}
 
 void StreamingPfciMiner::Observe(Itemset items, double prob) {
   PFCI_CHECK(prob > 0.0 && prob <= 1.0);
+  // A zero-capacity window holds nothing: the observation is counted but
+  // never stored (guards the pop_front below, which would otherwise pop
+  // an empty deque).
+  if (window_size_ == 0) {
+    ++seen_;
+    return;
+  }
   if (window_.size() == window_size_) window_.pop_front();
   window_.push_back(UncertainTransaction{std::move(items), prob});
   ++seen_;
@@ -38,6 +41,15 @@ MiningResult StreamingPfciMiner::MineWindow(const MiningRequest& request) {
   MiningRequest window_request = request;
   window_request.params = params_;
   window_request.params.seed = params_.seed + 0x9e3779b9ULL * (++mine_calls_);
+  if (window_size_ == 0) {
+    // Report the degenerate configuration as request data, mirroring how
+    // Mine() itself surfaces invalid parameters.
+    MiningResult result;
+    result.stats.outcome = Outcome::kInvalidRequest;
+    result.status_message =
+        "invalid MiningRequest: streaming window_size must be >= 1";
+    return result;
+  }
   return Mine(WindowSnapshot(), window_request);
 }
 

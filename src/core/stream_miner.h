@@ -25,6 +25,10 @@ namespace pfci {
 class StreamingPfciMiner {
  public:
   /// `params.min_sup` applies to the window (absolute count within it).
+  /// Degenerate configurations construct fine and surface as data at the
+  /// mining boundary: `window_size == 0` makes MineWindow() return a
+  /// kInvalidRequest result (and Observe() retain nothing), and invalid
+  /// params are rejected by Mine() itself.
   StreamingPfciMiner(MiningParams params, std::size_t window_size);
 
   /// Appends one transaction, evicting the oldest when the window is at

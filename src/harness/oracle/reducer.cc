@@ -1,0 +1,154 @@
+#include "src/harness/oracle/reducer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pfci {
+
+namespace {
+
+std::size_t TotalItems(const std::vector<UncertainTransaction>& rows) {
+  std::size_t total = 0;
+  for (const UncertainTransaction& row : rows) total += row.items.size();
+  return total;
+}
+
+UncertainDatabase BuildDb(const std::vector<UncertainTransaction>& rows) {
+  UncertainDatabase db;
+  for (const UncertainTransaction& row : rows) db.Add(row.items, row.prob);
+  return db;
+}
+
+/// The shared shrink state: the current failing row set, the findings it
+/// triggers, and the probe budget.
+struct Search {
+  std::vector<UncertainTransaction> rows;
+  std::vector<OracleFinding> findings;
+  const CaseOracle* oracle = nullptr;
+  const MiningParams* params = nullptr;
+  std::size_t calls = 0;
+  std::size_t max_calls = 0;
+
+  bool Exhausted() const { return calls >= max_calls; }
+
+  /// Probes a candidate row set; on failure (= the invariant still
+  /// trips) adopts it as the new current input and returns true.
+  bool Try(std::vector<UncertainTransaction> candidate) {
+    if (Exhausted()) return false;
+    ++calls;
+    std::vector<OracleFinding> result =
+        (*oracle)(BuildDb(candidate), *params);
+    if (result.empty()) return false;
+    rows = std::move(candidate);
+    findings = std::move(result);
+    return true;
+  }
+};
+
+/// ddmin over transactions: drop `chunk` consecutive rows at a time,
+/// halving the chunk size whenever a full pass removes nothing.
+void ShrinkTransactions(Search& search) {
+  std::size_t chunk = std::max<std::size_t>(1, search.rows.size() / 2);
+  while (search.rows.size() > 1 && !search.Exhausted()) {
+    bool removed = false;
+    for (std::size_t start = 0;
+         start < search.rows.size() && search.rows.size() > 1;) {
+      const std::size_t take =
+          std::min(chunk, search.rows.size() - start);
+      if (take == search.rows.size()) {
+        start += take;
+        continue;  // never probe the empty database
+      }
+      std::vector<UncertainTransaction> candidate;
+      candidate.reserve(search.rows.size() - take);
+      candidate.insert(candidate.end(), search.rows.begin(),
+                       search.rows.begin() + static_cast<long>(start));
+      candidate.insert(candidate.end(),
+                       search.rows.begin() + static_cast<long>(start + take),
+                       search.rows.end());
+      if (search.Try(std::move(candidate))) {
+        removed = true;  // rows shifted down; retry the same offset
+      } else {
+        start += take;
+      }
+      if (search.Exhausted()) return;
+    }
+    if (!removed) {
+      if (chunk == 1) return;
+      chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+  }
+}
+
+/// Per-transaction item removal (a row keeps at least one item — empty
+/// transactions are not representable).
+void ShrinkItems(Search& search) {
+  for (std::size_t r = 0; r < search.rows.size(); ++r) {
+    for (std::size_t i = 0; i < search.rows[r].items.size();) {
+      if (search.rows[r].items.size() == 1 || search.Exhausted()) break;
+      std::vector<UncertainTransaction> candidate = search.rows;
+      std::vector<Item> kept;
+      for (std::size_t j = 0; j < candidate[r].items.size(); ++j) {
+        if (j != i) kept.push_back(candidate[r].items[j]);
+      }
+      candidate[r].items = Itemset(std::move(kept));
+      if (!search.Try(std::move(candidate))) ++i;
+    }
+  }
+}
+
+/// Probability simplification: 1.0 if the failure survives it, else 0.5
+/// — both render as short round-trip literals in the .utd repro.
+void ShrinkProbs(Search& search) {
+  for (std::size_t r = 0; r < search.rows.size(); ++r) {
+    for (double target : {1.0, 0.5}) {
+      if (search.rows[r].prob == target || search.Exhausted()) continue;
+      std::vector<UncertainTransaction> candidate = search.rows;
+      candidate[r].prob = target;
+      if (search.Try(std::move(candidate))) break;
+    }
+  }
+}
+
+}  // namespace
+
+ReducedCase ShrinkCase(const UncertainDatabase& db, const MiningParams& params,
+                       const CaseOracle& oracle,
+                       std::size_t max_oracle_calls) {
+  Search search;
+  search.rows.assign(db.transactions().begin(), db.transactions().end());
+  search.oracle = &oracle;
+  search.params = &params;
+  search.max_calls = max_oracle_calls;
+
+  // Confirm the unshrunk input fails; a flaky or already-clean input is
+  // returned untouched so callers can tell the difference.
+  ++search.calls;
+  search.findings = oracle(db, params);
+  ReducedCase out;
+  out.params = params;
+  if (search.findings.empty()) {
+    out.db = BuildDb(search.rows);
+    out.oracle_calls = search.calls;
+    return out;
+  }
+
+  // Each phase can unlock the previous one (fewer rows make more item
+  // removals viable and vice versa); loop to a combined fixpoint.
+  std::size_t previous_size = 0;
+  do {
+    previous_size = search.rows.size() * 1000 + TotalItems(search.rows);
+    ShrinkTransactions(search);
+    ShrinkItems(search);
+  } while (!search.Exhausted() &&
+           search.rows.size() * 1000 + TotalItems(search.rows) <
+               previous_size);
+  ShrinkProbs(search);
+
+  out.db = BuildDb(search.rows);
+  out.findings = std::move(search.findings);
+  out.oracle_calls = search.calls;
+  return out;
+}
+
+}  // namespace pfci

@@ -1,0 +1,50 @@
+// Delta-debugging reducer for oracle findings.
+//
+// Given a failing database and a predicate ("does the invariant catalog
+// still flag this input?"), ShrinkCase searches for a locally minimal
+// failing input: ddmin over transactions (drop chunks, halving the
+// chunk size on a fixpoint), then per-transaction item removal, then
+// probability simplification toward 1.0. The result is the database a
+// human actually wants to stare at — typically one to three rows.
+#ifndef PFCI_HARNESS_ORACLE_REDUCER_H_
+#define PFCI_HARNESS_ORACLE_REDUCER_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/core/mining_params.h"
+#include "src/data/uncertain_database.h"
+#include "src/harness/oracle/invariants.h"
+
+namespace pfci {
+
+/// Re-checks one candidate input. Returns the findings it triggers
+/// (empty when the candidate no longer fails). The reducer treats any
+/// non-empty answer as "still failing" — a shrink is allowed to morph
+/// one finding into another as long as something stays broken.
+using CaseOracle = std::function<std::vector<OracleFinding>(
+    const UncertainDatabase& db, const MiningParams& params)>;
+
+/// A minimized failing input plus the findings it still triggers and
+/// how many oracle evaluations the search spent.
+struct ReducedCase {
+  UncertainDatabase db;
+  MiningParams params;
+  std::vector<OracleFinding> findings;
+  std::size_t oracle_calls = 0;
+};
+
+/// Shrinks `db` under `oracle` to a locally minimal failing input.
+/// `oracle(db, params)` must be non-empty on entry (the unshrunk input
+/// fails); if it is not, the input is returned unchanged with empty
+/// findings. `max_oracle_calls` caps the search (the catalog re-runs
+/// every algorithm per probe); the best input found so far is returned
+/// when the budget runs out.
+ReducedCase ShrinkCase(const UncertainDatabase& db, const MiningParams& params,
+                       const CaseOracle& oracle,
+                       std::size_t max_oracle_calls = 400);
+
+}  // namespace pfci
+
+#endif  // PFCI_HARNESS_ORACLE_REDUCER_H_

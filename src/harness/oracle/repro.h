@@ -1,0 +1,47 @@
+// Repro corpus format for shrunk oracle findings.
+//
+// A repro is a pair of files under tests/repros/: `<name>.utd` (the
+// minimized database, standard uncertain-transaction format) and
+// `<name>.request` (a key=value sidecar pinning the exact MiningRequest
+// plus the violated check id). Both are plain text and byte-stable, so
+// they diff cleanly and replay identically across platforms; the fuzz
+// test replays every committed repro through the invariant catalog as a
+// regression suite.
+#ifndef PFCI_HARNESS_ORACLE_REPRO_H_
+#define PFCI_HARNESS_ORACLE_REPRO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/mine.h"
+#include "src/data/uncertain_database.h"
+
+namespace pfci {
+
+/// One replayable repro: the database, the request that exposed the
+/// finding, and the stable check id it violated.
+struct Repro {
+  UncertainDatabase db;
+  MiningRequest request;
+  std::string check;
+};
+
+/// Renders the `.request` sidecar for `repro` (check id, algorithm and
+/// every request field the oracle varies, one key=value per line, in
+/// fixed order; doubles via FormatDoubleRoundTrip).
+std::string FormatReproRequest(const Repro& repro);
+
+/// Writes `<dir>/<name>.utd` + `<dir>/<name>.request`. Returns false
+/// (with a diagnostic in `error`) when either file cannot be written.
+bool SaveRepro(const std::string& dir, const std::string& name,
+               const Repro& repro, std::string* error);
+
+/// Loads the repro stored at `<utd_path>` and its `.request` sidecar
+/// (the path with its extension replaced). Unknown sidecar keys are an
+/// error — a typo in a committed repro must not silently replay a
+/// default request.
+bool LoadRepro(const std::string& utd_path, Repro* repro, std::string* error);
+
+}  // namespace pfci
+
+#endif  // PFCI_HARNESS_ORACLE_REPRO_H_

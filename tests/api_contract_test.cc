@@ -44,10 +44,23 @@ TEST(ApiContractDeathTest, RejectsInvalidMiningParams) {
   EXPECT_DEATH(MineMpfci(db, params), "CHECK");
 }
 
-TEST(ApiContractDeathTest, StreamWindowMustCoverMinSup) {
+TEST(ApiContract, StreamDegenerateConfigsSurfaceAsData) {
+  // Streaming configs are runtime inputs, not programmer errors: a
+  // window smaller than min_sup constructs fine and simply mines empty
+  // windows (support can never reach min_sup), and window_size == 0
+  // surfaces as kInvalidRequest from MineWindow, never an abort.
   MiningParams params;
   params.min_sup = 10;
-  EXPECT_DEATH(StreamingPfciMiner(params, /*window_size=*/5), "CHECK");
+  StreamingPfciMiner narrow(params, /*window_size=*/5);
+  narrow.Observe(Itemset{0}, 0.5);
+  MiningRequest request;
+  request.params = params;
+  EXPECT_EQ(narrow.MineWindow(request).outcome(), Outcome::kComplete);
+
+  params.min_sup = 1;
+  StreamingPfciMiner zero(params, /*window_size=*/0);
+  request.params = params;
+  EXPECT_EQ(zero.MineWindow(request).outcome(), Outcome::kInvalidRequest);
 }
 
 TEST(ApiContractDeathTest, WorldEnumerationSizeGuard) {

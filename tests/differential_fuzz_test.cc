@@ -1,0 +1,139 @@
+// Differential + metamorphic fuzzing of every algorithm behind Mine().
+//
+// Tier-1 runs a short seeded sweep (PFCI_FUZZ_ITERS overrides the
+// iteration count for long soak runs; see CONTRIBUTING.md) plus a replay
+// of every shrunk repro committed under tests/repros/. Failures print
+// the minimized database and request sidecar ready to commit — run
+// tools/pfci_fuzz to reproduce and save them.
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/oracle/fuzz_db.h"
+#include "src/harness/oracle/invariants.h"
+#include "src/harness/oracle/reducer.h"
+#include "src/harness/oracle/repro.h"
+#include "src/util/string_util.h"
+
+namespace pfci {
+namespace {
+
+std::size_t IterationsFromEnv(std::size_t fallback) {
+  const char* env = std::getenv("PFCI_FUZZ_ITERS");
+  if (env == nullptr || *env == '\0') return fallback;
+  const unsigned long parsed = std::strtoul(env, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// Options for one fuzz iteration. The Naive baseline's Karp-Luby loops
+/// dominate the cost of a pass, so it runs on a rotating fraction of
+/// seeds (still hundreds of cross-checks per sweep) at a sampling budget
+/// sized for the statistical tolerance, not for precision.
+OracleOptions SweepOptions(std::uint64_t seed) {
+  OracleOptions options;
+  options.brute_max_transactions = 10;
+  options.naive_epsilon = 0.1;
+  options.naive_delta = 0.05;
+  options.check_naive = (seed % 7) == 0;
+  return options;
+}
+
+std::string DescribeFailure(const FuzzCase& fuzz,
+                            const std::vector<OracleFinding>& findings,
+                            std::uint64_t seed) {
+  // Shrink before reporting: the message should show the database a
+  // human debugs, not the 20-row original. The shrink predicate re-runs
+  // the same catalog configuration that flagged the seed.
+  const ReducedCase reduced = ShrinkCase(
+      fuzz.db, fuzz.params,
+      [&](const UncertainDatabase& db, const MiningParams& params) {
+        return CheckDatabase(db, params, SweepOptions(seed));
+      });
+  const std::vector<OracleFinding>& final_findings =
+      reduced.findings.empty() ? findings : reduced.findings;
+  Repro repro;
+  repro.db = reduced.findings.empty() ? fuzz.db : reduced.db;
+  repro.request = final_findings.front().request;
+  repro.check = final_findings.front().check;
+  std::string message = "seed " + std::to_string(seed) + " (shape " +
+                        fuzz.shape + ") violated:\n" +
+                        FindingsToString(final_findings);
+  message += "minimized database (.utd):\n";
+  for (const UncertainTransaction& t : repro.db.transactions()) {
+    message += "  " + FormatDoubleRoundTrip(t.prob);
+    for (Item item : t.items.items()) {
+      message += " " + std::to_string(item);
+    }
+    message += "\n";
+  }
+  message += "request sidecar (.request):\n" + FormatReproRequest(repro);
+  message += "reproduce: tools/pfci_fuzz --seed=" + std::to_string(seed) +
+             " --iters=1 --out=tests/repros\n";
+  return message;
+}
+
+TEST(DifferentialFuzz, SeededSweepSurvivesInvariantCatalog) {
+  const std::size_t iterations = IterationsFromEnv(200);
+  std::size_t brute_checked = 0;
+  std::size_t naive_checked = 0;
+  for (std::uint64_t seed = 0; seed < iterations; ++seed) {
+    const FuzzCase fuzz = MakeFuzzCase(seed);
+    const OracleOptions options = SweepOptions(seed);
+    if (fuzz.db.size() <= options.brute_max_transactions) ++brute_checked;
+    if (options.check_naive) ++naive_checked;
+    const std::vector<OracleFinding> findings =
+        CheckDatabase(fuzz.db, fuzz.params, options);
+    ASSERT_TRUE(findings.empty()) << DescribeFailure(fuzz, findings, seed);
+  }
+  // The sweep must actually exercise the expensive oracles, not skip
+  // them all through unlucky shape draws.
+  EXPECT_GE(brute_checked, iterations / 4);
+  EXPECT_GE(naive_checked, iterations / 14);
+}
+
+#ifdef PFCI_SOURCE_DIR
+/// Every pair committed under tests/repros/ is a minimal database the
+/// harness once flagged or a hand-pinned boundary shape (see the corpus
+/// README); replay each through the full catalog so none regresses.
+TEST(DifferentialFuzz, CommittedReprosStayFixed) {
+  const std::filesystem::path corpus =
+      std::filesystem::path(PFCI_SOURCE_DIR) / "tests" / "repros";
+  if (!std::filesystem::exists(corpus)) {
+    GTEST_SKIP() << "no repro corpus at " << corpus;
+  }
+  std::size_t replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus)) {
+    if (entry.path().extension() != ".utd") continue;
+    SCOPED_TRACE(entry.path().string());
+    Repro repro;
+    std::string error;
+    ASSERT_TRUE(LoadRepro(entry.path().string(), &repro, &error)) << error;
+
+    // The recorded request must complete cleanly...
+    const MiningResult direct = Mine(repro.db, repro.request);
+    EXPECT_EQ(direct.outcome(), Outcome::kComplete)
+        << direct.status_message;
+
+    // ...and the database must survive the whole catalog again, naive
+    // included (a corpus entry is small; cost is negligible).
+    OracleOptions options;
+    options.naive_epsilon = 0.1;
+    options.naive_delta = 0.05;
+    const std::vector<OracleFinding> findings =
+        CheckDatabase(repro.db, repro.request.params, options);
+    EXPECT_TRUE(findings.empty())
+        << "repro for check '" << repro.check
+        << "' regressed:\n" << FindingsToString(findings);
+    ++replayed;
+  }
+  // The directory exists, so the corpus README plus at least one case
+  // should be in it; an empty iteration would silently test nothing.
+  EXPECT_GT(replayed, 0u);
+}
+#endif  // PFCI_SOURCE_DIR
+
+}  // namespace
+}  // namespace pfci

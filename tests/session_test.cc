@@ -294,6 +294,53 @@ TEST(EvalCache, FingerprintIsRepresentationIndependent) {
   EXPECT_TRUE(cache.Probe(b, 1).found);
 }
 
+TEST(EvalCache, OversizedEntryIsRejectedWithoutEvictingResidents) {
+  EvalCache::Options options;
+  options.max_bytes = 1024;
+  EvalCache cache(options);
+  const TidSet small(TidList{1, 2}, 10);
+  cache.Insert(small, 1.2, 1, {1.0, 0.7});
+  ASSERT_TRUE(cache.Probe(small, 1).found);
+  const std::uint64_t resident_bytes = cache.bytes();
+
+  // An entry whose table alone dwarfs the budget must be refused up
+  // front: the resident entry stays, the byte ledger is unchanged, and
+  // the refusal is visible in rejections().
+  const TidSet big(TidList{3, 4, 5}, 10);
+  std::vector<double> huge_table(4096, 1.0);
+  cache.Insert(big, 2.0, huge_table.size() - 1, std::move(huge_table));
+  EXPECT_FALSE(cache.Probe(big, 1).found);
+  EXPECT_TRUE(cache.Probe(small, 1).found);
+  EXPECT_EQ(cache.bytes(), resident_bytes);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.rejections(), 1u);
+
+  // The upgrade path honors the same budget: the small table keeps
+  // serving, the oversized replacement is refused.
+  std::vector<double> huge_upgrade(4096, 1.0);
+  cache.Insert(small, 1.2, huge_upgrade.size() - 1, std::move(huge_upgrade));
+  const EvalCache::Lookup after = cache.Probe(small, 1);
+  ASSERT_TRUE(after.found);
+  EXPECT_TRUE(after.has_table);
+  EXPECT_EQ(cache.bytes(), resident_bytes);
+  EXPECT_EQ(cache.rejections(), 2u);
+}
+
+TEST(EvalCache, ZeroShardsAndZeroBytesAreClamped) {
+  EvalCache::Options options;
+  options.shards = 0;   // historically CHECK-aborted
+  options.max_bytes = 0;
+  EvalCache cache(options);
+  EXPECT_EQ(cache.max_bytes(), 1u);
+  // Every insert is over the (clamped) budget: rejected, never resident.
+  const TidSet tids(TidList{1}, 4);
+  cache.Insert(tids, 0.5, 0, {1.0});
+  EXPECT_FALSE(cache.Probe(tids, 0).found);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.rejections(), 1u);
+}
+
 TEST(ItemWarmStart, ProofsApplyByAntiMonotonicity) {
   ItemWarmStart warm;
   EXPECT_GT(warm.BoundFor(3, 5), 1.0);  // +inf: nothing recorded.

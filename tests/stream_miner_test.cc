@@ -75,6 +75,46 @@ TEST(StreamMiner, PartialWindowIsMineable) {
   EXPECT_NEAR(result.itemsets[0].fcp, 0.6, 1e-12);
 }
 
+TEST(StreamMiner, ZeroWindowSizeIsInvalidRequestDataNotAbort) {
+  // Historically CHECK-aborted in the constructor; a degenerate window
+  // must instead construct, swallow observations, and report the
+  // configuration as kInvalidRequest data at the mining boundary.
+  StreamingPfciMiner miner(Params(1), /*window_size=*/0);
+  miner.Observe(Itemset{0}, 0.9);  // UB repro: used to pop an empty deque
+  miner.Observe(Itemset{1}, 0.9);
+  EXPECT_EQ(miner.window_fill(), 0u);
+  EXPECT_EQ(miner.transactions_seen(), 2u);
+  const MiningResult result = miner.MineWindow();
+  EXPECT_EQ(result.outcome(), Outcome::kInvalidRequest);
+  EXPECT_TRUE(result.itemsets.empty());
+  EXPECT_NE(result.status_message.find("window_size"), std::string::npos);
+}
+
+TEST(StreamMiner, EmptyWindowMinesToEmptyResult) {
+  StreamingPfciMiner miner(Params(2), /*window_size=*/8);
+  const MiningResult result = miner.MineWindow();
+  EXPECT_EQ(result.outcome(), Outcome::kComplete);
+  EXPECT_TRUE(result.itemsets.empty());
+}
+
+TEST(StreamMiner, MinSupBeyondWindowIsMineable) {
+  // min_sup > window_size used to CHECK-abort at construction; it is a
+  // valid (always-empty) query, consistent with Mine() on a small db.
+  StreamingPfciMiner miner(Params(5), /*window_size=*/2);
+  miner.Observe(Itemset{0, 1}, 1.0);
+  miner.Observe(Itemset{0, 1}, 1.0);
+  const MiningResult result = miner.MineWindow();
+  EXPECT_EQ(result.outcome(), Outcome::kComplete);
+  EXPECT_TRUE(result.itemsets.empty());
+}
+
+TEST(StreamMiner, InvalidParamsSurfaceThroughMineWindow) {
+  StreamingPfciMiner miner(Params(0), /*window_size=*/4);
+  miner.Observe(Itemset{0}, 0.9);
+  const MiningResult result = miner.MineWindow();
+  EXPECT_EQ(result.outcome(), Outcome::kInvalidRequest);
+}
+
 TEST(StreamMiner, RepeatedMiningIsDeterministicGivenSeed) {
   Rng rng(777);
   MiningParams params = Params(3);

@@ -26,6 +26,70 @@ TEST(TailBounds, AboveNIsZero) {
   EXPECT_DOUBLE_EQ(KlChernoffUpperTail(2.0, 4, 5.0), 0.0);
 }
 
+TEST(TailBounds, ThresholdExactlyAtMeanIsTrivial) {
+  // s == mu sits on the boundary of every bound's validity condition
+  // (they require s > mu); all must return the trivial bound 1, and
+  // BestUpperTailBound must stay in [0, 1].
+  EXPECT_DOUBLE_EQ(HoeffdingUpperTail(5.0, 10, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(ChernoffUpperTail(5.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(KlChernoffUpperTail(5.0, 10, 5.0), 1.0);
+  const double best = BestUpperTailBound(5.0, 10, 5.0);
+  EXPECT_GE(best, 0.0);
+  EXPECT_LE(best, 1.0);
+}
+
+TEST(TailBounds, ZeroMeanBoundaries) {
+  // mu == 0: the sum is almost surely 0, so Pr{S >= s} = 0 for s > 0 and
+  // 1 for s == 0. Exercises the d = (s - mu)/mu division by zero and the
+  // KL term's log(s/n / (mu/n)) = log(inf) corner.
+  EXPECT_DOUBLE_EQ(ChernoffUpperTail(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(KlChernoffUpperTail(0.0, 10, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(BestUpperTailBound(0.0, 10, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(BestUpperTailBound(0.0, 10, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ChernoffLowerTail(0.0, 0.0), 1.0);
+}
+
+TEST(TailBounds, ThresholdAboveNBoundaries) {
+  // s > n: impossible support, tail is exactly 0. The KL form detects it
+  // (s/n > 1 makes the KL divergence infinite); the best bound must
+  // return 0 even though Hoeffding/Chernoff alone only decay.
+  EXPECT_DOUBLE_EQ(KlChernoffUpperTail(2.0, 4, 4.5), 0.0);
+  EXPECT_DOUBLE_EQ(BestUpperTailBound(2.0, 4, 4.5), 0.0);
+  EXPECT_DOUBLE_EQ(BestUpperTailBound(2.0, 4, 100.0), 0.0);
+  for (double s : {4.5, 5.0, 100.0}) {
+    const double hoeffding = HoeffdingUpperTail(2.0, 4, s);
+    EXPECT_GE(hoeffding, 0.0);
+    EXPECT_LE(hoeffding, 1.0);
+  }
+}
+
+TEST(TailBounds, AllOnesProbabilityRow) {
+  // Every tuple certain: mu == n, S == n almost surely. Pr{S >= s} is 1
+  // up to s == n and 0 beyond; the bounds must stay in [0, 1] and
+  // dominate that step function. mu == n makes the KL term's
+  // log((1 - s/n)/(1 - mu/n)) divide by zero — the classic corner from
+  // the probabilistic FP-growth report.
+  const std::size_t n = 6;
+  const std::vector<double> probs(n, 1.0);
+  const double mu = PoissonBinomialMean(probs);
+  EXPECT_DOUBLE_EQ(mu, static_cast<double>(n));
+  for (std::size_t s = 0; s <= n + 2; ++s) {
+    const double exact =
+        s <= n ? PoissonBinomialTailAtLeast(probs, s) : 0.0;
+    const double sd = static_cast<double>(s);
+    for (double bound :
+         {HoeffdingUpperTail(mu, n, sd), ChernoffUpperTail(mu, sd),
+          KlChernoffUpperTail(mu, n, sd), BestUpperTailBound(mu, n, sd)}) {
+      EXPECT_GE(bound, 0.0) << "s=" << s;
+      EXPECT_LE(bound, 1.0) << "s=" << s;
+      EXPECT_GE(bound + 1e-12, exact) << "s=" << s;
+    }
+    const double lower = ChernoffLowerTail(mu, sd);
+    EXPECT_GE(lower, 0.0) << "s=" << s;
+    EXPECT_LE(lower, 1.0) << "s=" << s;
+  }
+}
+
 TEST(TailBounds, DecreaseWithThreshold) {
   double previous = 1.0;
   for (double s = 6.0; s <= 10.0; s += 1.0) {

@@ -12,6 +12,9 @@ headers (mpfci_miner.h, mine.h, ...) or anything from serve/, or the
 "miners are thin compositions over the kernel" inversion would silently
 rot back into a cycle.
 
+`src/harness/oracle/` is the differential-testing leaf: library code
+must never include it (only tests/ and tools/ consume it).
+
 Usage: check_layering.py [repo_root]
 
 Exits 0 when the graph is clean, 1 with one line per violation otherwise.
@@ -40,6 +43,14 @@ LAYER_RANK = {
 # The top rank is shared by independent leaf layers; they must not
 # include each other.
 PEER_LAYERS = {"serve", "harness"}
+
+# src/harness/oracle/ is the differential-testing leaf of the harness
+# layer: it may depend on everything below it, but no library code
+# outside it may depend back on the oracle. Only tests/ and tools/
+# (outside src/, not layer-checked) consume it — a production miner or
+# bench harness that reaches into its own test oracle would make the
+# oracle circular with what it checks.
+ORACLE_PREFIX = "src/harness/oracle/"
 
 # Miner facade headers that sit *above* the search kernel. The kernel
 # (src/core/search/) composes upward into these, never the reverse.
@@ -123,6 +134,12 @@ def check(repo_root):
                     violations.append(
                         f"{rel}:{lineno}: peer leaf layers must stay "
                         f"independent: '{from_layer}' includes '{inc}'")
+                if (inc.startswith(ORACLE_PREFIX)
+                        and not rel.startswith(ORACLE_PREFIX)):
+                    violations.append(
+                        f"{rel}:{lineno}: library code includes the "
+                        f"differential-oracle leaf '{inc}' (only tests/ "
+                        f"and tools/ may depend on src/harness/oracle)")
                 if in_kernel:
                     if inc in FACADE_HEADERS:
                         violations.append(

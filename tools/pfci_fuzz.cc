@@ -1,0 +1,152 @@
+// Differential fuzz driver: generate seeded databases, run the oracle's
+// invariant catalog over every algorithm, shrink failures, and save
+// replayable repros.
+//
+//   $ ./pfci_fuzz [--iters=N] [--seed=S] [--brute-max=N]
+//                 [--naive-every=N] [--out=DIR]
+//
+//   --iters=N        seeds to sweep (default 500)
+//   --seed=S         first seed (default 0; a failing seed IS the repro)
+//   --brute-max=N    max transactions for possible-world ground truth
+//                    (default 10; 2^N worlds per check)
+//   --naive-every=N  run the sampled Naive cross-check on every Nth seed
+//                    (default 7; 1 = always, 0 = never)
+//   --out=DIR        write shrunk repros as DIR/<name>.utd + .request
+//                    (default: print them, write nothing)
+//
+// Exits 0 when every seed survives the catalog, 1 when any finding
+// survives shrinking, 2 on usage errors. See CONTRIBUTING.md for the
+// workflow: long runs in CI soak, shrunk repros committed under
+// tests/repros/ where the differential_fuzz_test replays them forever.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/harness/oracle/fuzz_db.h"
+#include "src/harness/oracle/invariants.h"
+#include "src/harness/oracle/reducer.h"
+#include "src/harness/oracle/repro.h"
+#include "src/util/string_util.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+/// File-name-safe version of a check id ("cross/brute" -> "cross-brute").
+std::string SanitizeCheck(const std::string& check) {
+  std::string out = check;
+  for (char& c : out) {
+    if (c == '/' || c == ' ') c = '-';
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pfci;
+
+  std::size_t iters = 500;
+  std::uint64_t first_seed = 0;
+  std::size_t brute_max = 10;
+  std::size_t naive_every = 7;
+  std::string out_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    unsigned int parsed = 0;
+    if (ParseFlag(argv[i], "--iters", &value) &&
+        ParseUint32(value, &parsed) && parsed > 0) {
+      iters = parsed;
+    } else if (ParseFlag(argv[i], "--seed", &value) &&
+               ParseUint32(value, &parsed)) {
+      first_seed = parsed;
+    } else if (ParseFlag(argv[i], "--brute-max", &value) &&
+               ParseUint32(value, &parsed)) {
+      brute_max = parsed;
+    } else if (ParseFlag(argv[i], "--naive-every", &value) &&
+               ParseUint32(value, &parsed)) {
+      naive_every = parsed;
+    } else if (ParseFlag(argv[i], "--out", &value) && !value.empty()) {
+      out_dir = value;
+    } else {
+      std::fprintf(stderr,
+                   "unknown or malformed argument '%s'\n"
+                   "usage: %s [--iters=N] [--seed=S] [--brute-max=N] "
+                   "[--naive-every=N] [--out=DIR]\n",
+                   argv[i], argv[0]);
+      return 2;
+    }
+  }
+
+  std::size_t failures = 0;
+  for (std::uint64_t seed = first_seed; seed < first_seed + iters; ++seed) {
+    const FuzzCase fuzz = MakeFuzzCase(seed);
+    OracleOptions options;
+    options.brute_max_transactions = brute_max;
+    options.naive_epsilon = 0.1;
+    options.naive_delta = 0.05;
+    options.check_naive = naive_every == 1 ||
+                          (naive_every > 0 && (seed % naive_every) == 0);
+    const std::vector<OracleFinding> findings =
+        CheckDatabase(fuzz.db, fuzz.params, options);
+    if (findings.empty()) {
+      if ((seed - first_seed + 1) % 100 == 0) {
+        std::printf("... %llu seeds clean\n",
+                    static_cast<unsigned long long>(seed - first_seed + 1));
+      }
+      continue;
+    }
+    ++failures;
+    std::printf("seed %llu (shape %s, %zu transactions): %zu finding(s)\n",
+                static_cast<unsigned long long>(seed), fuzz.shape.c_str(),
+                fuzz.db.size(), findings.size());
+    std::printf("%s", FindingsToString(findings).c_str());
+
+    const ReducedCase reduced = ShrinkCase(
+        fuzz.db, fuzz.params,
+        [&](const UncertainDatabase& db, const MiningParams& params) {
+          return CheckDatabase(db, params, options);
+        });
+    const bool shrunk = !reduced.findings.empty();
+    const std::vector<OracleFinding>& final_findings =
+        shrunk ? reduced.findings : findings;
+    Repro repro;
+    repro.db = shrunk ? reduced.db : fuzz.db;
+    repro.request = final_findings.front().request;
+    repro.check = final_findings.front().check;
+    std::printf("shrunk to %zu transaction(s) in %zu oracle calls\n",
+                repro.db.size(), reduced.oracle_calls);
+
+    if (out_dir.empty()) {
+      std::printf("--- %s.utd ---\n", SanitizeCheck(repro.check).c_str());
+      for (const UncertainTransaction& t : repro.db.transactions()) {
+        std::printf("%s", FormatDoubleRoundTrip(t.prob).c_str());
+        for (Item item : t.items.items()) std::printf(" %u", item);
+        std::printf("\n");
+      }
+      std::printf("--- .request ---\n%s",
+                  FormatReproRequest(repro).c_str());
+    } else {
+      const std::string name = "seed" + std::to_string(seed) + "-" +
+                               SanitizeCheck(repro.check);
+      std::string error;
+      if (!SaveRepro(out_dir, name, repro, &error)) {
+        std::fprintf(stderr, "cannot save repro: %s\n", error.c_str());
+        return 2;
+      }
+      std::printf("saved %s/%s.utd (+ .request)\n", out_dir.c_str(),
+                  name.c_str());
+    }
+  }
+
+  std::printf("%zu/%zu seeds failed the invariant catalog\n", failures,
+              iters);
+  return failures == 0 ? 0 : 1;
+}
