@@ -19,6 +19,7 @@
 #include "src/prob/conditional_sampler.h"
 #include "src/prob/poisson_binomial.h"
 #include "src/util/random.h"
+#include "src/util/runtime.h"
 
 namespace pfci {
 namespace {
@@ -174,6 +175,34 @@ void BM_ClosedMinerQuickMushroom(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClosedMinerQuickMushroom);
+
+// The per-node Checkpoint() under a far-away deadline: the hot-loop
+// configuration every budgeted run pays. The exponential poll stride
+// (src/util/runtime.h) amortizes the steady-clock syscall to at most one
+// read per kClockCheckStride calls; `clock_poll_ratio` reports the
+// measured polls-per-checkpoint and the benchmark FAILS (SkipWithError)
+// if the ratio regresses above 1/16 — twice the steady-state 1/32, so
+// the warm-up polls of short runs never trip it.
+void BM_RunControllerCheckpoint(benchmark::State& state) {
+  RunBudget budget;
+  budget.deadline_seconds = 3600.0;
+  RunController controller(budget, nullptr);
+  std::uint64_t calls = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.Checkpoint());
+    ++calls;
+  }
+  const double ratio = calls == 0 ? 0.0
+                                  : static_cast<double>(controller.clock_polls()) /
+                                        static_cast<double>(calls);
+  state.counters["clock_poll_ratio"] = ratio;
+  if (calls > 1024 && ratio > 1.0 / 16.0) {
+    state.SkipWithError(
+        "clock-poll ratio regressed: Checkpoint() is reading the clock "
+        "more than once per 16 calls (expected <= 1/32 steady-state)");
+  }
+}
+BENCHMARK(BM_RunControllerCheckpoint);
 
 }  // namespace
 }  // namespace pfci

@@ -8,16 +8,24 @@
 //                [--epsilon=0.1] [--delta=0.1] [--csv=OUT.csv]
 //                [--tidset=adaptive|sparse|dense] [--stats-json]
 //                [--trace=OUT.jsonl] [--deadline-ms=N] [--max-nodes=N]
-//                [--max-samples=N]
+//                [--max-samples=N] [--snapshot=FILE] [--resume=FILE]
+//                [--max-inflight=N]
 //
 // With no positional arguments, writes the paper's Table II database to a
 // temp file and mines it, as a self-demonstration (flags still apply).
 //
+// --snapshot writes a crash-consistent resume snapshot when the run stops
+// early (deadline/budget); --resume continues a suspended run from such a
+// file, bit-identically to an uninterrupted run. --max-inflight caps the
+// sweep session's concurrent runs (admission control; excess requests are
+// rejected with outcome `rejected`).
+//
 // Exit codes mirror the run outcome so scripts can tell a complete run
 // from a fail-soft partial: 0 complete, 2 invalid request, 3 budget
-// exhausted, 4 deadline exceeded, 5 cancelled (1 stays the generic
-// usage/I-O error). Invalid requests caught before the run — e.g. a
-// --sweep list with duplicate or non-ascending thresholds — also exit 2.
+// exhausted, 4 deadline exceeded, 5 cancelled, 6 rejected by admission
+// control (1 stays the generic usage/I-O error). Invalid requests caught
+// before the run — e.g. a --sweep list with duplicate or non-ascending
+// thresholds — also exit 2.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -115,6 +123,8 @@ int ExitCodeFor(pfci::Outcome outcome) {
       return 5;
     case pfci::Outcome::kInvalidRequest:
       return 2;
+    case pfci::Outcome::kRejected:
+      return 6;
   }
   return 1;
 }
@@ -131,6 +141,7 @@ int main(int argc, char** argv) {
   bool stats_json = false;
   std::string csv_path;
   std::string trace_path;
+  SessionOptions session_options;
 
   // Demo mode: no positional arguments (flags alone are accepted and
   // applied to the paper's Table II example).
@@ -146,6 +157,7 @@ int main(int argc, char** argv) {
         "       [--tidset=adaptive|sparse|dense] [--stats-json]"
         " [--trace=OUT.jsonl]\n"
         "       [--deadline-ms=N] [--max-nodes=N] [--max-samples=N]\n"
+        "       [--snapshot=FILE] [--resume=FILE] [--max-inflight=N]\n"
         "no input given — demonstrating on the paper's Table II.\n\n",
         argv[0], AlgorithmChoices().c_str());
     path = "/tmp/pfci_demo.utd";
@@ -248,6 +260,25 @@ int main(int argc, char** argv) {
           return 1;
         }
         request.budget.max_samples = max_samples;
+      } else if (ParseFlag(argv[position], "--snapshot", &value)) {
+        if (value.empty()) {
+          std::fprintf(stderr, "bad --snapshot (empty path)\n");
+          return 1;
+        }
+        request.snapshot.save_path = value;
+      } else if (ParseFlag(argv[position], "--resume", &value)) {
+        if (value.empty()) {
+          std::fprintf(stderr, "bad --resume (empty path)\n");
+          return 1;
+        }
+        request.snapshot.resume_path = value;
+      } else if (ParseFlag(argv[position], "--max-inflight", &value)) {
+        unsigned int max_inflight = 0;
+        if (!ParseUint32(value, &max_inflight) || max_inflight == 0) {
+          std::fprintf(stderr, "bad --max-inflight '%s'\n", value.c_str());
+          return 1;
+        }
+        session_options.max_inflight = max_inflight;
       } else {
         std::fprintf(stderr, "unknown argument '%s'\n", argv[position]);
         return 1;
@@ -300,7 +331,7 @@ int main(int argc, char** argv) {
   if (!request.sweep_min_sup.empty()) {
     // Threshold sweep: one warm MiningSession serves every min_sup, so
     // the index and DP tail tables are paid for once.
-    MiningSession session = MiningSession::Open(db);
+    MiningSession session = MiningSession::Open(db, session_options);
     const std::vector<MiningResult> sweep = session.MineSweep(request);
     int exit_code = 0;
     for (std::size_t i = 0; i < sweep.size(); ++i) {
@@ -327,6 +358,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "run did not complete (%s): %s\n",
                  OutcomeName(result.outcome()),
                  result.status_message.c_str());
+    if (result.stats.snapshot_bytes > 0) {
+      std::fprintf(stderr, "wrote resume snapshot %s (%llu bytes)\n",
+                   request.snapshot.save_path.c_str(),
+                   static_cast<unsigned long long>(
+                       result.stats.snapshot_bytes));
+    }
   }
   std::printf("\n%zu probabilistic frequent closed itemsets:\n",
               result.itemsets.size());

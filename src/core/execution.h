@@ -25,6 +25,7 @@ class ThreadPool;
 class VerticalIndex;
 class EvalCache;
 class ItemWarmStart;
+struct RunSnapshot;
 
 /// How a mining request is executed.
 struct ExecutionPolicy {
@@ -149,6 +150,16 @@ struct ExecutionContext {
   /// re-running the DP. Truncation-invariance keeps table[t] bit-identical
   /// to a direct DP at t, so this affects work done, never results.
   std::size_t table_floor = 0;
+
+  /// Snapshot to resume the run from; null starts fresh. Owned by the
+  /// caller (Mine() loads and fingerprint-checks it); the search driver
+  /// hands it to the frontier policy's RestoreState (DESIGN.md §14).
+  const RunSnapshot* resume_snapshot = nullptr;
+
+  /// Where the search driver deposits frontier + decided-entry state
+  /// when a suspend-armed run drains; null disables state capture. Mine()
+  /// owns the object and persists it after the run returns.
+  RunSnapshot* save_snapshot = nullptr;
 };
 
 /// Threads a policy resolves to on this machine (>= 1).

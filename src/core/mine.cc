@@ -11,9 +11,11 @@
 #include "src/core/mpfci_miner.h"
 #include "src/core/naive_miner.h"
 #include "src/core/pfi_miner.h"
+#include "src/core/search/run_snapshot.h"
 #include "src/core/topk_miner.h"
 #include "src/data/item_uncertain_database.h"
 #include "src/data/world_enumerator.h"
+#include "src/util/retry.h"
 #include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
@@ -50,6 +52,48 @@ bool UsesMinEsup(Algorithm algorithm) {
 bool IsItemLevel(Algorithm algorithm) {
   return algorithm == Algorithm::kItemExpectedSupport ||
          algorithm == Algorithm::kItemPfi;
+}
+
+/// Algorithms whose frontier policies implement Save/RestoreState. The
+/// others still honor snapshot.save_path with a restart-only marker
+/// (has_frontier false: resuming reruns from scratch, which is trivially
+/// bit-identical).
+bool SupportsFrontierResume(Algorithm algorithm) {
+  return algorithm == Algorithm::kMpfci ||
+         algorithm == Algorithm::kMpfciBfs ||
+         algorithm == Algorithm::kNaive || algorithm == Algorithm::kTopK;
+}
+
+bool UsesSnapshot(const MiningRequest& request) {
+  return !request.snapshot.save_path.empty() ||
+         !request.snapshot.resume_path.empty();
+}
+
+/// Fingerprint of everything that determines the result: the database
+/// contents plus the result-relevant request fields. Execution policy
+/// and tidset_mode are deliberately excluded (results are invariant to
+/// both, so cross-thread / cross-mode resume is supported); progress,
+/// trace, budget, and cancel never affect which entries a completed run
+/// reports.
+std::uint64_t RequestFingerprint(const UncertainDatabase& db,
+                                 const MiningRequest& request) {
+  const MiningParams& p = request.params;
+  std::uint64_t h = FingerprintDatabase(db);
+  h = FnvMixString(h, AlgorithmName(request.algorithm));
+  h = FnvMix(h, static_cast<std::uint64_t>(p.min_sup));
+  h = FnvMixDouble(h, p.pfct);
+  h = FnvMixDouble(h, p.epsilon);
+  h = FnvMixDouble(h, p.delta);
+  h = FnvMix(h, static_cast<std::uint64_t>(p.pruning.chernoff) |
+                    static_cast<std::uint64_t>(p.pruning.superset) << 1 |
+                    static_cast<std::uint64_t>(p.pruning.subset) << 2 |
+                    static_cast<std::uint64_t>(p.pruning.fcp_bounds) << 3);
+  h = FnvMix(h, static_cast<std::uint64_t>(p.exact_event_limit));
+  h = FnvMix(h, static_cast<std::uint64_t>(p.force_sampling));
+  h = FnvMix(h, p.seed);
+  h = FnvMix(h, static_cast<std::uint64_t>(request.top_k));
+  h = FnvMixDouble(h, request.min_esup);
+  return h;
 }
 
 /// min_esup <= 0 defaults to params.min_sup (the natural "same threshold,
@@ -228,6 +272,34 @@ MiningResult MineImpl(const UncertainDatabase& db,
         std::to_string(db.size()) + ")");
   }
 
+  // Resume loads and verifies the snapshot before any work: a missing,
+  // torn, or mismatched snapshot is an API-boundary error reported as
+  // data, never a silent from-scratch rerun.
+  const std::uint64_t fingerprint =
+      UsesSnapshot(request) ? RequestFingerprint(db, request) : 0;
+  RunSnapshot resume_snapshot;
+  bool resuming = false;
+  if (!request.snapshot.resume_path.empty()) {
+    const std::string load_error =
+        LoadRunSnapshot(request.snapshot.resume_path, &resume_snapshot);
+    if (!load_error.empty()) {
+      return InvalidRequestResult("snapshot.resume_path: " + load_error);
+    }
+    if (resume_snapshot.algorithm != AlgorithmName(request.algorithm)) {
+      return InvalidRequestResult(
+          "snapshot.resume_path: snapshot was written by algorithm '" +
+          resume_snapshot.algorithm + "' but the request asks for '" +
+          AlgorithmName(request.algorithm) + "'");
+    }
+    if (resume_snapshot.fingerprint != fingerprint) {
+      return InvalidRequestResult(
+          "snapshot.resume_path: fingerprint mismatch — the snapshot was "
+          "written for a different database or different result-relevant "
+          "parameters (thread count and tidset_mode may differ freely)");
+    }
+    resuming = true;
+  }
+
   // Thread-count 0 means "library default": share the lazily-created
   // global pool. An explicit count gets a dedicated pool of that size so
   // the request's policy is honored exactly.
@@ -249,12 +321,25 @@ MiningResult MineImpl(const UncertainDatabase& db,
 
   RunController controller(request.budget, request.cancel);
 
+  // A save path arms drain-at-unit-boundary suspension for the
+  // frontier-resumable algorithms: a stop request then lets in-flight
+  // units finish (refusing new ones), so the captured frontier needs no
+  // attribution surgery. Arming makes the controller active, so the
+  // runtime is always wired when a snapshot may be written.
+  RunSnapshot save_snapshot;
+  const bool save_requested = !request.snapshot.save_path.empty();
+  if (save_requested && SupportsFrontierResume(request.algorithm)) {
+    controller.ArmSuspend();
+  }
+
   ExecutionContext exec;
   exec.pool = pool;
   exec.deterministic = request.execution.deterministic;
   exec.progress = sink.get();
   exec.trace = request.trace;
   if (controller.active()) exec.runtime = &controller;
+  if (resuming) exec.resume_snapshot = &resume_snapshot;
+  if (save_requested) exec.save_snapshot = &save_snapshot;
   if (bindings != nullptr) {
     exec.shared_index = bindings->index;
     exec.eval_cache = bindings->eval_cache;
@@ -298,9 +383,34 @@ MiningResult MineImpl(const UncertainDatabase& db,
       break;  // Rejected above.
   }
 
+  if (resuming) result.stats.resumed = true;
   if (!result.ok() && result.status_message.empty()) {
     result.status_message =
         std::string("run stopped: ") + OutcomeName(result.outcome());
+  }
+  // A stopped run persists its state for a later resume. Algorithms
+  // without frontier capture (or runs stopped before the first drain)
+  // write a restart-only marker — resuming from it reruns from scratch,
+  // which is trivially bit-identical. The atomic save is retried with
+  // backoff; a persistent failure is reported in status_message but
+  // never changes the run's outcome (the in-memory result is still a
+  // verified partial answer).
+  if (save_requested && !result.ok() &&
+      result.outcome() != Outcome::kInvalidRequest) {
+    save_snapshot.algorithm = AlgorithmName(request.algorithm);
+    save_snapshot.fingerprint = fingerprint;
+    RetryPolicy retry;
+    retry.seed = request.params.seed;
+    const RetryResult saved = RetryWithBackoff(retry, [&] {
+      return SaveRunSnapshotAtomic(save_snapshot, request.snapshot.save_path);
+    });
+    if (saved.succeeded) {
+      result.stats.snapshot_bytes = SerializeRunSnapshot(save_snapshot).size();
+    } else {
+      result.status_message += "; snapshot save failed after " +
+                               std::to_string(saved.attempts) +
+                               " attempts: " + saved.last_error;
+    }
   }
   TraceRunEnd(exec.trace, AlgorithmName(request.algorithm),
               result.itemsets.size(), result.stats.seconds);
@@ -376,6 +486,11 @@ std::string ValidateRequest(const MiningRequest& request) {
       request.budget.degrade_fraction > 1.0) {
     return "budget.degrade_fraction must be in (0, 1]";
   }
+  if (UsesSnapshot(request) && !request.execution.deterministic) {
+    return "snapshot.save_path / snapshot.resume_path require "
+           "execution.deterministic (a nondeterministic run has no "
+           "bit-identical continuation to resume)";
+  }
   return "";
 }
 
@@ -398,6 +513,11 @@ MiningResult Mine(const ItemUncertainDatabase& db,
         std::string("algorithm ") + AlgorithmName(request.algorithm) +
         " mines a tuple-level UncertainDatabase; the item-level Mine() "
         "overload serves item-esup and item-pfi");
+  }
+  if (UsesSnapshot(request)) {
+    return InvalidRequestResult(
+        "snapshot save/resume applies to the tuple-level Mine() overload "
+        "only");
   }
   if (!request.sweep_min_sup.empty()) {
     return InvalidRequestResult(

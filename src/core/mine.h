@@ -35,6 +35,10 @@
 //   progress*          all                        interval >= 1
 //   budget             all                        see RunBudget
 //   cancel / trace     all                        optional, caller-owned
+//   snapshot           tuple-level Mine()         paths require
+//                                                 execution.deterministic;
+//                                                 rejected by the
+//                                                 item-level overload
 //
 // Database kind: Algorithm::kItemExpectedSupport and kItemPfi mine an
 // ItemUncertainDatabase and are served by the item-level Mine() overload;
@@ -97,6 +101,28 @@ bool ParseAlgorithm(const std::string& name, Algorithm* algorithm);
 /// help text and exhaustive tests iterate.
 const std::vector<Algorithm>& AllAlgorithms();
 
+/// Checkpoint/resume bindings for one run (DESIGN.md §14). Both paths
+/// are optional and independent; both require
+/// execution.deterministic == true (ValidateRequest rejects otherwise —
+/// a nondeterministic run has no bit-identical continuation to resume).
+struct SnapshotPolicy {
+  /// When non-empty and the run stops early (deadline, budget, cancel),
+  /// Mine() drains in-flight work at a unit boundary and writes the
+  /// run's frontier + decided entries here crash-consistently
+  /// (SaveRunSnapshotAtomic, wrapped in RetryWithBackoff). Algorithms
+  /// without frontier capture write a restart-only marker. A persistent
+  /// write failure is noted in status_message without changing the
+  /// run's outcome.
+  std::string save_path;
+
+  /// When non-empty, Mine() loads and verifies this snapshot (algorithm
+  /// name and database+request fingerprint must match; mismatches come
+  /// back as kInvalidRequest) and continues the suspended run. The
+  /// resumed result is bit-identical to an uninterrupted run, across
+  /// thread counts and tid-set modes.
+  std::string resume_path;
+};
+
 /// Everything Mine() needs for one run.
 struct MiningRequest {
   /// Problem parameters (thresholds, pruning toggles, seed).
@@ -144,6 +170,9 @@ struct MiningRequest {
   /// Optional cooperative cancellation token, polled at the miners'
   /// checkpoints. Owned by the caller; must outlive the run.
   const CancelToken* cancel = nullptr;
+
+  /// Optional checkpoint/resume bindings (empty paths: feature off).
+  SnapshotPolicy snapshot;
 };
 
 /// Checks `request` (including its params, budget, and the cross-field

@@ -22,13 +22,13 @@ const char* FcpMethodName(FcpMethod method) {
   return "unknown";
 }
 
-// Counter-count guard for MergeCounters: 17 std::uint64_t counters + 4
-// doubles + (Outcome + bool, padded to one word). Adding a field changes
-// the size and fails this assert — update MergeCounters (and ToString /
-// ToJson / EmitTrace) before adjusting the constant, so a new counter can
-// never silently skip the merge.
+// Counter-count guard for MergeCounters: 18 std::uint64_t counters + 4
+// doubles + (Outcome + 2 bools, padded to one word). Adding a field
+// changes the size and fails this assert — update MergeCounters (and
+// ToString / ToJson / EmitTrace) before adjusting the constant, so a new
+// counter can never silently skip the merge.
 static_assert(sizeof(MiningStats) ==
-                  17 * sizeof(std::uint64_t) + 4 * sizeof(double) + 8,
+                  18 * sizeof(std::uint64_t) + 4 * sizeof(double) + 8,
               "MiningStats layout changed: audit MergeCounters, ToString, "
               "ToJson, and EmitTrace, then update this size guard");
 
@@ -65,6 +65,10 @@ std::string MiningStats::ToString() const {
          " cache_misses=" + std::to_string(cache_misses) +
          " dp_reused=" + std::to_string(dp_reused) +
          " outcome=" + OutcomeName(outcome) +
+         (resumed ? " resumed=1" : "") +
+         (snapshot_bytes > 0
+              ? " snapshot_bytes=" + std::to_string(snapshot_bytes)
+              : "") +
          " time=" + FormatDouble(seconds, 4) + "s";
 }
 
@@ -76,7 +80,7 @@ std::string MiningStats::ToJson() const {
     out += name;
     out += "\":" + std::to_string(value);
   };
-  field("schema", 4);
+  field("schema", 5);
   field("nodes_visited", nodes_visited);
   field("pruned_by_chernoff", pruned_by_chernoff);
   field("pruned_by_frequency", pruned_by_frequency);
@@ -94,11 +98,14 @@ std::string MiningStats::ToJson() const {
   field("cache_misses", cache_misses);
   field("dp_reused", dp_reused);
   field("cache_bytes", cache_bytes);
+  field("snapshot_bytes", snapshot_bytes);
   out += ",\"outcome\":\"";
   out += OutcomeName(outcome);
   out += "\"";
   out += ",\"truncated\":";
   out += truncated ? "true" : "false";
+  out += ",\"resumed\":";
+  out += resumed ? "true" : "false";
   // Round-trip formatting keeps the JSON byte-stable across platforms:
   // the shortest digit string that reparses to the exact double, rather
   // than a fixed precision that can round differently at the boundary.

@@ -74,6 +74,11 @@ struct MiningStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t dp_reused = 0;
   std::uint64_t cache_bytes = 0;
+
+  /// Size in bytes of the run snapshot written by Mine() when a
+  /// suspend-armed run drained (stats-json schema v5; DESIGN.md §14).
+  /// 0 when no snapshot was requested or the run completed.
+  std::uint64_t snapshot_bytes = 0;
   double seconds = 0.0;
 
   /// Wall-clock seconds per phase (stats-json schema v2). A phase that an
@@ -96,6 +101,11 @@ struct MiningStats {
   /// with a non-complete outcome).
   bool truncated = false;
 
+  /// Whether this run was resumed from a snapshot (schema v5). Counters
+  /// then include the suspended run's base totals, so a resumed run's
+  /// deterministic counters match an uninterrupted run's.
+  bool resumed = false;
+
   /// Adds `part`'s per-work counters (nodes_visited through
   /// intersections above) into this object. This is the single merge
   /// point for per-task / per-evaluation counter partials: dp_runs and
@@ -111,7 +121,7 @@ struct MiningStats {
 
   /// One JSON object line with every counter plus seconds, for scripted
   /// regression tracking (schema documented in docs/FORMATS.md; the
-  /// `schema` field is 4 and the key set is append-only).
+  /// `schema` field is 5 and the key set is append-only).
   std::string ToJson() const;
 
   /// Emits one `counter` trace event per work counter under the canonical

@@ -12,6 +12,38 @@
 
 namespace pfci {
 
+namespace {
+
+/// Rebuilds an itemset's tid-list by intersecting its items' tid-sets.
+/// Restore-path only: deliberately does NOT bump stats.intersections —
+/// the suspended run already counted the ops that first produced this
+/// tid-list, and those counts arrive wholesale via the snapshot base.
+TidSet TidsOfItemset(const VerticalIndex& index, const Itemset& items) {
+  TidSet tids = index.TidsOfItem(items[0]);
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    tids = Intersect(tids, index.TidsOfItem(items[i]));
+  }
+  return tids;
+}
+
+/// Common restore step: the suspended run's decided entries and its
+/// deterministic work counters seed the resumed result.
+void SeedResultFromSnapshot(const RunSnapshot& snapshot,
+                            MiningResult& result) {
+  result.itemsets.insert(result.itemsets.end(), snapshot.entries.begin(),
+                         snapshot.entries.end());
+  AddBaseStats(snapshot.base, &result.stats);
+}
+
+/// Unit-entry drain gate: true when a suspend-armed controller has a
+/// pending drain. Unarmed runs never see it, so pre-snapshot behavior
+/// (and the kernel parity goldens) are untouched.
+bool DrainPending(const RunController* rt) {
+  return rt != nullptr && rt->suspend_armed() && !rt->ShouldStartUnit();
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // WorkStealingDfsFrontier (MPFCI)
 
@@ -38,8 +70,11 @@ void WorkStealingDfsFrontier::Search(const SearchContext& ctx,
   (void)result;  // Partials land in subtree_; Merge folds them.
   const std::size_t n = candidates_.size();
   subtree_.resize(n);
+  done_.assign(n, 0);
   const double pfct = ctx.params->pfct;
   const auto mine_subtree = [&](std::size_t c) {
+    if (restored_done_.size() == n && restored_done_[c]) return;
+    if (DrainPending(ctx.rt)) return;
     Rng rng(DeriveSeed(ctx.params->seed, candidates_[c]));
     // Fair-share logical budgets: the quota depends only on the request
     // and the candidate count, never on scheduling.
@@ -68,6 +103,11 @@ void WorkStealingDfsFrontier::Search(const SearchContext& ctx,
     if (unit.truncated && ctx.rt != nullptr) {
       ctx.rt->RecordTruncation(Outcome::kBudgetExhausted);
     }
+    // Suspend mode: a drained unit ran to its natural end (armed
+    // checkpoints never stop mid-unit), so it is complete by
+    // construction; note its work against the unit-granular budgets.
+    done_[c] = 1;
+    NoteUnitWork(ctx.rt, part.stats.nodes_visited, part.stats.total_samples);
   };
   if (ctx.exec->pool != nullptr && ctx.exec->pool->num_threads() > 1) {
     // Grain 1: first-level subtrees vary wildly in cost; stealing at
@@ -82,6 +122,8 @@ void WorkStealingDfsFrontier::Merge(const SearchContext& ctx,
                                     MiningResult& result) {
   (void)ctx;
   // Deterministic merge: candidate order, then the canonical sort.
+  // Restored entries are already in result.itemsets (skipped units'
+  // partials stay empty), so the fold remains in candidate order overall.
   for (MiningResult& part : subtree_) {
     for (PfciEntry& entry : part.itemsets) {
       result.itemsets.push_back(std::move(entry));
@@ -89,6 +131,41 @@ void WorkStealingDfsFrontier::Merge(const SearchContext& ctx,
     result.stats.MergeCounters(part.stats);
   }
   result.Sort();
+}
+
+void WorkStealingDfsFrontier::RestoreState(const SearchContext& ctx,
+                                           const RunSnapshot& snapshot,
+                                           MiningResult& result) {
+  (void)ctx;
+  candidates_.clear();
+  candidate_pr_f_.clear();
+  for (const WeightedItemset& element : snapshot.frontier) {
+    candidates_.push_back(element.items[0]);
+    candidate_pr_f_.push_back(element.weight);
+  }
+  restored_done_ = snapshot.done;
+  restored_done_.resize(candidates_.size(), 0);
+  SeedResultFromSnapshot(snapshot, result);
+}
+
+void WorkStealingDfsFrontier::SaveState(const SearchContext& ctx,
+                                        const MiningResult& result,
+                                        RunSnapshot& snapshot) const {
+  (void)ctx;
+  snapshot.frontier.clear();
+  snapshot.done.clear();
+  for (std::size_t c = 0; c < candidates_.size(); ++c) {
+    WeightedItemset element;
+    element.items = Itemset{candidates_[c]};
+    element.weight = candidate_pr_f_[c];
+    snapshot.frontier.push_back(std::move(element));
+    const bool was_done =
+        restored_done_.size() == candidates_.size() && restored_done_[c] != 0;
+    const bool now_done = done_.size() == candidates_.size() && done_[c] != 0;
+    snapshot.done.push_back(was_done || now_done ? 1 : 0);
+  }
+  snapshot.entries = result.itemsets;
+  snapshot.base = result.stats;
 }
 
 // ---------------------------------------------------------------------------
@@ -119,14 +196,17 @@ void LevelSyncBfsFrontier::Search(const SearchContext& ctx,
   std::uint64_t samples_remaining = node_ledger.sample_quota;
 
   // Global position of the first entry of the current level across the
-  // whole run; the per-entry RNG stream is derived from it, so it is
-  // independent of thread count and scheduling.
-  std::uint64_t entry_counter = 0;
+  // whole run (a member, restored on resume); the per-entry RNG stream
+  // is derived from it, so it is independent of thread count and
+  // scheduling.
   while (!level_.empty()) {
     // Level-boundary checkpoint: a global stop discards the pending
-    // level (none of its entries were evaluated yet).
+    // level (none of its entries were evaluated yet). A pending drain
+    // breaks here too — the level boundary is the suspend-mode unit
+    // boundary, and the intact level_ becomes the snapshot frontier.
     PFCI_FAILPOINT("bfs/level");
     if (CheckpointNow(rt)) break;
+    if (DrainPending(rt)) break;
 
     // Node budget, taken in level order: a refusal cuts the level's
     // suffix — and, since the quota never regrows, the whole run.
@@ -159,7 +239,7 @@ void LevelSyncBfsFrontier::Search(const SearchContext& ctx,
     std::vector<FcpComputation> comps(eval_count);
     std::vector<MiningStats> comp_stats(eval_count);
     const auto evaluate = [&](std::size_t i) {
-      Rng rng(DeriveSeed(params.seed, entry_counter + i));
+      Rng rng(DeriveSeed(params.seed, entry_counter_ + i));
       comps[i] = ctx.closure->CertifyAt(
           params.pfct, level_[i].items, level_[i].tids, level_[i].pr_f, rng,
           &comp_stats[i], &LocalDpWorkspace(), &units[i]);
@@ -169,7 +249,13 @@ void LevelSyncBfsFrontier::Search(const SearchContext& ctx,
     } else {
       for (std::size_t i = 0; i < eval_count; ++i) evaluate(i);
     }
-    entry_counter += level_.size();
+    entry_counter_ += level_.size();
+
+    std::uint64_t level_samples = 0;
+    for (std::size_t i = 0; i < eval_count; ++i) {
+      level_samples += units[i].samples_used;
+    }
+    NoteUnitWork(rt, eval_count, level_samples);
 
     for (std::size_t i = 0; i < eval_count; ++i) {
       if (samples_remaining != kUnlimitedQuota) {
@@ -219,6 +305,37 @@ void LevelSyncBfsFrontier::Merge(const SearchContext& ctx,
                                  MiningResult& result) {
   (void)ctx;
   result.Sort();
+}
+
+void LevelSyncBfsFrontier::RestoreState(const SearchContext& ctx,
+                                        const RunSnapshot& snapshot,
+                                        MiningResult& result) {
+  level_.clear();
+  for (const WeightedItemset& element : snapshot.frontier) {
+    LevelEntry entry;
+    entry.items = element.items;
+    entry.tids = TidsOfItemset(*ctx.index, element.items);
+    entry.pr_f = element.weight;
+    level_.push_back(std::move(entry));
+  }
+  entry_counter_ = snapshot.cursor;
+  SeedResultFromSnapshot(snapshot, result);
+}
+
+void LevelSyncBfsFrontier::SaveState(const SearchContext& ctx,
+                                     const MiningResult& result,
+                                     RunSnapshot& snapshot) const {
+  (void)ctx;
+  snapshot.frontier.clear();
+  for (const LevelEntry& entry : level_) {
+    WeightedItemset element;
+    element.items = entry.items;
+    element.weight = entry.pr_f;
+    snapshot.frontier.push_back(std::move(element));
+  }
+  snapshot.cursor = entry_counter_;
+  snapshot.entries = result.itemsets;
+  snapshot.base = result.stats;
 }
 
 // ---------------------------------------------------------------------------
@@ -287,8 +404,11 @@ void TopKFrontier::Search(const SearchContext& ctx, MiningResult& result) {
   const double floor = ctx.params->pfct;
   // The whole search shares one RNG, so the run is a single logical work
   // unit: after any truncation nothing further may be evaluated, or
-  // later estimates would read a shifted stream.
+  // later estimates would read a shifted stream. On resume the stream
+  // continues from the suspended run's exact state (suspend mode drains
+  // at candidate boundaries, so the state is a candidate-boundary state).
   Rng rng(ctx.params->seed);
+  if (have_rng_state_) rng.RestoreState(rng_state_);
   WorkUnitBudget unit =
       ctx.rt != nullptr ? ctx.rt->UnitBudget(0, 1) : WorkUnitBudget{};
 
@@ -307,15 +427,24 @@ void TopKFrontier::Search(const SearchContext& ctx, MiningResult& result) {
     Offer(std::move(entry));
   };
 
-  for (std::size_t c = 0;
-       c < candidates_.size() && !(unit.truncated || StopRequested(ctx.rt));
+  std::size_t c = next_candidate_;
+  for (; c < candidates_.size() && !(unit.truncated || StopRequested(ctx.rt));
        ++c) {
+    if (DrainPending(ctx.rt)) break;
+    const std::uint64_t nodes_before = result.stats.nodes_visited;
+    const std::uint64_t samples_before = result.stats.total_samples;
     const Item item = candidates_[c];
     const TidSet& tids = ctx.index->TidsOfItem(item);
     const double pr_f = ctx.freq->PrF(tids);
-    if (pr_f <= Threshold(floor)) continue;
-    ClosedDfs(dfs, Itemset{item}, tids, pr_f, c);
+    if (pr_f > Threshold(floor)) {
+      ClosedDfs(dfs, Itemset{item}, tids, pr_f, c);
+    }
+    NoteUnitWork(ctx.rt, result.stats.nodes_visited - nodes_before,
+                 result.stats.total_samples - samples_before);
   }
+  next_candidate_ = c;
+  rng_state_ = rng.SaveState();
+  have_rng_state_ = true;
   if (unit.truncated && ctx.rt != nullptr) {
     ctx.rt->RecordTruncation(Outcome::kBudgetExhausted);
   }
@@ -328,6 +457,46 @@ void TopKFrontier::Merge(const SearchContext& ctx, MiningResult& result) {
   result.itemsets = std::move(top_);
 }
 
+void TopKFrontier::RestoreState(const SearchContext& ctx,
+                                const RunSnapshot& snapshot,
+                                MiningResult& result) {
+  (void)ctx;
+  candidates_.clear();
+  for (const WeightedItemset& element : snapshot.frontier) {
+    candidates_.push_back(element.items[0]);
+  }
+  // The pool rides in the snapshot's entries (Merge moves it into the
+  // result at the end of every session, suspended or not), so only the
+  // base counters seed the result here.
+  top_ = snapshot.entries;
+  if (k_ > 0 && top_.size() >= k_) RecomputeWorst();
+  next_candidate_ = static_cast<std::size_t>(snapshot.cursor);
+  if (snapshot.has_rng) {
+    rng_state_ = snapshot.rng;
+    have_rng_state_ = true;
+  }
+  AddBaseStats(snapshot.base, &result.stats);
+}
+
+void TopKFrontier::SaveState(const SearchContext& ctx,
+                             const MiningResult& result,
+                             RunSnapshot& snapshot) const {
+  (void)ctx;
+  snapshot.frontier.clear();
+  for (Item item : candidates_) {
+    WeightedItemset element;
+    element.items = Itemset{item};
+    snapshot.frontier.push_back(std::move(element));
+  }
+  snapshot.cursor = next_candidate_;
+  if (have_rng_state_) {
+    snapshot.has_rng = true;
+    snapshot.rng = rng_state_;
+  }
+  snapshot.entries = result.itemsets;
+  snapshot.base = result.stats;
+}
+
 // ---------------------------------------------------------------------------
 // FlatCheckFrontier (Naive)
 
@@ -335,11 +504,14 @@ void FlatCheckFrontier::BuildCandidates(const SearchContext& ctx,
                                         MiningResult& result) {
   // Stage 1 of Fig. 5: all probabilistic frequent itemsets. The node
   // budget is consumed here (the PFI enumeration is the run's search
-  // tree).
+  // tree); in suspend mode the whole stage is one unit, noted into the
+  // budget before the checks fan out.
+  const std::uint64_t nodes_before = result.stats.nodes_visited;
   pfis_ = EnumeratePfis(*ctx.db, ctx.params->min_sup, ctx.params->pfct,
                         /*use_chernoff=*/true, FrequencyMode::kExactDp,
                         &result.stats, TidSetPolicyFor(*ctx.params), ctx.rt,
                         ctx.exec);
+  enumerated_nodes_ = result.stats.nodes_visited - nodes_before;
 }
 
 void FlatCheckFrontier::Search(const SearchContext& ctx,
@@ -358,9 +530,17 @@ void FlatCheckFrontier::Search(const SearchContext& ctx,
   // pre-split fair-share across the checks: a refused check stays
   // undecided (unemitted) without disturbing its neighbours' streams.
   undecided_.assign(pfis_.size(), 0);
+  NoteUnitWork(rt, enumerated_nodes_, 0);
   const auto check = [&](std::size_t i) {
+    if (restored_done_.size() == pfis_.size() && restored_done_[i]) return;
     PFCI_FAILPOINT("naive/check");
     if (CheckpointNow(rt)) {
+      undecided_[i] = 1;
+      return;
+    }
+    // Suspend-mode drain: checks not yet started stay undecided and land
+    // in the snapshot as pending; in-flight checks run to completion.
+    if (DrainPending(rt)) {
       undecided_[i] = 1;
       return;
     }
@@ -381,6 +561,7 @@ void FlatCheckFrontier::Search(const SearchContext& ctx,
                            params.delta, rng, /*pool=*/nullptr,
                            ctx.exec->deterministic, rt);
     if (checks_[i].aborted) undecided_[i] = 1;
+    NoteUnitWork(rt, 0, checks_[i].samples);
     if (ctx.exec->progress != nullptr) ctx.exec->progress->AddNodes();
   };
   if (ctx.exec->pool != nullptr && ctx.exec->pool->num_threads() > 1) {
@@ -392,6 +573,9 @@ void FlatCheckFrontier::Search(const SearchContext& ctx,
 
 void FlatCheckFrontier::Merge(const SearchContext& ctx, MiningResult& result) {
   for (std::size_t i = 0; i < pfis_.size(); ++i) {
+    // Checks decided by a prior session were counted and emitted there;
+    // their entries and counters arrived through the snapshot base.
+    if (restored_done_.size() == pfis_.size() && restored_done_[i]) continue;
     if (undecided_[i]) continue;
     const ApproxFcpResult& approx = checks_[i];
     ++result.stats.sampled_fcp_computations;
@@ -408,6 +592,44 @@ void FlatCheckFrontier::Merge(const SearchContext& ctx, MiningResult& result) {
     }
   }
   result.Sort();
+}
+
+void FlatCheckFrontier::RestoreState(const SearchContext& ctx,
+                                     const RunSnapshot& snapshot,
+                                     MiningResult& result) {
+  pfis_.clear();
+  for (const WeightedItemset& element : snapshot.frontier) {
+    PfiEntry entry;
+    entry.items = element.items;
+    entry.pr_f = element.weight;
+    entry.tids = TidsOfItemset(*ctx.index, element.items);
+    pfis_.push_back(std::move(entry));
+  }
+  restored_done_ = snapshot.done;
+  restored_done_.resize(pfis_.size(), 0);
+  enumerated_nodes_ = 0;  // This session did not enumerate.
+  SeedResultFromSnapshot(snapshot, result);
+}
+
+void FlatCheckFrontier::SaveState(const SearchContext& ctx,
+                                  const MiningResult& result,
+                                  RunSnapshot& snapshot) const {
+  (void)ctx;
+  snapshot.frontier.clear();
+  snapshot.done.clear();
+  for (std::size_t i = 0; i < pfis_.size(); ++i) {
+    WeightedItemset element;
+    element.items = pfis_[i].items;
+    element.weight = pfis_[i].pr_f;
+    snapshot.frontier.push_back(std::move(element));
+    const bool was_done =
+        restored_done_.size() == pfis_.size() && restored_done_[i] != 0;
+    const bool decided_now =
+        undecided_.size() == pfis_.size() && undecided_[i] == 0;
+    snapshot.done.push_back(was_done || decided_now ? 1 : 0);
+  }
+  snapshot.entries = result.itemsets;
+  snapshot.base = result.stats;
 }
 
 }  // namespace pfci

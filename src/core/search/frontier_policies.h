@@ -27,10 +27,23 @@ class WorkStealingDfsFrontier : public FrontierPolicy {
   void Search(const SearchContext& ctx, MiningResult& result) override;
   void Merge(const SearchContext& ctx, MiningResult& result) override;
 
+  /// Snapshot layout: frontier = first-level candidates (singleton
+  /// itemsets weighted by PrF), done = per-unit subtree completion bits.
+  bool SupportsResume() const override { return true; }
+  void RestoreState(const SearchContext& ctx, const RunSnapshot& snapshot,
+                    MiningResult& result) override;
+  void SaveState(const SearchContext& ctx, const MiningResult& result,
+                 RunSnapshot& snapshot) const override;
+
  private:
   std::vector<Item> candidates_;
   std::vector<double> candidate_pr_f_;
   std::vector<MiningResult> subtree_;
+  /// Units completed this session / restored as completed from a prior
+  /// session. Distinct indices are written from distinct tasks, so the
+  /// byte vectors are race-free without atomics.
+  std::vector<std::uint8_t> done_;
+  std::vector<std::uint8_t> restored_done_;
 };
 
 /// Apriori-shaped MPFCI: level-synchronous generation by prefix join,
@@ -45,6 +58,16 @@ class LevelSyncBfsFrontier : public FrontierPolicy {
   void Search(const SearchContext& ctx, MiningResult& result) override;
   void Merge(const SearchContext& ctx, MiningResult& result) override;
 
+  /// Snapshot layout: frontier = the pending level (PrF-weighted; tid
+  /// lists are recomputed on restore without counter bumps), cursor = the
+  /// global entry counter at the level's start (the per-entry RNG streams
+  /// derive from it).
+  bool SupportsResume() const override { return true; }
+  void RestoreState(const SearchContext& ctx, const RunSnapshot& snapshot,
+                    MiningResult& result) override;
+  void SaveState(const SearchContext& ctx, const MiningResult& result,
+                 RunSnapshot& snapshot) const override;
+
  private:
   /// One level entry: a probabilistic frequent itemset with its tid-list.
   struct LevelEntry {
@@ -54,6 +77,9 @@ class LevelSyncBfsFrontier : public FrontierPolicy {
   };
 
   std::vector<LevelEntry> level_;
+  /// Global position of the current level's first entry across the whole
+  /// run (including prior suspended sessions).
+  std::uint64_t entry_counter_ = 0;
 };
 
 /// Top-k mining: the same closed-itemset DFS, but pruning against a
@@ -69,6 +95,16 @@ class TopKFrontier : public FrontierPolicy {
                        MiningResult& result) override;
   void Search(const SearchContext& ctx, MiningResult& result) override;
   void Merge(const SearchContext& ctx, MiningResult& result) override;
+
+  /// Snapshot layout: frontier = candidate items, cursor = next candidate
+  /// position, entries = the current pool, rng = the shared stream's
+  /// state (the run is one logical unit; the state carries across
+  /// sessions so later draws match an uninterrupted run exactly).
+  bool SupportsResume() const override { return true; }
+  void RestoreState(const SearchContext& ctx, const RunSnapshot& snapshot,
+                    MiningResult& result) override;
+  void SaveState(const SearchContext& ctx, const MiningResult& result,
+                 RunSnapshot& snapshot) const override;
 
  private:
   /// The output order: descending FCP, ties broken by ascending itemset.
@@ -92,6 +128,12 @@ class TopKFrontier : public FrontierPolicy {
   std::vector<Item> candidates_;
   std::vector<PfciEntry> top_;
   double worst_in_top_ = 1.0;
+  /// Resume state: first candidate not yet fully mined, and the shared
+  /// RNG's state at the suspension point (Search writes the end-of-loop
+  /// state back so SaveState can serialize it).
+  std::size_t next_candidate_ = 0;
+  bool have_rng_state_ = false;
+  Rng::State rng_state_;
 };
 
 /// The Naive checker (Fig. 5): enumerate every probabilistic frequent
@@ -112,10 +154,24 @@ class FlatCheckFrontier : public FrontierPolicy {
   void Search(const SearchContext& ctx, MiningResult& result) override;
   void Merge(const SearchContext& ctx, MiningResult& result) override;
 
+  /// Snapshot layout: frontier = the enumerated PFIs (PrF-weighted; tid
+  /// lists recomputed on restore without counter bumps), done = per-check
+  /// decision bits — a restored-done check is neither re-sampled nor
+  /// re-counted in Merge (its entry and counters arrived via the base).
+  bool SupportsResume() const override { return true; }
+  void RestoreState(const SearchContext& ctx, const RunSnapshot& snapshot,
+                    MiningResult& result) override;
+  void SaveState(const SearchContext& ctx, const MiningResult& result,
+                 RunSnapshot& snapshot) const override;
+
  private:
   std::vector<PfiEntry> pfis_;
   std::vector<ApproxFcpResult> checks_;
   std::vector<std::uint8_t> undecided_;
+  std::vector<std::uint8_t> restored_done_;
+  /// Nodes consumed by this session's PFI enumeration (zero on resume),
+  /// noted into the suspend-mode budget before the checks fan out.
+  std::uint64_t enumerated_nodes_ = 0;
 };
 
 }  // namespace pfci

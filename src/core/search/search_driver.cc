@@ -28,10 +28,21 @@ MiningResult RunSearch(const UncertainDatabase& db, const MiningParams& params,
   // before any search work.
   CheckpointAtRunStart(rt);
 
-  if (policy.candidates_when_stopped() || !StopRequested(rt)) {
+  // Resume replaces the candidate build: the frontier policy reloads the
+  // suspended run's candidates, frontier, decided entries, and base
+  // counters under the same trace span, so a resumed run's trace shape is
+  // identical to an uninterrupted run's.
+  const RunSnapshot* resume = exec.resume_snapshot;
+  const bool restoring =
+      resume != nullptr && resume->has_frontier && policy.SupportsResume();
+  if (restoring || policy.candidates_when_stopped() || !StopRequested(rt)) {
     TraceSpan span(exec.trace, "candidate_build",
                    &result.stats.candidate_seconds);
-    policy.BuildCandidates(ctx, result);
+    if (restoring) {
+      policy.RestoreState(ctx, *resume, result);
+    } else {
+      policy.BuildCandidates(ctx, result);
+    }
   }
   {
     TraceSpan span(exec.trace, policy.phase_name(),
@@ -53,6 +64,14 @@ MiningResult RunSearch(const UncertainDatabase& db, const MiningParams& params,
   if (rt != nullptr) {
     result.stats.outcome = rt->outcome();
     result.stats.truncated = rt->truncated();
+  }
+  // A drained suspend-armed run deposits its frontier state for Mine()
+  // to persist. The post-merge result.stats are exactly the snapshot's
+  // base: no unit was half-done, so nothing needs attribution.
+  if (exec.save_snapshot != nullptr && rt != nullptr && rt->suspend_armed() &&
+      rt->SuspendRequested() && policy.SupportsResume()) {
+    policy.SaveState(ctx, result, *exec.save_snapshot);
+    exec.save_snapshot->has_frontier = true;
   }
   result.stats.seconds = timer.ElapsedSeconds();
   result.stats.EmitTrace(exec.trace);

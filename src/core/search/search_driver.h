@@ -25,6 +25,7 @@
 #include "src/core/mining_result.h"
 #include "src/core/search/candidate_oracle.h"
 #include "src/core/search/closure_operator.h"
+#include "src/core/search/run_snapshot.h"
 #include "src/data/uncertain_database.h"
 #include "src/data/vertical_index.h"
 #include "src/util/random.h"
@@ -70,6 +71,30 @@ class FrontierPolicy {
   /// Folds per-task partials and orders the output (under the "merge"
   /// span; the driver folds the shared evaluator counters afterwards).
   virtual void Merge(const SearchContext& ctx, MiningResult& result) = 0;
+
+  /// Checkpoint/resume (DESIGN.md §14). A policy that supports resume
+  /// implements all three; the driver then replaces BuildCandidates with
+  /// RestoreState when ExecutionContext::resume_snapshot is set (same
+  /// trace span, so the resumed run's trace shape matches an
+  /// uninterrupted run) and calls SaveState after Merge when a
+  /// suspend-armed run drained. RestoreState must rebuild the candidate /
+  /// frontier state WITHOUT recomputation-visible counter bumps — the
+  /// suspended run's counters arrive wholesale via AddBaseStats, and the
+  /// resumed totals must equal an uninterrupted run's.
+  virtual bool SupportsResume() const { return false; }
+  virtual void RestoreState(const SearchContext& ctx,
+                            const RunSnapshot& snapshot,
+                            MiningResult& result) {
+    (void)ctx;
+    (void)snapshot;
+    (void)result;
+  }
+  virtual void SaveState(const SearchContext& ctx, const MiningResult& result,
+                         RunSnapshot& snapshot) const {
+    (void)ctx;
+    (void)result;
+    (void)snapshot;
+  }
 };
 
 /// Runs one mining request through `policy`, replaying the shared

@@ -1,7 +1,10 @@
 #include "src/harness/oracle/invariants.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <utility>
@@ -457,6 +460,49 @@ std::vector<OracleFinding> CheckDatabase(const UncertainDatabase& db,
                    mode == TidSetMode::kSparse ? "adaptive vs sparse"
                                                : "adaptive vs dense",
                    moded, &findings);
+  }
+
+  // --- Invariance: suspend → snapshot → resume equals uninterrupted
+  // (DESIGN.md §14). A node budget drains the run at a unit boundary and
+  // persists the frontier; resuming must reproduce the reference result
+  // bit-for-bit with matching deterministic work counters (dp_runs and
+  // the cache counters are per-run evaluator state, not snapshot state,
+  // so they are exempt).
+  if (options.check_resume && reference.stats.nodes_visited > 1) {
+    const std::string snapshot_path =
+        "/tmp/pfci_oracle_resume_" + std::to_string(::getpid()) + "_" +
+        std::to_string(params.seed) + ".snapshot";
+    MiningRequest suspending = base;
+    suspending.budget.max_nodes = reference.stats.nodes_visited / 2;
+    suspending.snapshot.save_path = snapshot_path;
+    const MiningResult part = Mine(db, suspending);
+    // A run whose first unit already covers the budget completes anyway;
+    // there is then no snapshot to resume and nothing to check.
+    if (!part.ok() && part.stats.snapshot_bytes > 0) {
+      MiningRequest resuming = base;
+      resuming.snapshot.resume_path = snapshot_path;
+      const MiningResult resumed = Mine(db, resuming);
+      CompareBitwise(reference, resumed, "invariance/resume",
+                     "uninterrupted vs suspend+resume", resuming, &findings);
+      const MiningStats& r = reference.stats;
+      const MiningStats& s = resumed.stats;
+      if (s.nodes_visited != r.nodes_visited ||
+          s.intersections != r.intersections ||
+          s.total_samples != r.total_samples ||
+          s.sampled_fcp_computations != r.sampled_fcp_computations ||
+          s.exact_fcp_computations != r.exact_fcp_computations) {
+        AddFinding(&findings, "invariance/resume",
+                   "suspend+resume counter drift: nodes " +
+                       std::to_string(r.nodes_visited) + " vs " +
+                       std::to_string(s.nodes_visited) + ", intersections " +
+                       std::to_string(r.intersections) + " vs " +
+                       std::to_string(s.intersections) + ", samples " +
+                       std::to_string(r.total_samples) + " vs " +
+                       std::to_string(s.total_samples),
+                   resuming);
+      }
+    }
+    std::remove(snapshot_path.c_str());
   }
 
   // --- Invariance: the session evaluation caches never change results

@@ -20,8 +20,10 @@
 //   * representation / execution invariance — transaction permutation
 //     (1e-9: the DP's summation order moves), tid-set mode, thread
 //     count, repeated runs, session eval-cache on/off and warm replay
-//     (all bit-identical per the determinism contract), and the
-//     streaming window path (a full window must equal direct mining);
+//     (all bit-identical per the determinism contract), the streaming
+//     window path (a full window must equal direct mining), and
+//     checkpoint/resume replay (a budget-suspended run resumed from its
+//     snapshot must equal the uninterrupted run, counters included);
 //   * pruning-toggle invariance — each pruning rule (Lemma 4.1
 //     Chernoff, 4.2 superset, 4.3 subset, 4.4 fcp-bounds) disabled
 //     individually must not change the answer (the paper's Table VII
@@ -84,6 +86,12 @@ struct OracleOptions {
 
   /// Runs the streaming-window consistency check.
   bool check_streaming = true;
+
+  /// Runs the checkpoint/resume invariance check: a budget-suspended run
+  /// whose snapshot is resumed must equal the uninterrupted run
+  /// bit-for-bit, including the deterministic work counters (DESIGN.md
+  /// §14). Writes one transient snapshot file under /tmp.
+  bool check_resume = true;
 };
 
 /// One violated invariant: a stable check id ("cross/brute",

@@ -1,6 +1,7 @@
 #include "src/serve/mining_session.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <utility>
 
@@ -11,6 +12,10 @@ namespace pfci {
 std::string ValidateSessionOptions(const SessionOptions& options) {
   if (options.cache_bytes > 0 && options.cache_shards < 1) {
     return "cache_shards must be >= 1 when the cache is enabled";
+  }
+  if (options.max_queue_depth > 0 && options.max_inflight == 0) {
+    return "max_queue_depth requires max_inflight > 0 (there is no queue "
+           "without an execution limit)";
   }
   return "";
 }
@@ -55,8 +60,79 @@ MiningResult MiningSession::Mine(const MiningRequest& request) {
   return MineStep(request, /*table_floor=*/0);
 }
 
+MiningResult MiningSession::ResumeFrom(const std::string& path,
+                                       const MiningRequest& request) {
+  MiningRequest resuming = request;
+  resuming.snapshot.resume_path = path;
+  return MineStep(resuming, /*table_floor=*/0);
+}
+
+bool MiningSession::Admit(double deadline_seconds) {
+  State& s = *state_;
+  if (s.options.max_inflight == 0) return true;
+  std::unique_lock<std::mutex> lock(s.admission_mutex);
+  if (s.inflight < s.options.max_inflight) {
+    ++s.inflight;
+    return true;
+  }
+  // At capacity: queue if there is room, else reject immediately (this
+  // path takes one uncontended mutex and no waits — sub-millisecond).
+  if (s.queued >= s.options.max_queue_depth) {
+    ++s.rejected;
+    return false;
+  }
+  ++s.queued;
+  const auto slot_free = [&s] {
+    return s.inflight < s.options.max_inflight;
+  };
+  bool admitted;
+  if (deadline_seconds > 0.0) {
+    // Deadline-aware: a request that cannot get a slot within its own
+    // deadline budget is rejected rather than started doomed.
+    admitted = s.admission_cv.wait_for(
+        lock, std::chrono::duration<double>(deadline_seconds), slot_free);
+  } else {
+    s.admission_cv.wait(lock, slot_free);
+    admitted = true;
+  }
+  --s.queued;
+  if (admitted) {
+    ++s.inflight;
+  } else {
+    ++s.rejected;
+  }
+  return admitted;
+}
+
+void MiningSession::Release() {
+  State& s = *state_;
+  if (s.options.max_inflight == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(s.admission_mutex);
+    --s.inflight;
+  }
+  s.admission_cv.notify_one();
+}
+
 MiningResult MiningSession::MineStep(const MiningRequest& request,
                                      std::size_t table_floor) {
+  if (!Admit(request.budget.deadline_seconds)) {
+    MiningResult rejected;
+    rejected.stats.outcome = Outcome::kRejected;
+    rejected.stats.truncated = true;
+    rejected.status_message =
+        "rejected by admission control: session at max_inflight=" +
+        std::to_string(state_->options.max_inflight) +
+        " with a full queue (max_queue_depth=" +
+        std::to_string(state_->options.max_queue_depth) + ")";
+    return rejected;
+  }
+  // The slot is released on every exit path, including a throwing
+  // failpoint action unwinding through the miner under test.
+  struct SlotGuard {
+    MiningSession* session;
+    ~SlotGuard() { session->Release(); }
+  } guard{this};
   SessionBindings bindings;
   bindings.index = &IndexFor(request.params);
   bindings.eval_cache = state_->cache.get();
@@ -111,6 +187,16 @@ std::uint64_t MiningSession::cache_evictions() const {
 
 std::size_t MiningSession::warm_items_recorded() const {
   return state_->warm != nullptr ? state_->warm->items_recorded() : 0;
+}
+
+std::size_t MiningSession::inflight() const {
+  std::lock_guard<std::mutex> lock(state_->admission_mutex);
+  return state_->inflight;
+}
+
+std::uint64_t MiningSession::admission_rejected() const {
+  std::lock_guard<std::mutex> lock(state_->admission_mutex);
+  return state_->rejected;
 }
 
 }  // namespace pfci

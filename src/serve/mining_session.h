@@ -30,6 +30,7 @@
 #ifndef PFCI_SERVE_MINING_SESSION_H_
 #define PFCI_SERVE_MINING_SESSION_H_
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -57,6 +58,22 @@ struct SessionOptions {
 
   /// Keep per-item infrequency proofs across requests.
   bool warm_start = true;
+
+  /// Admission control (DESIGN.md §14): maximum number of concurrently
+  /// executing Mine()/MineSweep-step runs. 0 disables admission control
+  /// (every request runs immediately). A request arriving with
+  /// max_inflight runs already executing is queued if queue room exists,
+  /// else rejected immediately (Outcome::kRejected, sub-millisecond, no
+  /// effect on in-flight runs).
+  std::size_t max_inflight = 0;
+
+  /// Requests allowed to wait for an execution slot when the session is
+  /// at max_inflight. 0: no queue — excess requests are rejected
+  /// immediately. A queued request with a deadline budget waits at most
+  /// its own deadline before coming back as kRejected (deadline-aware
+  /// rejection: a request that would wake with no time left is refused
+  /// rather than started doomed).
+  std::size_t max_queue_depth = 0;
 };
 
 /// Checks `options`; empty string when valid.
@@ -79,6 +96,16 @@ class MiningSession {
   /// above — with stats.cache_* reporting the session's cache work.
   MiningResult Mine(const MiningRequest& request);
 
+  /// Resumes a suspended run from the snapshot at `path` through the
+  /// session's shared index and caches: serves `request` with
+  /// snapshot.resume_path bound to `path`. Verification (algorithm +
+  /// database/request fingerprint) and the bit-identical resume contract
+  /// are Mine()'s (see SnapshotPolicy); a mismatch comes back as
+  /// kInvalidRequest. Note the cross-request caches can change dp_runs
+  /// relative to a cold resume — results are unaffected.
+  MiningResult ResumeFrom(const std::string& path,
+                          const MiningRequest& request);
+
   /// Serves request.sweep_min_sup (strictly increasing min_sup values) as
   /// one request per threshold; results come back in sweep order.
   /// Internally the sweep runs lowest threshold first with DP tail tables
@@ -100,6 +127,11 @@ class MiningSession {
   /// Items with a recorded warm-start proof (0 with warm_start off).
   std::size_t warm_items_recorded() const;
 
+  /// Admission observability: currently executing runs / total requests
+  /// rejected by admission control since Open.
+  std::size_t inflight() const;
+  std::uint64_t admission_rejected() const;
+
  private:
   /// All session state sits behind one pointer so the session is movable
   /// while runs hold stable addresses into it.
@@ -112,6 +144,15 @@ class MiningSession {
     /// One prepared index per tid-set mode, built on first use.
     std::mutex index_mutex;
     std::map<TidSetMode, std::unique_ptr<VerticalIndex>> indexes;
+
+    /// Admission control state (all under admission_mutex). Admission
+    /// never touches the caches or the index map, so a rejection can
+    /// never perturb an in-flight run.
+    std::mutex admission_mutex;
+    std::condition_variable admission_cv;
+    std::size_t inflight = 0;
+    std::size_t queued = 0;
+    std::uint64_t rejected = 0;
   };
 
   explicit MiningSession(std::unique_ptr<State> state)
@@ -125,6 +166,12 @@ class MiningSession {
   /// freshly cached DP tables for sweep prefilling (0 outside sweeps).
   MiningResult MineStep(const MiningRequest& request,
                         std::size_t table_floor);
+
+  /// Takes an execution slot (possibly waiting up to `deadline_seconds`
+  /// in the admission queue); false means rejected. Always true with
+  /// admission control off.
+  bool Admit(double deadline_seconds);
+  void Release();
 
   std::unique_ptr<State> state_;
 };

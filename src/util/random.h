@@ -67,6 +67,30 @@ class Rng {
     }
   }
 
+  /// Complete generator state, exposed so a suspended run can serialize
+  /// its single shared stream (the top-k miner) and resume bit-identical.
+  /// `gaussian_spare` is part of the state: NextGaussian generates pairs
+  /// and banks one, so dropping it would shift every later draw.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool has_gaussian_spare = false;
+    double gaussian_spare = 0.0;
+  };
+
+  State SaveState() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+    st.has_gaussian_spare = has_spare_gaussian_;
+    st.gaussian_spare = spare_gaussian_;
+    return st;
+  }
+
+  void RestoreState(const State& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    has_spare_gaussian_ = st.has_gaussian_spare;
+    spare_gaussian_ = st.gaussian_spare;
+  }
+
  private:
   std::uint64_t Next64();
 

@@ -1,0 +1,59 @@
+#include "src/util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/util/random.h"
+
+namespace pfci {
+
+double BackoffForAttempt(const RetryPolicy& policy, int attempt) {
+  if (attempt < 1 || policy.initial_backoff_seconds <= 0.0) return 0.0;
+  double backoff = policy.initial_backoff_seconds;
+  const double multiplier = std::max(1.0, policy.backoff_multiplier);
+  for (int k = 1; k < attempt; ++k) {
+    backoff *= multiplier;
+    if (backoff >= policy.max_backoff_seconds) break;
+  }
+  if (policy.max_backoff_seconds > 0.0) {
+    backoff = std::min(backoff, policy.max_backoff_seconds);
+  }
+  if (policy.jitter_fraction > 0.0) {
+    Rng rng(DeriveSeed(policy.seed, static_cast<std::uint64_t>(attempt)));
+    const double factor =
+        1.0 + policy.jitter_fraction * (2.0 * rng.NextDouble() - 1.0);
+    backoff *= factor;
+  }
+  return std::max(0.0, backoff);
+}
+
+RetryResult RetryWithBackoff(const RetryPolicy& policy,
+                             const std::function<std::string()>& op,
+                             const std::function<void(double)>& sleep_fn) {
+  RetryResult result;
+  const int max_attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    ++result.attempts;
+    std::string error = op();
+    if (error.empty()) {
+      result.succeeded = true;
+      result.last_error.clear();
+      return result;
+    }
+    result.last_error = std::move(error);
+    if (attempt == max_attempts) break;
+    const double backoff = BackoffForAttempt(policy, attempt);
+    if (backoff > 0.0) {
+      result.total_backoff_seconds += backoff;
+      if (sleep_fn) {
+        sleep_fn(backoff);
+      } else {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pfci

@@ -14,6 +14,8 @@ const char* OutcomeName(Outcome outcome) {
       return "cancelled";
     case Outcome::kInvalidRequest:
       return "invalid_request";
+    case Outcome::kRejected:
+      return "rejected";
   }
   return "unknown";
 }

@@ -39,10 +39,13 @@ enum class Outcome : std::uint8_t {
   kDeadlineExceeded = 2,  ///< The wall-clock deadline passed.
   kCancelled = 3,         ///< The caller's CancelToken was triggered.
   kInvalidRequest = 4,    ///< Request validation failed; nothing ran.
+  kRejected = 5,          ///< Admission control refused the request; nothing
+                          ///< ran. Stamped by MiningSession, never recorded
+                          ///< through RunController::RecordStop.
 };
 
 /// Wire/display name ("complete", "budget_exhausted", "deadline_exceeded",
-/// "cancelled", "invalid_request").
+/// "cancelled", "invalid_request", "rejected").
 const char* OutcomeName(Outcome outcome);
 
 /// Cooperative cancellation flag. The caller keeps the token (e.g. wired
@@ -167,13 +170,21 @@ class RunController {
   const RunBudget& budget() const { return budget_; }
 
   /// Whether any limit or token is attached (miners may skip budget
-  /// arithmetic entirely when false).
-  bool active() const { return cancel_ != nullptr || !budget_.Unlimited(); }
+  /// arithmetic entirely when false). A suspend-armed controller is
+  /// always active: snapshot plumbing needs the controller wired through
+  /// even when no limit is set.
+  bool active() const {
+    return cancel_ != nullptr || !budget_.Unlimited() || suspend_armed_;
+  }
 
   /// Fair-share ledger for unit `unit` of `num_units` parallel work units
-  /// (see UnitQuota). Sequential miners use UnitBudget(0, 1).
+  /// (see UnitQuota). Sequential miners use UnitBudget(0, 1). In suspend
+  /// mode (ArmSuspend) the ledger is unlimited: budgets then act at unit
+  /// granularity through NoteUnitWork, never mid-unit, so every started
+  /// unit runs to completion and a snapshot never holds half a unit.
   WorkUnitBudget UnitBudget(std::size_t unit, std::size_t num_units) const {
     WorkUnitBudget ledger;
+    if (suspend_armed_) return ledger;
     ledger.node_quota = UnitQuota(budget_.max_nodes, unit, num_units);
     ledger.sample_quota = UnitQuota(budget_.max_samples, unit, num_units);
     return ledger;
@@ -188,12 +199,46 @@ class RunController {
 
   /// Cooperative checkpoint: polls the cancel token and the deadline and
   /// returns whether the caller should stop. Cheap when inactive.
+  ///
+  /// The deadline is checked against a cached steady_clock read rather
+  /// than a syscall per call: the poll stride starts at 1 and doubles
+  /// after every far-from-deadline poll up to kClockCheckStride, so the
+  /// clock is read at calls 0, 1, 3, 7, 15, 31, then every 32. Slow runs
+  /// (few, expensive checkpoints) still see an expired deadline within
+  /// one step; hot loops (the per-node path) amortize to one clock read
+  /// per 32 checkpoints. Once the cached elapsed time passes
+  /// kClockAlwaysPollFraction of the deadline, every call polls so
+  /// detection stays prompt near the limit. Poll-state races are benign:
+  /// they only cause extra polls.
   bool Checkpoint() {
     if (cancel_ != nullptr && cancel_->cancelled()) {
       RecordStop(Outcome::kCancelled);
-    } else if (budget_.deadline_seconds > 0.0 &&
-               clock_.ElapsedSeconds() >= budget_.deadline_seconds) {
-      RecordStop(Outcome::kDeadlineExceeded);
+      return StopRequested();
+    }
+    if (stop_.load(std::memory_order_relaxed)) return true;
+    if (budget_.deadline_seconds > 0.0 &&
+        !(suspend_armed_ && SuspendRequested())) {
+      const std::uint64_t n =
+          checkpoint_calls_.fetch_add(1, std::memory_order_relaxed);
+      const bool poll =
+          n >= next_clock_poll_.load(std::memory_order_relaxed) ||
+          cached_elapsed_.load(std::memory_order_relaxed) >=
+              kClockAlwaysPollFraction * budget_.deadline_seconds;
+      if (poll) {
+        const double elapsed = clock_.ElapsedSeconds();
+        clock_polls_.fetch_add(1, std::memory_order_relaxed);
+        cached_elapsed_.store(elapsed, std::memory_order_relaxed);
+        if (elapsed >= budget_.deadline_seconds) {
+          RecordStop(Outcome::kDeadlineExceeded);
+        } else {
+          const std::uint64_t stride =
+              clock_stride_.load(std::memory_order_relaxed);
+          if (stride < kClockCheckStride) {
+            clock_stride_.store(stride * 2, std::memory_order_relaxed);
+          }
+          next_clock_poll_.store(n + stride, std::memory_order_relaxed);
+        }
+      }
     }
     return StopRequested();
   }
@@ -201,9 +246,67 @@ class RunController {
   /// Records a global stop: every unit should wind down at its next
   /// checkpoint. The stickiest outcome wins (cancel > deadline > budget),
   /// so the reported reason is stable under races.
+  ///
+  /// In suspend mode (ArmSuspend) a stop becomes a drain instead: the
+  /// outcome is recorded and ShouldStartUnit() turns false, but stop_
+  /// stays clear, so units already in flight run to their natural end.
   void RecordStop(Outcome outcome) {
     RecordOutcome(outcome);
-    stop_.store(true, std::memory_order_relaxed);
+    if (suspend_armed_) {
+      suspend_.store(true, std::memory_order_relaxed);
+    } else {
+      stop_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// Switches the controller to drain-at-unit-boundary semantics for
+  /// snapshot-armed runs. Must be called before the run starts (not
+  /// thread-safe against concurrent checkpoints). While armed:
+  ///   * RecordStop sets suspend_ instead of stop_ — in-flight units
+  ///     complete, new units are refused by ShouldStartUnit();
+  ///   * UnitBudget() hands out unlimited ledgers — logical budgets act
+  ///     through NoteUnitWork at unit completion instead (overshoot is at
+  ///     most the in-flight units' work, documented in DESIGN.md §14).
+  /// The suspension point is scheduling-dependent; the resume contract
+  /// only requires that resuming converges to the bit-identical
+  /// uninterrupted answer, which drain-at-unit-boundary guarantees
+  /// because completed units are deterministic in isolation.
+  void ArmSuspend() { suspend_armed_ = true; }
+
+  bool suspend_armed() const { return suspend_armed_; }
+
+  /// Whether a drain has been requested (armed mode only).
+  bool SuspendRequested() const {
+    return suspend_.load(std::memory_order_relaxed);
+  }
+
+  /// Gate at unit entry: false once a stop or a drain is pending. Units
+  /// poll this before claiming work; in unarmed mode it is exactly
+  /// !StopRequested().
+  bool ShouldStartUnit() const {
+    return !stop_.load(std::memory_order_relaxed) &&
+           !suspend_.load(std::memory_order_relaxed);
+  }
+
+  /// Unit-completion accounting for suspend mode: accumulates the unit's
+  /// node/sample consumption and requests a drain once a logical budget
+  /// is exceeded. No-op when unarmed (the fair-share ledgers rule there).
+  void NoteUnitWork(std::uint64_t nodes, std::uint64_t samples) {
+    if (!suspend_armed_) return;
+    const std::uint64_t total_nodes =
+        noted_nodes_.fetch_add(nodes, std::memory_order_relaxed) + nodes;
+    const std::uint64_t total_samples =
+        noted_samples_.fetch_add(samples, std::memory_order_relaxed) + samples;
+    if ((budget_.max_nodes != 0 && total_nodes >= budget_.max_nodes) ||
+        (budget_.max_samples != 0 && total_samples >= budget_.max_samples)) {
+      RecordStop(Outcome::kBudgetExhausted);
+    }
+  }
+
+  /// Number of times Checkpoint() actually read the steady clock (the
+  /// stride cache's effectiveness metric, asserted in bench and tests).
+  std::uint64_t clock_polls() const {
+    return clock_polls_.load(std::memory_order_relaxed);
   }
 
   /// Records that one work unit exhausted its fair-share quota and was
@@ -268,14 +371,29 @@ class RunController {
     }
   }
 
+  /// Upper bound of the doubling poll stride (see Checkpoint).
+  static constexpr std::uint64_t kClockCheckStride = 32;
+  /// Once the cached elapsed time reaches this fraction of the deadline,
+  /// every checkpoint polls.
+  static constexpr double kClockAlwaysPollFraction = 0.9;
+
   RunBudget budget_;
   const CancelToken* cancel_ = nullptr;
   Stopwatch clock_;
+  bool suspend_armed_ = false;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> suspend_{false};
   std::atomic<bool> degrade_{false};
   std::atomic<std::uint8_t> outcome_{
       static_cast<std::uint8_t>(Outcome::kComplete)};
   std::atomic<std::uint64_t> resident_bytes_{0};
+  std::atomic<std::uint64_t> checkpoint_calls_{0};
+  std::atomic<std::uint64_t> clock_polls_{0};
+  std::atomic<std::uint64_t> next_clock_poll_{0};
+  std::atomic<std::uint64_t> clock_stride_{1};
+  std::atomic<double> cached_elapsed_{0.0};
+  std::atomic<std::uint64_t> noted_nodes_{0};
+  std::atomic<std::uint64_t> noted_samples_{0};
 };
 
 /// Null-tolerant checkpoint helpers: miners carry an optional controller
@@ -297,6 +415,23 @@ inline bool CheckpointNow(RunController* rt) {
 /// trip an undersized memory budget before any search work starts.
 inline void CheckpointAtRunStart(RunController* rt) {
   if (rt != nullptr && rt->active()) rt->Checkpoint();
+}
+
+/// Unit-entry gate: false once a stop or (in suspend mode) a drain is
+/// pending. Null controller = unlimited = always start.
+inline bool ShouldStartUnit(const RunController* rt) {
+  return rt == nullptr || rt->ShouldStartUnit();
+}
+
+/// Unit-completion accounting for suspend mode (no-op otherwise).
+inline void NoteUnitWork(RunController* rt, std::uint64_t nodes,
+                         std::uint64_t samples) {
+  if (rt != nullptr) rt->NoteUnitWork(nodes, samples);
+}
+
+/// Whether the run is draining toward a snapshot.
+inline bool SuspendRequested(const RunController* rt) {
+  return rt != nullptr && rt->SuspendRequested();
 }
 
 }  // namespace pfci

@@ -1,0 +1,111 @@
+// RetryWithBackoff: deterministic seeded jitter, exponential growth with
+// a cap, attempt accounting, and the no-sleep-after-final-attempt rule.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/retry.h"
+
+namespace pfci {
+namespace {
+
+TEST(Retry, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.01;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 0.05;
+  policy.jitter_fraction = 0.0;  // Pure schedule, no jitter.
+  EXPECT_DOUBLE_EQ(BackoffForAttempt(policy, 1), 0.01);
+  EXPECT_DOUBLE_EQ(BackoffForAttempt(policy, 2), 0.02);
+  EXPECT_DOUBLE_EQ(BackoffForAttempt(policy, 3), 0.04);
+  EXPECT_DOUBLE_EQ(BackoffForAttempt(policy, 4), 0.05);  // Capped.
+  EXPECT_DOUBLE_EQ(BackoffForAttempt(policy, 10), 0.05);
+  EXPECT_DOUBLE_EQ(BackoffForAttempt(policy, 0), 0.0);  // 1-based.
+}
+
+TEST(Retry, JitterIsDeterministicPerSeedAndBounded) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.01;
+  policy.jitter_fraction = 0.1;
+  policy.seed = 7;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    const double a = BackoffForAttempt(policy, attempt);
+    const double b = BackoffForAttempt(policy, attempt);
+    EXPECT_EQ(a, b) << "jitter must be deterministic (attempt " << attempt
+                    << ")";
+    RetryPolicy unjittered = policy;
+    unjittered.jitter_fraction = 0.0;
+    const double nominal = BackoffForAttempt(unjittered, attempt);
+    EXPECT_GE(a, nominal * 0.9) << attempt;
+    EXPECT_LE(a, nominal * 1.1) << attempt;
+  }
+  // A different seed draws a different factor somewhere in the window.
+  RetryPolicy other = policy;
+  other.seed = 8;
+  bool any_different = false;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    if (BackoffForAttempt(policy, attempt) !=
+        BackoffForAttempt(other, attempt)) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Retry, StopsOnFirstSuccess) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  const RetryResult result = RetryWithBackoff(
+      policy,
+      [&calls]() -> std::string {
+        ++calls;
+        return calls < 3 ? "transient failure" : "";
+      },
+      [](double) {});  // No real sleeping in tests.
+  EXPECT_TRUE(result.succeeded);
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(calls, 3);
+  EXPECT_TRUE(result.last_error.empty());
+}
+
+TEST(Retry, ExhaustionReportsLastErrorAndNeverSleepsAfterFinalAttempt) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_seconds = 0.25;
+  std::vector<double> sleeps;
+  int calls = 0;
+  const RetryResult result = RetryWithBackoff(
+      policy,
+      [&calls]() -> std::string {
+        ++calls;
+        return "error " + std::to_string(calls);
+      },
+      [&sleeps](double seconds) { sleeps.push_back(seconds); });
+  EXPECT_FALSE(result.succeeded);
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(result.last_error, "error 3");
+  // Backoff between attempts only: 3 attempts → 2 sleeps.
+  EXPECT_EQ(sleeps.size(), 2u);
+  double total = 0.0;
+  for (const double s : sleeps) total += s;
+  EXPECT_DOUBLE_EQ(result.total_backoff_seconds, total);
+}
+
+TEST(Retry, SingleAttemptPolicyNeverBacksOff) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  std::vector<double> sleeps;
+  const RetryResult result = RetryWithBackoff(
+      policy, []() -> std::string { return "fails"; },
+      [&sleeps](double seconds) { sleeps.push_back(seconds); });
+  EXPECT_FALSE(result.succeeded);
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_TRUE(sleeps.empty());
+  EXPECT_DOUBLE_EQ(result.total_backoff_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace pfci

@@ -18,6 +18,7 @@ TEST(Outcome, NamesAreStable) {
   EXPECT_STREQ(OutcomeName(Outcome::kDeadlineExceeded), "deadline_exceeded");
   EXPECT_STREQ(OutcomeName(Outcome::kCancelled), "cancelled");
   EXPECT_STREQ(OutcomeName(Outcome::kInvalidRequest), "invalid_request");
+  EXPECT_STREQ(OutcomeName(Outcome::kRejected), "rejected");
 }
 
 TEST(CancelToken, TriggersOnceAndStaysTriggered) {
@@ -174,6 +175,57 @@ TEST(RunController, DegradesOnlyUnderADeadline) {
   EXPECT_TRUE(controller.ShouldDegradeFcp()) << "latch must hold";
   EXPECT_FALSE(controller.Checkpoint()) << "degradation is not a stop";
   EXPECT_EQ(controller.outcome(), Outcome::kComplete);
+}
+
+TEST(RunController, SuspendModeDrainsAtUnitBoundary) {
+  RunBudget budget;
+  budget.max_nodes = 10;
+  RunController controller(budget, nullptr);
+  controller.ArmSuspend();
+  EXPECT_TRUE(controller.active());
+  EXPECT_TRUE(controller.ShouldStartUnit());
+  EXPECT_FALSE(controller.SuspendRequested());
+
+  // Armed ledgers are unlimited: budgets act at unit granularity.
+  const WorkUnitBudget ledger = controller.UnitBudget(0, 4);
+  EXPECT_EQ(ledger.node_quota, kUnlimitedQuota);
+  EXPECT_EQ(ledger.sample_quota, kUnlimitedQuota);
+
+  controller.NoteUnitWork(6, 0);
+  EXPECT_TRUE(controller.ShouldStartUnit()) << "under budget: keep going";
+  controller.NoteUnitWork(6, 0);  // Total 12 >= 10: drain requested.
+  EXPECT_TRUE(controller.SuspendRequested());
+  EXPECT_FALSE(controller.ShouldStartUnit()) << "new units are refused";
+  EXPECT_FALSE(controller.StopRequested())
+      << "a drain is not a stop: in-flight units run to completion";
+  EXPECT_FALSE(controller.Checkpoint());
+  EXPECT_EQ(controller.outcome(), Outcome::kBudgetExhausted);
+}
+
+TEST(RunController, SuspendArmedControllerIsActiveWithoutLimits) {
+  RunController controller(RunBudget{}, nullptr);
+  EXPECT_FALSE(controller.active());
+  controller.ArmSuspend();
+  EXPECT_TRUE(controller.active())
+      << "snapshot plumbing needs the controller wired even when unlimited";
+  controller.NoteUnitWork(1000, 1000);  // No budget: never drains.
+  EXPECT_FALSE(controller.SuspendRequested());
+}
+
+TEST(RunController, ClockPollsBackOffExponentially) {
+  RunBudget budget;
+  budget.deadline_seconds = 3600.0;  // Far away: the stride path rules.
+  RunController controller(budget, nullptr);
+  const std::uint64_t kCalls = 1024;
+  for (std::uint64_t i = 0; i < kCalls; ++i) {
+    ASSERT_FALSE(controller.Checkpoint());
+  }
+  // Doubling stride polls at calls 0, 1, 3, 7, 15, 31, then every 32:
+  // 6 warm-up polls plus ~(1024 - 31) / 32 steady-state ones. Anything
+  // near one poll per call means the cache regressed.
+  EXPECT_GE(controller.clock_polls(), 6u);
+  EXPECT_LE(controller.clock_polls(), 6u + kCalls / 32 + 2)
+      << "Checkpoint() must amortize clock reads, not poll per call";
 }
 
 TEST(RunController, MemoryBudgetTripsAGlobalStop) {

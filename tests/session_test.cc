@@ -5,8 +5,16 @@
 // algorithm, thread count, and tid-set mode (DESIGN.md §11).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <cstdio>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/eval_cache.h"
@@ -15,6 +23,7 @@
 #include "src/datagen/quest_generator.h"
 #include "src/harness/dataset_factory.h"
 #include "src/serve/mining_session.h"
+#include "src/util/failpoint.h"
 
 namespace pfci {
 namespace {
@@ -246,6 +255,240 @@ TEST(MiningSession, CacheOnBitIdenticalAtDepth) {
       ExpectIdenticalResults(cold, session.Mine(request));
     }
   }
+}
+
+/// Parks a session's only execution slot inside a run: the armed
+/// failpoint blocks the mining thread until Unpark(). Lets admission
+/// tests hold the slot deterministically instead of racing a real run.
+class SlotHolder {
+ public:
+  SlotHolder(MiningSession& session, const MiningRequest& request) {
+    failpoint::Arm("mpfci/node", [this] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      parked_ = true;
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return released_; });
+    });
+    MiningRequest held = request;
+    held.execution.num_threads = 1;  // Exactly one thread to park.
+    thread_ = std::thread([this, &session, held] {
+      result_ = session.Mine(held);
+    });
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return parked_; });
+  }
+
+  ~SlotHolder() {
+    Unpark();
+    failpoint::DisarmAll();
+  }
+
+  void Unpark() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      released_ = true;
+      cv_.notify_all();
+    }
+    if (thread_.joinable()) thread_.join();
+  }
+
+  const MiningResult& result() const { return result_; }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool parked_ = false;
+  bool released_ = false;
+  std::thread thread_;
+  MiningResult result_;
+};
+
+TEST(MiningSession, AdmissionOptionsValidation) {
+  SessionOptions bad;
+  bad.max_queue_depth = 4;  // A queue with nothing to queue for.
+  EXPECT_NE(ValidateSessionOptions(bad).find("max_queue_depth"),
+            std::string::npos);
+  bad.max_inflight = 2;
+  EXPECT_EQ(ValidateSessionOptions(bad), "");
+}
+
+TEST(MiningSession, AdmissionRejectsAtMaxInflightInUnderAMillisecond) {
+  if (!failpoint::CompiledIn()) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  const UncertainDatabase db = MakeQuestDb(31);
+  SessionOptions options;
+  options.max_inflight = 1;
+  options.max_queue_depth = 0;
+  MiningSession session = MiningSession::Open(db, options);
+  const MiningRequest request = BaseRequest(Algorithm::kMpfci, 6);
+
+  SlotHolder holder(session, request);
+  EXPECT_EQ(session.inflight(), 1u);
+
+  // Rejection is one uncontended mutex acquisition — sub-millisecond.
+  // Best-of-five so an unlucky scheduler blip cannot flake the pin.
+  double best_seconds = 1e9;
+  for (int i = 0; i < 5; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    const MiningResult rejected = session.Mine(request);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    best_seconds = std::min(best_seconds, seconds);
+    ASSERT_EQ(rejected.outcome(), Outcome::kRejected)
+        << rejected.status_message;
+    EXPECT_TRUE(rejected.stats.truncated);
+    EXPECT_TRUE(rejected.itemsets.empty());
+    EXPECT_NE(rejected.status_message.find("admission"), std::string::npos);
+  }
+  EXPECT_LT(best_seconds, 1e-3)
+      << "rejection must not wait on in-flight work";
+  EXPECT_EQ(session.admission_rejected(), 5u);
+
+  holder.Unpark();
+  EXPECT_EQ(holder.result().outcome(), Outcome::kComplete)
+      << "rejections must never perturb the in-flight run";
+  EXPECT_EQ(session.inflight(), 0u);
+}
+
+TEST(MiningSession, QueuedRequestRunsWhenTheSlotFrees) {
+  if (!failpoint::CompiledIn()) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  const UncertainDatabase db = MakeQuestDb(31);
+  const MiningRequest request = BaseRequest(Algorithm::kMpfci, 6);
+  const MiningResult reference = Mine(db, request);
+
+  SessionOptions options;
+  options.max_inflight = 1;
+  options.max_queue_depth = 1;
+  MiningSession session = MiningSession::Open(db, options);
+
+  SlotHolder holder(session, request);
+  std::atomic<bool> queued_started{false};
+  MiningResult queued_result;
+  std::thread queued([&] {
+    queued_started = true;
+    queued_result = session.Mine(request);
+  });
+  while (!queued_started) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  holder.Unpark();  // Slot frees; the queued request runs.
+  queued.join();
+  EXPECT_EQ(queued_result.outcome(), Outcome::kComplete)
+      << queued_result.status_message;
+  ExpectIdenticalResults(reference, queued_result);
+  EXPECT_EQ(session.admission_rejected(), 0u);
+  EXPECT_EQ(session.inflight(), 0u);
+}
+
+TEST(MiningSession, QueuedRequestHonorsItsOwnDeadline) {
+  if (!failpoint::CompiledIn()) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  const UncertainDatabase db = MakeQuestDb(31);
+  SessionOptions options;
+  options.max_inflight = 1;
+  options.max_queue_depth = 1;
+  MiningSession session = MiningSession::Open(db, options);
+  const MiningRequest request = BaseRequest(Algorithm::kMpfci, 6);
+
+  SlotHolder holder(session, request);
+  MiningRequest deadlined = request;
+  deadlined.budget.deadline_seconds = 0.05;
+  const auto start = std::chrono::steady_clock::now();
+  const MiningResult rejected = session.Mine(deadlined);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(rejected.outcome(), Outcome::kRejected)
+      << rejected.status_message;
+  EXPECT_GE(waited, 0.03) << "a queued request waits up to its deadline";
+  EXPECT_EQ(session.admission_rejected(), 1u);
+}
+
+/// TSan-facing stress: concurrent Mine() calls racing admission
+/// rejection AND cache eviction (tiny byte budget, one shard). Every
+/// admitted run must stay bit-identical to the standalone reference;
+/// the rejection counter must match what callers observed.
+TEST(MiningSession, ConcurrentMinesRaceEvictionAndAdmissionSafely) {
+  const UncertainDatabase db = MakeQuestDb(37);
+  SessionOptions options;
+  options.cache_bytes = 4096;  // Eviction churn on every run.
+  options.cache_shards = 1;
+  options.max_inflight = 2;
+  options.max_queue_depth = 1;
+  MiningSession session = MiningSession::Open(db, options);
+
+  const std::size_t kThreads = 6;
+  const std::size_t kRounds = 2;
+  std::vector<MiningResult> references;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    references.push_back(Mine(db, BaseRequest(Algorithm::kMpfci, 5 + r)));
+  }
+
+  std::atomic<std::uint64_t> observed_rejections{0};
+  std::vector<std::thread> workers;
+  std::vector<std::vector<MiningResult>> results(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t r = 0; r < kRounds; ++r) {
+        MiningRequest request = BaseRequest(Algorithm::kMpfci, 5 + r);
+        request.execution.num_threads = 2;
+        MiningResult result = session.Mine(request);
+        if (result.outcome() == Outcome::kRejected) {
+          ++observed_rejections;
+        }
+        results[t].push_back(std::move(result));
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  std::size_t completed = 0;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      const MiningResult& result = results[t][r];
+      if (result.outcome() == Outcome::kRejected) continue;
+      ASSERT_EQ(result.outcome(), Outcome::kComplete)
+          << result.status_message;
+      ExpectIdenticalResults(references[r], result);
+      ++completed;
+    }
+  }
+  EXPECT_GT(completed, 0u);
+  EXPECT_EQ(completed + observed_rejections, kThreads * kRounds);
+  EXPECT_EQ(session.admission_rejected(), observed_rejections);
+  EXPECT_EQ(session.inflight(), 0u);
+}
+
+TEST(MiningSession, ResumeFromContinuesASuspendedRunBitIdentically) {
+  const UncertainDatabase db = MakeQuestDb(41);
+  const MiningRequest request = BaseRequest(Algorithm::kMpfci, 6);
+  const MiningResult reference = Mine(db, request);
+  ASSERT_EQ(reference.outcome(), Outcome::kComplete);
+  ASSERT_GT(reference.stats.nodes_visited, 2u);
+
+  const std::string path = ::testing::TempDir() + "pfci_session_resume_" +
+                           std::to_string(::getpid()) + ".snapshot";
+  MiningSession session = MiningSession::Open(db);
+  MiningRequest suspending = request;
+  suspending.budget.max_nodes = reference.stats.nodes_visited / 2;
+  suspending.snapshot.save_path = path;
+  const MiningResult partial = session.Mine(suspending);
+  ASSERT_EQ(partial.outcome(), Outcome::kBudgetExhausted)
+      << partial.status_message;
+  ASSERT_GT(partial.stats.snapshot_bytes, 0u);
+
+  const MiningResult resumed = session.ResumeFrom(path, request);
+  EXPECT_EQ(resumed.outcome(), Outcome::kComplete)
+      << resumed.status_message;
+  EXPECT_TRUE(resumed.stats.resumed);
+  ExpectIdenticalResults(reference, resumed);
+  EXPECT_EQ(resumed.stats.nodes_visited, reference.stats.nodes_visited);
+  std::remove(path.c_str());
 }
 
 /// EvalCache unit behaviour (exercised directly, without a miner).

@@ -282,12 +282,12 @@ TEST(Trace, EventToJsonShapes) {
             R"({"type":"run_begin","name":"mpfci"})");
 }
 
-TEST(Trace, StatsJsonIsSchemaV4) {
+TEST(Trace, StatsJsonIsSchemaV5) {
   MiningStats stats;
   stats.nodes_visited = 3;
   stats.candidate_seconds = 0.5;
   const std::string json = stats.ToJson();
-  EXPECT_NE(json.find("\"schema\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema\":5"), std::string::npos) << json;
   EXPECT_NE(json.find("\"nodes_visited\":3"), std::string::npos) << json;
   // Schema v4: session-cache counters (all zero outside a session).
   EXPECT_NE(json.find("\"cache_hits\":0"), std::string::npos) << json;
@@ -303,6 +303,9 @@ TEST(Trace, StatsJsonIsSchemaV4) {
   EXPECT_NE(json.find("\"outcome\":\"complete\""), std::string::npos)
       << json;
   EXPECT_NE(json.find("\"truncated\":false"), std::string::npos) << json;
+  // Schema v5: checkpoint/resume accounting.
+  EXPECT_NE(json.find("\"snapshot_bytes\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"resumed\":false"), std::string::npos) << json;
 
   stats.outcome = Outcome::kDeadlineExceeded;
   stats.truncated = true;

@@ -67,6 +67,16 @@ FACADE_HEADERS = {
     "src/core/item_uncertain_miners.h",
 }
 
+# The retry helper is the single audited backoff implementation: every
+# sleep in the library goes through RetryWithBackoff's injectable
+# sleep_fn (src/util/retry.h). A raw sleep anywhere else — most
+# tempting in serve/ admission or snapshot code — would bypass the
+# deterministic, testable schedule, so the serve -> util/retry edge is
+# enforced here at the primitive level.
+SLEEP_RE = re.compile(
+    r"\bsleep_for\b|\bsleep_until\b|\busleep\s*\(|\bnanosleep\s*\(")
+SLEEP_ALLOWED = {"src/util/retry.cc"}
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"(src/[^"]+)"')
 SOURCE_EXTS = (".h", ".cc", ".cpp")
 
@@ -112,6 +122,12 @@ def check(repo_root):
         in_kernel = rel.startswith("src/core/search/")
         with open(path, encoding="utf-8") as f:
             for lineno, line in enumerate(f, 1):
+                if SLEEP_RE.search(line) and rel not in SLEEP_ALLOWED:
+                    violations.append(
+                        f"{rel}:{lineno}: raw sleep primitive outside "
+                        f"src/util/retry.cc (route backoff through "
+                        f"RetryWithBackoff so the schedule stays "
+                        f"deterministic and testable)")
                 m = INCLUDE_RE.match(line)
                 if not m:
                     continue
