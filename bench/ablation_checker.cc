@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "src/core/mpfci_miner.h"
+#include "src/core/mine.h"
 #include "src/harness/experiment.h"
 #include "src/harness/table_printer.h"
 
@@ -35,7 +35,10 @@ int main() {
     MiningParams params = pfci::bench::PaperDefaultParams(db, rel);
     params.pruning.fcp_bounds = false;  // Force every node to the checker.
     params.exact_event_limit = limit;
-    const MiningResult r = MineMpfci(db, params);
+    MiningRequest request;
+    request.algorithm = Algorithm::kMpfci;
+    request.params = params;
+    const MiningResult r = Mine(db, request);
     table.AddRow({std::to_string(limit),
                   pfci::bench::FormatSeconds(r.stats.seconds),
                   std::to_string(r.stats.exact_fcp_computations),

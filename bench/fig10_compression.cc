@@ -16,7 +16,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "src/core/mpfci_miner.h"
+#include "src/core/mine.h"
 #include "src/core/pfi_miner.h"
 #include "src/exact/closed_miner.h"
 #include "src/exact/fp_growth.h"
@@ -25,6 +25,16 @@
 
 namespace pfci {
 namespace {
+
+// Bench runs go through the Mine() front door (the free-function wrappers
+// are deprecated).
+MiningResult MineMpfciViaRequest(const UncertainDatabase& db,
+                                 const MiningParams& params) {
+  MiningRequest request;
+  request.algorithm = Algorithm::kMpfci;
+  request.params = params;
+  return Mine(db, request);
+}
 
 void RunSetting(const char* name, double mean, double spread,
                 BenchScale scale) {
@@ -54,7 +64,8 @@ void RunSetting(const char* name, double mean, double spread,
     MiningParams params = bench::PaperDefaultParams(uncertain, rel);
     const std::size_t num_pfi =
         MinePfi(uncertain, params.min_sup, params.pfct).size();
-    const std::size_t num_pfci = MineMpfci(uncertain, params).itemsets.size();
+    const std::size_t num_pfci =
+        MineMpfciViaRequest(uncertain, params).itemsets.size();
 
     char fci_ratio[32], pfci_ratio[32];
     std::snprintf(fci_ratio, sizeof(fci_ratio), "%.3f",

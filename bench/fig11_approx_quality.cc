@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "src/core/mpfci_miner.h"
+#include "src/core/mine.h"
 #include "src/harness/experiment.h"
 #include "src/harness/table_printer.h"
 
@@ -46,6 +46,16 @@ MiningParams SamplingParams(const UncertainDatabase& db, double rel,
 
 constexpr int kRepetitions = 3;
 
+// Bench runs go through the Mine() front door (the free-function wrappers
+// are deprecated).
+MiningResult MineMpfciViaRequest(const UncertainDatabase& db,
+                                 const MiningParams& params) {
+  MiningRequest request;
+  request.algorithm = Algorithm::kMpfci;
+  request.params = params;
+  return Mine(db, request);
+}
+
 }  // namespace
 }  // namespace pfci
 
@@ -68,7 +78,7 @@ int main() {
   MiningParams truth_params = bench::PaperDefaultParams(db, rel);
   truth_params.pfct = kQualityPfct;
   truth_params.exact_event_limit = 25;
-  const MiningResult truth_result = MineMpfci(db, truth_params);
+  const MiningResult truth_result = MineMpfciViaRequest(db, truth_params);
   const std::vector<Itemset> truth = ItemsetsOf(truth_result);
   std::printf("truth set (exact engine, pfct=%.2f): %zu itemsets\n\n",
               kQualityPfct, truth.size());
@@ -82,7 +92,7 @@ int main() {
     double precision = 0.0, recall = 0.0, found_avg = 0.0;
     double mean_err = 0.0, max_err = 0.0;
     for (int rep = 0; rep < kRepetitions; ++rep) {
-      const MiningResult result = MineMpfci(
+      const MiningResult result = MineMpfciViaRequest(
           db, SamplingParams(db, rel, epsilon, delta,
                              static_cast<std::uint64_t>(rep)));
       const std::vector<Itemset> found = ItemsetsOf(result);

@@ -12,7 +12,7 @@
 #include <cstdio>
 
 #include "src/core/brute_force.h"
-#include "src/core/mpfci_miner.h"
+#include "src/core/mine.h"
 #include "src/core/probabilistic_support.h"
 #include "src/harness/dataset_factory.h"
 
@@ -52,10 +52,11 @@ int main() {
                 truth.pr_f, truth.pr_fc);
   }
   for (double pfct : {0.9, 0.8, 0.7}) {
-    MiningParams params;
-    params.min_sup = min_sup;
-    params.pfct = pfct;
-    const MiningResult result = MineMpfci(db, params);
+    MiningRequest request;
+    request.algorithm = Algorithm::kMpfci;
+    request.params.min_sup = min_sup;
+    request.params.pfct = pfct;
+    const MiningResult result = Mine(db, request);
     std::printf("  pfct=%.1f  ->  ", pfct);
     for (const PfciEntry& entry : result.itemsets) {
       std::printf("%s(PrFC=%.2f) ", entry.items.ToString(true).c_str(),

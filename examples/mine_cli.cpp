@@ -3,6 +3,7 @@
 //
 //   $ ./mine_cli DATA.utd MIN_SUP [PFCT=0.8]
 //                [--algo=NAME]   (any AlgorithmName; see --algo=help)
+//                [--request=FILE]   (key=value request wire file)
 //                [--sweep=min_sup:A,B,C]   (MiningSession threshold sweep)
 //                [--threads=N] [--progress] [--top-k=K]
 //                [--epsilon=0.1] [--delta=0.1] [--csv=OUT.csv]
@@ -13,6 +14,12 @@
 //
 // With no positional arguments, writes the paper's Table II database to a
 // temp file and mines it, as a self-demonstration (flags still apply).
+//
+// --request loads a serialized MiningRequest (the shared key=value wire
+// format of src/core/request_io.h — the same dialect the oracle's
+// `.request` repro sidecars use, whose `check` line is ignored). The
+// file is applied as a base: explicit positionals and flags override its
+// fields, and MIN_SUP becomes optional when the file provides one.
 //
 // --snapshot writes a crash-consistent resume snapshot when the run stops
 // early (deadline/budget); --resume continues a suspended run from such a
@@ -35,6 +42,7 @@
 
 #include "src/core/mine.h"
 #include "src/core/mining_result.h"
+#include "src/core/request_io.h"
 #include "src/serve/mining_session.h"
 #include "src/data/database_io.h"
 #include "src/data/database_stats.h"
@@ -143,6 +151,24 @@ int main(int argc, char** argv) {
   std::string trace_path;
   SessionOptions session_options;
 
+  // --request is applied before the positional/flag pass so everything
+  // explicit on the command line overrides the file's fields.
+  std::string request_file;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--request", &value)) request_file = value;
+  }
+  bool request_file_loaded = false;
+  if (!request_file.empty()) {
+    std::string error;
+    if (!LoadRequestFile(request_file, &request, &error)) {
+      std::fprintf(stderr, "failed to load --request file: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    request_file_loaded = true;
+  }
+
   // Demo mode: no positional arguments (flags alone are accepted and
   // applied to the paper's Table II example).
   const bool demo = argc < 2 || argv[1][0] == '-';
@@ -151,9 +177,9 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: %s DATA.utd MIN_SUP [PFCT]"
         " [--algo=%s]\n"
-        "       [--sweep=min_sup:A,B,C] [--threads=N] [--progress]"
-        " [--top-k=K]\n"
-        "       [--epsilon=E] [--delta=D] [--csv=OUT.csv]\n"
+        "       [--request=FILE] [--sweep=min_sup:A,B,C] [--threads=N]"
+        " [--progress]\n"
+        "       [--top-k=K] [--epsilon=E] [--delta=D] [--csv=OUT.csv]\n"
         "       [--tidset=adaptive|sparse|dense] [--stats-json]"
         " [--trace=OUT.jsonl]\n"
         "       [--deadline-ms=N] [--max-nodes=N] [--max-samples=N]\n"
@@ -165,28 +191,31 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write demo file %s\n", path.c_str());
       return 1;
     }
-    request.params.min_sup = 2;
+    if (!request_file_loaded) request.params.min_sup = 2;
   } else {
-    if (argc < 3) {
-      std::fprintf(stderr, "missing MIN_SUP (run with no arguments for usage)\n");
-      return 1;
-    }
     path = argv[1];
-    unsigned int min_sup = 0;
-    if (!ParseUint32(argv[2], &min_sup) || min_sup == 0) {
-      std::fprintf(stderr, "bad MIN_SUP '%s'\n", argv[2]);
-      return 1;
-    }
-    request.params.min_sup = min_sup;
-    position = 3;
+    position = 2;
     if (argc > position && argv[position][0] != '-') {
-      double pfct = 0.0;
-      if (!ParseDouble(argv[position], &pfct) || pfct < 0.0 || pfct >= 1.0) {
-        std::fprintf(stderr, "bad PFCT '%s'\n", argv[position]);
+      unsigned int min_sup = 0;
+      if (!ParseUint32(argv[position], &min_sup) || min_sup == 0) {
+        std::fprintf(stderr, "bad MIN_SUP '%s'\n", argv[position]);
         return 1;
       }
-      request.params.pfct = pfct;
+      request.params.min_sup = min_sup;
       ++position;
+      if (argc > position && argv[position][0] != '-') {
+        double pfct = 0.0;
+        if (!ParseDouble(argv[position], &pfct) || pfct < 0.0 || pfct >= 1.0) {
+          std::fprintf(stderr, "bad PFCT '%s'\n", argv[position]);
+          return 1;
+        }
+        request.params.pfct = pfct;
+        ++position;
+      }
+    } else if (!request_file_loaded) {
+      std::fprintf(stderr,
+                   "missing MIN_SUP (run with no arguments for usage)\n");
+      return 1;
     }
   }
   {
@@ -205,6 +234,8 @@ int main(int argc, char** argv) {
                        value.c_str(), AlgorithmChoices().c_str());
           return 1;
         }
+      } else if (ParseFlag(argv[position], "--request", &value)) {
+        // Already applied in the pre-pass (so later flags override it).
       } else if (ParseFlag(argv[position], "--sweep", &value)) {
         const int sweep_error = ParseSweep(value, &request.sweep_min_sup);
         if (sweep_error != 0) return sweep_error;

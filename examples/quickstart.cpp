@@ -7,7 +7,7 @@
 
 #include "src/core/fcp_engine.h"
 #include "src/core/frequent_probability.h"
-#include "src/core/mpfci_miner.h"
+#include "src/core/mine.h"
 #include "src/data/uncertain_database.h"
 #include "src/data/vertical_index.h"
 
@@ -30,8 +30,11 @@ int main() {
   params.min_sup = 2;
   params.pfct = 0.8;
 
-  // 3. Run the MPFCI depth-first miner.
-  const MiningResult result = MineMpfci(db, params);
+  // 3. Run the MPFCI depth-first miner through the Mine() front door.
+  MiningRequest request;
+  request.algorithm = Algorithm::kMpfci;
+  request.params = params;
+  const MiningResult result = Mine(db, request);
 
   std::printf("Probabilistic frequent closed itemsets "
               "(min_sup=%zu, pfct=%.2f):\n",

@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "src/core/mpfci_miner.h"
+#include "src/core/mine.h"
 #include "src/core/pfi_miner.h"
 #include "src/data/database_stats.h"
 #include "src/datagen/mushroom_generator.h"
@@ -44,7 +44,10 @@ int main(int argc, char** argv) {
               params.min_sup, rel * 100, params.pfct);
 
   const auto pfis = MinePfi(db, params.min_sup, params.pfct);
-  const MiningResult result = MineMpfci(db, params);
+  MiningRequest request;
+  request.algorithm = Algorithm::kMpfci;
+  request.params = params;
+  const MiningResult result = Mine(db, request);
 
   std::printf("\nprobabilistic frequent itemsets:        %6zu\n",
               pfis.size());

@@ -10,7 +10,7 @@
 #include <string>
 
 #include "src/core/brute_force.h"
-#include "src/core/mpfci_miner.h"
+#include "src/core/mine.h"
 #include "src/core/pfi_miner.h"
 #include "src/data/world_enumerator.h"
 #include "src/exact/closed_miner.h"
@@ -61,10 +61,11 @@ int main() {
 
   // Examples 1.2 / 4.3: only {a b c} and {a b c d} are probabilistic
   // frequent CLOSED itemsets — the compressed answer.
-  MiningParams params;
-  params.min_sup = min_sup;
-  params.pfct = 0.8;
-  const MiningResult result = MineMpfci(db, params);
+  MiningRequest request;
+  request.algorithm = Algorithm::kMpfci;
+  request.params.min_sup = min_sup;
+  request.params.pfct = 0.8;
+  const MiningResult result = Mine(db, request);
   std::printf("Probabilistic frequent closed itemsets (pfct=0.8): %zu\n",
               result.itemsets.size());
   for (const PfciEntry& entry : result.itemsets) {

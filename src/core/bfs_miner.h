@@ -17,8 +17,13 @@
 namespace pfci {
 
 /// Mines all probabilistic frequent closed itemsets breadth-first.
-/// The superset/subset toggles in params.pruning are ignored. Thin
-/// wrapper over the ExecutionContext overload (shared pool).
+/// The superset/subset toggles in params.pruning are ignored.
+///
+/// Deprecated shim: delegates to Mine() with Algorithm::kMpfciBfs after
+/// the historical CHECK on invalid params (unlike Mine()'s
+/// error-as-data). Parity pinned by api_contract_test; removed next
+/// cycle.
+[[deprecated("use Mine() with Algorithm::kMpfciBfs")]]
 MiningResult MineMpfciBfs(const UncertainDatabase& db,
                           const MiningParams& params);
 

@@ -108,11 +108,47 @@ class EvalCache {
     return rejections_.load(std::memory_order_relaxed);
   }
 
+  /// Entries currently exempt from eviction (see PinScope).
+  std::uint64_t pinned_entries() const {
+    return pinned_.load(std::memory_order_relaxed);
+  }
+
+  /// Batch-lifetime pinning (DESIGN.md §15). Entries inserted or upgraded
+  /// while at least one pin scope is open are exempt from LRU eviction
+  /// until every scope closes: a batch group's lowest-threshold run
+  /// prefills tail tables that every later member depends on, and byte-
+  /// budget pressure from concurrent traffic must not evict them between
+  /// the prefill and the last consumer. Pinned bytes may overshoot
+  /// max_bytes by the pinned working set; unpinned entries keep being
+  /// evicted, and the oversized-entry rejection rule still applies. When
+  /// the last scope closes, pins are cleared and the budget re-enforced.
+  /// Scopes nest (a batch inside a batch just extends the pin window).
+  void BeginPinScope();
+  void EndPinScope();
+
+  /// RAII pin scope. Null-safe: constructing over a null cache is a
+  /// no-op, so callers can pin unconditionally.
+  class PinScope {
+   public:
+    explicit PinScope(EvalCache* cache) : cache_(cache) {
+      if (cache_ != nullptr) cache_->BeginPinScope();
+    }
+    ~PinScope() {
+      if (cache_ != nullptr) cache_->EndPinScope();
+    }
+    PinScope(const PinScope&) = delete;
+    PinScope& operator=(const PinScope&) = delete;
+
+   private:
+    EvalCache* cache_;
+  };
+
  private:
   struct Entry {
     TidList tids;               ///< Exact key (collision guard).
     double mu = 0.0;            ///< Sum of probs, ascending tid order.
     std::size_t table_threshold = 0;
+    bool pinned = false;        ///< Exempt from eviction while pins open.
     std::vector<double> table;  ///< table[t] = PrF at threshold t.
 
     std::size_t Bytes() const;
@@ -141,6 +177,8 @@ class EvalCache {
   std::atomic<std::uint64_t> entries_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> rejections_{0};
+  std::atomic<std::uint64_t> pinned_{0};
+  std::atomic<std::uint64_t> pin_depth_{0};
 };
 
 /// Content fingerprint of a tidset (FNV-1a over the ascending tids).

@@ -22,13 +22,15 @@ const char* FcpMethodName(FcpMethod method) {
   return "unknown";
 }
 
-// Counter-count guard for MergeCounters: 18 std::uint64_t counters + 4
+// Counter-count guard for MergeCounters: 22 std::uint64_t counters + 4
 // doubles + (Outcome + 2 bools, padded to one word). Adding a field
 // changes the size and fails this assert — update MergeCounters (and
 // ToString / ToJson / EmitTrace) before adjusting the constant, so a new
-// counter can never silently skip the merge.
+// counter can never silently skip the merge. The batch_* / queued_micros
+// quartet (schema v6) is deliberately NOT merged: the serving layer
+// stamps it once per member after the deterministic merge.
 static_assert(sizeof(MiningStats) ==
-                  18 * sizeof(std::uint64_t) + 4 * sizeof(double) + 8,
+                  22 * sizeof(std::uint64_t) + 4 * sizeof(double) + 8,
               "MiningStats layout changed: audit MergeCounters, ToString, "
               "ToJson, and EmitTrace, then update this size guard");
 
@@ -69,6 +71,12 @@ std::string MiningStats::ToString() const {
          (snapshot_bytes > 0
               ? " snapshot_bytes=" + std::to_string(snapshot_bytes)
               : "") +
+         (batch_size > 0
+              ? " batch=" + std::to_string(batch_size) + "/" +
+                    std::to_string(batch_groups) +
+                    " shared_dp_hits=" + std::to_string(shared_dp_hits) +
+                    " queued_micros=" + std::to_string(queued_micros)
+              : "") +
          " time=" + FormatDouble(seconds, 4) + "s";
 }
 
@@ -80,7 +88,7 @@ std::string MiningStats::ToJson() const {
     out += name;
     out += "\":" + std::to_string(value);
   };
-  field("schema", 5);
+  field("schema", 6);
   field("nodes_visited", nodes_visited);
   field("pruned_by_chernoff", pruned_by_chernoff);
   field("pruned_by_frequency", pruned_by_frequency);
@@ -99,6 +107,10 @@ std::string MiningStats::ToJson() const {
   field("dp_reused", dp_reused);
   field("cache_bytes", cache_bytes);
   field("snapshot_bytes", snapshot_bytes);
+  field("batch_size", batch_size);
+  field("batch_groups", batch_groups);
+  field("shared_dp_hits", shared_dp_hits);
+  field("queued_micros", queued_micros);
   out += ",\"outcome\":\"";
   out += OutcomeName(outcome);
   out += "\"";

@@ -79,6 +79,21 @@ struct MiningStats {
   /// suspend-armed run drained (stats-json schema v5; DESIGN.md §14).
   /// 0 when no snapshot was requested or the run completed.
   std::uint64_t snapshot_bytes = 0;
+
+  /// Batch execution accounting (stats-json schema v6; DESIGN.md §15).
+  /// Stamped by the serving layer after the run finishes — all zero for
+  /// a standalone Mine()/session.Mine() call, and excluded from
+  /// MergeCounters (they describe the batch around the run, not work
+  /// inside it). batch_size/batch_groups are the planned batch's totals,
+  /// identical on every member result; shared_dp_hits is this member's
+  /// DP-table reuse attributable to the batch's shared pass (dp_reused
+  /// for non-leader group members, 0 for the group leader that paid for
+  /// the tables); queued_micros is the wall time from batch submission
+  /// (or Submit()) to this member starting to execute.
+  std::uint64_t batch_size = 0;
+  std::uint64_t batch_groups = 0;
+  std::uint64_t shared_dp_hits = 0;
+  std::uint64_t queued_micros = 0;
   double seconds = 0.0;
 
   /// Wall-clock seconds per phase (stats-json schema v2). A phase that an
@@ -121,7 +136,7 @@ struct MiningStats {
 
   /// One JSON object line with every counter plus seconds, for scripted
   /// regression tracking (schema documented in docs/FORMATS.md; the
-  /// `schema` field is 5 and the key set is append-only).
+  /// `schema` field is 6 and the key set is append-only).
   std::string ToJson() const;
 
   /// Emits one `counter` trace event per work counter under the canonical

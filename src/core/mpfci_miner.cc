@@ -1,17 +1,22 @@
 #include "src/core/mpfci_miner.h"
 
+#include "src/core/mine.h"
 #include "src/core/search/frontier_policies.h"
 #include "src/core/search/search_driver.h"
 #include "src/util/check.h"
-#include "src/util/thread_pool.h"
 
 namespace pfci {
 
 MiningResult MineMpfci(const UncertainDatabase& db,
                        const MiningParams& params) {
-  ExecutionContext exec;
-  exec.pool = &ThreadPool::Shared();
-  return MineMpfci(db, params, exec);
+  // Deprecated shim: the historical CHECK-on-invalid contract, then the
+  // Mine() front door (parity pinned by api_contract_test).
+  const std::string error = ValidateParams(params);
+  PFCI_CHECK_MSG(error.empty(), "invalid MiningParams: " + error);
+  MiningRequest request;
+  request.algorithm = Algorithm::kMpfci;
+  request.params = params;
+  return Mine(db, request);
 }
 
 MiningResult MineMpfci(const UncertainDatabase& db, const MiningParams& params,

@@ -20,9 +20,13 @@ namespace pfci {
 
 /// Mines all probabilistic frequent closed itemsets of `db`
 /// (PrFC(X) > params.pfct with support threshold params.min_sup),
-/// returning them sorted together with run statistics. Thin wrapper over
-/// the ExecutionContext overload using the shared thread pool; prefer
-/// Mine() (src/core/mine.h) when you need execution/progress control.
+/// returning them sorted together with run statistics.
+///
+/// Deprecated shim: delegates to Mine() with Algorithm::kMpfci after the
+/// historical CHECK on invalid params (unlike Mine()'s error-as-data).
+/// Output parity with Mine() is pinned by api_contract_test; the shim is
+/// removed next cycle.
+[[deprecated("use Mine() with Algorithm::kMpfci")]]
 MiningResult MineMpfci(const UncertainDatabase& db, const MiningParams& params);
 
 /// Execution-aware variant used by Mine(): first-level candidate subtrees

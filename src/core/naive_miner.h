@@ -16,9 +16,13 @@
 namespace pfci {
 
 /// Mines probabilistic frequent closed itemsets the naive way. Returns the
-/// same itemsets as MineMpfci (up to sampling noise on borderline
-/// itemsets), but does exhaustive per-itemset work. Thin wrapper over the
-/// ExecutionContext overload (shared pool).
+/// same itemsets as the MPFCI miners (up to sampling noise on borderline
+/// itemsets), but does exhaustive per-itemset work.
+///
+/// Deprecated shim: delegates to Mine() with Algorithm::kNaive after the
+/// historical CHECK on invalid params (unlike Mine()'s error-as-data).
+/// Parity pinned by api_contract_test; removed next cycle.
+[[deprecated("use Mine() with Algorithm::kNaive")]]
 MiningResult MineNaive(const UncertainDatabase& db,
                        const MiningParams& params);
 

@@ -1,0 +1,153 @@
+#include "src/core/request_io.h"
+
+#include <cstdlib>
+
+#include "src/data/tidset.h"
+#include "src/util/string_util.h"
+
+namespace pfci {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+bool ParseUint64(const std::string& text, std::uint64_t* value) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  *value = parsed;
+  return true;
+}
+
+bool ParseSize(const std::string& text, std::size_t* value) {
+  std::uint64_t wide = 0;
+  if (!ParseUint64(text, &wide)) return false;
+  *value = static_cast<std::size_t>(wide);
+  return true;
+}
+
+bool ParseBool01(const std::string& text, bool* value) {
+  if (text == "0") {
+    *value = false;
+  } else if (text == "1") {
+    *value = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string FormatRequestFields(const MiningRequest& request) {
+  const MiningRequest& r = request;
+  std::string out;
+  AppendWireField(&out, "algorithm", AlgorithmName(r.algorithm));
+  AppendWireField(&out, "min_sup", std::to_string(r.params.min_sup));
+  AppendWireField(&out, "pfct", FormatDoubleRoundTrip(r.params.pfct));
+  AppendWireField(&out, "epsilon", FormatDoubleRoundTrip(r.params.epsilon));
+  AppendWireField(&out, "delta", FormatDoubleRoundTrip(r.params.delta));
+  AppendWireField(&out, "exact_event_limit",
+                  std::to_string(r.params.exact_event_limit));
+  AppendWireField(&out, "force_sampling",
+                  r.params.force_sampling ? "1" : "0");
+  AppendWireField(&out, "seed", std::to_string(r.params.seed));
+  AppendWireField(&out, "tidset_mode", TidSetModeName(r.params.tidset_mode));
+  AppendWireField(&out, "prune_chernoff",
+                  r.params.pruning.chernoff ? "1" : "0");
+  AppendWireField(&out, "prune_superset",
+                  r.params.pruning.superset ? "1" : "0");
+  AppendWireField(&out, "prune_subset", r.params.pruning.subset ? "1" : "0");
+  AppendWireField(&out, "prune_fcp_bounds",
+                  r.params.pruning.fcp_bounds ? "1" : "0");
+  AppendWireField(&out, "top_k", std::to_string(r.top_k));
+  AppendWireField(&out, "min_esup", FormatDoubleRoundTrip(r.min_esup));
+  AppendWireField(&out, "num_threads",
+                  std::to_string(r.execution.num_threads));
+  return out;
+}
+
+WireFieldStatus ApplyRequestField(const WireField& field,
+                                  MiningRequest* request) {
+  MiningRequest& r = *request;
+  const std::string& key = field.key;
+  const std::string& value = field.value;
+  bool ok = true;
+  if (key == "algorithm") {
+    ok = ParseAlgorithm(value, &r.algorithm);
+  } else if (key == "min_sup") {
+    ok = ParseSize(value, &r.params.min_sup);
+  } else if (key == "pfct") {
+    ok = ParseDouble(value, &r.params.pfct);
+  } else if (key == "epsilon") {
+    ok = ParseDouble(value, &r.params.epsilon);
+  } else if (key == "delta") {
+    ok = ParseDouble(value, &r.params.delta);
+  } else if (key == "exact_event_limit") {
+    ok = ParseSize(value, &r.params.exact_event_limit);
+  } else if (key == "force_sampling") {
+    ok = ParseBool01(value, &r.params.force_sampling);
+  } else if (key == "seed") {
+    ok = ParseUint64(value, &r.params.seed);
+  } else if (key == "tidset_mode") {
+    ok = ParseTidSetMode(value, &r.params.tidset_mode);
+  } else if (key == "prune_chernoff") {
+    ok = ParseBool01(value, &r.params.pruning.chernoff);
+  } else if (key == "prune_superset") {
+    ok = ParseBool01(value, &r.params.pruning.superset);
+  } else if (key == "prune_subset") {
+    ok = ParseBool01(value, &r.params.pruning.subset);
+  } else if (key == "prune_fcp_bounds") {
+    ok = ParseBool01(value, &r.params.pruning.fcp_bounds);
+  } else if (key == "top_k") {
+    ok = ParseSize(value, &r.top_k);
+  } else if (key == "min_esup") {
+    ok = ParseDouble(value, &r.min_esup);
+  } else if (key == "num_threads") {
+    ok = ParseSize(value, &r.execution.num_threads);
+  } else {
+    return WireFieldStatus::kUnknownKey;
+  }
+  return ok ? WireFieldStatus::kApplied : WireFieldStatus::kBadValue;
+}
+
+bool ApplyRequestFields(const std::vector<WireField>& fields,
+                        const std::string& origin, MiningRequest* request,
+                        std::string* error) {
+  for (const WireField& field : fields) {
+    switch (ApplyRequestField(field, request)) {
+      case WireFieldStatus::kApplied:
+        break;
+      case WireFieldStatus::kUnknownKey:
+        SetError(error, origin + " line " + std::to_string(field.line) +
+                            ": unknown key '" + field.key + "'");
+        return false;
+      case WireFieldStatus::kBadValue:
+        SetError(error, origin + " line " + std::to_string(field.line) +
+                            ": bad value '" + field.value + "' for key '" +
+                            field.key + "'");
+        return false;
+    }
+  }
+  return true;
+}
+
+bool LoadRequestFile(const std::string& path, MiningRequest* request,
+                     std::string* error) {
+  std::vector<WireField> fields;
+  if (!LoadRequestWire(path, &fields, error)) return false;
+  // Drop the harness's check id so committed repro sidecars replay
+  // through the CLI and batch paths unchanged.
+  std::vector<WireField> request_fields;
+  request_fields.reserve(fields.size());
+  for (WireField& field : fields) {
+    if (field.key == "check") continue;
+    request_fields.push_back(std::move(field));
+  }
+  return ApplyRequestFields(request_fields, path, request, error);
+}
+
+}  // namespace pfci

@@ -1,17 +1,24 @@
 #include "src/core/topk_miner.h"
 
+#include "src/core/mine.h"
 #include "src/core/search/frontier_policies.h"
 #include "src/core/search/search_driver.h"
 #include "src/util/check.h"
-#include "src/util/thread_pool.h"
 
 namespace pfci {
 
 MiningResult MineTopKPfci(const UncertainDatabase& db,
                           const MiningParams& params, std::size_t k) {
-  ExecutionContext exec;
-  exec.pool = &ThreadPool::Shared();
-  return MineTopKPfci(db, params, k, exec);
+  // Deprecated shim: the historical CHECK-on-invalid contract, then the
+  // Mine() front door (parity pinned by api_contract_test).
+  const std::string error = ValidateParams(params);
+  PFCI_CHECK_MSG(error.empty(), "invalid MiningParams: " + error);
+  PFCI_CHECK_MSG(k >= 1, "top_k must be >= 1 for Algorithm::kTopK");
+  MiningRequest request;
+  request.algorithm = Algorithm::kTopK;
+  request.params = params;
+  request.top_k = k;
+  return Mine(db, request);
 }
 
 MiningResult MineTopKPfci(const UncertainDatabase& db,

@@ -22,6 +22,12 @@ namespace pfci {
 /// floor: itemsets with PrFC <= params.pfct are never reported, so pass
 /// pfct = 0 for an unconditional top-k. Ranking uses the engine's FCP
 /// estimates (exact at default settings whenever the event count permits).
+///
+/// Deprecated shim: delegates to Mine() with Algorithm::kTopK (and
+/// request.top_k = k) after the historical CHECKs on invalid params and
+/// k = 0 (unlike Mine()'s error-as-data). Parity pinned by
+/// api_contract_test; removed next cycle.
+[[deprecated("use Mine() with Algorithm::kTopK and request.top_k")]]
 MiningResult MineTopKPfci(const UncertainDatabase& db,
                           const MiningParams& params, std::size_t k);
 

@@ -1,0 +1,61 @@
+#include "src/data/request_wire.h"
+
+#include <fstream>
+#include <istream>
+#include <string_view>
+
+#include "src/util/string_util.h"
+
+namespace pfci {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+bool ParseRequestWire(std::istream& in, const std::string& origin,
+                      std::vector<WireField>* fields, std::string* error) {
+  fields->clear();
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const std::size_t eq = stripped.find('=');
+    if (eq == std::string_view::npos) {
+      SetError(error, origin + " line " + std::to_string(line_number) +
+                          ": expected key=value");
+      return false;
+    }
+    WireField field;
+    field.key = std::string(stripped.substr(0, eq));
+    field.value = std::string(stripped.substr(eq + 1));
+    field.line = line_number;
+    fields->push_back(std::move(field));
+  }
+  return true;
+}
+
+bool LoadRequestWire(const std::string& path, std::vector<WireField>* fields,
+                     std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return false;
+  }
+  return ParseRequestWire(in, path, fields, error);
+}
+
+void AppendWireField(std::string* out, const std::string& key,
+                     const std::string& value) {
+  *out += key;
+  *out += '=';
+  *out += value;
+  *out += '\n';
+}
+
+}  // namespace pfci

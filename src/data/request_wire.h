@@ -1,0 +1,47 @@
+// The key=value request wire format shared by the CLI, the fuzz
+// harness's repro sidecars, and batch submission (DESIGN.md §15).
+//
+// One field per line, `key=value`, no quoting; blank lines and `#`
+// comments are skipped. The format is deliberately dumb — it is a
+// lexer, not a schema: this layer splits lines into ordered
+// (key, value, line) fields and reports malformed lines with their
+// line number, while the meaning of each key lives with the consumer
+// (src/core/request_io.h maps fields onto a MiningRequest; the oracle
+// repro sidecar adds its own `check` key on top). Keeping the lexer in
+// data/ lets every consumer share one dialect without the data layer
+// knowing what a MiningRequest is.
+#ifndef PFCI_DATA_REQUEST_WIRE_H_
+#define PFCI_DATA_REQUEST_WIRE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pfci {
+
+/// One `key=value` line of a request wire file, in file order.
+struct WireField {
+  std::string key;
+  std::string value;  ///< May be empty (`key=`); never contains '\n'.
+  int line = 0;       ///< 1-based line number, for error messages.
+};
+
+/// Lexes `in` into fields. `origin` names the stream in diagnostics
+/// (a path, or e.g. "<inline>"). Returns false with "`origin` line N:
+/// ..." in `error` on a non-blank, non-comment line without '='.
+bool ParseRequestWire(std::istream& in, const std::string& origin,
+                      std::vector<WireField>* fields, std::string* error);
+
+/// Opens and lexes the file at `path`. Returns false with a diagnostic
+/// in `error` when the file cannot be opened or a line is malformed.
+bool LoadRequestWire(const std::string& path, std::vector<WireField>* fields,
+                     std::string* error);
+
+/// Appends one wire line (`key=value\n`) to `out`. The inverse of the
+/// lexer for writers that build sidecars field by field.
+void AppendWireField(std::string* out, const std::string& key,
+                     const std::string& value);
+
+}  // namespace pfci
+
+#endif  // PFCI_DATA_REQUEST_WIRE_H_

@@ -1,10 +1,12 @@
 #include "src/harness/oracle/repro.h"
 
-#include <cstdlib>
 #include <fstream>
+#include <utility>
+#include <vector>
 
+#include "src/core/request_io.h"
 #include "src/data/database_io.h"
-#include "src/util/string_util.h"
+#include "src/data/request_wire.h"
 
 namespace pfci {
 
@@ -24,62 +26,15 @@ std::string SidecarPath(const std::string& utd_path) {
   return stem + ".request";
 }
 
-bool ParseUint64(const std::string& text, std::uint64_t* value) {
-  if (text.empty()) return false;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
-  if (end != text.c_str() + text.size()) return false;
-  *value = parsed;
-  return true;
-}
-
-bool ParseSize(const std::string& text, std::size_t* value) {
-  std::uint64_t wide = 0;
-  if (!ParseUint64(text, &wide)) return false;
-  *value = static_cast<std::size_t>(wide);
-  return true;
-}
-
-bool ParseBool01(const std::string& text, bool* value) {
-  if (text == "0") {
-    *value = false;
-  } else if (text == "1") {
-    *value = true;
-  } else {
-    return false;
-  }
-  return true;
-}
-
 }  // namespace
 
 std::string FormatReproRequest(const Repro& repro) {
-  const MiningRequest& r = repro.request;
+  // The sidecar is the shared request wire format (src/core/request_io.h)
+  // with the oracle's check id on top; everything below the first line is
+  // a plain serialized MiningRequest any wire consumer can replay.
   std::string out;
-  out += "check=" + repro.check + "\n";
-  out += std::string("algorithm=") + AlgorithmName(r.algorithm) + "\n";
-  out += "min_sup=" + std::to_string(r.params.min_sup) + "\n";
-  out += "pfct=" + FormatDoubleRoundTrip(r.params.pfct) + "\n";
-  out += "epsilon=" + FormatDoubleRoundTrip(r.params.epsilon) + "\n";
-  out += "delta=" + FormatDoubleRoundTrip(r.params.delta) + "\n";
-  out += "exact_event_limit=" + std::to_string(r.params.exact_event_limit) +
-         "\n";
-  out += std::string("force_sampling=") +
-         (r.params.force_sampling ? "1" : "0") + "\n";
-  out += "seed=" + std::to_string(r.params.seed) + "\n";
-  out += std::string("tidset_mode=") + TidSetModeName(r.params.tidset_mode) +
-         "\n";
-  out += std::string("prune_chernoff=") +
-         (r.params.pruning.chernoff ? "1" : "0") + "\n";
-  out += std::string("prune_superset=") +
-         (r.params.pruning.superset ? "1" : "0") + "\n";
-  out += std::string("prune_subset=") +
-         (r.params.pruning.subset ? "1" : "0") + "\n";
-  out += std::string("prune_fcp_bounds=") +
-         (r.params.pruning.fcp_bounds ? "1" : "0") + "\n";
-  out += "top_k=" + std::to_string(r.top_k) + "\n";
-  out += "min_esup=" + FormatDoubleRoundTrip(r.min_esup) + "\n";
-  out += "num_threads=" + std::to_string(r.execution.num_threads) + "\n";
+  AppendWireField(&out, "check", repro.check);
+  out += FormatRequestFields(repro.request);
   return out;
 }
 
@@ -107,73 +62,19 @@ bool LoadRepro(const std::string& utd_path, Repro* repro, std::string* error) {
   if (!LoadUncertainDatabase(utd_path, &repro->db, error)) return false;
 
   const std::string request_path = SidecarPath(utd_path);
-  std::ifstream in(request_path);
-  if (!in) {
-    SetError(error, "cannot open " + request_path);
-    return false;
+  std::vector<WireField> fields;
+  if (!LoadRequestWire(request_path, &fields, error)) return false;
+  std::vector<WireField> request_fields;
+  request_fields.reserve(fields.size());
+  for (WireField& field : fields) {
+    if (field.key == "check") {
+      repro->check = field.value;
+      continue;
+    }
+    request_fields.push_back(std::move(field));
   }
-  MiningRequest& r = repro->request;
-  std::string line;
-  int line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    const std::string_view stripped = StripWhitespace(line);
-    if (stripped.empty() || stripped[0] == '#') continue;
-    const std::size_t eq = stripped.find('=');
-    if (eq == std::string_view::npos) {
-      SetError(error, request_path + " line " + std::to_string(line_number) +
-                          ": expected key=value");
-      return false;
-    }
-    const std::string key(stripped.substr(0, eq));
-    const std::string value(stripped.substr(eq + 1));
-    bool ok = true;
-    if (key == "check") {
-      repro->check = value;
-    } else if (key == "algorithm") {
-      ok = ParseAlgorithm(value, &r.algorithm);
-    } else if (key == "min_sup") {
-      ok = ParseSize(value, &r.params.min_sup);
-    } else if (key == "pfct") {
-      ok = ParseDouble(value, &r.params.pfct);
-    } else if (key == "epsilon") {
-      ok = ParseDouble(value, &r.params.epsilon);
-    } else if (key == "delta") {
-      ok = ParseDouble(value, &r.params.delta);
-    } else if (key == "exact_event_limit") {
-      ok = ParseSize(value, &r.params.exact_event_limit);
-    } else if (key == "force_sampling") {
-      ok = ParseBool01(value, &r.params.force_sampling);
-    } else if (key == "seed") {
-      ok = ParseUint64(value, &r.params.seed);
-    } else if (key == "tidset_mode") {
-      ok = ParseTidSetMode(value, &r.params.tidset_mode);
-    } else if (key == "prune_chernoff") {
-      ok = ParseBool01(value, &r.params.pruning.chernoff);
-    } else if (key == "prune_superset") {
-      ok = ParseBool01(value, &r.params.pruning.superset);
-    } else if (key == "prune_subset") {
-      ok = ParseBool01(value, &r.params.pruning.subset);
-    } else if (key == "prune_fcp_bounds") {
-      ok = ParseBool01(value, &r.params.pruning.fcp_bounds);
-    } else if (key == "top_k") {
-      ok = ParseSize(value, &r.top_k);
-    } else if (key == "min_esup") {
-      ok = ParseDouble(value, &r.min_esup);
-    } else if (key == "num_threads") {
-      ok = ParseSize(value, &r.execution.num_threads);
-    } else {
-      SetError(error, request_path + " line " + std::to_string(line_number) +
-                          ": unknown key '" + key + "'");
-      return false;
-    }
-    if (!ok) {
-      SetError(error, request_path + " line " + std::to_string(line_number) +
-                          ": bad value '" + value + "' for key '" + key + "'");
-      return false;
-    }
-  }
-  return true;
+  return ApplyRequestFields(request_fields, request_path, &repro->request,
+                            error);
 }
 
 }  // namespace pfci

@@ -1,8 +1,6 @@
 #include "src/harness/variants.h"
 
-#include "src/core/bfs_miner.h"
-#include "src/core/mpfci_miner.h"
-#include "src/core/naive_miner.h"
+#include "src/core/mine.h"
 
 namespace pfci {
 
@@ -64,15 +62,20 @@ MiningParams ApplyVariant(AlgorithmVariant variant, MiningParams params) {
 
 MiningResult RunVariant(AlgorithmVariant variant, const UncertainDatabase& db,
                         const MiningParams& params) {
-  const MiningParams applied = ApplyVariant(variant, params);
+  MiningRequest request;
+  request.params = ApplyVariant(variant, params);
   switch (variant) {
     case AlgorithmVariant::kBfs:
-      return MineMpfciBfs(db, applied);
+      request.algorithm = Algorithm::kMpfciBfs;
+      break;
     case AlgorithmVariant::kNaive:
-      return MineNaive(db, applied);
+      request.algorithm = Algorithm::kNaive;
+      break;
     default:
-      return MineMpfci(db, applied);
+      request.algorithm = Algorithm::kMpfci;
+      break;
   }
+  return Mine(db, request);
 }
 
 std::string VariantFeatureTable() {

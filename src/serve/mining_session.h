@@ -24,6 +24,14 @@
 // the work counters (dp_runs, cache_hits, cache_misses, dp_reused,
 // cache_bytes).
 //
+// Beyond one-at-a-time Mine(), the session serves whole workloads
+// (DESIGN.md §15): MineBatch() plans a set of requests into shared-scan
+// groups (BatchPlanner) so compatible requests pay for candidate-index
+// builds and DP tail tables once at the group's weakest threshold, and
+// Submit() runs one request asynchronously behind a RunHandle. Both
+// compose with admission control and keep every per-request result
+// bit-identical to a standalone Mine() of the same request.
+//
 // Thread safety: one session may serve concurrent Mine() calls; the
 // caches are internally synchronized and the index map is mutex-guarded.
 // The database must outlive the session and stay unmodified.
@@ -36,7 +44,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/eval_cache.h"
@@ -44,6 +54,8 @@
 #include "src/data/tidset.h"
 #include "src/data/uncertain_database.h"
 #include "src/data/vertical_index.h"
+#include "src/serve/run_handle.h"
+#include "src/util/stopwatch.h"
 
 namespace pfci {
 
@@ -89,7 +101,15 @@ class MiningSession {
                             SessionOptions options = SessionOptions{});
 
   MiningSession(MiningSession&&) = default;
-  MiningSession& operator=(MiningSession&&) = default;
+
+  /// Drains the target session's submitted runs before replacing it (a
+  /// joinable worker must never be dropped).
+  MiningSession& operator=(MiningSession&& other);
+
+  /// Joins every Submit() worker still running: a RunHandle that
+  /// outlives its session therefore always holds a completed result and
+  /// never dangles into freed session state.
+  ~MiningSession();
 
   /// Serves one request with the session's shared index and caches.
   /// Identical results to Mine(db, request) — see the determinism note
@@ -106,14 +126,39 @@ class MiningSession {
   MiningResult ResumeFrom(const std::string& path,
                           const MiningRequest& request);
 
+  /// Submits one request for asynchronous execution and returns a handle
+  /// immediately; the run executes on a session worker thread through
+  /// the same admission control, index, and caches as Mine(). All
+  /// failures are error-as-data through the handle (kInvalidRequest,
+  /// kRejected, kCancelled, ...) — Submit itself never blocks on the
+  /// run. The handle owns cancellation (RunHandle::Cancel), so a request
+  /// carrying its own cancel token is answered kInvalidRequest. Results
+  /// are bit-identical to a synchronous Mine() of the same request.
+  RunHandle Submit(const MiningRequest& request);
+
+  /// Serves a whole batch with shared-scan planning (DESIGN.md §15):
+  /// PlanBatch groups compatible requests (same algorithm + tid-set
+  /// mode), each group runs ascending-threshold with DP tail tables
+  /// extended to the group's weakest threshold, and distinct groups run
+  /// concurrently (their work units interleave on the shared
+  /// work-stealing pool under fair-share UnitQuota). Results come back
+  /// in submission order, each bit-identical to a standalone Mine() of
+  /// that request; invalid members come back kInvalidRequest without
+  /// perturbing the rest. Every result is stamped with the batch
+  /// counters (stats.batch_size, batch_groups, shared_dp_hits,
+  /// queued_micros; stats-json schema v6).
+  std::vector<MiningResult> MineBatch(std::span<const MiningRequest> requests);
+
   /// Serves request.sweep_min_sup (strictly increasing min_sup values) as
-  /// one request per threshold; results come back in sweep order.
-  /// Internally the sweep runs lowest threshold first with DP tail tables
-  /// extended to the sweep's largest threshold (SessionBindings::
-  /// table_floor): the first run explores a superset of every later run's
-  /// candidates, so the higher thresholds are answered from the cache
-  /// without re-running the DP. On an invalid request the vector holds a
-  /// single kInvalidRequest result carrying the diagnosis.
+  /// one request per threshold; results come back in sweep order. A thin
+  /// wrapper over MineBatch(): the expanded per-threshold requests form
+  /// one batch group, so the sweep runs lowest threshold first with DP
+  /// tail tables extended to the sweep's largest threshold — the first
+  /// run explores a superset of every later run's candidates
+  /// (anti-monotonicity), and the higher thresholds are answered from
+  /// the cache without re-running the DP. On an invalid request the
+  /// vector holds a single kInvalidRequest result carrying the
+  /// diagnosis.
   std::vector<MiningResult> MineSweep(const MiningRequest& request);
 
   const UncertainDatabase& db() const { return *state_->db; }
@@ -153,6 +198,11 @@ class MiningSession {
     std::size_t inflight = 0;
     std::size_t queued = 0;
     std::uint64_t rejected = 0;
+
+    /// Submit() worker threads, joined by DrainSubmitted (destructor /
+    /// move-assignment). Guarded by submit_mutex.
+    std::mutex submit_mutex;
+    std::vector<std::thread> submit_threads;
   };
 
   explicit MiningSession(std::unique_ptr<State> state)
@@ -160,18 +210,34 @@ class MiningSession {
 
   /// The session index for this request's tid-set policy (built under the
   /// mutex on first use; stable address afterwards).
-  const VerticalIndex& IndexFor(const MiningParams& params);
+  ///
+  /// These helpers are static over State rather than members: Submit()
+  /// workers and batch group threads outlast any particular `this` (the
+  /// session is movable), so everything they touch goes through the
+  /// stable State address.
+  static const VerticalIndex& IndexFor(State& state,
+                                       const MiningParams& params);
 
   /// One request with session bindings attached; `table_floor` extends
-  /// freshly cached DP tables for sweep prefilling (0 outside sweeps).
-  MiningResult MineStep(const MiningRequest& request,
-                        std::size_t table_floor);
+  /// freshly cached DP tables for sweep/batch prefilling (0 outside
+  /// planned execution).
+  static MiningResult MineStep(State& state, const MiningRequest& request,
+                               std::size_t table_floor);
 
   /// Takes an execution slot (possibly waiting up to `deadline_seconds`
   /// in the admission queue); false means rejected. Always true with
   /// admission control off.
-  bool Admit(double deadline_seconds);
-  void Release();
+  static bool Admit(State& state, double deadline_seconds);
+  static void Release(State& state);
+
+  /// Body of one Submit() worker: waits out nothing, runs the request
+  /// (unless cancelled before start), publishes through the ticket.
+  static void RunSubmitted(State* state,
+                           std::shared_ptr<internal::RunTicket> ticket,
+                           MiningRequest request, Stopwatch queued);
+
+  /// Joins every submitted worker (idempotent).
+  static void DrainSubmitted(State& state);
 
   std::unique_ptr<State> state_;
 };

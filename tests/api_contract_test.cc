@@ -3,7 +3,13 @@
 // the historical free-function wrappers.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/core/bfs_miner.h"
 #include "src/core/brute_force.h"
@@ -12,12 +18,15 @@
 #include "src/core/mpfci_miner.h"
 #include "src/core/naive_miner.h"
 #include "src/core/pfi_miner.h"
+#include "src/core/request_io.h"
 #include "src/core/stream_miner.h"
 #include "src/core/topk_miner.h"
 #include "src/data/item_uncertain_database.h"
+#include "src/data/request_wire.h"
 #include "src/data/uncertain_database.h"
 #include "src/data/world_enumerator.h"
 #include "src/prob/karp_luby.h"
+#include "src/serve/mining_session.h"
 
 namespace pfci {
 namespace {
@@ -38,10 +47,13 @@ TEST(ApiContractDeathTest, RejectsInvalidMiningParams) {
   db.Add(Itemset{0}, 0.5);
   MiningParams params;
   params.min_sup = 0;  // Must be >= 1.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_DEATH(MineMpfci(db, params), "CHECK");
   params.min_sup = 1;
   params.pfct = 1.0;  // Must be < 1 (strict comparison would be empty).
   EXPECT_DEATH(MineMpfci(db, params), "CHECK");
+#pragma GCC diagnostic pop
 }
 
 TEST(ApiContract, StreamDegenerateConfigsSurfaceAsData) {
@@ -140,13 +152,16 @@ TEST(ApiContract, MineReportsInvalidRequestsWithoutAborting) {
 }
 
 TEST(ApiContractDeathTest, WrappersKeepCheckOnInvalidParams) {
-  // The historical free-function wrappers retain their CHECK-on-invalid
+  // The deprecated free-function wrappers retain their CHECK-on-invalid
   // contract even though Mine() now reports errors as data.
   UncertainDatabase db;
   db.Add(Itemset{0}, 0.5);
   MiningParams params;
   params.pfct = 1.5;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_DEATH(MineMpfci(db, params), "CHECK");
+#pragma GCC diagnostic pop
 }
 
 TEST(ApiContract, AlgorithmNamesAreStable) {
@@ -295,11 +310,15 @@ void ExpectSameItemsets(const MiningResult& a, const MiningResult& b) {
 }
 
 TEST(ApiContract, MineMatchesFreeFunctionWrappers) {
+  // Parity pin for the deprecated miner wrappers: each shim must keep
+  // returning exactly what Mine() returns until its removal next cycle.
   const UncertainDatabase db = MakeSmallDb();
   MiningRequest request;
   request.params.min_sup = 2;
   request.params.pfct = 0.1;
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   request.algorithm = Algorithm::kMpfci;
   ExpectSameItemsets(Mine(db, request), MineMpfci(db, request.params));
 
@@ -313,6 +332,7 @@ TEST(ApiContract, MineMatchesFreeFunctionWrappers) {
   request.top_k = 3;
   ExpectSameItemsets(Mine(db, request),
                      MineTopKPfci(db, request.params, request.top_k));
+#pragma GCC diagnostic pop
 }
 
 TEST(ApiContract, MinePfiAlgorithmReportsFrequentProbabilities) {
@@ -379,11 +399,12 @@ TEST(ApiContract, EmptyTransactionsAreInert) {
   without_empty.Add(Itemset{0, 1}, 0.8);
   without_empty.Add(Itemset{0, 1}, 0.7);
 
-  MiningParams params;
-  params.min_sup = 2;
-  params.pfct = 0.5;
-  const MiningResult a = MineMpfci(with_empty, params);
-  const MiningResult b = MineMpfci(without_empty, params);
+  MiningRequest request;
+  request.algorithm = Algorithm::kMpfci;
+  request.params.min_sup = 2;
+  request.params.pfct = 0.5;
+  const MiningResult a = Mine(with_empty, request);
+  const MiningResult b = Mine(without_empty, request);
   ASSERT_EQ(a.itemsets.size(), b.itemsets.size());
   for (std::size_t i = 0; i < a.itemsets.size(); ++i) {
     EXPECT_EQ(a.itemsets[i].items, b.itemsets[i].items);
@@ -405,17 +426,164 @@ TEST(ApiContract, ResultsIndependentOfTransactionOrder) {
   backward.Add(Itemset{0, 1}, 0.4);
   backward.Add(Itemset{0, 1, 2}, 0.9);
 
-  MiningParams params;
-  params.min_sup = 2;
-  params.pfct = 0.1;
-  params.exact_event_limit = 25;
-  const MiningResult a = MineMpfci(forward, params);
-  const MiningResult b = MineMpfci(backward, params);
+  MiningRequest request;
+  request.algorithm = Algorithm::kMpfci;
+  request.params.min_sup = 2;
+  request.params.pfct = 0.1;
+  request.params.exact_event_limit = 25;
+  const MiningResult a = Mine(forward, request);
+  const MiningResult b = Mine(backward, request);
   ASSERT_EQ(a.itemsets.size(), b.itemsets.size());
   for (std::size_t i = 0; i < a.itemsets.size(); ++i) {
     EXPECT_EQ(a.itemsets[i].items, b.itemsets[i].items);
     EXPECT_NEAR(a.itemsets[i].fcp, b.itemsets[i].fcp, 1e-12);
   }
+}
+
+/// ---- The asynchronous surface keeps the error-as-data contract ----
+
+TEST(ApiContract, DefaultConstructedRunHandleIsInvalid) {
+  RunHandle handle;
+  EXPECT_FALSE(handle.valid());
+}
+
+TEST(ApiContract, SubmitAndMineBatchReportErrorsAsDataNeverAborting) {
+  // The async and batch entry points answer every failure through the
+  // result (kInvalidRequest with the same "invalid MiningRequest: "
+  // prefix Mine() stamps), never via CHECK or exceptions: a bad request
+  // inside a batch must not take down its neighbours.
+  const UncertainDatabase db = MakeSmallDb();
+  MiningSession session = MiningSession::Open(db);
+
+  MiningRequest bad;
+  bad.params.pfct = 1.5;
+  RunHandle handle = session.Submit(bad);
+  ASSERT_TRUE(handle.valid());
+  const MiningResult& async_result = handle.Wait();
+  EXPECT_EQ(async_result.outcome(), Outcome::kInvalidRequest);
+  EXPECT_NE(async_result.status_message.find("invalid MiningRequest"),
+            std::string::npos);
+
+  MiningRequest good;
+  good.algorithm = Algorithm::kMpfci;
+  good.params.min_sup = 2;
+  good.params.pfct = 0.3;
+  const std::vector<MiningRequest> requests = {good, bad};
+  const std::vector<MiningResult> batch = session.MineBatch(requests);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].outcome(), Outcome::kComplete)
+      << batch[0].status_message;
+  EXPECT_EQ(batch[1].outcome(), Outcome::kInvalidRequest);
+  EXPECT_NE(batch[1].status_message.find("invalid MiningRequest"),
+            std::string::npos);
+  // Batch counters are part of the stats contract (schema v6): stamped
+  // on every member, the invalid one included.
+  for (const MiningResult& result : batch) {
+    EXPECT_EQ(result.stats.batch_size, 2u);
+    EXPECT_EQ(result.stats.batch_groups, 1u);
+  }
+}
+
+TEST(ApiContract, MineBatchAgreesWithMineForEveryMember) {
+  const UncertainDatabase db = MakeSmallDb();
+  std::vector<MiningRequest> requests;
+  for (const Algorithm algorithm :
+       {Algorithm::kMpfci, Algorithm::kPfi, Algorithm::kNaive}) {
+    MiningRequest request;
+    request.algorithm = algorithm;
+    request.params.min_sup = 2;
+    request.params.pfct = 0.3;
+    requests.push_back(request);
+  }
+  MiningSession session = MiningSession::Open(db);
+  const std::vector<MiningResult> batch = session.MineBatch(requests);
+  ASSERT_EQ(batch.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    SCOPED_TRACE(AlgorithmName(requests[i].algorithm));
+    const MiningResult standalone = Mine(db, requests[i]);
+    ASSERT_EQ(batch[i].outcome(), standalone.outcome());
+    ASSERT_EQ(batch[i].itemsets.size(), standalone.itemsets.size());
+    for (std::size_t j = 0; j < batch[i].itemsets.size(); ++j) {
+      EXPECT_EQ(batch[i].itemsets[j].items, standalone.itemsets[j].items);
+      EXPECT_EQ(batch[i].itemsets[j].fcp, standalone.itemsets[j].fcp);
+      EXPECT_EQ(batch[i].itemsets[j].pr_f, standalone.itemsets[j].pr_f);
+    }
+  }
+}
+
+/// ---- The request wire format round-trips the API surface ----
+
+TEST(ApiContract, RequestWireRoundTripsEveryCoveredField) {
+  MiningRequest request;
+  request.algorithm = Algorithm::kTopK;
+  request.top_k = 7;
+  request.params.min_sup = 9;
+  request.params.pfct = 0.35;
+  request.params.epsilon = 0.05;
+  request.params.delta = 0.01;
+  request.params.exact_event_limit = 10;
+  request.params.force_sampling = true;
+  request.params.seed = 99;
+  request.params.tidset_mode = TidSetMode::kDense;
+  request.params.pruning.chernoff = false;
+  request.execution.num_threads = 3;
+
+  const std::string wire = FormatRequestFields(request);
+  std::istringstream in(wire);
+  std::vector<WireField> fields;
+  std::string error;
+  ASSERT_TRUE(ParseRequestWire(in, "<inline>", &fields, &error)) << error;
+  MiningRequest replayed;
+  ASSERT_TRUE(ApplyRequestFields(fields, "<inline>", &replayed, &error))
+      << error;
+  // Byte-stable: the replayed request serializes to the identical wire.
+  EXPECT_EQ(FormatRequestFields(replayed), wire);
+  EXPECT_EQ(replayed.algorithm, Algorithm::kTopK);
+  EXPECT_EQ(replayed.top_k, 7u);
+  EXPECT_EQ(replayed.params.min_sup, 9u);
+  EXPECT_EQ(replayed.params.tidset_mode, TidSetMode::kDense);
+  EXPECT_FALSE(replayed.params.pruning.chernoff);
+  EXPECT_TRUE(replayed.params.force_sampling);
+  EXPECT_EQ(replayed.execution.num_threads, 3u);
+}
+
+TEST(ApiContract, RequestWireRejectsUnknownKeysAndBadValuesWithLines) {
+  std::istringstream unknown("algorithm=mpfci\nnot_a_key=1\n");
+  std::vector<WireField> fields;
+  std::string error;
+  ASSERT_TRUE(ParseRequestWire(unknown, "<inline>", &fields, &error))
+      << error;
+  MiningRequest request;
+  EXPECT_FALSE(ApplyRequestFields(fields, "<inline>", &request, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("not_a_key"), std::string::npos) << error;
+
+  std::istringstream bad_value("min_sup=banana\n");
+  fields.clear();
+  ASSERT_TRUE(ParseRequestWire(bad_value, "<inline>", &fields, &error));
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(ApplyRequestField(fields[0], &request),
+            WireFieldStatus::kBadValue);
+  EXPECT_FALSE(ApplyRequestFields(fields, "<inline>", &request, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("banana"), std::string::npos) << error;
+}
+
+TEST(ApiContract, LoadRequestFileSkipsTheOracleCheckKey) {
+  const std::string path = ::testing::TempDir() + "pfci_request_" +
+                           std::to_string(::getpid()) + ".request";
+  {
+    std::ofstream out(path);
+    // An oracle repro sidecar: comments, blank lines, and the harness's
+    // `check` key on top of plain request fields.
+    out << "# repro sidecar\n\nalgorithm=pfi\nmin_sup=4\ncheck=itemsets:3\n";
+  }
+  MiningRequest request;
+  std::string error;
+  ASSERT_TRUE(LoadRequestFile(path, &request, &error)) << error;
+  EXPECT_EQ(request.algorithm, Algorithm::kPfi);
+  EXPECT_EQ(request.params.min_sup, 4u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -3,14 +3,23 @@
 // cross-variant agreement at a scale far beyond the brute-force oracles.
 #include <gtest/gtest.h>
 
-#include "src/core/bfs_miner.h"
-#include "src/core/mpfci_miner.h"
+#include "src/core/mine.h"
 #include "src/core/pfi_miner.h"
 #include "src/harness/dataset_factory.h"
 #include "src/harness/variants.h"
 
 namespace pfci {
 namespace {
+
+// All invariant checks go through the Mine() front door (the free-function
+// wrappers are deprecated; their parity is pinned by api_contract_test).
+MiningResult MineWith(Algorithm algorithm, const UncertainDatabase& db,
+                      const MiningParams& params) {
+  MiningRequest request;
+  request.algorithm = algorithm;
+  request.params = params;
+  return Mine(db, request);
+}
 
 struct DatasetCase {
   const char* name;
@@ -35,7 +44,7 @@ class QuickDatasetInvariants : public ::testing::TestWithParam<DatasetCase> {
 TEST_P(QuickDatasetInvariants, EntriesAreConsistent) {
   const UncertainDatabase db = MakeDb();
   const MiningParams params = MakeParams(db);
-  const MiningResult result = MineMpfci(db, params);
+  const MiningResult result = MineWith(Algorithm::kMpfci, db, params);
   ASSERT_FALSE(result.itemsets.empty()) << "trivial test configuration";
   for (std::size_t i = 0; i < result.itemsets.size(); ++i) {
     const PfciEntry& entry = result.itemsets[i];
@@ -57,7 +66,7 @@ TEST_P(QuickDatasetInvariants, EntriesAreConsistent) {
 TEST_P(QuickDatasetInvariants, PfciSetContainedInPfiSet) {
   const UncertainDatabase db = MakeDb();
   const MiningParams params = MakeParams(db);
-  const MiningResult pfci = MineMpfci(db, params);
+  const MiningResult pfci = MineWith(Algorithm::kMpfci, db, params);
   const std::vector<PfiEntry> pfis =
       MinePfi(db, params.min_sup, params.pfct);
   EXPECT_LE(pfci.itemsets.size(), pfis.size());
@@ -77,9 +86,9 @@ TEST_P(QuickDatasetInvariants, MonotoneInPfct) {
   const UncertainDatabase db = MakeDb();
   MiningParams params = MakeParams(db);
   params.pfct = 0.7;
-  const MiningResult loose = MineMpfci(db, params);
+  const MiningResult loose = MineWith(Algorithm::kMpfci, db, params);
   params.pfct = 0.9;
-  const MiningResult tight = MineMpfci(db, params);
+  const MiningResult tight = MineWith(Algorithm::kMpfci, db, params);
   EXPECT_LE(tight.itemsets.size(), loose.itemsets.size());
   // Tight answer ⊆ loose answer.
   for (const PfciEntry& entry : tight.itemsets) {
@@ -90,10 +99,10 @@ TEST_P(QuickDatasetInvariants, MonotoneInPfct) {
 TEST_P(QuickDatasetInvariants, MonotoneInMinSup) {
   const UncertainDatabase db = MakeDb();
   MiningParams params = MakeParams(db);
-  const MiningResult base = MineMpfci(db, params);
+  const MiningResult base = MineWith(Algorithm::kMpfci, db, params);
   MiningParams harder = params;
   harder.min_sup = params.min_sup * 2;
-  const MiningResult fewer_frequent = MineMpfci(db, harder);
+  const MiningResult fewer_frequent = MineWith(Algorithm::kMpfci, db, harder);
   // Raising min_sup cannot increase the number of *frequent* itemsets,
   // and in practice shrinks the closed answer as well; at minimum, every
   // surviving itemset must satisfy the stronger count requirement.
@@ -105,7 +114,7 @@ TEST_P(QuickDatasetInvariants, MonotoneInMinSup) {
 TEST_P(QuickDatasetInvariants, AllVariantsAgreeAtScale) {
   const UncertainDatabase db = MakeDb();
   const MiningParams params = MakeParams(db);
-  const MiningResult reference = MineMpfci(db, params);
+  const MiningResult reference = MineWith(Algorithm::kMpfci, db, params);
   for (AlgorithmVariant variant :
        {AlgorithmVariant::kNoCh, AlgorithmVariant::kNoSuper,
         AlgorithmVariant::kNoSub, AlgorithmVariant::kNoBound,
@@ -144,7 +153,7 @@ TEST(EdgeCases, AllCertainTransactions) {
   MiningParams params;
   params.min_sup = 2;
   params.pfct = 0.5;
-  const MiningResult result = MineMpfci(db, params);
+  const MiningResult result = MineWith(Algorithm::kMpfci, db, params);
   ASSERT_EQ(result.itemsets.size(), 2u);  // {0} (support 3), {0,1}.
   EXPECT_EQ(result.itemsets[0].items, (Itemset{0}));
   EXPECT_EQ(result.itemsets[1].items, (Itemset{0, 1}));
@@ -160,8 +169,8 @@ TEST(EdgeCases, MinSupLargerThanDatabase) {
   MiningParams params;
   params.min_sup = 5;
   params.pfct = 0.1;
-  EXPECT_TRUE(MineMpfci(db, params).itemsets.empty());
-  EXPECT_TRUE(MineMpfciBfs(db, params).itemsets.empty());
+  EXPECT_TRUE(MineWith(Algorithm::kMpfci, db, params).itemsets.empty());
+  EXPECT_TRUE(MineWith(Algorithm::kMpfciBfs, db, params).itemsets.empty());
 }
 
 TEST(EdgeCases, DuplicateTransactionsAreIndependentTuples) {
@@ -173,7 +182,7 @@ TEST(EdgeCases, DuplicateTransactionsAreIndependentTuples) {
   MiningParams params;
   params.min_sup = 2;
   params.pfct = 0.2;
-  const MiningResult result = MineMpfci(db, params);
+  const MiningResult result = MineWith(Algorithm::kMpfci, db, params);
   ASSERT_EQ(result.itemsets.size(), 1u);
   EXPECT_NEAR(result.itemsets[0].fcp, 0.25, 1e-12);
 }
@@ -183,7 +192,7 @@ TEST(EdgeCases, VeryHighPfctYieldsEmptyAnswer) {
   MiningParams params;
   params.min_sup = 2;
   params.pfct = 0.99;
-  EXPECT_TRUE(MineMpfci(db, params).itemsets.empty());
+  EXPECT_TRUE(MineWith(Algorithm::kMpfci, db, params).itemsets.empty());
 }
 
 TEST(EdgeCases, SingleItemDatabase) {
@@ -192,7 +201,7 @@ TEST(EdgeCases, SingleItemDatabase) {
   MiningParams params;
   params.min_sup = 3;
   params.pfct = 0.3;
-  const MiningResult result = MineMpfci(db, params);
+  const MiningResult result = MineWith(Algorithm::kMpfci, db, params);
   ASSERT_EQ(result.itemsets.size(), 1u);
   EXPECT_EQ(result.itemsets[0].items, (Itemset{4}));
   // Pr{Binomial(6, .5) >= 3} = 42/64 = 0.65625, and the itemset is always

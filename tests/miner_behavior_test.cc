@@ -3,11 +3,9 @@
 // semantics, naive).
 #include <gtest/gtest.h>
 
-#include "src/core/bfs_miner.h"
 #include "src/core/brute_force.h"
 #include "src/core/expected_support_miner.h"
-#include "src/core/mpfci_miner.h"
-#include "src/core/naive_miner.h"
+#include "src/core/mine.h"
 #include "src/core/pfi_miner.h"
 #include "src/core/probabilistic_support.h"
 #include "src/harness/dataset_factory.h"
@@ -24,9 +22,19 @@ MiningParams PaperParams() {
   return params;
 }
 
+// All behavioral tests go through the Mine() front door (the free-function
+// wrappers are deprecated; their parity is pinned by api_contract_test).
+MiningResult MineWith(Algorithm algorithm, const UncertainDatabase& db,
+                      const MiningParams& params) {
+  MiningRequest request;
+  request.algorithm = algorithm;
+  request.params = params;
+  return Mine(db, request);
+}
+
 TEST(MpfciMiner, PruningCountersFire) {
   const UncertainDatabase db = MakePaperExampleDb();
-  const MiningResult result = MineMpfci(db, PaperParams());
+  const MiningResult result = MineWith(Algorithm::kMpfci, db, PaperParams());
   // Example 4.3: subset pruning avoids growing {ac},{ad} etc.; superset
   // pruning stops {b},{c},{d} branches.
   EXPECT_GT(result.stats.pruned_by_superset, 0u);
@@ -41,16 +49,16 @@ TEST(MpfciMiner, DisabledPruningsVisitMoreNodes) {
   MiningParams params;
   params.min_sup = AbsoluteMinSup(db.size(), 0.5);
   params.pfct = 0.8;
-  const MiningResult full = MineMpfci(db, params);
+  const MiningResult full = MineWith(Algorithm::kMpfci, db, params);
 
   MiningParams no_super = params;
   no_super.pruning.superset = false;
-  const MiningResult without_super = MineMpfci(db, no_super);
+  const MiningResult without_super = MineWith(Algorithm::kMpfci, db, no_super);
   EXPECT_GE(without_super.stats.nodes_visited, full.stats.nodes_visited);
 
   MiningParams no_sub = params;
   no_sub.pruning.subset = false;
-  const MiningResult without_sub = MineMpfci(db, no_sub);
+  const MiningResult without_sub = MineWith(Algorithm::kMpfci, db, no_sub);
   EXPECT_GE(without_sub.stats.nodes_visited, full.stats.nodes_visited);
 
   // All return the same itemsets.
@@ -63,10 +71,10 @@ TEST(MpfciMiner, NoBoundVariantComputesMoreFcp) {
   MiningParams params;
   params.min_sup = AbsoluteMinSup(db.size(), 0.5);
   params.pfct = 0.8;
-  const MiningResult full = MineMpfci(db, params);
+  const MiningResult full = MineWith(Algorithm::kMpfci, db, params);
   MiningParams no_bound = params;
   no_bound.pruning.fcp_bounds = false;
-  const MiningResult without = MineMpfci(db, no_bound);
+  const MiningResult without = MineWith(Algorithm::kMpfci, db, no_bound);
   EXPECT_EQ(without.stats.decided_by_bounds, 0u);
   EXPECT_GE(without.stats.exact_fcp_computations +
                 without.stats.sampled_fcp_computations,
@@ -80,8 +88,8 @@ TEST(MpfciMiner, DeterministicAcrossRuns) {
   MiningParams params;
   params.min_sup = AbsoluteMinSup(db.size(), 0.35);
   params.pfct = 0.8;
-  const MiningResult a = MineMpfci(db, params);
-  const MiningResult b = MineMpfci(db, params);
+  const MiningResult a = MineWith(Algorithm::kMpfci, db, params);
+  const MiningResult b = MineWith(Algorithm::kMpfci, db, params);
   ASSERT_EQ(a.itemsets.size(), b.itemsets.size());
   for (std::size_t i = 0; i < a.itemsets.size(); ++i) {
     EXPECT_EQ(a.itemsets[i].items, b.itemsets[i].items);
@@ -91,18 +99,18 @@ TEST(MpfciMiner, DeterministicAcrossRuns) {
 
 TEST(MpfciMiner, EmptyAndDegenerateInputs) {
   MiningParams params = PaperParams();
-  EXPECT_TRUE(MineMpfci(UncertainDatabase{}, params).itemsets.empty());
+  EXPECT_TRUE(MineWith(Algorithm::kMpfci, UncertainDatabase{}, params).itemsets.empty());
 
   UncertainDatabase tiny;
   tiny.Add(Itemset{0}, 0.3);
   // One low-probability transaction, min_sup 2: nothing can qualify.
-  EXPECT_TRUE(MineMpfci(tiny, params).itemsets.empty());
+  EXPECT_TRUE(MineWith(Algorithm::kMpfci, tiny, params).itemsets.empty());
 
   // min_sup 1, pfct 0: the singleton qualifies iff PrFC > 0.
   MiningParams loose;
   loose.min_sup = 1;
   loose.pfct = 0.0;
-  const MiningResult result = MineMpfci(tiny, loose);
+  const MiningResult result = MineWith(Algorithm::kMpfci, tiny, loose);
   ASSERT_EQ(result.itemsets.size(), 1u);
   EXPECT_EQ(result.itemsets[0].items, (Itemset{0}));
   EXPECT_NEAR(result.itemsets[0].fcp, 0.3, 1e-12);
@@ -118,7 +126,7 @@ TEST(MpfciMiner, CertainDataMatchesExactClosedSemantics) {
   MiningParams params;
   params.min_sup = 2;
   params.pfct = 0.9;
-  const MiningResult result = MineMpfci(db, params);
+  const MiningResult result = MineWith(Algorithm::kMpfci, db, params);
   // Frequent closed at support 2: {0,1}, {0,2}, {0} (support 3).
   ASSERT_EQ(result.itemsets.size(), 3u);
   EXPECT_EQ(result.itemsets[0].items, (Itemset{0}));
@@ -134,8 +142,8 @@ TEST(BfsMiner, LevelwiseMatchesDfsOnQuest) {
   MiningParams params;
   params.min_sup = AbsoluteMinSup(db.size(), 0.35);
   params.pfct = 0.8;
-  const MiningResult dfs = MineMpfci(db, params);
-  const MiningResult bfs = MineMpfciBfs(db, params);
+  const MiningResult dfs = MineWith(Algorithm::kMpfci, db, params);
+  const MiningResult bfs = MineWith(Algorithm::kMpfciBfs, db, params);
   ASSERT_EQ(bfs.itemsets.size(), dfs.itemsets.size());
   for (std::size_t i = 0; i < dfs.itemsets.size(); ++i) {
     EXPECT_EQ(bfs.itemsets[i].items, dfs.itemsets[i].items);
@@ -160,8 +168,8 @@ TEST(NaiveMiner, AgreesWithMpfciOnModerateData) {
   params.pfct = 0.8;
   params.epsilon = 0.05;
   params.delta = 0.05;
-  const MiningResult naive = MineNaive(db, params);
-  const MiningResult mpfci = MineMpfci(db, params);
+  const MiningResult naive = MineWith(Algorithm::kNaive, db, params);
+  const MiningResult mpfci = MineWith(Algorithm::kMpfci, db, params);
   ASSERT_EQ(naive.itemsets.size(), mpfci.itemsets.size());
   for (std::size_t i = 0; i < naive.itemsets.size(); ++i) {
     EXPECT_EQ(naive.itemsets[i].items, mpfci.itemsets[i].items);

@@ -7,9 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/brute_force.h"
-#include "src/core/mpfci_miner.h"
-#include "src/core/bfs_miner.h"
-#include "src/core/naive_miner.h"
+#include "src/core/mine.h"
 #include "src/core/probabilistic_support.h"
 #include "src/harness/dataset_factory.h"
 #include "src/harness/variants.h"
@@ -25,6 +23,16 @@ MiningParams PaperParams() {
   params.min_sup = 2;
   params.pfct = 0.8;
   return params;
+}
+
+// Paper-example runs go through the Mine() front door (the free-function
+// wrappers are deprecated; their parity is pinned by api_contract_test).
+MiningResult MineWith(Algorithm algorithm, const UncertainDatabase& db,
+                      const MiningParams& params) {
+  MiningRequest request;
+  request.algorithm = algorithm;
+  request.params = params;
+  return Mine(db, request);
 }
 
 TEST(PaperExample, BruteForceFrequentClosedProbabilities) {
@@ -56,7 +64,7 @@ TEST(PaperExample, AllOtherItemsetsHaveZeroFcp) {
 
 TEST(PaperExample, MpfciFindsExactlyTheTwoItemsets) {
   const UncertainDatabase db = MakePaperExampleDb();
-  MiningResult result = MineMpfci(db, PaperParams());
+  MiningResult result = MineWith(Algorithm::kMpfci, db, PaperParams());
   ASSERT_EQ(result.itemsets.size(), 2u);
   EXPECT_EQ(result.itemsets[0].items, kAbc);
   EXPECT_NEAR(result.itemsets[0].fcp, 0.8754, 1e-9);
@@ -67,7 +75,7 @@ TEST(PaperExample, MpfciFindsExactlyTheTwoItemsets) {
 TEST(PaperExample, EveryVariantReturnsTheSameItemsets) {
   const UncertainDatabase db = MakePaperExampleDb();
   const MiningParams params = PaperParams();
-  const MiningResult reference = MineMpfci(db, params);
+  const MiningResult reference = MineWith(Algorithm::kMpfci, db, params);
   for (AlgorithmVariant variant :
        {AlgorithmVariant::kNoCh, AlgorithmVariant::kNoSuper,
         AlgorithmVariant::kNoSub, AlgorithmVariant::kNoBound,
@@ -93,7 +101,7 @@ TEST(PaperExample, ResultStableAcrossPfct) {
   for (double pfct : {0.8, 0.75, 0.7}) {
     MiningParams params = PaperParams();
     params.pfct = pfct;
-    const MiningResult result = MineMpfci(db, params);
+    const MiningResult result = MineWith(Algorithm::kMpfci, db, params);
     for (const PfciEntry& entry : result.itemsets) {
       const WorldProbabilities truth =
           BruteForceItemsetProbabilities(db, entry.items, 2);

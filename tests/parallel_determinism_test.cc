@@ -311,15 +311,18 @@ TEST(ParallelDeterminism, BruteForceIdenticalAcrossThreadCounts) {
 }
 
 TEST(ParallelDeterminism, WrapperMatchesExplicitSingleThreadRequest) {
-  // The historical free function and Mine() with the default policy must
-  // agree bit-for-bit (the wrapper routes through the same engine).
+  // The (deprecated) free function and Mine() with the default policy must
+  // agree bit-for-bit (the wrapper is now a shim over the same engine).
   const UncertainDatabase db = MakeTestDb(42);
   MiningRequest request;
   request.params.min_sup = 8;
   request.params.pfct = 0.3;
   request.params.seed = 42;
   const MiningResult via_mine = Mine(db, request);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const MiningResult via_wrapper = MineMpfci(db, request.params);
+#pragma GCC diagnostic pop
   ExpectIdentical(via_mine, via_wrapper);
 }
 

@@ -7,7 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/brute_force.h"
-#include "src/core/mpfci_miner.h"
+#include "src/core/mine.h"
 #include "src/util/random.h"
 
 namespace pfci {
@@ -43,7 +43,10 @@ TEST_P(SampledPathTrial, MembershipMatchesOracleOutsideNoiseBand) {
   params.epsilon = 0.05;
   params.delta = 0.05;
   params.seed = GetParam();
-  const MiningResult mined = MineMpfci(db, params);
+  MiningRequest request;
+  request.algorithm = Algorithm::kMpfci;
+  request.params = params;
+  const MiningResult mined = Mine(db, request);
 
   const std::vector<FcpGroundTruth> truth = BruteForceAllFcp(db, min_sup);
   // Decisions may legitimately flip only inside the sampler's noise band

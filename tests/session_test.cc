@@ -584,6 +584,412 @@ TEST(EvalCache, ZeroShardsAndZeroBytesAreClamped) {
   EXPECT_EQ(cache.rejections(), 1u);
 }
 
+/// ---- Submit(): asynchronous serving behind a RunHandle ----
+
+TEST(MiningSession, SubmitMatchesSynchronousMineBitwise) {
+  const UncertainDatabase db = MakeQuestDb(43);
+  MiningSession session = MiningSession::Open(db);
+  const MiningRequest request = BaseRequest(Algorithm::kMpfci, 6);
+  const MiningResult reference = Mine(db, request);
+
+  RunHandle handle = session.Submit(request);
+  ASSERT_TRUE(handle.valid());
+  const MiningResult& result = handle.Wait();
+  ASSERT_EQ(result.outcome(), Outcome::kComplete) << result.status_message;
+  ExpectIdenticalResults(reference, result);
+  EXPECT_TRUE(handle.done());
+
+  // After completion every accessor is stable and non-blocking, Cancel
+  // is a no-op, and copies observe the same run.
+  MiningResult polled;
+  ASSERT_TRUE(handle.TryGet(&polled));
+  ExpectIdenticalResults(reference, polled);
+  handle.Cancel();
+  RunHandle copy = handle;
+  ExpectIdenticalResults(reference, copy.Wait());
+}
+
+TEST(MiningSession, SubmitReportsInvalidRequestsAsDataAsync) {
+  const UncertainDatabase db = MakeQuestDb(43);
+  MiningSession session = MiningSession::Open(db);
+  MiningRequest request = BaseRequest(Algorithm::kMpfci, 6);
+  request.params.pfct = 2.0;  // Out of range.
+  RunHandle handle = session.Submit(request);
+  const MiningResult& result = handle.Wait();
+  EXPECT_EQ(result.outcome(), Outcome::kInvalidRequest);
+  EXPECT_NE(result.status_message.find("invalid MiningRequest"),
+            std::string::npos);
+  EXPECT_TRUE(result.itemsets.empty());
+}
+
+TEST(MiningSession, SubmitRefusesARequestLevelCancelToken) {
+  const UncertainDatabase db = MakeQuestDb(43);
+  MiningSession session = MiningSession::Open(db);
+  CancelToken token;
+  MiningRequest request = BaseRequest(Algorithm::kMpfci, 6);
+  request.cancel = &token;
+  RunHandle handle = session.Submit(request);
+  // Answered synchronously, without spawning a worker.
+  EXPECT_TRUE(handle.done());
+  const MiningResult& result = handle.Wait();
+  EXPECT_EQ(result.outcome(), Outcome::kInvalidRequest);
+  EXPECT_NE(result.status_message.find(
+                "Submit owns cancellation through RunHandle::Cancel"),
+            std::string::npos);
+}
+
+TEST(MiningSession, SubmitRejectedUnderAdmissionPressureAsync) {
+  if (!failpoint::CompiledIn()) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  const UncertainDatabase db = MakeQuestDb(31);
+  SessionOptions options;
+  options.max_inflight = 1;
+  options.max_queue_depth = 0;
+  MiningSession session = MiningSession::Open(db, options);
+  const MiningRequest request = BaseRequest(Algorithm::kMpfci, 6);
+
+  SlotHolder holder(session, request);
+  RunHandle handle = session.Submit(request);
+  // The rejection arrives through the handle — error-as-data on the
+  // async path too — without waiting for the in-flight run.
+  const MiningResult& rejected = handle.Wait();
+  EXPECT_EQ(rejected.outcome(), Outcome::kRejected)
+      << rejected.status_message;
+  EXPECT_TRUE(rejected.stats.truncated);
+  EXPECT_NE(rejected.status_message.find("admission"), std::string::npos);
+  EXPECT_EQ(session.admission_rejected(), 1u);
+
+  holder.Unpark();
+  EXPECT_EQ(holder.result().outcome(), Outcome::kComplete)
+      << "an async rejection must never perturb the in-flight run";
+}
+
+TEST(MiningSession, CancelBeforeStartIsAnsweredWithoutRunning) {
+  if (!failpoint::CompiledIn()) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  const UncertainDatabase db = MakeQuestDb(47);
+  MiningSession session = MiningSession::Open(db);
+
+  // Park the submit worker at its entry (before its cancel check) so
+  // Cancel() deterministically lands before the run starts.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool parked = false;
+  bool released = false;
+  failpoint::Arm("serve/submit_start", [&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    parked = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return released; });
+  });
+
+  RunHandle handle = session.Submit(BaseRequest(Algorithm::kMpfci, 6));
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return parked; });
+  }
+  EXPECT_FALSE(handle.done());
+  handle.Cancel();
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    released = true;
+    cv.notify_all();
+  }
+  const MiningResult& result = handle.Wait();
+  failpoint::DisarmAll();
+
+  EXPECT_EQ(result.outcome(), Outcome::kCancelled) << result.status_message;
+  EXPECT_TRUE(result.stats.truncated);
+  EXPECT_NE(
+      result.status_message.find("cancelled via RunHandle::Cancel before start"),
+      std::string::npos);
+  EXPECT_TRUE(result.itemsets.empty());
+  // Queue time covers the parked window; the run itself never happened,
+  // so the caches were never touched.
+  EXPECT_GT(result.stats.queued_micros, 0u);
+  EXPECT_EQ(session.cache_entries(), 0u);
+}
+
+TEST(MiningSession, CancelMidRunWindsDownCooperatively) {
+  if (!failpoint::CompiledIn()) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  const UncertainDatabase db = MakeQuestDb(47);
+  MiningSession session = MiningSession::Open(db);
+
+  // Park the run at its first search node, cancel through the handle,
+  // then release: the miner must wind down at its next checkpoint.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool parked = false;
+  bool released = false;
+  failpoint::Arm("mpfci/node", [&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    if (!parked) {
+      parked = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return released; });
+    }
+  });
+
+  MiningRequest request = BaseRequest(Algorithm::kMpfci, 2);
+  request.execution.num_threads = 1;
+  RunHandle handle = session.Submit(request);
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return parked; });
+  }
+  handle.Cancel();
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    released = true;
+    cv.notify_all();
+  }
+  const MiningResult& result = handle.Wait();
+  failpoint::DisarmAll();
+
+  EXPECT_EQ(result.outcome(), Outcome::kCancelled) << result.status_message;
+  EXPECT_TRUE(result.stats.truncated);
+}
+
+TEST(MiningSession, HandleOutlivesItsSession) {
+  const UncertainDatabase db = MakeQuestDb(53);
+  const MiningRequest request = BaseRequest(Algorithm::kMpfci, 6);
+  const MiningResult reference = Mine(db, request);
+  RunHandle handle;
+  EXPECT_FALSE(handle.valid());
+  {
+    MiningSession session = MiningSession::Open(db);
+    handle = session.Submit(request);
+  }  // ~MiningSession drains its workers before returning.
+  ASSERT_TRUE(handle.valid());
+  EXPECT_TRUE(handle.done())
+      << "a handle surviving its session always holds a completed result";
+  ExpectIdenticalResults(reference, handle.Wait());
+  handle.Cancel();  // Harmless after the session is gone.
+  ExpectIdenticalResults(reference, handle.Wait());
+}
+
+TEST(MiningSession, MoveAssignmentDrainsTheReplacedSessionsRuns) {
+  const UncertainDatabase db = MakeQuestDb(53);
+  const MiningRequest request = BaseRequest(Algorithm::kMpfci, 6);
+  const MiningResult reference = Mine(db, request);
+  MiningSession session = MiningSession::Open(db);
+  RunHandle handle = session.Submit(request);
+  session = MiningSession::Open(db);  // Drains before replacing.
+  EXPECT_TRUE(handle.done());
+  ExpectIdenticalResults(reference, handle.Wait());
+}
+
+TEST(MiningSession, ConcurrentSubmitsAllMatchTheirReferences) {
+  const UncertainDatabase db = MakeQuestDb(59);
+  MiningSession session = MiningSession::Open(db);
+  std::vector<MiningResult> references;
+  std::vector<RunHandle> handles;
+  for (std::size_t i = 0; i < 4; ++i) {
+    MiningRequest request = BaseRequest(Algorithm::kMpfci, 5 + i);
+    references.push_back(Mine(db, request));
+    handles.push_back(session.Submit(request));
+  }
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    SCOPED_TRACE("submit " + std::to_string(i));
+    const MiningResult& result = handles[i].Wait();
+    ASSERT_EQ(result.outcome(), Outcome::kComplete) << result.status_message;
+    ExpectIdenticalResults(references[i], result);
+  }
+}
+
+/// ---- MineBatch(): shared-scan batch planning ----
+
+/// The batch acceptance matrix (DESIGN.md §15): one mixed batch per
+/// (tid-set mode, thread count) cell holding every tuple-level algorithm
+/// at two thresholds, submitted descending (the planner reorders).
+/// Every member must be bit-identical to a standalone Mine() of the same
+/// request, with the batch counters stamped on every member.
+TEST(MiningSession, MineBatchBitIdenticalToSequentialEverywhere) {
+  const UncertainDatabase db = MakePaperExampleDb();
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kMpfci,           Algorithm::kMpfciBfs,
+      Algorithm::kNaive,           Algorithm::kTopK,
+      Algorithm::kPfi,             Algorithm::kExpectedSupport,
+      Algorithm::kExpectedSupportFpGrowth,
+      Algorithm::kBruteForce,
+  };
+  for (const TidSetMode mode :
+       {TidSetMode::kAdaptive, TidSetMode::kSparse, TidSetMode::kDense}) {
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      SCOPED_TRACE("mode=" + std::to_string(static_cast<int>(mode)) +
+                   " threads=" + std::to_string(threads));
+      std::vector<MiningRequest> requests;
+      for (const Algorithm algorithm : algorithms) {
+        for (const std::size_t min_sup : {3u, 2u}) {
+          MiningRequest request = BaseRequest(algorithm, min_sup);
+          request.params.tidset_mode = mode;
+          request.execution.num_threads = threads;
+          requests.push_back(request);
+        }
+      }
+      MiningSession session = MiningSession::Open(db);
+      const std::vector<MiningResult> batch = session.MineBatch(requests);
+      ASSERT_EQ(batch.size(), requests.size());
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        SCOPED_TRACE(std::string(AlgorithmName(requests[i].algorithm)) +
+                     " min_sup=" +
+                     std::to_string(requests[i].params.min_sup));
+        ASSERT_EQ(batch[i].outcome(), Outcome::kComplete)
+            << batch[i].status_message;
+        ExpectIdenticalResults(Mine(db, requests[i]), batch[i]);
+        EXPECT_EQ(batch[i].stats.batch_size, requests.size());
+        EXPECT_EQ(batch[i].stats.batch_groups, algorithms.size());
+      }
+    }
+  }
+}
+
+TEST(MiningSession, MineBatchReportsInvalidMembersInPlace) {
+  const UncertainDatabase db = MakePaperExampleDb();
+  MiningSession session = MiningSession::Open(db);
+  std::vector<MiningRequest> requests;
+  requests.push_back(BaseRequest(Algorithm::kMpfci, 2));
+  MiningRequest bad = BaseRequest(Algorithm::kMpfci, 2);
+  bad.params.pfct = 2.0;  // Out of range.
+  requests.push_back(bad);
+  requests.push_back(BaseRequest(Algorithm::kPfi, 3));
+
+  const std::vector<MiningResult> batch = session.MineBatch(requests);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[1].outcome(), Outcome::kInvalidRequest);
+  EXPECT_NE(batch[1].status_message.find("invalid MiningRequest"),
+            std::string::npos);
+  ASSERT_EQ(batch[0].outcome(), Outcome::kComplete);
+  ASSERT_EQ(batch[2].outcome(), Outcome::kComplete);
+  ExpectIdenticalResults(Mine(db, requests[0]), batch[0]);
+  ExpectIdenticalResults(Mine(db, requests[2]), batch[2]);
+  // The batch shape is stamped on every member, invalid ones included;
+  // the invalid member does not form a group.
+  for (const MiningResult& result : batch) {
+    EXPECT_EQ(result.stats.batch_size, 3u);
+    EXPECT_EQ(result.stats.batch_groups, 2u);
+  }
+}
+
+TEST(MiningSession, MineBatchOnEmptySpanReturnsEmpty) {
+  const UncertainDatabase db = MakePaperExampleDb();
+  MiningSession session = MiningSession::Open(db);
+  EXPECT_TRUE(session.MineBatch(std::span<const MiningRequest>{}).empty());
+}
+
+TEST(MiningSession, MineSweepIsAPlannedBatchOfOneGroup) {
+  const UncertainDatabase db = MakeQuestDb(61);
+  MiningRequest request = BaseRequest(Algorithm::kMpfci, 1);
+  request.sweep_min_sup = {4, 6, 8};
+  MiningSession sweep_session = MiningSession::Open(db);
+  const std::vector<MiningResult> sweep = sweep_session.MineSweep(request);
+
+  std::vector<MiningRequest> steps;
+  for (const std::size_t min_sup : request.sweep_min_sup) {
+    MiningRequest step = request;
+    step.sweep_min_sup.clear();
+    step.params.min_sup = min_sup;
+    steps.push_back(step);
+  }
+  MiningSession batch_session = MiningSession::Open(db);
+  const std::vector<MiningResult> batch = batch_session.MineBatch(steps);
+
+  ASSERT_EQ(sweep.size(), batch.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    SCOPED_TRACE("step " + std::to_string(i));
+    ExpectIdenticalResults(batch[i], sweep[i]);
+    EXPECT_EQ(sweep[i].stats.batch_size, steps.size());
+    EXPECT_EQ(sweep[i].stats.batch_groups, 1u);
+  }
+}
+
+TEST(MiningSession, BatchFollowersShareTheLeadersTables) {
+  const UncertainDatabase db = MakeQuestDb(67);
+  MiningSession session = MiningSession::Open(db);
+  // Submitted descending; the planner reorders the group onto an
+  // ascending ladder, so the min_sup=4 member is the leader paying for
+  // the shared tables and the higher thresholds answer from them.
+  std::vector<MiningRequest> requests;
+  for (const std::size_t min_sup : {8u, 6u, 4u}) {
+    requests.push_back(BaseRequest(Algorithm::kMpfci, min_sup));
+  }
+  const std::vector<MiningResult> batch = session.MineBatch(requests);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE("min_sup=" + std::to_string(requests[i].params.min_sup));
+    ASSERT_EQ(batch[i].outcome(), Outcome::kComplete)
+        << batch[i].status_message;
+    ExpectIdenticalResults(Mine(db, requests[i]), batch[i]);
+  }
+  EXPECT_EQ(batch[2].stats.shared_dp_hits, 0u) << "the leader pays cold";
+  EXPECT_GT(batch[0].stats.shared_dp_hits + batch[1].stats.shared_dp_hits, 0u)
+      << "followers must answer from the leader's extended tables";
+}
+
+/// ---- EvalCache pin scopes (the batch working-set retention hint) ----
+
+TEST(EvalCache, PinScopeExemptsTheBatchWorkingSetFromEviction) {
+  EvalCache::Options options;
+  options.max_bytes = 512;  // A couple of entries' worth.
+  options.shards = 1;
+  EvalCache cache(options);
+
+  cache.BeginPinScope();
+  std::vector<TidSet> tidsets;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    tidsets.emplace_back(TidList{i, i + 10}, 32);
+    cache.Insert(tidsets.back(), 1.0, 3, {1.0, 0.9, 0.5, 0.1});
+  }
+  // Pinned entries may overshoot the byte budget but never leave.
+  EXPECT_EQ(cache.pinned_entries(), 8u);
+  EXPECT_GT(cache.bytes(), cache.max_bytes());
+  for (const TidSet& tids : tidsets) {
+    EXPECT_TRUE(cache.Probe(tids, 3).found);
+  }
+  const std::uint64_t pinned_bytes = cache.bytes();
+
+  cache.EndPinScope();
+  // Last scope out: pins clear and the byte budget is re-enforced.
+  EXPECT_EQ(cache.pinned_entries(), 0u);
+  EXPECT_LT(cache.bytes(), pinned_bytes);
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(EvalCache, PinScopesNestAndTheRaiiWrapperIsNullSafe) {
+  EvalCache::Options options;
+  options.max_bytes = 512;
+  options.shards = 1;
+  EvalCache cache(options);
+
+  cache.BeginPinScope();
+  cache.BeginPinScope();
+  std::vector<TidSet> tidsets;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    tidsets.emplace_back(TidList{i, i + 10}, 32);
+    cache.Insert(tidsets.back(), 1.0, 3, {1.0, 0.9, 0.5, 0.1});
+  }
+  cache.EndPinScope();
+  // An enclosing scope is still open: nothing is swept yet.
+  EXPECT_EQ(cache.pinned_entries(), 8u);
+  cache.EndPinScope();
+  EXPECT_EQ(cache.pinned_entries(), 0u);
+
+  // The RAII wrapper over a null cache is a no-op (callers pin
+  // unconditionally; a cache-off session passes nullptr).
+  { EvalCache::PinScope scope(nullptr); }
+  {
+    EvalCache::PinScope scope(&cache);
+    const TidSet tids(TidList{1, 2, 3}, 8);
+    cache.Insert(tids, 1.0, 1, {1.0, 0.5});
+    EXPECT_EQ(cache.pinned_entries(), 1u);
+  }
+  EXPECT_EQ(cache.pinned_entries(), 0u);
+}
+
 TEST(ItemWarmStart, ProofsApplyByAntiMonotonicity) {
   ItemWarmStart warm;
   EXPECT_GT(warm.BoundFor(3, 5), 1.0);  // +inf: nothing recorded.

@@ -3,7 +3,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/core/mpfci_miner.h"
+#include "src/core/mine.h"
 #include "src/harness/dataset_factory.h"
 #include "src/util/random.h"
 
@@ -44,7 +44,10 @@ TEST(StreamMiner, MineWindowMatchesDirectMining) {
     paper_miner.Observe(t.items, t.prob);
   }
   const MiningResult windowed = paper_miner.MineWindow();
-  const MiningResult direct = MineMpfci(db, params);
+  MiningRequest request;
+  request.algorithm = Algorithm::kMpfci;
+  request.params = params;
+  const MiningResult direct = Mine(db, request);
   ASSERT_EQ(windowed.itemsets.size(), direct.itemsets.size());
   for (std::size_t i = 0; i < direct.itemsets.size(); ++i) {
     EXPECT_EQ(windowed.itemsets[i].items, direct.itemsets[i].items);

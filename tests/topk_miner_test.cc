@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/brute_force.h"
-#include "src/core/mpfci_miner.h"
+#include "src/core/mine.h"
 #include "src/harness/dataset_factory.h"
 #include "src/util/random.h"
 
@@ -21,9 +21,20 @@ MiningParams BaseParams(std::size_t min_sup) {
   return params;
 }
 
+// Top-k runs go through the Mine() front door (the MineTopKPfci free
+// function is deprecated; its parity is pinned by api_contract_test).
+MiningResult MineTopK(const UncertainDatabase& db, const MiningParams& params,
+                      std::size_t k) {
+  MiningRequest request;
+  request.algorithm = Algorithm::kTopK;
+  request.params = params;
+  request.top_k = k;
+  return Mine(db, request);
+}
+
 TEST(TopkMiner, PaperExampleTopTwo) {
   const UncertainDatabase db = MakePaperExampleDb();
-  const MiningResult result = MineTopKPfci(db, BaseParams(2), 2);
+  const MiningResult result = MineTopK(db, BaseParams(2), 2);
   ASSERT_EQ(result.itemsets.size(), 2u);
   // Descending FCP: {abc} 0.8754, then {abcd} 0.81.
   EXPECT_EQ(result.itemsets[0].items, (Itemset{0, 1, 2}));
@@ -34,7 +45,7 @@ TEST(TopkMiner, PaperExampleTopTwo) {
 
 TEST(TopkMiner, KLargerThanAnswerReturnsAll) {
   const UncertainDatabase db = MakePaperExampleDb();
-  const MiningResult result = MineTopKPfci(db, BaseParams(2), 50);
+  const MiningResult result = MineTopK(db, BaseParams(2), 50);
   // Only two itemsets have positive FCP at min_sup 2.
   EXPECT_EQ(result.itemsets.size(), 2u);
 }
@@ -43,7 +54,7 @@ TEST(TopkMiner, FloorThresholdRespected) {
   const UncertainDatabase db = MakePaperExampleDb();
   MiningParams params = BaseParams(2);
   params.pfct = 0.85;  // Only {abc} exceeds this.
-  const MiningResult result = MineTopKPfci(db, params, 5);
+  const MiningResult result = MineTopK(db, params, 5);
   ASSERT_EQ(result.itemsets.size(), 1u);
   EXPECT_EQ(result.itemsets[0].items, (Itemset{0, 1, 2}));
 }
@@ -71,7 +82,7 @@ TEST(TopkMiner, MatchesBruteForceRankingOnRandomDbs) {
                 return a.items < b.items;
               });
 
-    const MiningResult result = MineTopKPfci(db, BaseParams(min_sup), k);
+    const MiningResult result = MineTopK(db, BaseParams(min_sup), k);
     const std::size_t expected = std::min(k, truth.size());
     ASSERT_EQ(result.itemsets.size(), expected) << "trial=" << trial;
     for (std::size_t i = 0; i < expected; ++i) {
@@ -97,7 +108,7 @@ UncertainDatabase MakeTieDb() {
 
 TEST(TopkMiner, ExactTieAtKBoundaryPicksLexSmallerItemset) {
   const UncertainDatabase db = MakeTieDb();
-  const MiningResult result = MineTopKPfci(db, BaseParams(1), 1);
+  const MiningResult result = MineTopK(db, BaseParams(1), 1);
   ASSERT_EQ(result.itemsets.size(), 1u);
   EXPECT_EQ(result.itemsets[0].items, (Itemset{0}))
       << "k-boundary tie must resolve by itemset order, not arrival order";
@@ -106,7 +117,7 @@ TEST(TopkMiner, ExactTieAtKBoundaryPicksLexSmallerItemset) {
 
 TEST(TopkMiner, ExactTieWithRoomForBothKeepsBothRanked) {
   const UncertainDatabase db = MakeTieDb();
-  const MiningResult result = MineTopKPfci(db, BaseParams(1), 2);
+  const MiningResult result = MineTopK(db, BaseParams(1), 2);
   ASSERT_EQ(result.itemsets.size(), 2u);
   EXPECT_EQ(result.itemsets[0].items, (Itemset{0}));
   EXPECT_EQ(result.itemsets[1].items, (Itemset{0, 1}));
@@ -120,25 +131,35 @@ TEST(TopkMiner, TieBreakInvariantUnderItemRelabeling) {
   UncertainDatabase db;
   db.Add(Itemset{1}, 0.5);
   db.Add(Itemset{0, 1}, 0.5);
-  const MiningResult result = MineTopKPfci(db, BaseParams(1), 1);
+  const MiningResult result = MineTopK(db, BaseParams(1), 1);
   ASSERT_EQ(result.itemsets.size(), 1u);
   EXPECT_EQ(result.itemsets[0].items, (Itemset{0, 1}));
 }
 
 TEST(TopkMiner, KZeroIsRejected) {
   const UncertainDatabase db = MakeTieDb();
-  EXPECT_DEATH(MineTopKPfci(db, BaseParams(1), 0), "top_k must be >= 1");
+  // Through Mine(), k = 0 is error-as-data; the deprecated free function
+  // keeps the historical CHECK (covered by api_contract_test).
+  const MiningResult result = MineTopK(db, BaseParams(1), 0);
+  EXPECT_EQ(result.outcome(), Outcome::kInvalidRequest);
+  EXPECT_NE(result.status_message.find("top_k must be >= 1"),
+            std::string::npos)
+      << result.status_message;
+  EXPECT_TRUE(result.itemsets.empty());
 }
 
 TEST(TopkMiner, ConsistentWithThresholdMiner) {
   const UncertainDatabase db = MakeUncertainQuest(BenchScale::kQuick);
   MiningParams params = BaseParams(AbsoluteMinSup(db.size(), 0.3));
   params.pfct = 0.8;
-  const MiningResult threshold_result = MineMpfci(db, params);
+  MiningRequest threshold_request;
+  threshold_request.algorithm = Algorithm::kMpfci;
+  threshold_request.params = params;
+  const MiningResult threshold_result = Mine(db, threshold_request);
   const std::size_t k = threshold_result.itemsets.size();
   ASSERT_GT(k, 0u);
   // Top-k with floor 0.8 returns exactly the threshold answer, ranked.
-  const MiningResult topk = MineTopKPfci(db, params, k + 10);
+  const MiningResult topk = MineTopK(db, params, k + 10);
   ASSERT_EQ(topk.itemsets.size(), k);
   for (const PfciEntry& entry : topk.itemsets) {
     EXPECT_NE(threshold_result.Find(entry.items), nullptr)

@@ -282,12 +282,12 @@ TEST(Trace, EventToJsonShapes) {
             R"({"type":"run_begin","name":"mpfci"})");
 }
 
-TEST(Trace, StatsJsonIsSchemaV5) {
+TEST(Trace, StatsJsonIsSchemaV6) {
   MiningStats stats;
   stats.nodes_visited = 3;
   stats.candidate_seconds = 0.5;
   const std::string json = stats.ToJson();
-  EXPECT_NE(json.find("\"schema\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema\":6"), std::string::npos) << json;
   EXPECT_NE(json.find("\"nodes_visited\":3"), std::string::npos) << json;
   // Schema v4: session-cache counters (all zero outside a session).
   EXPECT_NE(json.find("\"cache_hits\":0"), std::string::npos) << json;
@@ -306,6 +306,11 @@ TEST(Trace, StatsJsonIsSchemaV5) {
   // Schema v5: checkpoint/resume accounting.
   EXPECT_NE(json.find("\"snapshot_bytes\":0"), std::string::npos) << json;
   EXPECT_NE(json.find("\"resumed\":false"), std::string::npos) << json;
+  // Schema v6: batch execution accounting (all zero outside a batch).
+  EXPECT_NE(json.find("\"batch_size\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"batch_groups\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shared_dp_hits\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"queued_micros\":0"), std::string::npos) << json;
 
   stats.outcome = Outcome::kDeadlineExceeded;
   stats.truncated = true;

@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
-"""Schema check for BENCH_session.json (bench/session_reuse output).
+"""Schema check for serving-layer bench JSON outputs.
 
+Covers BENCH_session.json (bench/session_reuse) and BENCH_batch.json
+(bench/batch_throughput); the two are told apart by the optional "kind"
+key ("batch" selects the batch schema, anything else the session one).
 Python-stdlib only. Usage:
 
     python3 tools/check_bench_session.py [path/to/BENCH_session.json]
 
-Exits 0 when the file parses and matches schema 1, 1 otherwise with a
-diagnostic per violation. Checks structure and internal consistency
-(strictly increasing sweep grid, aggregate-vs-workload timing sums,
-result identity flags), not performance thresholds — the bench binary
-itself gates on warm <= 1/2 cold.
+Exits 0 when the file parses and matches schema 1 of its kind, 1
+otherwise with a diagnostic per violation. Checks structure and internal
+consistency (strictly increasing sweep grid, aggregate-vs-workload
+timing sums, result identity flags), not performance thresholds — the
+bench binaries themselves gate on the 1/2-wall-clock acceptance.
 """
 
 import json
@@ -78,6 +81,62 @@ def check_workload(workload, index, errors):
         errors.append(f"{where}: min_sup grid is not strictly increasing")
 
 
+def check_batch_request(entry, where, errors):
+    require(entry, "algorithm", str, errors, where)
+    for key in ("min_sup", "itemsets", "shared_dp_hits", "queued_micros"):
+        value = require(entry, key, int, errors, where)
+        if value is not None and value < 0:
+            errors.append(f"{where}: '{key}' is negative")
+    for key in ("sequential_seconds", "batch_seconds"):
+        value = require(entry, key, (int, float), errors, where)
+        if value is not None and value < 0:
+            errors.append(f"{where}: '{key}' is negative")
+
+
+def check_batch(doc, path, errors):
+    schema = require(doc, "schema", int, errors, path)
+    if schema is not None and schema != 1:
+        errors.append(f"{path}: schema {schema}, expected 1")
+    require(doc, "dataset", str, errors, path)
+    require(doc, "transactions", int, errors, path)
+    requests = require(doc, "requests", int, errors, path)
+    groups = require(doc, "groups", int, errors, path)
+    require(doc, "sequential_seconds", (int, float), errors, path)
+    require(doc, "batch_seconds", (int, float), errors, path)
+    require(doc, "speedup", (int, float), errors, path)
+    identical = require(doc, "identical", bool, errors, path)
+    if identical is False:
+        # Bit-identity is deterministic (unlike the wall-clock gate), so
+        # the schema checker enforces it.
+        errors.append(
+            f"{path}: identical is false (batch results diverged from "
+            f"standalone runs)"
+        )
+
+    per_request = require(doc, "per_request", list, errors, path)
+    if per_request is None:
+        return 0
+    if not per_request:
+        errors.append(f"{path}: per_request is empty")
+    for i, entry in enumerate(per_request):
+        where = f"per_request[{i}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        check_batch_request(entry, where, errors)
+    if requests is not None and requests != len(per_request):
+        errors.append(
+            f"{path}: requests {requests} != per_request length "
+            f"{len(per_request)}"
+        )
+    if groups is not None and requests is not None:
+        if groups < 1 or groups > max(requests, 1):
+            errors.append(
+                f"{path}: groups {groups} outside [1, requests={requests}]"
+            )
+    return len(per_request)
+
+
 def main(argv):
     path = argv[1] if len(argv) > 1 else "BENCH_session.json"
     errors = []
@@ -89,6 +148,13 @@ def main(argv):
 
     if not isinstance(doc, dict):
         return fail([f"{path}: top level is not an object"])
+
+    if doc.get("kind") == "batch":
+        count = check_batch(doc, path, errors)
+        if errors:
+            return fail(errors)
+        print(f"check_bench_session: {path} OK (batch, {count} requests)")
+        return 0
 
     schema = require(doc, "schema", int, errors, path)
     if schema is not None and schema != 1:

@@ -67,6 +67,16 @@ FACADE_HEADERS = {
     "src/core/item_uncertain_miners.h",
 }
 
+# The serving layer's batch/async building blocks (the planner that
+# groups requests and the handle that carries an async result) compose
+# over the unified request vocabulary (src/core/mine.h) and the search
+# kernel's planning helpers only. Reaching into a per-algorithm miner
+# facade from these files would re-couple scheduling policy to
+# individual miners — dispatch stays behind Mine()/MineStep, never in
+# the planner.
+SERVE_BATCH_PREFIXES = ("src/serve/batch_planner", "src/serve/run_handle")
+SERVE_BATCH_ALLOWED_FACADE = {"src/core/mine.h"}
+
 # The retry helper is the single audited backoff implementation: every
 # sleep in the library goes through RetryWithBackoff's injectable
 # sleep_fn (src/util/retry.h). A raw sleep anywhere else — most
@@ -120,6 +130,7 @@ def check(repo_root):
                               f"'{from_layer}' (add it to LAYER_RANK)")
             continue
         in_kernel = rel.startswith("src/core/search/")
+        in_serve_batch = rel.startswith(SERVE_BATCH_PREFIXES)
         with open(path, encoding="utf-8") as f:
             for lineno, line in enumerate(f, 1):
                 if SLEEP_RE.search(line) and rel not in SLEEP_ALLOWED:
@@ -166,6 +177,15 @@ def check(repo_root):
                         violations.append(
                             f"{rel}:{lineno}: search kernel includes "
                             f"serving-layer header '{inc}'")
+                if (in_serve_batch
+                        and inc in FACADE_HEADERS
+                        and inc not in SERVE_BATCH_ALLOWED_FACADE):
+                    violations.append(
+                        f"{rel}:{lineno}: serve batch/handle file includes "
+                        f"per-algorithm miner facade '{inc}' (the planner "
+                        f"and handle see only src/core/mine.h and the "
+                        f"search kernel; miner dispatch stays behind "
+                        f"Mine())")
 
     for v in violations:
         print(v)
